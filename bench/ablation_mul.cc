@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Ablation bench (extension): vulnerability of a hardware multiplier.
+ *
+ * With IbexMiniConfig::enableMul the core gains an Ibex-style iterative
+ * shift-and-add multiplier ("MUL" structure). This bench runs a
+ * mul-heavy dot-product kernel and compares the multiplier's DelayAVF
+ * against the classic five structures. Interesting dynamics: the MUL
+ * datapath is busy for 33 consecutive cycles per instruction (high
+ * toggle rates while active), but its result is architecturally live
+ * only on the final cycle — injection timing matters enormously.
+ */
+
+#include <cstdio>
+#include <sstream>
+
+#include "bench/common.hh"
+#include "isa/assembler.hh"
+#include "isa/iss.hh"
+
+using namespace davf;
+using namespace davf::bench;
+
+namespace {
+
+/** Dot product of two 8-element vectors using hardware MUL. */
+std::string
+dotProductProgram()
+{
+    std::ostringstream out;
+    out << R"(
+main:
+  la a1, vec_a
+  la a2, vec_b
+  li a3, 8
+  li a0, 0
+loop:
+  lw t0, 0(a1)
+  lw t1, 0(a2)
+  mul t2, t0, t1
+  add a0, a0, t2
+  addi a1, a1, 4
+  addi a2, a2, 4
+  addi a3, a3, -1
+  bnez a3, loop
+  li t6, 0x10000
+  sw a0, 0(t6)
+  sw x0, 4(t6)
+hang:
+  j hang
+vec_a: .word 12, 7, 33, 91, 4, 58, 20, 3
+vec_b: .word 9, 41, 6, 2, 77, 13, 25, 64
+)";
+    return out.str();
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Ablation: hardware multiplier vulnerability "
+                "(dot-product kernel, d = 60%%)\n\n");
+
+    const std::string source = dotProductProgram();
+
+    // Sanity: ISS result.
+    Iss iss(assemble(source));
+    if (!iss.run(20000) || iss.outputTrace().size() != 1) {
+        std::fprintf(stderr, "kernel failed on the ISS\n");
+        return 1;
+    }
+    std::printf("dot product = %u\n", iss.outputTrace()[0]);
+
+    IbexMiniConfig config;
+    config.enableMul = true;
+    IbexMini soc(config, assemble(source));
+    SocWorkload workload(soc);
+    EngineOptions options;
+    options.periodMode =
+        EngineOptions::PeriodMode::ObservedMaxPlusMargin;
+    VulnerabilityEngine engine(soc.netlist(),
+                               CellLibrary::defaultLibrary(), workload,
+                               options);
+    std::printf("golden: %llu cycles (33-cycle muls dominate), "
+                "period %.0f ps\n\n",
+                static_cast<unsigned long long>(engine.goldenCycles()),
+                engine.clockPeriod());
+
+    SamplingConfig sampling = BenchLab::sampling();
+    sampling.maxInjectionCycles = 16; // Short kernel: sample densely.
+
+    printHeader("Structure", {"wires", "AVF@60%", "AVF@75%", "AVF@90%",
+                              "Dyn@90%"});
+    for (const char *name :
+         {"MUL", "ALU", "Decoder", "Regfile", "LSU", "Prefetch"}) {
+        const Structure &structure = *soc.structures().find(name);
+        std::vector<double> row = {
+            static_cast<double>(structure.wires.size())};
+        DelayAvfResult last;
+        for (double d : {0.6, 0.75, 0.9}) {
+            last = engine.delayAvf(structure, d, sampling);
+            row.push_back(last.delayAvf);
+        }
+        row.push_back(last.dynamicWireFraction);
+        printRow(name, row, 4);
+    }
+    std::printf("\nExpected: the iterative multiplier's short "
+                "single-stage paths give it large slack —\nits "
+                "vulnerability only appears at large d, while "
+                "fetch/decode paths fail earlier.\n");
+    return 0;
+}

@@ -1,0 +1,160 @@
+#include "common.hh"
+
+#include <cstdlib>
+
+#include "isa/assembler.hh"
+#include "isa/benchmarks.hh"
+#include "util/logging.hh"
+
+namespace davf::bench {
+
+const Structure &
+BenchContext::structure(const std::string &name) const
+{
+    // "Regfile (ECC)" refers to the Regfile structure of the ECC build.
+    const std::string lookup =
+        name == "Regfile (ECC)" ? "Regfile" : name;
+    const Structure *found = soc->structures().find(lookup);
+    davf_assert(found != nullptr, "unknown structure ", name);
+    return *found;
+}
+
+void
+BenchLab::buildContext(const std::string &benchmark, bool ecc)
+{
+    auto &slot = cache[{benchmark, ecc}];
+    if (slot)
+        return;
+    slot = std::make_unique<BenchContext>();
+    const BenchmarkProgram &program = beebsBenchmark(benchmark);
+    IbexMiniConfig config;
+    config.eccRegfile = ecc;
+    slot->soc = std::make_unique<IbexMini>(config,
+                                           assemble(program.source));
+    slot->workload = std::make_unique<SocWorkload>(*slot->soc);
+    // Timing-closure emulation (see EngineOptions): the observed
+    // critical activity sets the clock, as in an optimized core.
+    EngineOptions options;
+    options.periodMode =
+        EngineOptions::PeriodMode::ObservedMaxPlusMargin;
+    slot->engine = std::make_unique<VulnerabilityEngine>(
+        slot->soc->netlist(), CellLibrary::defaultLibrary(),
+        *slot->workload, options);
+    davf_assert(slot->engine->goldenOutput() == program.expectedOutput,
+                "golden run of ", benchmark, " produced wrong output");
+}
+
+BenchContext &
+BenchLab::context(const std::string &benchmark, bool ecc)
+{
+    // One clock per design build: on first touch of a flavor, build
+    // every paper benchmark's engine and give them all the slowest
+    // observed critical arrival (the clock a designer would close
+    // timing at across the whole suite).
+    if (!flavorReady[ecc ? 1 : 0]) {
+        flavorReady[ecc ? 1 : 0] = true;
+        for (const std::string &name : kBenchmarks)
+            buildContext(name, ecc);
+        double worst = 0.0;
+        for (auto &[key, ctx] : cache) {
+            if (key.second == ecc)
+                worst = std::max(worst, ctx->engine->clockPeriod());
+        }
+        for (auto &[key, ctx] : cache) {
+            if (key.second == ecc)
+                ctx->engine->setClockPeriod(worst);
+        }
+    }
+    buildContext(benchmark, ecc);
+    return *cache.at({benchmark, ecc});
+}
+
+SamplingConfig
+BenchLab::sampling()
+{
+    SamplingConfig config;
+    config.maxInjectionCycles = 8;
+    config.maxWires = 400;
+    config.maxFlops = 192;
+    config.seed = 2024;
+    if (const char *wires = std::getenv("DAVF_BENCH_WIRES"))
+        config.maxWires = std::strtoull(wires, nullptr, 10);
+    if (const char *cycles = std::getenv("DAVF_BENCH_CYCLES"))
+        config.maxInjectionCycles =
+            static_cast<unsigned>(std::strtoul(cycles, nullptr, 10));
+    return config;
+}
+
+const DelayAvfResult &
+AvfTable::delayAvf(const std::string &benchmark, bool ecc,
+                   const std::string &structure, double delay_fraction)
+{
+    char key[128];
+    std::snprintf(key, sizeof(key), "%s/%d/%s/%.3f", benchmark.c_str(),
+                  ecc ? 1 : 0, structure.c_str(), delay_fraction);
+    auto it = delayCache.find(key);
+    if (it == delayCache.end()) {
+        BenchContext &ctx = lab->context(benchmark, ecc);
+        it = delayCache
+                 .emplace(key, ctx.engine->delayAvf(
+                                   ctx.structure(structure),
+                                   delay_fraction, BenchLab::sampling()))
+                 .first;
+    }
+    return it->second;
+}
+
+const SavfResult &
+AvfTable::savf(const std::string &benchmark, bool ecc,
+               const std::string &structure)
+{
+    const std::string key = benchmark + "/" + (ecc ? "1" : "0") + "/"
+        + structure;
+    auto it = savfCache.find(key);
+    if (it == savfCache.end()) {
+        BenchContext &ctx = lab->context(benchmark, ecc);
+        // Particle-strike runs cannot be cone-restricted or memoized
+        // the way SDF runs can (every flip is a fresh trajectory), so
+        // sample them a little more coarsely than the SDF sweeps.
+        SamplingConfig config = BenchLab::sampling();
+        config.maxInjectionCycles =
+            std::min(config.maxInjectionCycles, 6u);
+        if (config.maxFlops == 0 || config.maxFlops > 96)
+            config.maxFlops = 96;
+        it = savfCache
+                 .emplace(key, ctx.engine->savf(ctx.structure(structure),
+                                                config))
+                 .first;
+    }
+    return it->second;
+}
+
+void
+printRule(size_t width)
+{
+    std::printf("%s", std::string(22 + 12 * width, '-').c_str());
+    std::printf("\n");
+}
+
+void
+printHeader(const std::string &first,
+            const std::vector<std::string> &columns)
+{
+    std::printf("%-22s", first.c_str());
+    for (const std::string &column : columns)
+        std::printf("%12s", column.c_str());
+    std::printf("\n");
+    printRule(columns.size());
+}
+
+void
+printRow(const std::string &label, const std::vector<double> &values,
+         int precision)
+{
+    std::printf("%-22s", label.c_str());
+    for (double value : values)
+        std::printf("%12.*f", precision, value);
+    std::printf("\n");
+}
+
+} // namespace davf::bench

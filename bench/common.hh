@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Shared support for the paper-reproduction bench harnesses: builds the
+ * IbexMini SoC + vulnerability engine per benchmark (with and without the
+ * ECC register file), applies the case study's sampling configuration,
+ * and provides table formatting helpers.
+ *
+ * Every binary in bench/ regenerates one table or figure of the paper
+ * (see DESIGN.md §4 for the index). Absolute values differ from the
+ * paper — the substrate is IbexMini on a NanGate-like library rather
+ * than Ibex on the authors' flow — but the *shapes* (rank orderings,
+ * trends over d, ECC behaviour) are the reproduction targets; see
+ * EXPERIMENTS.md.
+ */
+
+#ifndef DAVF_BENCH_COMMON_HH
+#define DAVF_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/vulnerability.hh"
+#include "soc/ibex_mini.hh"
+#include "soc/soc_workload.hh"
+
+namespace davf::bench {
+
+/** The SDF durations evaluated throughout the case study (Fig. 7-9). */
+inline const std::vector<double> kDelayFractions = {
+    0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9};
+
+/** The benchmarks, in the paper's order. */
+inline const std::vector<std::string> kBenchmarks = {
+    "md5", "bubblesort", "libstrstr", "libfibcall", "matmult"};
+
+/** The three logic/array structures of Fig. 7. */
+inline const std::vector<std::string> kFig7Structures = {"ALU", "Decoder",
+                                                         "Regfile"};
+
+/** The stateful structures of Fig. 10. */
+inline const std::vector<std::string> kStatefulStructures = {
+    "Regfile", "Regfile (ECC)", "LSU", "Prefetch"};
+
+/**
+ * One built SoC + engine for a (benchmark, ecc) pair. Construction runs
+ * the golden execution.
+ */
+struct BenchContext
+{
+    std::unique_ptr<IbexMini> soc;
+    std::unique_ptr<SocWorkload> workload;
+    std::unique_ptr<VulnerabilityEngine> engine;
+
+    const Structure &structure(const std::string &name) const;
+};
+
+/** Lazily constructs and caches BenchContexts. */
+class BenchLab
+{
+  public:
+    /** The context for @p benchmark (ECC regfile iff @p ecc). */
+    BenchContext &context(const std::string &benchmark, bool ecc = false);
+
+    /**
+     * Sampling configuration used by all harnesses. Scaled down from
+     * the paper's 24-hour 48-core runs to minutes on a laptop: a capped
+     * number of equally spaced injection cycles and a statistical wire
+     * sample per structure (the paper itself samples 4% of cycles;
+     * §V-C explicitly endorses temporal and structural sampling).
+     * Override the wire cap with the DAVF_BENCH_WIRES environment
+     * variable (0 = all wires) and the cycle cap with
+     * DAVF_BENCH_CYCLES.
+     */
+    static SamplingConfig sampling();
+
+  private:
+    void buildContext(const std::string &benchmark, bool ecc);
+
+    std::map<std::pair<std::string, bool>, std::unique_ptr<BenchContext>>
+        cache;
+    bool flavorReady[2] = {false, false};
+};
+
+/** DelayAVF with result caching, keyed (benchmark, ecc, structure, d). */
+class AvfTable
+{
+  public:
+    explicit AvfTable(BenchLab &lab) : lab(&lab) {}
+
+    const DelayAvfResult &delayAvf(const std::string &benchmark,
+                                   bool ecc,
+                                   const std::string &structure,
+                                   double delay_fraction);
+
+    const SavfResult &savf(const std::string &benchmark, bool ecc,
+                           const std::string &structure);
+
+  private:
+    BenchLab *lab;
+    std::map<std::string, DelayAvfResult> delayCache;
+    std::map<std::string, SavfResult> savfCache;
+};
+
+/** Print a rule line sized for @p width columns of 12 chars. */
+void printRule(size_t width);
+
+/** Print a header cell row: first column 22 wide, rest 12. */
+void printHeader(const std::string &first,
+                 const std::vector<std::string> &columns);
+
+/** Print a data row: label then fixed-point values. */
+void printRow(const std::string &label, const std::vector<double> &values,
+              int precision = 4);
+
+} // namespace davf::bench
+
+#endif // DAVF_BENCH_COMMON_HH

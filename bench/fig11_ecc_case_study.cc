@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Figure 11 reproduction: the SEC-ECC escape case study. A particle
+ * strike in an ECC-protected register file cell is always corrected
+ * (sAVF -> 0), but a small delay fault on a shared wire — e.g. a
+ * wordline/decoder/select net — can corrupt *multiple* codeword bits at
+ * once, or re-latch stale data wholesale, which single-error correction
+ * cannot catch (and may actively mis-correct).
+ *
+ * This harness demonstrates the effect on the real core: on the
+ * ECC-regfile build running bubblesort it measures (a) the register
+ * file's sAVF (expected ~0: every injected strike lands in a codeword
+ * and is corrected on read), (b) its DelayAVF at d = 90% (expected
+ * nonzero), and (c) prints a concrete escaping injection: the faulted
+ * wire, the multi-bit dynamically reachable set, and the failure class.
+ */
+
+#include <cstdio>
+
+#include "bench/common.hh"
+
+using namespace davf;
+using namespace davf::bench;
+
+int
+main()
+{
+    std::printf("Figure 11 case study: SEC ECC vs small delay faults\n"
+                "(ECC-regfile build, bubblesort)\n\n");
+
+    BenchLab lab;
+    BenchContext &ctx = lab.context("bubblesort", true);
+    const Structure &regfile = ctx.structure("Regfile");
+    const SamplingConfig config = BenchLab::sampling();
+
+    // (a) Particle strikes: SEC corrects every single-bit storage error.
+    const SavfResult savf = ctx.engine->savf(regfile, config);
+    std::printf("(a) particle strikes into ECC regfile flops:\n");
+    std::printf("    injections %llu, ACE %llu  ->  sAVF = %.4f "
+                "(paper: reduced to zero)\n\n",
+                static_cast<unsigned long long>(savf.injections),
+                static_cast<unsigned long long>(savf.aceInjections),
+                savf.savf);
+
+    // (b) Small delay faults on the same structure's wires.
+    const DelayAvfResult delay =
+        ctx.engine->delayAvf(regfile, 0.9, config);
+    std::printf("(b) SDFs (d = 90%%) on ECC regfile wires:\n");
+    std::printf("    injections %llu, with errors %llu (multi-bit "
+                "%llu), DelayACE %llu\n",
+                static_cast<unsigned long long>(delay.injections),
+                static_cast<unsigned long long>(delay.errorInjections),
+                static_cast<unsigned long long>(
+                    delay.multiBitInjections),
+                static_cast<unsigned long long>(
+                    delay.delayAceInjections));
+    std::printf("    DelayAVF = %.5f, ACE compounding in %llu sets "
+                "(paper: ECC compounds heavily)\n\n",
+                delay.delayAvf,
+                static_cast<unsigned long long>(delay.aceCompounding));
+
+    // (c) A concrete escaping injection.
+    std::printf("(c) hunting one concrete escape...\n");
+    const double d = 0.9 * ctx.engine->clockPeriod();
+    bool found = false;
+    for (uint64_t cycle = 1;
+         cycle < ctx.engine->goldenCycles() && !found; cycle += 97) {
+        for (size_t i = 0; i < regfile.wires.size() && !found; i += 3) {
+            const WireId wire = regfile.wires[i];
+            const auto errors =
+                ctx.engine->dynamicErrors(wire, cycle, d);
+            if (errors.size() < 2)
+                continue;
+            const FailureKind group =
+                ctx.engine->groupVerdict(errors, cycle);
+            if (group == FailureKind::None)
+                continue;
+            // Check that no single error is ACE (pure compounding).
+            bool any_single = false;
+            for (const auto &error : errors) {
+                const CycleSimulator::Force single[] = {error};
+                if (ctx.engine->groupVerdict(single, cycle)
+                    != FailureKind::None) {
+                    any_single = true;
+                    break;
+                }
+            }
+            std::printf("    wire '%s', cycle %llu:\n",
+                        ctx.soc->netlist().wireName(wire).c_str(),
+                        static_cast<unsigned long long>(cycle));
+            std::printf("      %zu simultaneous state element errors ->"
+                        " %s\n",
+                        errors.size(),
+                        group == FailureKind::Sdc
+                            ? "silent data corruption"
+                            : "detected unrecoverable error (hang)");
+            std::printf("      individually ACE? %s%s\n",
+                        any_single ? "yes" : "no",
+                        any_single ? "" : "  (pure ACE compounding: "
+                                          "invisible to ORACE)");
+            for (const auto &[elem, value] : errors) {
+                std::printf("        %s <- %d\n",
+                            ctx.soc->netlist()
+                                .stateElemName(elem)
+                                .c_str(),
+                            value ? 1 : 0);
+            }
+            found = true;
+        }
+    }
+    if (!found)
+        std::printf("    (no multi-bit escape in the scanned sample; "
+                    "increase DAVF_BENCH_WIRES)\n");
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Figure 6 reproduction: path length distributions for the structures of
+ * the Ibex-like core — for every wire of a structure, the longest
+ * complete register-to-register path through that wire, as a fraction of
+ * the clock period (which equals the longest path in the whole design,
+ * §VI-A).
+ *
+ * Expected shape: the ALU (through the 32-bit adder) concentrates near
+ * the critical path; the register file's mux trees sit in the mid-range;
+ * the decoder is short. Static reachability at delay d (Fig. 8's first
+ * component) is exactly the mass above (1 - d).
+ */
+
+#include <cstdio>
+
+#include "bench/common.hh"
+#include "util/stats.hh"
+
+using namespace davf;
+using namespace davf::bench;
+
+int
+main()
+{
+    std::printf("Figure 6: path length distributions per structure\n");
+    std::printf("(longest complete path through each wire, normalized "
+                "to the clock period)\n\n");
+
+    IbexMini plain({}, {});
+    IbexMiniConfig ecc_config;
+    ecc_config.eccRegfile = true;
+    IbexMini ecc(ecc_config, {});
+
+    auto report = [](const IbexMini &soc, const std::string &name,
+                     const std::string &label) {
+        DelayModel delays(soc.netlist(), CellLibrary::defaultLibrary());
+        Sta sta(delays);
+        const double period = sta.maxPath();
+        Histogram histogram(0.0, 1.0 + 1e-9, 10);
+        for (WireId wire : soc.structures().find(name)->wires) {
+            const double path = sta.longestPathThrough(wire);
+            if (path > 0.0)
+                histogram.add(path / period);
+        }
+        std::printf("%s\n", histogram.render(label).c_str());
+    };
+
+    for (const char *name : {"ALU", "Decoder", "Regfile", "LSU",
+                             "Prefetch"})
+        report(plain, name, std::string(name));
+    report(ecc, "Regfile", "Regfile (ECC)");
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Figure 7 reproduction: normalized geometric-mean DelayAVF across the
+ * Beebs benchmarks for the ALU, decoder, and register file, for SDF
+ * durations d = 10% .. 90% of the clock period.
+ *
+ * Expected shape (paper Observation 1): the ALU has the highest
+ * DelayAVF at almost every d (upwards of 5x the register file), the
+ * decoder sits in between, and DelayAVF generally grows with d. Values
+ * are normalized to the largest geomean observed (as in the paper's
+ * figure, which normalizes "to facilitate comparison between
+ * structures"); the raw geomeans are printed alongside.
+ */
+
+#include <cstdio>
+
+#include "bench/common.hh"
+#include "util/stats.hh"
+
+using namespace davf;
+using namespace davf::bench;
+
+int
+main()
+{
+    std::printf("Figure 7: normalized geomean DelayAVF per structure\n");
+    std::printf("(geometric mean over the Beebs benchmarks; normalized "
+                "to the overall maximum)\n\n");
+
+    BenchLab lab;
+    AvfTable table(lab);
+
+    // geomean[structure][d]
+    std::map<std::string, std::vector<double>> geomeans;
+    double overall_max = 0.0;
+    for (const std::string &structure : kFig7Structures) {
+        for (double d : kDelayFractions) {
+            std::vector<double> values;
+            for (const std::string &benchmark : kBenchmarks) {
+                values.push_back(
+                    table.delayAvf(benchmark, false, structure, d)
+                        .delayAvf);
+            }
+            const double gm = geomean(values, 1e-6);
+            geomeans[structure].push_back(gm);
+            overall_max = std::max(overall_max, gm);
+        }
+    }
+
+    std::vector<std::string> headers;
+    for (double d : kDelayFractions)
+        headers.push_back(std::to_string(static_cast<int>(d * 100))
+                          + "%");
+
+    std::printf("Normalized geomean DelayAVF:\n");
+    printHeader("Structure \\ d", headers);
+    for (const std::string &structure : kFig7Structures) {
+        std::vector<double> row;
+        for (double gm : geomeans[structure])
+            row.push_back(overall_max > 0 ? gm / overall_max : 0.0);
+        printRow(structure, row, 3);
+    }
+
+    std::printf("\nRaw geomean DelayAVF (injection-space fraction):\n");
+    printHeader("Structure \\ d", headers);
+    for (const std::string &structure : kFig7Structures)
+        printRow(structure, geomeans[structure], 5);
+
+    // Observation 1 headline: ALU / Regfile ratio at each d.
+    std::printf("\nALU : Regfile DelayAVF ratio per d "
+                "(paper: upwards of 5x):\n");
+    printHeader("", headers);
+    std::vector<double> ratios;
+    for (size_t i = 0; i < kDelayFractions.size(); ++i) {
+        const double rf = geomeans["Regfile"][i];
+        ratios.push_back(rf > 0 ? geomeans["ALU"][i] / rf : 0.0);
+    }
+    printRow("ALU/Regfile", ratios, 2);
+    return 0;
+}

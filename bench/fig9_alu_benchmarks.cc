@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Figure 9 reproduction: normalized DelayAVF of the ALU for each Beebs
+ * benchmark across SDF durations d = 10% .. 90% of the clock period.
+ *
+ * Expected shape (paper Observation 3): strong benchmark dependence,
+ * with md5's highly random dataflow (high ALU toggle rates) yielding
+ * the highest DelayAVF, and regular-data benchmarks like libstrstr much
+ * lower.
+ */
+
+#include <cstdio>
+
+#include "bench/common.hh"
+
+using namespace davf;
+using namespace davf::bench;
+
+int
+main()
+{
+    std::printf("Figure 9: normalized DelayAVF of the ALU per "
+                "benchmark\n\n");
+
+    BenchLab lab;
+    AvfTable table(lab);
+
+    std::map<std::string, std::vector<double>> rows;
+    double overall_max = 0.0;
+    for (const std::string &benchmark : kBenchmarks) {
+        for (double d : kDelayFractions) {
+            const double avf =
+                table.delayAvf(benchmark, false, "ALU", d).delayAvf;
+            rows[benchmark].push_back(avf);
+            overall_max = std::max(overall_max, avf);
+        }
+    }
+
+    std::vector<std::string> headers;
+    for (double d : kDelayFractions)
+        headers.push_back(std::to_string(static_cast<int>(d * 100))
+                          + "%");
+
+    std::printf("Normalized DelayAVF:\n");
+    printHeader("Benchmark \\ d", headers);
+    for (const std::string &benchmark : kBenchmarks) {
+        std::vector<double> normalized;
+        for (double value : rows[benchmark])
+            normalized.push_back(
+                overall_max > 0 ? value / overall_max : 0.0);
+        printRow(benchmark, normalized, 3);
+    }
+
+    std::printf("\nRaw DelayAVF:\n");
+    printHeader("Benchmark \\ d", headers);
+    for (const std::string &benchmark : kBenchmarks)
+        printRow(benchmark, rows[benchmark], 5);
+
+    // SDC/DUE split at d = 90% (extension beyond the paper's figure).
+    std::printf("\nFailure classification at d = 90%%:\n");
+    printHeader("Benchmark", {"SDC", "DUE"});
+    for (const std::string &benchmark : kBenchmarks) {
+        const DelayAvfResult &result =
+            table.delayAvf(benchmark, false, "ALU", 0.9);
+        printRow(benchmark,
+                 {static_cast<double>(result.sdc),
+                  static_cast<double>(result.due)},
+                 0);
+    }
+    return 0;
+}

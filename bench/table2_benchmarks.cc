@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Table II reproduction: number of cycles executed per benchmark on the
+ * core (the golden-run length N used as the DelayAVF denominator).
+ *
+ * Paper reference values (Ibex): md5 1720, bubblesort 3829,
+ * libstrstr 1051, libfibcall 2448, matmult 8903. The kernels here are
+ * scaled to the same order of magnitude; the expected shape is
+ * matmult > bubblesort/libfibcall > md5 > libstrstr.
+ */
+
+#include <cstdio>
+
+#include "bench/common.hh"
+
+using namespace davf;
+using namespace davf::bench;
+
+int
+main()
+{
+    std::printf("Table II: number of cycles executed per benchmark\n\n");
+    std::printf("%-22s%12s%12s\n", "Benchmark", "# cycles N",
+                "# outputs");
+    printRule(2);
+
+    BenchLab lab;
+    for (const std::string &name : kBenchmarks) {
+        BenchContext &ctx = lab.context(name);
+        std::printf("%-22s%12llu%12zu\n", name.c_str(),
+                    static_cast<unsigned long long>(
+                        ctx.engine->goldenCycles()),
+                    ctx.engine->goldenOutput().size());
+    }
+
+    std::printf("\nDesign clock period (timing-closure emulation, "
+                "suite-harmonized): %.1f ps\n",
+                lab.context("md5").engine->clockPeriod());
+    return 0;
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Static-timing exploration of the IbexMini core: the OpenSTA-style
+ * facts the DelayAVF flow consumes. Prints the design's critical path
+ * parameters, per-structure path-length statistics, and — for a chosen
+ * wire — the statically reachable set as the SDF duration grows
+ * (Definition 2's d-dependence).
+ *
+ *   $ ./examples/sta_explorer
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "soc/ibex_mini.hh"
+#include "timing/sta.hh"
+#include "util/stats.hh"
+
+using namespace davf;
+
+int
+main()
+{
+    IbexMini soc({}, {});
+    const Netlist &netlist = soc.netlist();
+    DelayModel delays(netlist, CellLibrary::defaultLibrary());
+    Sta sta(delays);
+    const double period = sta.maxPath();
+
+    std::printf("IbexMini: %zu cells, %zu nets, %zu wires, %zu state "
+                "elements\n",
+                netlist.numCells(), netlist.numNets(),
+                netlist.numWires(), netlist.numStateElems());
+    std::printf("STA worst register-to-register path: %.1f ps\n\n",
+                period);
+
+    // Per-structure path statistics.
+    std::printf("%-12s %8s %10s %10s %10s\n", "structure", "wires",
+                "p50/period", "p95/period", "max/period");
+    for (const Structure &structure : soc.structures().all()) {
+        std::vector<double> paths;
+        for (WireId wire : structure.wires) {
+            const double through = sta.longestPathThrough(wire);
+            if (through > 0)
+                paths.push_back(through / period);
+        }
+        std::sort(paths.begin(), paths.end());
+        auto pct = [&](double q) {
+            return paths.empty()
+                ? 0.0
+                : paths[static_cast<size_t>(q * (paths.size() - 1))];
+        };
+        std::printf("%-12s %8zu %10.3f %10.3f %10.3f\n",
+                    structure.name.c_str(), structure.wires.size(),
+                    pct(0.5), pct(0.95), pct(1.0));
+    }
+
+    // Static reachability growth for the most critical ALU wire.
+    const Structure &alu = *soc.structures().find("ALU");
+    WireId critical = alu.wires.front();
+    double best = 0.0;
+    for (WireId wire : alu.wires) {
+        const double through = sta.longestPathThrough(wire);
+        if (through > best) {
+            best = through;
+            critical = wire;
+        }
+    }
+    std::printf("\nmost critical ALU wire: %s (path %.1f ps = %.3f of "
+                "the period)\n",
+                netlist.wireName(critical).c_str(), best, best / period);
+    std::printf("statically reachable set size vs d:\n");
+    std::vector<StateElemId> reachable;
+    for (double fraction : {0.05, 0.1, 0.2, 0.4, 0.6, 0.8}) {
+        sta.staticallyReachable(critical, fraction * period, period,
+                                reachable);
+        std::printf("  d = %4.0f%%: %zu state elements\n",
+                    100 * fraction, reachable.size());
+    }
+    return 0;
+}

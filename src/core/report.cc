@@ -1,0 +1,108 @@
+#include "report.hh"
+
+#include <sstream>
+
+namespace davf {
+
+namespace {
+
+/** Escape a string for embedding in CSV/JSON (labels are simple, but
+ *  never trust a label). */
+std::string
+escape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        if (c == ',' || c == '\n')
+            continue;
+        out += c;
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+delayAvfCsvHeader()
+{
+    return "benchmark,structure,d,delayavf,ordelayavf,static_frac,"
+           "dynamic_frac,groupace_frac,injections,static_inj,error_inj,"
+           "multibit,sdc,due,interference,compounding,wires,cycles";
+}
+
+std::string
+delayAvfCsvRow(const std::string &benchmark, const std::string &structure,
+               double delay_fraction, const DelayAvfResult &result)
+{
+    std::ostringstream out;
+    out << escape(benchmark) << ',' << escape(structure) << ','
+        << delay_fraction << ',' << result.delayAvf << ','
+        << result.orDelayAvf << ',' << result.staticWireFraction << ','
+        << result.dynamicWireFraction << ','
+        << result.groupAceWireFraction << ',' << result.injections
+        << ',' << result.staticInjections << ','
+        << result.errorInjections << ',' << result.multiBitInjections
+        << ',' << result.sdc << ',' << result.due << ','
+        << result.aceInterference << ',' << result.aceCompounding << ','
+        << result.wiresInjected << ',' << result.cyclesInjected;
+    return out.str();
+}
+
+std::string
+savfCsvHeader()
+{
+    return "benchmark,structure,savf,injections,ace,sdc,due";
+}
+
+std::string
+savfCsvRow(const std::string &benchmark, const std::string &structure,
+           const SavfResult &result)
+{
+    std::ostringstream out;
+    out << escape(benchmark) << ',' << escape(structure) << ','
+        << result.savf << ',' << result.injections << ','
+        << result.aceInjections << ',' << result.sdc << ','
+        << result.due;
+    return out.str();
+}
+
+std::string
+delayAvfJson(const std::string &benchmark, const std::string &structure,
+             double delay_fraction, const DelayAvfResult &result)
+{
+    std::ostringstream out;
+    out << "{\"benchmark\":\"" << escape(benchmark)
+        << "\",\"structure\":\"" << escape(structure)
+        << "\",\"d\":" << delay_fraction
+        << ",\"delayavf\":" << result.delayAvf
+        << ",\"ordelayavf\":" << result.orDelayAvf
+        << ",\"static_frac\":" << result.staticWireFraction
+        << ",\"dynamic_frac\":" << result.dynamicWireFraction
+        << ",\"groupace_frac\":" << result.groupAceWireFraction
+        << ",\"injections\":" << result.injections
+        << ",\"error_injections\":" << result.errorInjections
+        << ",\"multibit\":" << result.multiBitInjections
+        << ",\"sdc\":" << result.sdc << ",\"due\":" << result.due
+        << ",\"interference\":" << result.aceInterference
+        << ",\"compounding\":" << result.aceCompounding << "}";
+    return out.str();
+}
+
+std::string
+savfJson(const std::string &benchmark, const std::string &structure,
+         const SavfResult &result)
+{
+    std::ostringstream out;
+    out << "{\"benchmark\":\"" << escape(benchmark)
+        << "\",\"structure\":\"" << escape(structure)
+        << "\",\"savf\":" << result.savf
+        << ",\"injections\":" << result.injections
+        << ",\"ace\":" << result.aceInjections << ",\"sdc\":"
+        << result.sdc << ",\"due\":" << result.due << "}";
+    return out.str();
+}
+
+} // namespace davf

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Result serialization: CSV rows and JSON objects for DelayAVF / sAVF
+ * results, so downstream tooling (plotting scripts, regression
+ * dashboards) can consume engine output without scraping stdout.
+ */
+
+#ifndef DAVF_CORE_REPORT_HH
+#define DAVF_CORE_REPORT_HH
+
+#include <string>
+
+#include "core/vulnerability.hh"
+
+namespace davf {
+
+/** Column header matching delayAvfCsvRow(). */
+std::string delayAvfCsvHeader();
+
+/**
+ * One CSV row for a DelayAVF evaluation.
+ *
+ * @param benchmark workload label.
+ * @param structure structure label.
+ * @param delay_fraction the d used, as a fraction of the period.
+ */
+std::string delayAvfCsvRow(const std::string &benchmark,
+                           const std::string &structure,
+                           double delay_fraction,
+                           const DelayAvfResult &result);
+
+/** Column header matching savfCsvRow(). */
+std::string savfCsvHeader();
+
+/** One CSV row for an sAVF evaluation. */
+std::string savfCsvRow(const std::string &benchmark,
+                       const std::string &structure,
+                       const SavfResult &result);
+
+/** A JSON object (single line) for a DelayAVF evaluation. */
+std::string delayAvfJson(const std::string &benchmark,
+                         const std::string &structure,
+                         double delay_fraction,
+                         const DelayAvfResult &result);
+
+/** A JSON object (single line) for an sAVF evaluation. */
+std::string savfJson(const std::string &benchmark,
+                     const std::string &structure,
+                     const SavfResult &result);
+
+} // namespace davf
+
+#endif // DAVF_CORE_REPORT_HH

@@ -1,0 +1,479 @@
+#include "assembler.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <optional>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/logging.hh"
+
+namespace davf {
+
+namespace {
+
+/** A tokenized source line. */
+struct Line
+{
+    int number = 0;
+    std::vector<std::string> labels;
+    std::string mnemonic;
+    std::vector<std::string> operands;
+};
+
+std::string
+trim(const std::string &text)
+{
+    size_t begin = 0;
+    size_t end = text.size();
+    while (begin < end && std::isspace(static_cast<unsigned char>(
+                              text[begin])))
+        ++begin;
+    while (end > begin && std::isspace(static_cast<unsigned char>(
+                              text[end - 1])))
+        --end;
+    return text.substr(begin, end - begin);
+}
+
+/** Split a source string into logical lines with labels pre-peeled. */
+std::vector<Line>
+tokenize(const std::string &source)
+{
+    std::vector<Line> lines;
+    std::istringstream stream(source);
+    std::string raw;
+    int number = 0;
+    while (std::getline(stream, raw)) {
+        ++number;
+        // Strip comments.
+        for (const char *marker : {"#", "//"}) {
+            const size_t pos = raw.find(marker);
+            if (pos != std::string::npos)
+                raw.resize(pos);
+        }
+        std::string text = trim(raw);
+        Line line;
+        line.number = number;
+        // Peel leading labels.
+        for (;;) {
+            const size_t colon = text.find(':');
+            if (colon == std::string::npos)
+                break;
+            // Only treat as a label if everything before ':' is a name.
+            const std::string head = trim(text.substr(0, colon));
+            const bool is_name = !head.empty()
+                && std::all_of(head.begin(), head.end(), [](char c) {
+                       return std::isalnum(static_cast<unsigned char>(c))
+                           || c == '_' || c == '.';
+                   });
+            if (!is_name)
+                break;
+            line.labels.push_back(head);
+            text = trim(text.substr(colon + 1));
+        }
+        if (!text.empty()) {
+            // Split mnemonic from operands.
+            const size_t space = text.find_first_of(" \t");
+            line.mnemonic = text.substr(0, space);
+            std::transform(line.mnemonic.begin(), line.mnemonic.end(),
+                           line.mnemonic.begin(), [](unsigned char c) {
+                               return std::tolower(c);
+                           });
+            if (space != std::string::npos) {
+                std::string rest = trim(text.substr(space + 1));
+                std::string operand;
+                for (char c : rest) {
+                    if (c == ',') {
+                        line.operands.push_back(trim(operand));
+                        operand.clear();
+                    } else {
+                        operand += c;
+                    }
+                }
+                operand = trim(operand);
+                if (!operand.empty())
+                    line.operands.push_back(operand);
+            }
+        }
+        if (!line.labels.empty() || !line.mnemonic.empty())
+            lines.push_back(std::move(line));
+    }
+    return lines;
+}
+
+int64_t
+parseImmediate(const std::string &token, int line)
+{
+    std::string text = token;
+    bool negative = false;
+    if (!text.empty() && (text[0] == '-' || text[0] == '+')) {
+        negative = text[0] == '-';
+        text = text.substr(1);
+    }
+    davf_assert(!text.empty(), "line ", line, ": empty immediate");
+    int64_t value = 0;
+    try {
+        size_t used = 0;
+        if (text.size() > 2 && text[0] == '0'
+            && (text[1] == 'x' || text[1] == 'X')) {
+            value = static_cast<int64_t>(
+                std::stoull(text.substr(2), &used, 16));
+            used += 2;
+        } else {
+            value = static_cast<int64_t>(std::stoll(text, &used, 10));
+        }
+        davf_assert(used == text.size(), "line ", line,
+                    ": bad immediate '", token, "'");
+    } catch (const std::exception &) {
+        davf_fatal("line ", line, ": bad immediate '", token, "'");
+    }
+    return negative ? -value : value;
+}
+
+/** Fixed mapping of ABI register names. */
+const std::unordered_map<std::string, unsigned> &
+abiRegisters()
+{
+    static const std::unordered_map<std::string, unsigned> map = {
+        {"zero", 0}, {"ra", 1},  {"sp", 2},   {"gp", 3},  {"tp", 4},
+        {"t0", 5},   {"t1", 6},  {"t2", 7},   {"s0", 8},  {"fp", 8},
+        {"s1", 9},   {"a0", 10}, {"a1", 11},  {"a2", 12}, {"a3", 13},
+        {"a4", 14},  {"a5", 15}, {"a6", 16},  {"a7", 17}, {"s2", 18},
+        {"s3", 19},  {"s4", 20}, {"s5", 21},  {"s6", 22}, {"s7", 23},
+        {"s8", 24},  {"s9", 25}, {"s10", 26}, {"s11", 27}, {"t3", 28},
+        {"t4", 29},  {"t5", 30}, {"t6", 31},
+    };
+    return map;
+}
+
+/** Instruction encodings. */
+uint32_t
+encodeR(unsigned funct7, unsigned rs2, unsigned rs1, unsigned funct3,
+        unsigned rd, unsigned opcode)
+{
+    return (funct7 << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12)
+        | (rd << 7) | opcode;
+}
+
+uint32_t
+encodeI(int32_t imm, unsigned rs1, unsigned funct3, unsigned rd,
+        unsigned opcode, int line)
+{
+    davf_assert(imm >= -2048 && imm <= 2047, "line ", line,
+                ": I-immediate out of range: ", imm);
+    return (static_cast<uint32_t>(imm & 0xfff) << 20) | (rs1 << 15)
+        | (funct3 << 12) | (rd << 7) | opcode;
+}
+
+uint32_t
+encodeS(int32_t imm, unsigned rs2, unsigned rs1, unsigned funct3,
+        unsigned opcode, int line)
+{
+    davf_assert(imm >= -2048 && imm <= 2047, "line ", line,
+                ": S-immediate out of range: ", imm);
+    const uint32_t uimm = static_cast<uint32_t>(imm & 0xfff);
+    return ((uimm >> 5) << 25) | (rs2 << 20) | (rs1 << 15)
+        | (funct3 << 12) | ((uimm & 0x1f) << 7) | opcode;
+}
+
+uint32_t
+encodeB(int32_t offset, unsigned rs2, unsigned rs1, unsigned funct3,
+        int line)
+{
+    davf_assert(offset >= -4096 && offset <= 4094 && (offset & 1) == 0,
+                "line ", line, ": branch offset out of range: ", offset);
+    const uint32_t u = static_cast<uint32_t>(offset);
+    return (((u >> 12) & 1) << 31) | (((u >> 5) & 0x3f) << 25)
+        | (rs2 << 20) | (rs1 << 15) | (funct3 << 12)
+        | (((u >> 1) & 0xf) << 8) | (((u >> 11) & 1) << 7) | 0x63;
+}
+
+uint32_t
+encodeU(uint32_t imm_31_12, unsigned rd, unsigned opcode)
+{
+    return (imm_31_12 << 12) | (rd << 7) | opcode;
+}
+
+uint32_t
+encodeJ(int32_t offset, unsigned rd, int line)
+{
+    davf_assert(offset >= -(1 << 20) && offset < (1 << 20)
+                    && (offset & 1) == 0,
+                "line ", line, ": jump offset out of range: ", offset);
+    const uint32_t u = static_cast<uint32_t>(offset);
+    return (((u >> 20) & 1) << 31) | (((u >> 1) & 0x3ff) << 21)
+        | (((u >> 11) & 1) << 20) | (((u >> 12) & 0xff) << 12)
+        | (rd << 7) | 0x6f;
+}
+
+/** Split "offset(reg)" into its parts. */
+void
+parseMemOperand(const std::string &operand, int line, int64_t &offset,
+                unsigned &base_reg)
+{
+    const size_t open = operand.find('(');
+    const size_t close = operand.rfind(')');
+    davf_assert(open != std::string::npos && close != std::string::npos
+                    && close > open,
+                "line ", line, ": expected offset(reg), got '", operand,
+                "'");
+    const std::string off = trim(operand.substr(0, open));
+    offset = off.empty() ? 0 : parseImmediate(off, line);
+    base_reg = parseRegister(trim(
+        operand.substr(open + 1, close - open - 1)));
+}
+
+/** li expansion: 1 word if the value fits in a signed 12-bit, else 2. */
+unsigned
+liLength(int64_t value)
+{
+    return (value >= -2048 && value <= 2047) ? 1 : 2;
+}
+
+/** Number of words a line assembles to (pass 1). */
+unsigned
+lineLength(const Line &line)
+{
+    const std::string &m = line.mnemonic;
+    if (m.empty())
+        return 0;
+    if (m == ".word")
+        return static_cast<unsigned>(line.operands.size());
+    if (m == ".space") {
+        const int64_t bytes = parseImmediate(line.operands.at(0),
+                                             line.number);
+        return static_cast<unsigned>((bytes + 3) / 4);
+    }
+    if (m == "li")
+        return liLength(parseImmediate(line.operands.at(1), line.number));
+    if (m == "la" || m == "call")
+        return m == "la" ? 2 : 1;
+    return 1;
+}
+
+} // namespace
+
+unsigned
+parseRegister(const std::string &token)
+{
+    if (token.size() >= 2 && (token[0] == 'x' || token[0] == 'X')) {
+        bool numeric = true;
+        for (size_t i = 1; i < token.size(); ++i)
+            numeric = numeric
+                && std::isdigit(static_cast<unsigned char>(token[i]));
+        if (numeric) {
+            const unsigned index =
+                static_cast<unsigned>(std::stoul(token.substr(1)));
+            davf_assert(index < 32, "bad register ", token);
+            return index;
+        }
+    }
+    auto it = abiRegisters().find(token);
+    if (it == abiRegisters().end())
+        davf_fatal("unknown register '", token, "'");
+    return it->second;
+}
+
+std::vector<uint32_t>
+assemble(const std::string &source, uint32_t base)
+{
+    davf_assert(base % 4 == 0, "base address must be word aligned");
+    const std::vector<Line> lines = tokenize(source);
+
+    // Pass 1: label addresses.
+    std::unordered_map<std::string, uint32_t> labels;
+    uint32_t pc = base;
+    for (const Line &line : lines) {
+        for (const std::string &label : line.labels) {
+            davf_assert(!labels.contains(label), "line ", line.number,
+                        ": duplicate label '", label, "'");
+            labels[label] = pc;
+        }
+        pc += 4 * lineLength(line);
+    }
+
+    auto resolve = [&](const std::string &token, int line) -> int64_t {
+        auto it = labels.find(token);
+        if (it != labels.end())
+            return it->second;
+        return parseImmediate(token, line);
+    };
+
+    // Pass 2: encoding.
+    std::vector<uint32_t> image;
+    pc = base;
+    auto emit = [&](uint32_t word) {
+        image.push_back(word);
+        pc += 4;
+    };
+
+    struct AluOp
+    {
+        unsigned funct3;
+        unsigned funct7;
+    };
+    static const std::unordered_map<std::string, AluOp> r_ops = {
+        {"add", {0, 0x00}},  {"sub", {0, 0x20}},  {"sll", {1, 0x00}},
+        {"slt", {2, 0x00}},  {"sltu", {3, 0x00}}, {"xor", {4, 0x00}},
+        {"srl", {5, 0x00}},  {"sra", {5, 0x20}},  {"or", {6, 0x00}},
+        {"and", {7, 0x00}},  {"mul", {0, 0x01}},
+    };
+    static const std::unordered_map<std::string, unsigned> i_ops = {
+        {"addi", 0}, {"slti", 2}, {"sltiu", 3}, {"xori", 4},
+        {"ori", 6},  {"andi", 7},
+    };
+    static const std::unordered_map<std::string, AluOp> shift_ops = {
+        {"slli", {1, 0x00}}, {"srli", {5, 0x00}}, {"srai", {5, 0x20}},
+    };
+    static const std::unordered_map<std::string, unsigned> branch_ops = {
+        {"beq", 0}, {"bne", 1}, {"blt", 4}, {"bge", 5},
+        {"bltu", 6}, {"bgeu", 7},
+    };
+
+    for (const Line &line : lines) {
+        const std::string &m = line.mnemonic;
+        const auto &ops = line.operands;
+        const int ln = line.number;
+        if (m.empty())
+            continue;
+
+        auto reg = [&](size_t index) {
+            davf_assert(index < ops.size(), "line ", ln,
+                        ": missing operand");
+            return parseRegister(ops[index]);
+        };
+
+        if (m == ".word") {
+            for (const std::string &op : ops)
+                emit(static_cast<uint32_t>(resolve(op, ln)));
+        } else if (m == ".space") {
+            const unsigned words = lineLength(line);
+            for (unsigned i = 0; i < words; ++i)
+                emit(0);
+        } else if (r_ops.contains(m)) {
+            const AluOp &op = r_ops.at(m);
+            emit(encodeR(op.funct7, reg(2), reg(1), op.funct3, reg(0),
+                         0x33));
+        } else if (i_ops.contains(m)) {
+            emit(encodeI(static_cast<int32_t>(resolve(ops.at(2), ln)),
+                         reg(1), i_ops.at(m), reg(0), 0x13, ln));
+        } else if (shift_ops.contains(m)) {
+            const AluOp &op = shift_ops.at(m);
+            const int64_t amount = parseImmediate(ops.at(2), ln);
+            davf_assert(amount >= 0 && amount < 32, "line ", ln,
+                        ": bad shift amount");
+            emit(encodeR(op.funct7, static_cast<unsigned>(amount),
+                         reg(1), op.funct3, reg(0), 0x13));
+        } else if (branch_ops.contains(m)) {
+            const int64_t target = resolve(ops.at(2), ln);
+            emit(encodeB(static_cast<int32_t>(target - pc), reg(1),
+                         reg(0), branch_ops.at(m), ln));
+        } else if (m == "bgt" || m == "ble" || m == "bgtu"
+                   || m == "bleu") {
+            // Swapped-operand pseudo branches.
+            const unsigned funct3 =
+                (m == "bgt") ? 4 : (m == "ble") ? 5 : (m == "bgtu") ? 6
+                                                                    : 7;
+            const int64_t target = resolve(ops.at(2), ln);
+            emit(encodeB(static_cast<int32_t>(target - pc), reg(0),
+                         reg(1), funct3, ln));
+        } else if (m == "beqz" || m == "bnez") {
+            const int64_t target = resolve(ops.at(1), ln);
+            emit(encodeB(static_cast<int32_t>(target - pc), 0, reg(0),
+                         m == "beqz" ? 0 : 1, ln));
+        } else if (m == "lw" || m == "lb" || m == "lbu") {
+            int64_t offset;
+            unsigned base_reg;
+            parseMemOperand(ops.at(1), ln, offset, base_reg);
+            const unsigned funct3 = (m == "lw") ? 2 : (m == "lb") ? 0 : 4;
+            emit(encodeI(static_cast<int32_t>(offset), base_reg, funct3,
+                         reg(0), 0x03, ln));
+        } else if (m == "sw" || m == "sb") {
+            int64_t offset;
+            unsigned base_reg;
+            parseMemOperand(ops.at(1), ln, offset, base_reg);
+            emit(encodeS(static_cast<int32_t>(offset), reg(0), base_reg,
+                         m == "sw" ? 2 : 0, 0x23, ln));
+        } else if (m == "lh" || m == "lhu" || m == "sh") {
+            davf_fatal("line ", ln,
+                       ": halfword memory ops are unsupported");
+        } else if (m == "lui") {
+            emit(encodeU(static_cast<uint32_t>(resolve(ops.at(1), ln))
+                             & 0xfffff,
+                         reg(0), 0x37));
+        } else if (m == "auipc") {
+            emit(encodeU(static_cast<uint32_t>(resolve(ops.at(1), ln))
+                             & 0xfffff,
+                         reg(0), 0x17));
+        } else if (m == "jal") {
+            // "jal label" or "jal rd, label".
+            if (ops.size() == 1) {
+                const int64_t target = resolve(ops.at(0), ln);
+                emit(encodeJ(static_cast<int32_t>(target - pc), 1, ln));
+            } else {
+                const int64_t target = resolve(ops.at(1), ln);
+                emit(encodeJ(static_cast<int32_t>(target - pc), reg(0),
+                             ln));
+            }
+        } else if (m == "j") {
+            const int64_t target = resolve(ops.at(0), ln);
+            emit(encodeJ(static_cast<int32_t>(target - pc), 0, ln));
+        } else if (m == "call") {
+            const int64_t target = resolve(ops.at(0), ln);
+            emit(encodeJ(static_cast<int32_t>(target - pc), 1, ln));
+        } else if (m == "jalr") {
+            // "jalr rd, offset(rs1)" or "jalr rs1".
+            if (ops.size() == 1) {
+                emit(encodeI(0, reg(0), 0, 1, 0x67, ln));
+            } else {
+                int64_t offset;
+                unsigned base_reg;
+                parseMemOperand(ops.at(1), ln, offset, base_reg);
+                emit(encodeI(static_cast<int32_t>(offset), base_reg, 0,
+                             reg(0), 0x67, ln));
+            }
+        } else if (m == "ret") {
+            emit(encodeI(0, 1, 0, 0, 0x67, ln));
+        } else if (m == "nop") {
+            emit(encodeI(0, 0, 0, 0, 0x13, ln));
+        } else if (m == "mv") {
+            emit(encodeI(0, reg(1), 0, reg(0), 0x13, ln));
+        } else if (m == "not") {
+            emit(encodeI(-1, reg(1), 4, reg(0), 0x13, ln));
+        } else if (m == "neg") {
+            emit(encodeR(0x20, reg(1), 0, 0, reg(0), 0x33));
+        } else if (m == "seqz") {
+            emit(encodeI(1, reg(1), 3, reg(0), 0x13, ln)); // sltiu rd,rs,1
+        } else if (m == "snez") {
+            emit(encodeR(0, reg(1), 0, 3, reg(0), 0x33)); // sltu rd,x0,rs
+        } else if (m == "li") {
+            const int64_t value = resolve(ops.at(1), ln);
+            const auto u = static_cast<uint32_t>(value);
+            if (liLength(value) == 1) {
+                emit(encodeI(static_cast<int32_t>(value), 0, 0, reg(0),
+                             0x13, ln));
+            } else {
+                // lui + addi with sign-compensated upper part.
+                const uint32_t upper = (u + 0x800) >> 12;
+                const auto lower =
+                    static_cast<int32_t>(u & 0xfff)
+                    - ((u & 0x800) ? 0x1000 : 0);
+                emit(encodeU(upper & 0xfffff, reg(0), 0x37));
+                emit(encodeI(lower, reg(0), 0, reg(0), 0x13, ln));
+            }
+        } else if (m == "la") {
+            const int64_t value = resolve(ops.at(1), ln);
+            const auto u = static_cast<uint32_t>(value);
+            const uint32_t upper = (u + 0x800) >> 12;
+            const auto lower = static_cast<int32_t>(u & 0xfff)
+                - ((u & 0x800) ? 0x1000 : 0);
+            emit(encodeU(upper & 0xfffff, reg(0), 0x37));
+            emit(encodeI(lower, reg(0), 0, reg(0), 0x13, ln));
+        } else {
+            davf_fatal("line ", ln, ": unknown mnemonic '", m, "'");
+        }
+    }
+    return image;
+}
+
+} // namespace davf

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * A small two-pass RV32I assembler.
+ *
+ * The paper's workloads are Beebs benchmarks compiled for the Ibex RISC-V
+ * core; lacking a cross-toolchain, this assembler turns hand-written
+ * RV32I assembly (see isa/benchmarks.hh) into flat memory images runnable
+ * both on the reference ISS and on the gate-level IbexMini core.
+ *
+ * Supported subset (matching the hardware): LUI AUIPC JAL JALR,
+ * BEQ/BNE/BLT/BGE/BLTU/BGEU, LW/LB/LBU, SW/SB, the full RV32I ALU
+ * register/immediate ops, plus the pseudo-instructions nop, mv, li, la,
+ * not, neg, j, jal label, call, ret, beqz, bnez, bgt, ble, bgtu, bleu,
+ * seqz, snez. Directives: `.word v[, v...]`, `.space nbytes`, labels
+ * (`name:`), comments (`#` or `//`).
+ *
+ * Halfword memory ops and CSRs are intentionally unsupported (the core
+ * does not implement them); using one is a fatal error.
+ */
+
+#ifndef DAVF_ISA_ASSEMBLER_HH
+#define DAVF_ISA_ASSEMBLER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace davf {
+
+/**
+ * Assemble @p source into a little-endian word image based at @p base
+ * (byte address; must be word aligned). Errors are fatal with a
+ * line-numbered message.
+ */
+std::vector<uint32_t> assemble(const std::string &source,
+                               uint32_t base = 0);
+
+/** Parse a register name (x0..x31 or ABI name); fatal on error. */
+unsigned parseRegister(const std::string &token);
+
+} // namespace davf
+
+#endif // DAVF_ISA_ASSEMBLER_HH

@@ -1,0 +1,214 @@
+#include "iss.hh"
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace davf {
+
+Iss::Iss(const std::vector<uint32_t> &image, uint32_t mem_bytes)
+    : memBytes(mem_bytes)
+{
+    davf_assert(mem_bytes % 4 == 0 && isPowerOfTwo(mem_bytes),
+                "RAM size must be a power-of-two word multiple");
+    mem.assign(mem_bytes / 4, 0);
+    davf_assert(image.size() <= mem.size(), "image larger than RAM");
+    std::copy(image.begin(), image.end(), mem.begin());
+}
+
+uint32_t
+Iss::memWord(uint32_t addr) const
+{
+    davf_assert(addr % 4 == 0 && addr < memBytes, "bad memWord address");
+    return mem[addr / 4];
+}
+
+uint32_t
+Iss::load(uint32_t addr, unsigned size_log2, bool sign_extend)
+{
+    if (addr >= memBytes)
+        return 0; // MMIO and out-of-range reads return zero.
+    const uint32_t word = mem[addr / 4];
+    if (size_log2 == 2) {
+        davf_assert(addr % 4 == 0, "misaligned LW at ", addr);
+        return word;
+    }
+    davf_assert(size_log2 == 0, "unsupported load size");
+    const uint32_t byte = (word >> ((addr & 3) * 8)) & 0xff;
+    return sign_extend ? static_cast<uint32_t>(signExtend(byte, 8))
+                       : byte;
+}
+
+void
+Iss::store(uint32_t addr, uint32_t value, unsigned size_log2)
+{
+    if (addr >= memBytes) {
+        // MMIO: only word stores are architecturally meaningful.
+        if (addr == kMmioOut)
+            output.push_back(value);
+        else if (addr == kMmioHalt)
+            isHalted = true;
+        return;
+    }
+    if (size_log2 == 2) {
+        davf_assert(addr % 4 == 0, "misaligned SW at ", addr);
+        mem[addr / 4] = value;
+        return;
+    }
+    davf_assert(size_log2 == 0, "unsupported store size");
+    const unsigned shift = (addr & 3) * 8;
+    mem[addr / 4] =
+        (mem[addr / 4] & ~(0xffu << shift)) | ((value & 0xff) << shift);
+}
+
+void
+Iss::step()
+{
+    if (isHalted)
+        return;
+    davf_assert(pcValue % 4 == 0 && pcValue < memBytes,
+                "PC out of range: ", pcValue);
+    const uint32_t instr = mem[pcValue / 4];
+    const uint32_t opcode = bits(instr, 6, 0);
+    const unsigned rd = bits(instr, 11, 7);
+    const unsigned rs1 = bits(instr, 19, 15);
+    const unsigned rs2 = bits(instr, 24, 20);
+    const unsigned funct3 = bits(instr, 14, 12);
+    const unsigned funct7 = bits(instr, 31, 25);
+    const uint32_t a = regs[rs1];
+    const uint32_t b = regs[rs2];
+
+    uint32_t next_pc = pcValue + 4;
+    uint32_t result = 0;
+    bool write_rd = false;
+
+    const auto imm_i = static_cast<uint32_t>(
+        signExtend(bits(instr, 31, 20), 12));
+    const auto imm_s = static_cast<uint32_t>(signExtend(
+        (bits(instr, 31, 25) << 5) | bits(instr, 11, 7), 12));
+    const auto imm_b = static_cast<uint32_t>(signExtend(
+        (bit(instr, 31) << 12) | (bit(instr, 7) << 11)
+            | (bits(instr, 30, 25) << 5) | (bits(instr, 11, 8) << 1),
+        13));
+    const uint32_t imm_u = instr & 0xfffff000u;
+    const auto imm_j = static_cast<uint32_t>(signExtend(
+        (bit(instr, 31) << 20) | (bits(instr, 19, 12) << 12)
+            | (bit(instr, 20) << 11) | (bits(instr, 30, 21) << 1),
+        21));
+
+    auto alu = [&](unsigned f3, uint32_t operand, bool allow_sub,
+                   bool alt) -> uint32_t {
+        switch (f3) {
+          case 0:
+            return (allow_sub && alt) ? a - operand : a + operand;
+          case 1:
+            return a << (operand & 31);
+          case 2:
+            return static_cast<int32_t>(a)
+                           < static_cast<int32_t>(operand)
+                       ? 1
+                       : 0;
+          case 3:
+            return a < operand ? 1 : 0;
+          case 4:
+            return a ^ operand;
+          case 5:
+            return alt ? static_cast<uint32_t>(
+                       static_cast<int32_t>(a) >> (operand & 31))
+                       : a >> (operand & 31);
+          case 6:
+            return a | operand;
+          case 7:
+            return a & operand;
+        }
+        return 0;
+    };
+
+    switch (opcode) {
+      case 0x37: // LUI
+        result = imm_u;
+        write_rd = true;
+        break;
+      case 0x17: // AUIPC
+        result = pcValue + imm_u;
+        write_rd = true;
+        break;
+      case 0x6f: // JAL
+        result = pcValue + 4;
+        write_rd = true;
+        next_pc = pcValue + imm_j;
+        break;
+      case 0x67: // JALR
+        davf_assert(funct3 == 0, "bad JALR funct3");
+        result = pcValue + 4;
+        write_rd = true;
+        next_pc = (a + imm_i) & ~1u;
+        break;
+      case 0x63: { // Branches
+        bool taken = false;
+        switch (funct3) {
+          case 0: taken = a == b; break;
+          case 1: taken = a != b; break;
+          case 4:
+            taken = static_cast<int32_t>(a) < static_cast<int32_t>(b);
+            break;
+          case 5:
+            taken = static_cast<int32_t>(a) >= static_cast<int32_t>(b);
+            break;
+          case 6: taken = a < b; break;
+          case 7: taken = a >= b; break;
+          default: davf_fatal("bad branch funct3 at pc ", pcValue);
+        }
+        if (taken)
+            next_pc = pcValue + imm_b;
+        break;
+      }
+      case 0x03: // Loads
+        switch (funct3) {
+          case 0: result = load(a + imm_i, 0, true); break;
+          case 2: result = load(a + imm_i, 2, false); break;
+          case 4: result = load(a + imm_i, 0, false); break;
+          default: davf_fatal("unsupported load funct3 ", funct3);
+        }
+        write_rd = true;
+        break;
+      case 0x23: // Stores
+        switch (funct3) {
+          case 0: store(a + imm_s, b, 0); break;
+          case 2: store(a + imm_s, b, 2); break;
+          default: davf_fatal("unsupported store funct3 ", funct3);
+        }
+        break;
+      case 0x13: // ALU immediate
+        result = alu(funct3, (funct3 == 1 || funct3 == 5) ? rs2 : imm_i,
+                     false, funct7 == 0x20);
+        write_rd = true;
+        break;
+      case 0x33: // ALU register (+ MUL from the M extension subset)
+        if (funct7 == 0x01) {
+            davf_assert(funct3 == 0,
+                        "only MUL from the M extension is supported");
+            result = a * b;
+        } else {
+            result = alu(funct3, b, true, funct7 == 0x20);
+        }
+        write_rd = true;
+        break;
+      default:
+        davf_fatal("illegal instruction ", instr, " at pc ", pcValue);
+    }
+
+    if (write_rd && rd != 0)
+        regs[rd] = result;
+    pcValue = next_pc;
+    ++instrCount;
+}
+
+bool
+Iss::run(uint64_t max_instructions)
+{
+    for (uint64_t i = 0; i < max_instructions && !isHalted; ++i)
+        step();
+    return isHalted;
+}
+
+} // namespace davf

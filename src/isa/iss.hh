@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Reference RV32I instruction-set simulator.
+ *
+ * Serves as the architectural golden model: benchmarks are validated on
+ * it, and the gate-level IbexMini core is co-simulated against it (final
+ * register file, data memory, output trace, and halt status must match).
+ *
+ * The memory map matches soc/memory.hh: RAM at [0, memBytes), an output
+ * port at kMmioOut (each SW appends the stored word to the output trace),
+ * and a halt port at kMmioHalt (any SW stops execution).
+ */
+
+#ifndef DAVF_ISA_ISS_HH
+#define DAVF_ISA_ISS_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace davf {
+
+/** Byte address of the output MMIO port. */
+constexpr uint32_t kMmioOut = 0x00010000;
+
+/** Byte address of the halt MMIO port. */
+constexpr uint32_t kMmioHalt = 0x00010004;
+
+/** Architectural RV32I interpreter. */
+class Iss
+{
+  public:
+    /**
+     * Construct with a program image loaded at byte address 0.
+     *
+     * @param image     little-endian words (text + data).
+     * @param mem_bytes RAM size in bytes (power of two, word multiple).
+     */
+    explicit Iss(const std::vector<uint32_t> &image,
+                 uint32_t mem_bytes = 1u << 16);
+
+    /** Execute one instruction (no-op once halted). */
+    void step();
+
+    /**
+     * Run until halted or @p max_instructions executed.
+     * @return true iff the program halted.
+     */
+    bool run(uint64_t max_instructions);
+
+    bool halted() const { return isHalted; }
+    uint32_t pc() const { return pcValue; }
+    uint32_t reg(unsigned index) const { return regs[index]; }
+    uint64_t instructionsExecuted() const { return instrCount; }
+
+    /** Words stored to the output port, in order. */
+    const std::vector<uint32_t> &outputTrace() const { return output; }
+
+    /** RAM word at byte address @p addr (word aligned). */
+    uint32_t memWord(uint32_t addr) const;
+
+    /** All RAM words. */
+    const std::vector<uint32_t> &memWords() const { return mem; }
+
+  private:
+    uint32_t load(uint32_t addr, unsigned size_log2, bool sign_extend);
+    void store(uint32_t addr, uint32_t value, unsigned size_log2);
+
+    std::vector<uint32_t> mem;
+    uint32_t memBytes;
+    uint32_t regs[32] = {};
+    uint32_t pcValue = 0;
+    bool isHalted = false;
+    uint64_t instrCount = 0;
+    std::vector<uint32_t> output;
+};
+
+} // namespace davf
+
+#endif // DAVF_ISA_ISS_HH

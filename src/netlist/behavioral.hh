@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Clocked behavioral blocks.
+ *
+ * The case study injects faults only into the wires of the core's
+ * microarchitectural structures; the instruction/data memory backing the
+ * core is outside the fault model (the paper's flow likewise keeps memory
+ * in the Verilator testbench). A BehavioralModel is a clocked black box:
+ * its outputs are registered (valid clkToQ after the edge, like a flip-flop
+ * output) and at each clock edge it samples its input pins and updates its
+ * internal state. This registration discipline is what lets the
+ * timing-aware simulator treat behavioral outputs as stable cycle-start
+ * values.
+ */
+
+#ifndef DAVF_NETLIST_BEHAVIORAL_HH
+#define DAVF_NETLIST_BEHAVIORAL_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace davf {
+
+/** Interface for a clocked behavioral block embedded in a netlist. */
+class BehavioralModel
+{
+  public:
+    virtual ~BehavioralModel() = default;
+
+    /**
+     * Deep-copy this model. Every CycleSimulator clones the netlist's
+     * prototype models at construction so that parallel fault-injection
+     * runs own independent state.
+     */
+    virtual std::shared_ptr<BehavioralModel> clone() const = 0;
+
+    /** Number of input pins. */
+    virtual unsigned numInputs() const = 0;
+
+    /** Number of output pins. */
+    virtual unsigned numOutputs() const = 0;
+
+    /**
+     * Reset internal state and drive the initial output pin values.
+     *
+     * @param outputs numOutputs() values driven until the first clockEdge.
+     */
+    virtual void reset(std::vector<bool> &outputs) = 0;
+
+    /**
+     * Clock edge: consume the sampled input pin values and update state;
+     * the freshly computed output pin values become visible next cycle.
+     *
+     * @param inputs  numInputs() sampled values.
+     * @param outputs numOutputs() values to drive next cycle.
+     */
+    virtual void clockEdge(const std::vector<bool> &inputs,
+                           std::vector<bool> &outputs) = 0;
+
+    /** Opaque serialized internal state (for simulator snapshots). */
+    virtual std::vector<uint64_t> snapshot() const = 0;
+
+    /** Restore internal state from snapshot(). */
+    virtual void restore(const std::vector<uint64_t> &data) = 0;
+};
+
+using BehavioralModelPtr = std::shared_ptr<BehavioralModel>;
+
+} // namespace davf
+
+#endif // DAVF_NETLIST_BEHAVIORAL_HH

@@ -1,0 +1,80 @@
+#include "cell.hh"
+
+namespace davf {
+
+std::string_view
+cellTypeName(CellType type)
+{
+    switch (type) {
+      case CellType::Input:  return "INPUT";
+      case CellType::Output: return "OUTPUT";
+      case CellType::Const0: return "CONST0";
+      case CellType::Const1: return "CONST1";
+      case CellType::Buf:    return "BUF";
+      case CellType::Inv:    return "INV";
+      case CellType::And2:   return "AND2";
+      case CellType::Or2:    return "OR2";
+      case CellType::Nand2:  return "NAND2";
+      case CellType::Nor2:   return "NOR2";
+      case CellType::Xor2:   return "XOR2";
+      case CellType::Xnor2:  return "XNOR2";
+      case CellType::Mux2:   return "MUX2";
+      case CellType::Dff:    return "DFF";
+      case CellType::Dffe:   return "DFFE";
+      case CellType::Behav:  return "BEHAV";
+    }
+    return "?";
+}
+
+CellLibrary
+CellLibrary::defaultLibrary()
+{
+    CellLibrary lib;
+    // NanGate 45 nm-like typical-corner magnitudes, in picoseconds.
+    lib.timing(CellType::Buf)   = {14.0, 3.0};
+    lib.timing(CellType::Inv)   = { 8.0, 4.0};
+    lib.timing(CellType::And2)  = {16.0, 4.0};
+    lib.timing(CellType::Or2)   = {18.0, 5.0};
+    lib.timing(CellType::Nand2) = {10.0, 4.0};
+    lib.timing(CellType::Nor2)  = {12.0, 5.0};
+    lib.timing(CellType::Xor2)  = {24.0, 6.0};
+    lib.timing(CellType::Xnor2) = {24.0, 6.0};
+    lib.timing(CellType::Mux2)  = {26.0, 5.0};
+    // Sequential/IO cells have no combinational pin-to-pin arc; their
+    // outputs appear clkToQ after the edge. Their loadSlope still shapes
+    // the delay of wires they drive.
+    lib.timing(CellType::Dff)    = {0.0, 4.0};
+    lib.timing(CellType::Dffe)   = {0.0, 4.0};
+    lib.timing(CellType::Behav)  = {0.0, 4.0};
+    lib.timing(CellType::Input)  = {0.0, 3.0};
+    lib.timing(CellType::Const0) = {0.0, 0.0};
+    lib.timing(CellType::Const1) = {0.0, 0.0};
+    return lib;
+}
+
+CellLibrary
+CellLibrary::scaled(double gate_factor, double wire_factor) const
+{
+    CellLibrary lib = *this;
+    for (auto &timing : lib.timings) {
+        timing.intrinsic *= gate_factor;
+        timing.loadSlope *= wire_factor;
+    }
+    lib.wireBase *= wire_factor;
+    lib.clkToQ *= gate_factor;
+    return lib;
+}
+
+CellLibrary
+CellLibrary::slowCorner()
+{
+    return defaultLibrary().scaled(1.3, 1.3);
+}
+
+CellLibrary
+CellLibrary::wireDominatedCorner()
+{
+    return defaultLibrary().scaled(1.0, 2.5);
+}
+
+} // namespace davf

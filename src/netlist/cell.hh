@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Cell types and the technology library.
+ *
+ * The paper's case study synthesizes Ibex against the NanGate 45 nm open
+ * cell library and derives per-wire delays from the driving cell's strength
+ * and the driven capacitive load, pre-layout (no interconnect RC),
+ * data-independent (§VI-A, "Modeling Delays"). We reproduce that model: a
+ * small library of primitive cells, each with an intrinsic propagation
+ * delay and a load-dependent slope; the delay of a wire is
+ *
+ *     wireDelay = wireBase + slope(driver) * fanout(net)
+ *
+ * and the pin-to-pin delay of a cell is its intrinsic delay. All times are
+ * in picoseconds. The magnitudes are modeled on NanGate 45 nm typical
+ * corner values; only relative magnitudes matter for DelayAVF shapes.
+ */
+
+#ifndef DAVF_NETLIST_CELL_HH
+#define DAVF_NETLIST_CELL_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace davf {
+
+/** Primitive cell kinds understood by the simulators and STA. */
+enum class CellType : uint8_t {
+    Input,   ///< Primary input; 0 inputs, 1 output.
+    Output,  ///< Primary output marker; 1 input, 0 outputs.
+    Const0,  ///< Constant 0 driver.
+    Const1,  ///< Constant 1 driver.
+    Buf,     ///< Buffer.
+    Inv,     ///< Inverter.
+    And2,
+    Or2,
+    Nand2,
+    Nor2,
+    Xor2,
+    Xnor2,
+    Mux2,    ///< Inputs {A, B, S}; output = S ? B : A.
+    Dff,     ///< D flip-flop; input {D}, output {Q}.
+    Dffe,    ///< D flip-flop with enable; inputs {D, EN}; Q' = EN ? D : Q.
+    Behav,   ///< Clocked behavioral block (e.g. a memory); see BehavioralModel.
+};
+
+/** Number of input pins for a (non-behavioral) cell type. */
+constexpr unsigned
+cellNumInputs(CellType type)
+{
+    switch (type) {
+      case CellType::Input:
+      case CellType::Const0:
+      case CellType::Const1:
+        return 0;
+      case CellType::Output:
+      case CellType::Buf:
+      case CellType::Inv:
+      case CellType::Dff:
+        return 1;
+      case CellType::And2:
+      case CellType::Or2:
+      case CellType::Nand2:
+      case CellType::Nor2:
+      case CellType::Xor2:
+      case CellType::Xnor2:
+      case CellType::Dffe:
+        return 2;
+      case CellType::Mux2:
+        return 3;
+      case CellType::Behav:
+        return 0; // Variable; checked separately.
+    }
+    return 0;
+}
+
+/** True for cells whose output is produced at the clock edge. */
+constexpr bool
+cellIsSequential(CellType type)
+{
+    return type == CellType::Dff || type == CellType::Dffe
+        || type == CellType::Behav;
+}
+
+/** True for cells that drive a value during the cycle from their inputs. */
+constexpr bool
+cellIsCombinational(CellType type)
+{
+    switch (type) {
+      case CellType::Buf:
+      case CellType::Inv:
+      case CellType::And2:
+      case CellType::Or2:
+      case CellType::Nand2:
+      case CellType::Nor2:
+      case CellType::Xor2:
+      case CellType::Xnor2:
+      case CellType::Mux2:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** Human-readable cell type name. */
+std::string_view cellTypeName(CellType type);
+
+/** Evaluate a combinational cell given its input values. */
+inline bool
+evalCell(CellType type, bool a, bool b = false, bool s = false)
+{
+    switch (type) {
+      case CellType::Buf:   return a;
+      case CellType::Inv:   return !a;
+      case CellType::And2:  return a && b;
+      case CellType::Or2:   return a || b;
+      case CellType::Nand2: return !(a && b);
+      case CellType::Nor2:  return !(a || b);
+      case CellType::Xor2:  return a != b;
+      case CellType::Xnor2: return a == b;
+      case CellType::Mux2:  return s ? b : a;
+      default:              return false;
+    }
+}
+
+/**
+ * Timing parameters of the technology library, NanGate-45-like, in ps.
+ *
+ * @see CellLibrary::defaultLibrary() for the values used by the case study.
+ */
+struct CellTiming
+{
+    double intrinsic = 0.0;  ///< Pin-to-pin propagation delay.
+    double loadSlope = 0.0;  ///< Extra wire delay per unit of fanout load.
+};
+
+/** The technology library: timing data per cell type. */
+class CellLibrary
+{
+  public:
+    /** Timing for @p type. */
+    const CellTiming &timing(CellType type) const
+    {
+        return timings[static_cast<size_t>(type)];
+    }
+
+    /** Mutable timing for @p type (for custom libraries / corners). */
+    CellTiming &timing(CellType type)
+    {
+        return timings[static_cast<size_t>(type)];
+    }
+
+    /** Fixed per-wire base delay added to every wire. */
+    double wireBase = 2.0;
+
+    /** Clock-to-Q delay of sequential outputs (cycle-start availability). */
+    double clkToQ = 24.0;
+
+    /** The NanGate-45-like default library used throughout the case study. */
+    static CellLibrary defaultLibrary();
+
+    /**
+     * A copy with every gate intrinsic scaled by @p gate_factor and
+     * every load-dependent term (slopes, wire base) scaled by
+     * @p wire_factor. The paper notes the model "can be repeatedly
+     * applied to study fault behaviours across different delay
+     * behaviours" such as process corners (§IV-A); uniform scaling
+     * leaves DelayAVF shapes unchanged, while skewing gate vs wire
+     * delay (e.g. a post-layout, interconnect-dominated corner)
+     * re-ranks paths and therefore statically reachable sets.
+     */
+    CellLibrary scaled(double gate_factor, double wire_factor) const;
+
+    /** Slow process corner: everything 1.3x. */
+    static CellLibrary slowCorner();
+
+    /** Interconnect-dominated (post-layout-like) corner: wire terms
+     *  2.5x, gates unchanged. */
+    static CellLibrary wireDominatedCorner();
+
+  private:
+    CellTiming timings[16] = {};
+};
+
+} // namespace davf
+
+#endif // DAVF_NETLIST_CELL_HH

@@ -1,0 +1,527 @@
+#include "netlist.hh"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/logging.hh"
+
+namespace davf {
+
+NetId
+Netlist::addNet(std::string name)
+{
+    checkNotFinalized();
+    const NetId id = static_cast<NetId>(nets.size());
+    Net net;
+    net.name = std::move(name);
+    netByName.emplace(net.name, id);
+    nets.push_back(std::move(net));
+    return id;
+}
+
+CellId
+Netlist::addCell(CellType type, std::string name,
+                 std::span<const NetId> input_nets,
+                 std::span<const NetId> output_nets, bool reset_value)
+{
+    checkNotFinalized();
+    davf_assert(type != CellType::Behav,
+                "use addBehavioral for behavioral cells");
+    davf_assert(input_nets.size() == cellNumInputs(type),
+                "cell ", name, ": wrong input count for ",
+                cellTypeName(type));
+
+    const unsigned expected_outputs =
+        (type == CellType::Output) ? 0 : 1;
+    davf_assert(output_nets.size() == expected_outputs,
+                "cell ", name, ": wrong output count");
+
+    const CellId id = static_cast<CellId>(cells.size());
+    Cell cell;
+    cell.type = type;
+    cell.resetValue = reset_value;
+    cell.name = std::move(name);
+    cell.inputs.assign(input_nets.begin(), input_nets.end());
+    cell.outputs.assign(output_nets.begin(), output_nets.end());
+
+    for (NetId net_id : output_nets) {
+        davf_assert(nets[net_id].driver == kInvalidId,
+                    "net ", nets[net_id].name, " multiply driven");
+        nets[net_id].driver = id;
+        nets[net_id].driverPin = 0;
+    }
+
+    cellByName.emplace(cell.name, id);
+    cells.push_back(std::move(cell));
+    return id;
+}
+
+CellId
+Netlist::addBehavioral(std::string name, BehavioralModelPtr model,
+                       std::span<const NetId> input_nets,
+                       std::span<const NetId> output_nets)
+{
+    checkNotFinalized();
+    davf_assert(model, "null behavioral model");
+    davf_assert(input_nets.size() == model->numInputs(),
+                "behavioral ", name, ": input count mismatch");
+    davf_assert(output_nets.size() == model->numOutputs(),
+                "behavioral ", name, ": output count mismatch");
+
+    const CellId id = static_cast<CellId>(cells.size());
+    Cell cell;
+    cell.type = CellType::Behav;
+    cell.name = std::move(name);
+    cell.inputs.assign(input_nets.begin(), input_nets.end());
+    cell.outputs.assign(output_nets.begin(), output_nets.end());
+
+    for (size_t pin = 0; pin < output_nets.size(); ++pin) {
+        Net &net = nets[output_nets[pin]];
+        davf_assert(net.driver == kInvalidId,
+                    "net ", net.name, " multiply driven");
+        net.driver = id;
+        net.driverPin = static_cast<uint16_t>(pin);
+    }
+
+    cellByName.emplace(cell.name, id);
+    cells.push_back(std::move(cell));
+    behavModels.emplace(id, std::move(model));
+    return id;
+}
+
+size_t
+Netlist::sweepDeadLogic()
+{
+    checkNotFinalized();
+
+    // Reverse reachability from sampled endpoints: a combinational cell
+    // is live iff some endpoint consumes it (transitively). All
+    // non-combinational cells are roots.
+    std::vector<uint8_t> live(cells.size(), 0);
+    std::vector<CellId> frontier;
+    for (CellId id = 0; id < cells.size(); ++id) {
+        if (!cellIsCombinational(cells[id].type)) {
+            live[id] = 1;
+            frontier.push_back(id);
+        }
+    }
+    while (!frontier.empty()) {
+        const CellId id = frontier.back();
+        frontier.pop_back();
+        for (NetId in : cells[id].inputs) {
+            const CellId driver = nets[in].driver;
+            davf_assert(driver != kInvalidId, "undriven net ",
+                        nets[in].name, " during sweep");
+            if (cellIsCombinational(cells[driver].type)
+                && !live[driver]) {
+                live[driver] = 1;
+                frontier.push_back(driver);
+            }
+        }
+    }
+
+    // A net survives iff its driver survives.
+    std::vector<uint8_t> net_live(nets.size(), 0);
+    for (NetId id = 0; id < nets.size(); ++id) {
+        const CellId driver = nets[id].driver;
+        net_live[id] = driver == kInvalidId ? 0 : live[driver];
+    }
+
+    // Compact cells and nets, remapping references.
+    std::vector<CellId> cell_map(cells.size(), kInvalidId);
+    std::vector<NetId> net_map(nets.size(), kInvalidId);
+    std::vector<Cell> new_cells;
+    std::vector<Net> new_nets;
+    new_cells.reserve(cells.size());
+    new_nets.reserve(nets.size());
+    for (NetId id = 0; id < nets.size(); ++id) {
+        if (net_live[id]) {
+            net_map[id] = static_cast<NetId>(new_nets.size());
+            new_nets.push_back(std::move(nets[id]));
+        }
+    }
+    size_t removed = 0;
+    for (CellId id = 0; id < cells.size(); ++id) {
+        if (!live[id]) {
+            ++removed;
+            behavModels.erase(id); // Defensive; behavs are always live.
+            continue;
+        }
+        cell_map[id] = static_cast<CellId>(new_cells.size());
+        new_cells.push_back(std::move(cells[id]));
+    }
+    for (Cell &cell : new_cells) {
+        for (NetId &in : cell.inputs) {
+            davf_assert(net_map[in] != kInvalidId,
+                        "live cell consumes dead net");
+            in = net_map[in];
+        }
+        for (NetId &out : cell.outputs)
+            out = net_map[out];
+    }
+    for (Net &net : new_nets)
+        net.driver = cell_map[net.driver];
+
+    // Remap the side tables.
+    std::unordered_map<CellId, BehavioralModelPtr> new_models;
+    for (auto &[id, model] : behavModels)
+        new_models.emplace(cell_map[id], std::move(model));
+    behavModels = std::move(new_models);
+    cellByName.clear();
+    for (CellId id = 0; id < new_cells.size(); ++id)
+        cellByName.emplace(new_cells[id].name, id);
+    netByName.clear();
+    for (NetId id = 0; id < new_nets.size(); ++id)
+        netByName.emplace(new_nets[id].name, id);
+
+    cells = std::move(new_cells);
+    nets = std::move(new_nets);
+    return removed;
+}
+
+void
+Netlist::insertFanoutBuffers(unsigned max_fanout)
+{
+    checkNotFinalized();
+    davf_assert(max_fanout >= 2, "fanout cap must be at least 2");
+
+    // Iterate until every net is under the cap; each pass splits the
+    // sinks of oversubscribed nets into buffered groups.
+    for (bool changed = true; changed;) {
+        changed = false;
+
+        // Where each net is consumed: (cell, pin) references.
+        std::vector<std::vector<Sink>> consumers(nets.size());
+        for (CellId id = 0; id < cells.size(); ++id) {
+            for (size_t pin = 0; pin < cells[id].inputs.size(); ++pin)
+                consumers[cells[id].inputs[pin]].push_back(
+                    {id, static_cast<uint16_t>(pin)});
+        }
+
+        const NetId num_nets = static_cast<NetId>(nets.size());
+        for (NetId net_id = 0; net_id < num_nets; ++net_id) {
+            const auto &sinks = consumers[net_id];
+            if (sinks.size() <= max_fanout)
+                continue;
+            changed = true;
+
+            const std::string base =
+                cells[nets[net_id].driver].name + "_fbuf";
+            size_t group_index = 0;
+            for (size_t at = 0; at < sinks.size(); at += max_fanout) {
+                const std::string suffix =
+                    "." + std::to_string(nets.size()) + "_"
+                    + std::to_string(group_index++);
+                const NetId buffered = addNet(nets[net_id].name
+                                              + suffix);
+                addCell(CellType::Buf, base + suffix, {{net_id}},
+                        {{buffered}});
+                const size_t end =
+                    std::min(sinks.size(), at + max_fanout);
+                for (size_t s = at; s < end; ++s) {
+                    cells[sinks[s].cell].inputs[sinks[s].pin] =
+                        buffered;
+                }
+            }
+        }
+    }
+}
+
+void
+Netlist::finalize()
+{
+    checkNotFinalized();
+
+    // Build sink lists and categorize cells.
+    for (CellId id = 0; id < cells.size(); ++id) {
+        const Cell &cell = cells[id];
+        for (size_t pin = 0; pin < cell.inputs.size(); ++pin)
+            nets[cell.inputs[pin]].sinks.push_back(
+                {id, static_cast<uint16_t>(pin)});
+        switch (cell.type) {
+          case CellType::Input:
+            inputs.push_back(id);
+            break;
+          case CellType::Output:
+            outputs.push_back(id);
+            break;
+          case CellType::Dff:
+          case CellType::Dffe:
+          case CellType::Behav:
+            seqs.push_back(id);
+            break;
+          default:
+            break;
+        }
+    }
+
+    for (NetId id = 0; id < nets.size(); ++id) {
+        davf_assert(nets[id].driver != kInvalidId,
+                    "net ", nets[id].name, " has no driver");
+    }
+
+    // Enumerate wires: contiguous per net, in net order. Also record the
+    // wire feeding each (cell, pin) for timing lookups.
+    inWires.resize(cells.size());
+    for (CellId id = 0; id < cells.size(); ++id)
+        inWires[id].resize(cells[id].inputs.size(), kInvalidId);
+    for (NetId id = 0; id < nets.size(); ++id) {
+        nets[id].firstWire = static_cast<WireId>(wires.size());
+        for (uint32_t s = 0; s < nets[id].sinks.size(); ++s) {
+            const Sink &sink = nets[id].sinks[s];
+            inWires[sink.cell][sink.pin] =
+                static_cast<WireId>(wires.size());
+            wires.push_back({id, s});
+        }
+    }
+
+    // Enumerate state elements.
+    for (CellId id = 0; id < cells.size(); ++id) {
+        const Cell &cell = cells[id];
+        if (cell.type == CellType::Dff || cell.type == CellType::Dffe) {
+            flopElems.emplace(
+                id, static_cast<StateElemId>(stateElems.size()));
+            stateElems.push_back({StateElemKind::Flop, id, 0});
+        } else if (cell.type == CellType::Behav) {
+            for (uint16_t pin = 0; pin < cell.inputs.size(); ++pin) {
+                pinElems.emplace(
+                    (uint64_t{id} << 16) | pin,
+                    static_cast<StateElemId>(stateElems.size()));
+                stateElems.push_back(
+                    {StateElemKind::BehavInput, id, pin});
+            }
+        } else if (cell.type == CellType::Output) {
+            pinElems.emplace(
+                uint64_t{id} << 16,
+                static_cast<StateElemId>(stateElems.size()));
+            stateElems.push_back({StateElemKind::OutputPort, id, 0});
+        }
+    }
+
+    // Levelize combinational cells (Kahn's algorithm). Sources are nets
+    // driven by sequential cells, inputs, and constants.
+    levels.assign(cells.size(), 0);
+    std::vector<unsigned> pending(cells.size(), 0);
+    std::deque<CellId> ready;
+    for (CellId id = 0; id < cells.size(); ++id) {
+        const Cell &cell = cells[id];
+        if (!cellIsCombinational(cell.type))
+            continue;
+        unsigned comb_fanin = 0;
+        for (NetId in : cell.inputs) {
+            if (cellIsCombinational(cells[nets[in].driver].type))
+                ++comb_fanin;
+        }
+        pending[id] = comb_fanin;
+        if (comb_fanin == 0)
+            ready.push_back(id);
+    }
+
+    size_t num_comb = 0;
+    for (const Cell &cell : cells) {
+        if (cellIsCombinational(cell.type))
+            ++num_comb;
+    }
+
+    while (!ready.empty()) {
+        const CellId id = ready.front();
+        ready.pop_front();
+        topo.push_back(id);
+        for (NetId out : cells[id].outputs) {
+            for (const Sink &sink : nets[out].sinks) {
+                if (!cellIsCombinational(cells[sink.cell].type))
+                    continue;
+                levels[sink.cell] =
+                    std::max(levels[sink.cell], levels[id] + 1);
+                if (--pending[sink.cell] == 0)
+                    ready.push_back(sink.cell);
+            }
+        }
+    }
+    davf_assert(topo.size() == num_comb,
+                "combinational loop detected (", num_comb - topo.size(),
+                " cells unlevelized)");
+
+    isFinalized = true;
+}
+
+const BehavioralModelPtr &
+Netlist::behavModel(CellId id) const
+{
+    auto it = behavModels.find(id);
+    davf_assert(it != behavModels.end(), "cell ", cells[id].name,
+                " is not behavioral");
+    return it->second;
+}
+
+std::string
+Netlist::wireName(WireId id) const
+{
+    const Wire &w = wires[id];
+    const Net &n = nets[w.net];
+    const Sink &s = n.sinks[w.sinkIndex];
+    return n.name + " -> " + cells[s.cell].name + "."
+        + std::to_string(s.pin);
+}
+
+StateElemId
+Netlist::flopStateElem(CellId id) const
+{
+    auto it = flopElems.find(id);
+    davf_assert(it != flopElems.end(), "cell ", cells[id].name,
+                " is not a flop");
+    return it->second;
+}
+
+StateElemId
+Netlist::pinStateElem(CellId id, uint16_t pin) const
+{
+    auto it = pinElems.find((uint64_t{id} << 16) | pin);
+    davf_assert(it != pinElems.end(), "cell ", cells[id].name, " pin ",
+                pin, " is not a sampled pin");
+    return it->second;
+}
+
+std::string
+Netlist::stateElemName(StateElemId id) const
+{
+    const StateElem &elem = stateElems[id];
+    std::string name = cells[elem.cell].name;
+    if (elem.kind == StateElemKind::BehavInput)
+        name += ".in" + std::to_string(elem.pin);
+    return name;
+}
+
+CellId
+Netlist::findCell(const std::string &name) const
+{
+    auto it = cellByName.find(name);
+    return it == cellByName.end() ? kInvalidId : it->second;
+}
+
+NetId
+Netlist::findNet(const std::string &name) const
+{
+    auto it = netByName.find(name);
+    return it == netByName.end() ? kInvalidId : it->second;
+}
+
+void
+Netlist::combCone(WireId id, std::vector<CellId> &cone_cells,
+                  std::vector<StateElemId> &reached) const
+{
+    cone_cells.clear();
+    reached.clear();
+
+    std::vector<bool> cell_seen(cells.size(), false);
+    std::vector<bool> elem_seen(stateElems.size(), false);
+    std::deque<Sink> frontier;
+    frontier.push_back(wireSink(id));
+
+    auto visit_sink = [&](const Sink &sink) {
+        const Cell &cell = cells[sink.cell];
+        switch (cell.type) {
+          case CellType::Dff:
+          case CellType::Dffe: {
+            const StateElemId elem = flopStateElem(sink.cell);
+            if (!elem_seen[elem]) {
+                elem_seen[elem] = true;
+                reached.push_back(elem);
+            }
+            break;
+          }
+          case CellType::Behav:
+          case CellType::Output: {
+            const StateElemId elem = pinStateElem(sink.cell, sink.pin);
+            if (!elem_seen[elem]) {
+                elem_seen[elem] = true;
+                reached.push_back(elem);
+            }
+            break;
+          }
+          default:
+            if (cellIsCombinational(cell.type) && !cell_seen[sink.cell]) {
+                cell_seen[sink.cell] = true;
+                cone_cells.push_back(sink.cell);
+                for (NetId out : cell.outputs) {
+                    for (const Sink &next : nets[out].sinks)
+                        frontier.push_back(next);
+                }
+            }
+            break;
+        }
+    };
+
+    while (!frontier.empty()) {
+        const Sink sink = frontier.front();
+        frontier.pop_front();
+        visit_sink(sink);
+    }
+
+    std::sort(cone_cells.begin(), cone_cells.end(),
+              [&](CellId a, CellId b) { return levels[a] < levels[b]; });
+}
+
+std::vector<WireId>
+Netlist::wiresByPrefix(const std::string &prefix) const
+{
+    std::vector<WireId> result;
+    for (WireId id = 0; id < wires.size(); ++id) {
+        const Cell &driver = cells[wireDriver(id)];
+        if (driver.name.starts_with(prefix))
+            result.push_back(id);
+    }
+    return result;
+}
+
+std::vector<CellId>
+Netlist::cellsByPrefix(const std::string &prefix) const
+{
+    std::vector<CellId> result;
+    for (CellId id = 0; id < cells.size(); ++id) {
+        if (cells[id].name.starts_with(prefix))
+            result.push_back(id);
+    }
+    return result;
+}
+
+std::vector<StateElemId>
+Netlist::flopsByPrefix(const std::string &prefix) const
+{
+    std::vector<StateElemId> result;
+    for (StateElemId id = 0; id < stateElems.size(); ++id) {
+        const StateElem &elem = stateElems[id];
+        if (elem.kind == StateElemKind::Flop
+            && cells[elem.cell].name.starts_with(prefix)) {
+            result.push_back(id);
+        }
+    }
+    return result;
+}
+
+std::string
+Netlist::toDot() const
+{
+    std::string out = "digraph netlist {\n  rankdir=LR;\n";
+    for (CellId id = 0; id < cells.size(); ++id) {
+        out += "  c" + std::to_string(id) + " [label=\"" + cells[id].name
+            + "\\n" + std::string(cellTypeName(cells[id].type)) + "\"];\n";
+    }
+    for (const Net &net : nets) {
+        for (const Sink &sink : net.sinks) {
+            out += "  c" + std::to_string(net.driver) + " -> c"
+                + std::to_string(sink.cell) + " [label=\"" + net.name
+                + "\"];\n";
+        }
+    }
+    out += "}\n";
+    return out;
+}
+
+void
+Netlist::checkNotFinalized() const
+{
+    davf_assert(!isFinalized, "netlist is finalized and immutable");
+}
+
+} // namespace davf

@@ -1,0 +1,290 @@
+/**
+ * @file
+ * The gate-level netlist graph.
+ *
+ * A netlist is a set of cells (gates, flip-flops, primary inputs/outputs,
+ * behavioral blocks) connected by nets. Following the paper's circuit model
+ * (§IV-A), a **wire** is a single driver-pin-to-sink-pin connection: a net
+ * with k sinks contributes k wires, each with its own propagation delay and
+ * each a distinct small-delay-fault injection site.
+ *
+ * State elements are the sampled-at-the-clock-edge storage points of the
+ * design: one per DFF/DFFE (its Q register), one per behavioral-block input
+ * pin (the block samples the pin at the edge), and one per primary-output
+ * pin (the testbench observes outputs at the edge). The dynamically
+ * reachable set of an SDF and the fault-forcing interface of the cycle
+ * simulator are both expressed in terms of these StateElemIds.
+ */
+
+#ifndef DAVF_NETLIST_NETLIST_HH
+#define DAVF_NETLIST_NETLIST_HH
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/behavioral.hh"
+#include "netlist/cell.hh"
+
+namespace davf {
+
+using CellId = uint32_t;
+using NetId = uint32_t;
+using WireId = uint32_t;
+using StateElemId = uint32_t;
+
+/** Sentinel for "no such object". */
+constexpr uint32_t kInvalidId = 0xffffffffu;
+
+/** One sink pin of a net. */
+struct Sink
+{
+    CellId cell;
+    uint16_t pin;
+};
+
+/** A cell instance. */
+struct Cell
+{
+    CellType type;
+    bool resetValue = false;       ///< Initial Q value (sequential cells).
+    std::string name;              ///< Hierarchical name, '/'-separated.
+    std::vector<NetId> inputs;     ///< Input nets, by pin index.
+    std::vector<NetId> outputs;    ///< Output nets, by pin index.
+};
+
+/** A net: one driver pin, any number of sinks. */
+struct Net
+{
+    std::string name;
+    CellId driver = kInvalidId;
+    uint16_t driverPin = 0;
+    std::vector<Sink> sinks;       ///< Populated by finalize().
+    WireId firstWire = kInvalidId; ///< WireId of sinks[0]; contiguous after.
+};
+
+/** A wire: the (net, sink) pair identifying one driver->sink connection. */
+struct Wire
+{
+    NetId net;
+    uint32_t sinkIndex;
+};
+
+/** Kinds of state element (see file comment). */
+enum class StateElemKind : uint8_t {
+    Flop,        ///< Q register of a DFF/DFFE cell.
+    BehavInput,  ///< Sampled input pin of a behavioral block.
+    OutputPort,  ///< Observed primary-output pin.
+};
+
+/** A state element: a value sampled at every clock edge. */
+struct StateElem
+{
+    StateElemKind kind;
+    CellId cell;
+    uint16_t pin;  ///< Input pin index (BehavInput); 0 otherwise.
+};
+
+/**
+ * The netlist container. Build with addNet()/addCell(), then finalize();
+ * all analysis passes require a finalized netlist and the netlist is
+ * immutable afterwards.
+ */
+class Netlist
+{
+  public:
+    /** @name Construction */
+    /// @{
+
+    /** Create a net named @p name. */
+    NetId addNet(std::string name);
+
+    /**
+     * Create a cell. Output nets must not already have a driver; input
+     * counts are validated against the cell type.
+     *
+     * @param reset_value initial Q value for sequential cells.
+     */
+    CellId addCell(CellType type, std::string name,
+                   std::span<const NetId> inputs,
+                   std::span<const NetId> outputs,
+                   bool reset_value = false);
+
+    /** Create a behavioral block cell backed by @p model. */
+    CellId addBehavioral(std::string name, BehavioralModelPtr model,
+                         std::span<const NetId> inputs,
+                         std::span<const NetId> outputs);
+
+    /**
+     * Remove combinational cells (and their output nets) from which no
+     * sampled endpoint — flop input, behavioral input, primary output —
+     * is reachable. Synthesis flows perform this sweep implicitly;
+     * without it, dead datapath slices (e.g. unused adder sum bits
+     * behind a comparator) would count as SDF injection sites that can
+     * never be DelayACE, diluting every per-structure metric. Must be
+     * called before finalize(); invalidates previously returned
+     * CellIds/NetIds.
+     *
+     * @return number of cells removed.
+     */
+    size_t sweepDeadLogic();
+
+    /**
+     * Insert buffer trees on every net with more than @p max_fanout
+     * sinks, splitting sinks into groups behind BUF cells (recursively,
+     * so no net ends up above the cap). This emulates the high-fanout
+     * buffering every synthesis flow performs; without it the linear
+     * capacitive-load delay model would make wide select/control nets
+     * absurdly slow. Buffers inherit the driving cell's hierarchical
+     * name (plus a "_fbuf" suffix), so they stay inside the driver's
+     * microarchitectural structure and are themselves SDF injection
+     * sites. Must be called before finalize().
+     */
+    void insertFanoutBuffers(unsigned max_fanout = 8);
+
+    /**
+     * Validate the design, build sink lists, enumerate wires and state
+     * elements, and levelize the combinational cells. Fails on undriven
+     * nets, multiply-driven nets, or combinational loops.
+     */
+    void finalize();
+
+    /// @}
+    /** @name Queries (finalized netlist) */
+    /// @{
+
+    bool finalized() const { return isFinalized; }
+
+    size_t numCells() const { return cells.size(); }
+    size_t numNets() const { return nets.size(); }
+    size_t numWires() const { return wires.size(); }
+    size_t numStateElems() const { return stateElems.size(); }
+
+    const Cell &cell(CellId id) const { return cells[id]; }
+    const Net &net(NetId id) const { return nets[id]; }
+    const Wire &wire(WireId id) const { return wires[id]; }
+    const StateElem &stateElem(StateElemId id) const
+    {
+        return stateElems[id];
+    }
+
+    /** Behavioral model attached to @p id (must be a Behav cell). */
+    const BehavioralModelPtr &behavModel(CellId id) const;
+
+    /** Driving cell of the net under wire @p id. */
+    CellId wireDriver(WireId id) const
+    {
+        return nets[wires[id].net].driver;
+    }
+
+    /** Sink pin of wire @p id. */
+    const Sink &wireSink(WireId id) const
+    {
+        return nets[wires[id].net].sinks[wires[id].sinkIndex];
+    }
+
+    /** Wire feeding input pin @p pin of cell @p id. */
+    WireId inputWire(CellId id, uint16_t pin) const
+    {
+        return inWires[id][pin];
+    }
+
+    /** Net fanout (number of sinks == number of wires of the net). */
+    size_t fanout(NetId id) const { return nets[id].sinks.size(); }
+
+    /** Human-readable "netname -> cellname.pin" description of a wire. */
+    std::string wireName(WireId id) const;
+
+    /** Combinational cells in topological (evaluation) order. */
+    const std::vector<CellId> &topoOrder() const { return topo; }
+
+    /** Topological level of a combinational cell (0 = sources). */
+    unsigned level(CellId id) const { return levels[id]; }
+
+    /** All sequential cells (DFF/DFFE/Behav). */
+    const std::vector<CellId> &seqCells() const { return seqs; }
+
+    /** All primary-input cells. */
+    const std::vector<CellId> &inputCells() const { return inputs; }
+
+    /** All primary-output cells. */
+    const std::vector<CellId> &outputCells() const { return outputs; }
+
+    /** State element of a DFF/DFFE cell. */
+    StateElemId flopStateElem(CellId id) const;
+
+    /** State element of a behavioral input pin / output-port pin. */
+    StateElemId pinStateElem(CellId id, uint16_t pin) const;
+
+    /** Name of a state element (cell name, plus pin for BehavInput). */
+    std::string stateElemName(StateElemId id) const;
+
+    /** Look up a cell by exact name; kInvalidId if absent. */
+    CellId findCell(const std::string &name) const;
+
+    /** Look up a net by exact name; kInvalidId if absent. */
+    NetId findNet(const std::string &name) const;
+
+    /**
+     * Downstream combinational cone of a wire: every combinational cell
+     * reachable from the wire's sink pin, plus every state element whose
+     * sampled pin is reachable. DFF/DFFE data *and* enable pins both map
+     * to the flop's state element.
+     *
+     * @param id          the wire to start from.
+     * @param cone_cells  output: reachable combinational cells, topological.
+     * @param reached     output: reachable state elements (deduplicated).
+     */
+    void combCone(WireId id, std::vector<CellId> &cone_cells,
+                  std::vector<StateElemId> &reached) const;
+
+    /** Wires of the design whose driving cell name starts with @p prefix. */
+    std::vector<WireId> wiresByPrefix(const std::string &prefix) const;
+
+    /** Cells whose name starts with @p prefix. */
+    std::vector<CellId> cellsByPrefix(const std::string &prefix) const;
+
+    /** Flop state elements whose cell name starts with @p prefix. */
+    std::vector<StateElemId>
+    flopsByPrefix(const std::string &prefix) const;
+
+    /** Emit a Graphviz DOT rendering (small designs / debugging). */
+    std::string toDot() const;
+
+    /// @}
+
+  private:
+    void checkNotFinalized() const;
+
+    bool isFinalized = false;
+
+    std::vector<Cell> cells;
+    std::vector<Net> nets;
+    std::vector<Wire> wires;
+    std::vector<StateElem> stateElems;
+    std::vector<std::vector<WireId>> inWires;
+
+    std::vector<CellId> topo;
+    std::vector<unsigned> levels;
+    std::vector<CellId> seqs;
+    std::vector<CellId> inputs;
+    std::vector<CellId> outputs;
+
+    /** Behavioral models, keyed by cell id. */
+    std::unordered_map<CellId, BehavioralModelPtr> behavModels;
+
+    /** flop cell id -> state elem id. */
+    std::unordered_map<CellId, StateElemId> flopElems;
+
+    /** (cell id, pin) -> state elem id for BehavInput/OutputPort. */
+    std::unordered_map<uint64_t, StateElemId> pinElems;
+
+    std::unordered_map<std::string, CellId> cellByName;
+    std::unordered_map<std::string, NetId> netByName;
+};
+
+} // namespace davf
+
+#endif // DAVF_NETLIST_NETLIST_HH

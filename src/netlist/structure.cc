@@ -1,0 +1,32 @@
+#include "structure.hh"
+
+#include "util/logging.hh"
+
+namespace davf {
+
+const Structure &
+StructureRegistry::add(std::string name, const std::string &prefix)
+{
+    Structure structure;
+    structure.name = std::move(name);
+    structure.prefix = prefix;
+    structure.wires = netlist->wiresByPrefix(prefix);
+    structure.cells = netlist->cellsByPrefix(prefix);
+    structure.flops = netlist->flopsByPrefix(prefix);
+    davf_assert(!structure.cells.empty(),
+                "structure prefix '", prefix, "' matches no cells");
+    structures.push_back(std::move(structure));
+    return structures.back();
+}
+
+const Structure *
+StructureRegistry::find(const std::string &name) const
+{
+    for (const Structure &structure : structures) {
+        if (structure.name == name)
+            return &structure;
+    }
+    return nullptr;
+}
+
+} // namespace davf

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Microarchitectural structures: named subsets of a netlist.
+ *
+ * The paper evaluates DelayAVF per structure H, "a set of circuit elements
+ * which are associated with the examined chip functionality", injecting
+ * delays "solely ... on the wires E in the microarchitectural structure H"
+ * (§VI-A). Hierarchical cell names ('/'-separated) define membership: a
+ * structure is a name prefix, a wire belongs to the structure that contains
+ * its *driving* cell, and a flop belongs to the structure that contains it.
+ */
+
+#ifndef DAVF_NETLIST_STRUCTURE_HH
+#define DAVF_NETLIST_STRUCTURE_HH
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hh"
+
+namespace davf {
+
+/** A named microarchitectural structure of a netlist. */
+struct Structure
+{
+    std::string name;      ///< Display name, e.g. "ALU".
+    std::string prefix;    ///< Hierarchical cell-name prefix, e.g. "alu/".
+    std::vector<WireId> wires;          ///< SDF injection sites (E).
+    std::vector<CellId> cells;          ///< Member cells.
+    std::vector<StateElemId> flops;     ///< Member flops (sAVF targets).
+};
+
+/** Builds and stores the structures of a design. */
+class StructureRegistry
+{
+  public:
+    explicit StructureRegistry(const Netlist &netlist)
+        : netlist(&netlist)
+    {}
+
+    /**
+     * Register a structure covering all cells whose name starts with
+     * @p prefix. Fails if the prefix matches nothing.
+     */
+    const Structure &add(std::string name, const std::string &prefix);
+
+    /** All registered structures, in registration order. */
+    const std::vector<Structure> &all() const { return structures; }
+
+    /** Find a structure by display name; nullptr if absent. */
+    const Structure *find(const std::string &name) const;
+
+  private:
+    const Netlist *netlist;
+    std::vector<Structure> structures;
+};
+
+} // namespace davf
+
+#endif // DAVF_NETLIST_STRUCTURE_HH

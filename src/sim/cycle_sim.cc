@@ -1,0 +1,226 @@
+#include "cycle_sim.hh"
+
+#include "util/logging.hh"
+
+namespace davf {
+
+CycleSimulator::CycleSimulator(const Netlist &netlist) : nl(&netlist)
+{
+    davf_assert(netlist.finalized(), "simulator requires finalize()");
+    netValues.assign(netlist.numNets(), 0);
+    sampledScratch.assign(netlist.numStateElems(), 0);
+
+    for (CellId id : netlist.seqCells()) {
+        if (netlist.cell(id).type == CellType::Behav)
+            models.emplace(id, netlist.behavModel(id)->clone());
+    }
+
+    // Compile the topologically ordered combinational cells into a flat
+    // evaluation program (the simulator's hot loop).
+    combProgram.reserve(netlist.topoOrder().size());
+    for (CellId id : netlist.topoOrder()) {
+        const Cell &cell = netlist.cell(id);
+        CombOp op;
+        op.type = cell.type;
+        op.in0 = cell.inputs[0];
+        op.in1 = cell.inputs.size() > 1 ? cell.inputs[1] : cell.inputs[0];
+        op.in2 = cell.inputs.size() > 2 ? cell.inputs[2] : cell.inputs[0];
+        op.out = cell.outputs[0];
+        combProgram.push_back(op);
+    }
+
+    reset();
+}
+
+void
+CycleSimulator::reset()
+{
+    const Netlist &netlist = *nl;
+    std::fill(netValues.begin(), netValues.end(), 0);
+
+    for (CellId id = 0; id < netlist.numCells(); ++id) {
+        const Cell &cell = netlist.cell(id);
+        switch (cell.type) {
+          case CellType::Const1:
+            netValues[cell.outputs[0]] = 1;
+            break;
+          case CellType::Dff:
+          case CellType::Dffe:
+            netValues[cell.outputs[0]] = cell.resetValue ? 1 : 0;
+            break;
+          case CellType::Behav: {
+            behavOut.assign(cell.outputs.size(), false);
+            models.at(id)->reset(behavOut);
+            for (size_t pin = 0; pin < cell.outputs.size(); ++pin)
+                netValues[cell.outputs[pin]] = behavOut[pin] ? 1 : 0;
+            break;
+          }
+          default:
+            break;
+        }
+    }
+
+    cycleCount = 0;
+    evalComb();
+}
+
+void
+CycleSimulator::setInput(NetId id, bool value)
+{
+    const Netlist &netlist = *nl;
+    davf_assert(netlist.cell(netlist.net(id).driver).type
+                    == CellType::Input,
+                "setInput on non-input net ", netlist.net(id).name);
+    netValues[id] = value ? 1 : 0;
+    evalComb();
+}
+
+void
+CycleSimulator::step(std::span<const Force> forces,
+                     std::vector<uint8_t> *sampled)
+{
+    const Netlist &netlist = *nl;
+
+    // Phase 1: sample every state element from the settled values.
+    for (StateElemId id = 0; id < netlist.numStateElems(); ++id) {
+        const StateElem &elem = netlist.stateElem(id);
+        const Cell &cell = netlist.cell(elem.cell);
+        uint8_t value = 0;
+        switch (elem.kind) {
+          case StateElemKind::Flop:
+            if (cell.type == CellType::Dff) {
+                value = netValues[cell.inputs[0]];
+            } else { // Dffe: Q' = EN ? D : Q.
+                value = netValues[cell.inputs[1]]
+                    ? netValues[cell.inputs[0]]
+                    : netValues[cell.outputs[0]];
+            }
+            break;
+          case StateElemKind::BehavInput:
+            value = netValues[cell.inputs[elem.pin]];
+            break;
+          case StateElemKind::OutputPort:
+            value = netValues[cell.inputs[0]];
+            break;
+        }
+        sampledScratch[id] = value;
+    }
+
+    // Phase 2: apply forced sampled values (fault injection).
+    for (const Force &force : forces)
+        sampledScratch[force.first] = force.second ? 1 : 0;
+
+    if (sampled)
+        *sampled = sampledScratch;
+
+    // Phase 3: commit. Flops take their sampled value; behavioral blocks
+    // consume their (possibly forced) sampled inputs.
+    for (CellId id : netlist.seqCells()) {
+        const Cell &cell = netlist.cell(id);
+        if (cell.type == CellType::Behav) {
+            behavIn.assign(cell.inputs.size(), false);
+            for (uint16_t pin = 0; pin < cell.inputs.size(); ++pin)
+                behavIn[pin] =
+                    sampledScratch[netlist.pinStateElem(id, pin)] != 0;
+            behavOut.assign(cell.outputs.size(), false);
+            models.at(id)->clockEdge(behavIn, behavOut);
+            for (size_t pin = 0; pin < cell.outputs.size(); ++pin)
+                netValues[cell.outputs[pin]] = behavOut[pin] ? 1 : 0;
+        } else {
+            netValues[cell.outputs[0]] =
+                sampledScratch[netlist.flopStateElem(id)];
+        }
+    }
+
+    evalComb();
+    ++cycleCount;
+}
+
+void
+CycleSimulator::flipFlop(StateElemId id)
+{
+    const Netlist &netlist = *nl;
+    const StateElem &elem = netlist.stateElem(id);
+    davf_assert(elem.kind == StateElemKind::Flop,
+                "flipFlop on non-flop state element");
+    const NetId q = netlist.cell(elem.cell).outputs[0];
+    netValues[q] ^= 1;
+    evalComb();
+}
+
+BehavioralModel &
+CycleSimulator::behavModel(CellId id) const
+{
+    return *models.at(id);
+}
+
+CycleSimulator::Snapshot
+CycleSimulator::snapshot() const
+{
+    Snapshot snap;
+    snap.netValues = netValues;
+    snap.cycle = cycleCount;
+    for (CellId id : nl->seqCells()) {
+        if (nl->cell(id).type == CellType::Behav)
+            snap.behavState.push_back(models.at(id)->snapshot());
+    }
+    return snap;
+}
+
+void
+CycleSimulator::restore(const Snapshot &snap)
+{
+    davf_assert(snap.netValues.size() == netValues.size(),
+                "snapshot from a different netlist");
+    netValues = snap.netValues;
+    cycleCount = snap.cycle;
+    size_t behav_index = 0;
+    for (CellId id : nl->seqCells()) {
+        if (nl->cell(id).type == CellType::Behav)
+            models.at(id)->restore(snap.behavState[behav_index++]);
+    }
+}
+
+void
+CycleSimulator::evalComb()
+{
+    uint8_t *values = netValues.data();
+    for (const CombOp &op : combProgram) {
+        uint8_t result;
+        switch (op.type) {
+          case CellType::Buf:
+            result = values[op.in0];
+            break;
+          case CellType::Inv:
+            result = values[op.in0] ^ 1;
+            break;
+          case CellType::And2:
+            result = values[op.in0] & values[op.in1];
+            break;
+          case CellType::Or2:
+            result = values[op.in0] | values[op.in1];
+            break;
+          case CellType::Nand2:
+            result = (values[op.in0] & values[op.in1]) ^ 1;
+            break;
+          case CellType::Nor2:
+            result = (values[op.in0] | values[op.in1]) ^ 1;
+            break;
+          case CellType::Xor2:
+            result = values[op.in0] ^ values[op.in1];
+            break;
+          case CellType::Xnor2:
+            result = (values[op.in0] ^ values[op.in1]) ^ 1;
+            break;
+          case CellType::Mux2:
+            result = values[op.in2] ? values[op.in1] : values[op.in0];
+            break;
+          default:
+            result = 0;
+            davf_panic("non-combinational cell in topo order");
+        }
+        values[op.out] = result;
+    }
+}
+
+} // namespace davf

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Timing-agnostic cycle-accurate gate-level simulator (the Verilator role
+ * in the paper's flow, Fig. 5).
+ *
+ * Values are two-valued; every run starts from a deterministic reset. The
+ * simulator supports the two fault-injection mechanisms the DelayAVF
+ * methodology needs:
+ *
+ *  - **Edge forcing** (`step` with forces): at a clock edge, override the
+ *    value a state element samples — this is how a dynamically reachable
+ *    set's wrong latched values are injected for the GroupACE step, and
+ *    how single-state-element ACEness is measured for ORACE.
+ *  - **Flop flipping** (`flipFlop`): invert a flop's currently stored
+ *    value mid-execution — the particle-strike model used for sAVF.
+ *
+ * Snapshots capture the complete simulation state (net values, behavioral
+ * internals, cycle count) so the vulnerability engine can fan out many
+ * faulty continuations from each sampled injection cycle.
+ */
+
+#ifndef DAVF_SIM_CYCLE_SIM_HH
+#define DAVF_SIM_CYCLE_SIM_HH
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "netlist/netlist.hh"
+
+namespace davf {
+
+/** Cycle-accurate two-valued simulator over a finalized netlist. */
+class CycleSimulator
+{
+  public:
+    /** A forced sampled value: state element -> value latched at the edge. */
+    using Force = std::pair<StateElemId, bool>;
+
+    /** Complete simulator state. */
+    struct Snapshot
+    {
+        std::vector<uint8_t> netValues;
+        std::vector<std::vector<uint64_t>> behavState;
+        uint64_t cycle = 0;
+    };
+
+    explicit CycleSimulator(const Netlist &netlist);
+
+    /** Reset: flops to their reset values, behavioral blocks reset,
+     *  primary inputs to 0, combinational logic settled. */
+    void reset();
+
+    /** Drive a primary-input net (persists until changed). */
+    void setInput(NetId id, bool value);
+
+    /**
+     * Advance one clock edge: sample every state element, apply
+     * @p forces overrides, commit, and settle combinational logic.
+     *
+     * @param forces  sampled-value overrides applied at this edge.
+     * @param sampled if non-null, receives the value each state element
+     *                sampled at this edge (after forcing), indexed by
+     *                StateElemId.
+     */
+    void step(std::span<const Force> forces = {},
+              std::vector<uint8_t> *sampled = nullptr);
+
+    /** Invert the stored value of a flop (particle-strike model). */
+    void flipFlop(StateElemId id);
+
+    /** Current value of a net. */
+    bool value(NetId id) const { return netValues[id] != 0; }
+
+    /** All current net values (indexed by NetId). */
+    const std::vector<uint8_t> &netValues_() const { return netValues; }
+
+    /** Cycles executed since reset. */
+    uint64_t cycle() const { return cycleCount; }
+
+    /** Capture the complete state. */
+    Snapshot snapshot() const;
+
+    /** Restore a previously captured state. */
+    void restore(const Snapshot &snap);
+
+    const Netlist &netlist() const { return *nl; }
+
+    /**
+     * This simulator's private instance of a behavioral model (cloned
+     * from the netlist's prototype at construction).
+     */
+    BehavioralModel &behavModel(CellId id) const;
+
+  private:
+    /** Settle all combinational logic in topological order. */
+    void evalComb();
+
+    /** One step of the compiled combinational-evaluation program. */
+    struct CombOp
+    {
+        CellType type;
+        NetId in0;
+        NetId in1;
+        NetId in2;
+        NetId out;
+    };
+
+    const Netlist *nl;
+    std::vector<CombOp> combProgram;
+    std::vector<uint8_t> netValues;
+    uint64_t cycleCount = 0;
+
+    /** Private clones of behavioral models, keyed like seqCells order. */
+    std::unordered_map<CellId, BehavioralModelPtr> models;
+
+    /** Scratch: per-state-element sampled values during step(). */
+    std::vector<uint8_t> sampledScratch;
+    std::vector<bool> behavIn;
+    std::vector<bool> behavOut;
+};
+
+} // namespace davf
+
+#endif // DAVF_SIM_CYCLE_SIM_HH

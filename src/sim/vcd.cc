@@ -1,0 +1,107 @@
+#include "vcd.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace davf {
+
+VcdWriter::VcdWriter(const Netlist &netlist, std::vector<NetId> nets)
+    : nl(&netlist), tracked(std::move(nets))
+{
+    davf_assert(!tracked.empty(), "no nets to track");
+    changes.resize(tracked.size());
+}
+
+VcdWriter
+VcdWriter::allNets(const Netlist &netlist)
+{
+    std::vector<NetId> nets(netlist.numNets());
+    for (NetId id = 0; id < netlist.numNets(); ++id)
+        nets[id] = id;
+    return VcdWriter(netlist, std::move(nets));
+}
+
+void
+VcdWriter::sample(const CycleSimulator &sim)
+{
+    const uint64_t cycle = sim.cycle();
+    for (size_t i = 0; i < tracked.size(); ++i) {
+        const bool value = sim.value(tracked[i]);
+        if (changes[i].empty() || changes[i].back().second != value)
+            changes[i].emplace_back(cycle, value);
+    }
+    ++samples;
+}
+
+std::string
+VcdWriter::identifier(size_t index)
+{
+    // Printable VCD identifier alphabet: '!' (33) .. '~' (126).
+    std::string id;
+    do {
+        id += static_cast<char>(33 + index % 94);
+        index /= 94;
+    } while (index != 0);
+    return id;
+}
+
+std::string
+VcdWriter::render(const std::string &design_name) const
+{
+    std::ostringstream out;
+    out << "$date today $end\n";
+    out << "$version davf VcdWriter $end\n";
+    out << "$timescale 1 ns $end\n";
+    out << "$scope module " << design_name << " $end\n";
+    for (size_t i = 0; i < tracked.size(); ++i) {
+        std::string name = nl->net(tracked[i]).name;
+        for (char &c : name) {
+            if (c == '/' || c == ' ')
+                c = '.';
+        }
+        out << "$var wire 1 " << identifier(i) << " " << name
+            << " $end\n";
+    }
+    out << "$upscope $end\n$enddefinitions $end\n";
+
+    // Merge the per-net change lists into time order.
+    std::vector<size_t> cursor(tracked.size(), 0);
+    uint64_t last_emitted = ~uint64_t{0};
+    for (;;) {
+        uint64_t next = ~uint64_t{0};
+        for (size_t i = 0; i < tracked.size(); ++i) {
+            if (cursor[i] < changes[i].size())
+                next = std::min(next, changes[i][cursor[i]].first);
+        }
+        if (next == ~uint64_t{0})
+            break;
+        if (next != last_emitted) {
+            out << "#" << next << "\n";
+            last_emitted = next;
+        }
+        for (size_t i = 0; i < tracked.size(); ++i) {
+            if (cursor[i] < changes[i].size()
+                && changes[i][cursor[i]].first == next) {
+                out << (changes[i][cursor[i]].second ? '1' : '0')
+                    << identifier(i) << "\n";
+                ++cursor[i];
+            }
+        }
+    }
+    return out.str();
+}
+
+void
+VcdWriter::writeTo(const std::string &path,
+                   const std::string &design_name) const
+{
+    std::ofstream file(path);
+    if (!file)
+        davf_fatal("cannot open '", path, "' for writing");
+    file << render(design_name);
+    davf_assert(static_cast<bool>(file), "write to ", path, " failed");
+}
+
+} // namespace davf

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Value-change-dump (VCD) export for cycle-level simulations.
+ *
+ * Debugging a gate-level fault-injection flow without waveforms is
+ * miserable; this writer records selected nets cycle by cycle from a
+ * CycleSimulator and renders a standard VCD file (one timestep per
+ * clock cycle) loadable in GTKWave & friends. Typical use: dump the
+ * golden run and a faulty continuation side by side and diff them.
+ */
+
+#ifndef DAVF_SIM_VCD_HH
+#define DAVF_SIM_VCD_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/cycle_sim.hh"
+
+namespace davf {
+
+/** Records net values per cycle and renders a VCD file. */
+class VcdWriter
+{
+  public:
+    /**
+     * Track @p nets of @p netlist. Net names become the VCD signal
+     * names ('/' mapped to '.').
+     */
+    VcdWriter(const Netlist &netlist, std::vector<NetId> nets);
+
+    /** Track every net of the design (small designs only). */
+    static VcdWriter allNets(const Netlist &netlist);
+
+    /**
+     * Record the tracked nets' current values as the sample for
+     * @p sim's current cycle. Call once per cycle, in order.
+     */
+    void sample(const CycleSimulator &sim);
+
+    /** Number of samples recorded. */
+    size_t sampleCount() const { return samples; }
+
+    /** Render the full VCD document. */
+    std::string render(const std::string &design_name = "davf") const;
+
+    /** Render and write to @p path; fatal on I/O failure. */
+    void writeTo(const std::string &path,
+                 const std::string &design_name = "davf") const;
+
+  private:
+    /** Printable short identifier for signal @p index. */
+    static std::string identifier(size_t index);
+
+    const Netlist *nl;
+    std::vector<NetId> tracked;
+    /** Change list per tracked net: (cycle, value). */
+    std::vector<std::vector<std::pair<uint64_t, bool>>> changes;
+    size_t samples = 0;
+};
+
+} // namespace davf
+
+#endif // DAVF_SIM_VCD_HH

@@ -1,0 +1,538 @@
+#include "ibex_mini.hh"
+
+#include "builder/ecc.hh"
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace davf {
+
+namespace {
+
+/** A register whose D input is connected after its Q is used. */
+struct FwdReg
+{
+    Bus d;
+    Bus q;
+};
+
+FwdReg
+makeReg(ModuleBuilder &b, unsigned width, uint64_t reset_value,
+        const std::string &hint)
+{
+    FwdReg reg;
+    reg.d = b.freshBus(width, hint + "_d");
+    reg.q = b.regB(reg.d, reset_value, hint);
+    return reg;
+}
+
+/** Slice bus[at .. at+width). */
+Bus
+slice(const Bus &bus, unsigned at, unsigned width)
+{
+    davf_assert(at + width <= bus.size(), "slice out of range");
+    return Bus(bus.begin() + at, bus.begin() + at + width);
+}
+
+/** Bus of @p count copies of one net. */
+Bus
+replicate(NetId net, unsigned count)
+{
+    return Bus(count, net);
+}
+
+} // namespace
+
+IbexMini::IbexMini(const IbexMiniConfig &config,
+                   const std::vector<uint32_t> &image)
+    : cfg(config)
+{
+    build(image);
+}
+
+void
+IbexMini::build(const std::vector<uint32_t> &image)
+{
+    ModuleBuilder b(nl);
+    mem = std::make_shared<MemoryModel>(cfg.memWordsLog2, image);
+
+    const unsigned iaddr_bits = mem->iaddrBits();
+    const unsigned daddr_bits = mem->daddrBits();
+
+    // ------------------------------------------------------------------
+    // Forward nets: memory pins and cross-module feedback signals.
+    // ------------------------------------------------------------------
+    const Bus mem_iaddr = b.freshBus(iaddr_bits, "mem_iaddr");
+    const Bus mem_daddr = b.freshBus(daddr_bits, "mem_daddr");
+    const Bus mem_dwdata = b.freshBus(32, "mem_dwdata");
+    const NetId mem_dwe = b.freshNet("mem_dwe");
+    const Bus mem_dben = b.freshBus(4, "mem_dben");
+
+    Bus mem_inputs;
+    for (const Bus *bus : {&mem_iaddr, &mem_daddr, &mem_dwdata})
+        mem_inputs.insert(mem_inputs.end(), bus->begin(), bus->end());
+    mem_inputs.push_back(mem_dwe);
+    mem_inputs.insert(mem_inputs.end(), mem_dben.begin(), mem_dben.end());
+
+    Bus mem_outputs = b.freshBus(65, "mem_out");
+    nl.addBehavioral("mem", mem, mem_inputs, mem_outputs);
+    const Bus idata = slice(mem_outputs, 0, 32);
+    const Bus drdata = slice(mem_outputs, 32, 32);
+    haltedNetId = mem_outputs[64];
+
+    // EX-stage signals consumed by the prefetch unit, driven by ctl.
+    const NetId redirect = b.freshNet("redirect");
+    const Bus rtarget = b.freshBus(32, "rtarget");
+    const NetId consume = b.freshNet("consume");
+
+    // Regfile write port, driven by ctl.
+    const NetId rf_we = b.freshNet("rf_we");
+    const Bus rf_wdata = b.freshBus(32, "rf_wdata");
+
+    // ------------------------------------------------------------------
+    // Prefetch unit.
+    // ------------------------------------------------------------------
+    NetId head_valid;
+    Bus head_instr;
+    Bus head_pc;
+    {
+        BuilderScope scope(b, "prefetch");
+        FwdReg fpc = makeReg(b, 32, 0, "fpc");
+        FwdReg f0v = makeReg(b, 1, 0, "f0v");
+        FwdReg f1v = makeReg(b, 1, 0, "f1v");
+        FwdReg f0i = makeReg(b, 32, 0, "f0i");
+        FwdReg f1i = makeReg(b, 32, 0, "f1i");
+        FwdReg f0p = makeReg(b, 32, 0, "f0p");
+        FwdReg f1p = makeReg(b, 32, 0, "f1p");
+        FwdReg rsp_pending = makeReg(b, 1, 0, "rsp_pending");
+        FwdReg rsp_pc = makeReg(b, 32, 0, "rsp_pc");
+
+        const NetId f0_valid = f0v.q[0];
+        const NetId f1_valid = f1v.q[0];
+        const NetId rsp_valid = rsp_pending.q[0];
+
+        // Head selection: FIFO slot 0, or the arriving response (bypass).
+        head_valid = b.or2(f0_valid, rsp_valid);
+        head_instr = b.muxB(f0_valid, idata, f0i.q);
+        head_pc = b.muxB(f0_valid, rsp_pc.q, f0p.q);
+
+        const NetId consumed = b.and2(consume, head_valid);
+
+        // FIFO next state: drop the head if consumed, append the
+        // response (the newest entry) if one arrived. When the FIFO is
+        // empty the head *is* the bypassed response, so a consumed
+        // response must not also be enqueued (hence the f0_valid guard).
+        const NetId nf0v = b.mux(consumed, b.or2(f0_valid, rsp_valid),
+                                 b.or2(f1_valid,
+                                       b.and2(rsp_valid, f0_valid)));
+        const NetId nf1v = b.mux(
+            consumed,
+            b.or2(f1_valid, b.and2(f0_valid, rsp_valid)),
+            b.and2(f1_valid, rsp_valid));
+        const Bus nf0i = b.muxB(consumed, b.muxB(f0_valid, idata, f0i.q),
+                                b.muxB(f1_valid, idata, f1i.q));
+        const Bus nf0p = b.muxB(consumed,
+                                b.muxB(f0_valid, rsp_pc.q, f0p.q),
+                                b.muxB(f1_valid, rsp_pc.q, f1p.q));
+        const Bus nf1i = b.muxB(consumed, b.muxB(f1_valid, idata, f1i.q),
+                                idata);
+        const Bus nf1p = b.muxB(consumed,
+                                b.muxB(f1_valid, rsp_pc.q, f1p.q),
+                                rsp_pc.q);
+
+        // A redirect flushes everything queued or in flight.
+        const NetId keep = b.inv(redirect);
+        b.connectBus(f0v.d, {b.and2(nf0v, keep)});
+        b.connectBus(f1v.d, {b.and2(nf1v, keep)});
+        b.connectBus(f0i.d, nf0i);
+        b.connectBus(f1i.d, nf1i);
+        b.connectBus(f0p.d, nf0p);
+        b.connectBus(f1p.d, nf1p);
+
+        // Request issue: always on redirect (the FIFO is flushed);
+        // otherwise only while a slot remains for the response.
+        const NetId room = b.nand2(nf0v, nf1v);
+        const NetId issue = b.or2(redirect, room);
+        const Bus req_addr = b.muxB(redirect, fpc.q, rtarget);
+        const Bus req_plus4 =
+            b.adder(req_addr, b.constantBus(32, 4), b.constant(false));
+        b.connectBus(fpc.d, b.muxB(issue, fpc.q, req_plus4));
+        b.connectBus(rsp_pending.d, {issue});
+        b.connectBus(rsp_pc.d, b.muxB(issue, rsp_pc.q, req_addr));
+
+        b.connectBus(mem_iaddr, slice(req_addr, 2, iaddr_bits));
+    }
+
+    // Instruction fields (pure wiring).
+    const Bus rd_field = slice(head_instr, 7, 5);
+    const Bus rs1_field = slice(head_instr, 15, 5);
+    const Bus rs2_field = slice(head_instr, 20, 5);
+
+    // ------------------------------------------------------------------
+    // Decoder.
+    // ------------------------------------------------------------------
+    NetId is_load, is_store, is_branch, is_jal, is_jalr, is_lui;
+    NetId is_lb, is_lw, is_sb;
+    NetId is_mul = kInvalidId;
+    NetId opa_pc, opa_zero, opb_imm, wr_en;
+    Bus imm, btype_imm, f3dec;
+    Bus alu_sel; // One-hot: add sub sll slt sltu xor srl sra or and.
+    {
+        BuilderScope scope(b, "decoder");
+        const Bus opc = slice(head_instr, 2, 5);
+        const Bus opdec = b.decode(opc);
+        is_load = opdec[0x00];
+        const NetId is_opimm = opdec[0x04];
+        const NetId is_auipc = opdec[0x05];
+        is_store = opdec[0x08];
+        const NetId is_op = opdec[0x0c];
+        is_lui = opdec[0x0d];
+        is_branch = opdec[0x18];
+        is_jalr = opdec[0x19];
+        is_jal = opdec[0x1b];
+
+        const Bus funct3 = slice(head_instr, 12, 3);
+        f3dec = b.decode(funct3);
+        const NetId funct7b5 = head_instr[30];
+
+        is_lb = b.and2(is_load, f3dec[0]);
+        is_lw = b.and2(is_load, f3dec[2]);
+        is_sb = b.and2(is_store, f3dec[0]);
+
+        // Immediates.
+        const NetId sign = head_instr[31];
+        Bus imm_i = slice(head_instr, 20, 12);
+        imm_i.resize(32, sign);
+        Bus imm_s = slice(head_instr, 7, 5);
+        {
+            const Bus hi = slice(head_instr, 25, 7);
+            imm_s.insert(imm_s.end(), hi.begin(), hi.end());
+            imm_s.resize(32, sign);
+        }
+        Bus imm_b;
+        imm_b.push_back(b.constant(false));
+        for (unsigned i = 8; i <= 11; ++i)
+            imm_b.push_back(head_instr[i]);
+        for (unsigned i = 25; i <= 30; ++i)
+            imm_b.push_back(head_instr[i]);
+        imm_b.push_back(head_instr[7]);
+        imm_b.resize(32, sign);
+        Bus imm_u = b.constantBus(12, 0);
+        for (unsigned i = 12; i <= 31; ++i)
+            imm_u.push_back(head_instr[i]);
+        Bus imm_j;
+        imm_j.push_back(b.constant(false));
+        for (unsigned i = 21; i <= 30; ++i)
+            imm_j.push_back(head_instr[i]);
+        imm_j.push_back(head_instr[20]);
+        for (unsigned i = 12; i <= 19; ++i)
+            imm_j.push_back(head_instr[i]);
+        imm_j.resize(32, sign);
+
+        const NetId use_i = b.or3(is_load, is_opimm, is_jalr);
+        const NetId use_u = b.or2(is_lui, is_auipc);
+        imm = b.onehotMux({use_i, is_store, use_u, is_jal},
+                          {imm_i, imm_s, imm_u, imm_j});
+        btype_imm = b.muxB(is_jal, imm_b, imm_j);
+
+        // ALU operation one-hot.
+        const NetId alu_class = b.or2(is_op, is_opimm);
+        const NetId f30 = f3dec[0];
+        const NetId alu_add_cls =
+            b.and2(alu_class,
+                   b.and2(f30, b.or2(is_opimm, b.inv(funct7b5))));
+        const NetId alu_add =
+            b.or2(alu_add_cls,
+                  b.or3(b.or2(is_load, is_store),
+                        b.or2(is_lui, is_auipc), is_jalr));
+        const NetId alu_sub = b.and3(is_op, f30, funct7b5);
+        const NetId alu_sll = b.and2(alu_class, f3dec[1]);
+        const NetId alu_slt = b.and2(alu_class, f3dec[2]);
+        const NetId alu_sltu = b.and2(alu_class, f3dec[3]);
+        const NetId alu_xor = b.and2(alu_class, f3dec[4]);
+        const NetId alu_srl =
+            b.and3(alu_class, f3dec[5], b.inv(funct7b5));
+        const NetId alu_sra = b.and3(alu_class, f3dec[5], funct7b5);
+        const NetId alu_or = b.and2(alu_class, f3dec[6]);
+        const NetId alu_and = b.and2(alu_class, f3dec[7]);
+        alu_sel = {alu_add, alu_sub, alu_sll, alu_slt, alu_sltu,
+                   alu_xor, alu_srl, alu_sra, alu_or, alu_and};
+
+        opa_pc = b.or2(is_auipc, is_jal); // (jal result uses pc4 anyway)
+        opa_zero = is_lui;
+        opb_imm = b.inv(b.or2(is_op, is_branch));
+        wr_en = b.or3(b.or2(is_lui, is_auipc), b.or2(is_jal, is_jalr),
+                      b.or3(is_load, is_op, is_opimm));
+
+        if (cfg.enableMul) {
+            // MUL = OP with funct7 == 0000001, funct3 == 000.
+            const NetId f7_hi_zero = b.inv(b.reduceOr(
+                {head_instr[26], head_instr[27], head_instr[28],
+                 head_instr[29], head_instr[30], head_instr[31]}));
+            is_mul = b.and3(is_op, f3dec[0],
+                            b.and2(head_instr[25], f7_hi_zero));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Register file (optionally ECC protected).
+    // ------------------------------------------------------------------
+    Bus rs1_data, rs2_data;
+    {
+        BuilderScope scope(b, "regfile");
+        const unsigned store_width =
+            cfg.eccRegfile ? eccCodeWidth(32) : 32;
+        const Bus store_data =
+            cfg.eccRegfile ? eccEncode(b, rf_wdata) : rf_wdata;
+
+        const Bus wdec = b.decode(rd_field);
+        std::vector<Bus> q(32);
+        q[0] = b.constantBus(store_width, 0);
+        for (unsigned reg = 1; reg < 32; ++reg) {
+            const NetId wren = b.and2(wdec[reg], rf_we);
+            q[reg] = b.regE(store_data, wren, 0,
+                            "x" + std::to_string(reg) + "_");
+        }
+
+        const Bus r1code = b.muxTree(rs1_field, q);
+        const Bus r2code = b.muxTree(rs2_field, q);
+        rs1_data = cfg.eccRegfile ? eccCorrect(b, r1code, 32) : r1code;
+        rs2_data = cfg.eccRegfile ? eccCorrect(b, r2code, 32) : r2code;
+    }
+
+    // ------------------------------------------------------------------
+    // ALU.
+    // ------------------------------------------------------------------
+    Bus alu_result, btarget;
+    NetId cmp_eq, cmp_lt, cmp_ltu;
+    {
+        BuilderScope scope(b, "alu");
+        const Bus op_a = b.muxB(
+            opa_zero, b.muxB(opa_pc, rs1_data, head_pc),
+            b.constantBus(32, 0));
+        const Bus op_b = b.muxB(opb_imm, rs2_data, imm);
+
+        const NetId alu_sub = alu_sel[1];
+        const Bus b_eff = b.xorB(op_b, replicate(alu_sub, 32));
+        const Bus addsub = b.adder(op_a, b_eff, alu_sub);
+
+        const Bus shamt = slice(op_b, 0, 5);
+        const Bus sll_out = b.barrelShift(op_a, shamt, false, false);
+        const NetId sra_fill = b.and2(alu_sel[7], op_a[31]);
+        const Bus srx_out = b.barrelShiftRightFill(op_a, shamt, sra_fill);
+
+        Bus slt_out = {b.lessThanSigned(op_a, op_b)};
+        slt_out.resize(32, b.constant(false));
+        Bus sltu_out = {b.lessThanUnsigned(op_a, op_b)};
+        sltu_out.resize(32, b.constant(false));
+
+        const Bus xor_out = b.xorB(op_a, op_b);
+        const Bus or_out = b.orB(op_a, op_b);
+        const Bus and_out = b.andB(op_a, op_b);
+
+        const NetId sel_addsub = b.or2(alu_sel[0], alu_sel[1]);
+        const NetId sel_srx = b.or2(alu_sel[6], alu_sel[7]);
+        alu_result = b.onehotMux(
+            {sel_addsub, alu_sel[2], alu_sel[3], alu_sel[4], alu_sel[5],
+             sel_srx, alu_sel[8], alu_sel[9]},
+            {addsub, sll_out, slt_out, sltu_out, xor_out, srx_out,
+             or_out, and_out});
+
+        // Branch comparators and the branch/jump target adder.
+        cmp_eq = b.equal(rs1_data, rs2_data);
+        cmp_lt = b.lessThanSigned(rs1_data, rs2_data);
+        cmp_ltu = b.lessThanUnsigned(rs1_data, rs2_data);
+        btarget = b.adder(head_pc, btype_imm, b.constant(false));
+    }
+
+    // ------------------------------------------------------------------
+    // LSU.
+    // ------------------------------------------------------------------
+    Bus load_data;
+    NetId lsu_phase;
+    {
+        BuilderScope scope(b, "lsu");
+        FwdReg phase = makeReg(b, 1, 0, "phase");
+        lsu_phase = phase.q[0];
+
+        const NetId load_v = b.and2(head_valid, is_load);
+        b.connectBus(phase.d, {b.and2(load_v, b.inv(lsu_phase))});
+
+        // Data port request.
+        b.connectBus(mem_daddr, slice(alu_result, 2, daddr_bits));
+        b.connect(mem_dwe, b.and2(head_valid, is_store));
+        const Bus bdec = b.decode(slice(alu_result, 0, 2));
+        for (unsigned i = 0; i < 4; ++i)
+            b.connect(mem_dben[i],
+                      b.mux(is_sb, b.constant(true), bdec[i]));
+        Bus sb_data = slice(rs2_data, 0, 8);
+        {
+            const Bus low = sb_data;
+            for (int rep = 0; rep < 3; ++rep)
+                sb_data.insert(sb_data.end(), low.begin(), low.end());
+        }
+        b.connectBus(mem_dwdata, b.muxB(is_sb, rs2_data, sb_data));
+
+        // Load data extraction.
+        const Bus byte_sel = slice(alu_result, 0, 2);
+        const Bus byte = b.muxTree(
+            byte_sel, {slice(drdata, 0, 8), slice(drdata, 8, 8),
+                       slice(drdata, 16, 8), slice(drdata, 24, 8)});
+        const NetId sign = b.and2(is_lb, byte[7]);
+        Bus extended = byte;
+        extended.resize(32, sign);
+        load_data = b.muxB(is_lw, extended, drdata);
+    }
+
+    // ------------------------------------------------------------------
+    // Iterative multiplier (optional; Ibex's "slow" option).
+    //
+    // 33-cycle shift-and-add: cycle 0 loads the operand registers, the
+    // following 32 cycles each add (multiplier LSB ? multiplicand : 0)
+    // into the accumulator while shifting; the result is the
+    // accumulator-plus-final-partial sum, written back when the cycle
+    // counter reaches 32. The instruction is held at the pipeline head
+    // (consume gated in ctl) while the counter runs.
+    // ------------------------------------------------------------------
+    Bus mul_sum;
+    NetId mul_done = kInvalidId;
+    if (cfg.enableMul) {
+        BuilderScope scope(b, "mul");
+        FwdReg cnt = makeReg(b, 6, 0, "cnt");
+        FwdReg acc = makeReg(b, 32, 0, "acc");
+        FwdReg mcand = makeReg(b, 32, 0, "mcand");
+        FwdReg mplier = makeReg(b, 32, 0, "mplier");
+
+        const NetId active = b.and2(head_valid, is_mul);
+        const NetId starting = b.inv(b.reduceOr(cnt.q));
+        mul_done = b.equal(cnt.q, b.constantBus(6, 32));
+
+        const Bus partial = b.andB(mcand.q, replicate(mplier.q[0], 32));
+        mul_sum = b.adder(acc.q, partial, b.constant(false));
+
+        // Next state: load on the starting cycle, accumulate+shift
+        // while running, idle (counter cleared) otherwise.
+        const Bus zero6 = b.constantBus(6, 0);
+        const Bus cnt_plus1 =
+            b.adder(cnt.q, b.constantBus(6, 1), b.constant(false));
+        b.connectBus(cnt.d,
+                     b.muxB(active, zero6,
+                            b.muxB(mul_done, cnt_plus1, zero6)));
+
+        Bus mcand_shl(32);
+        Bus mplier_shr(32);
+        for (unsigned i = 0; i < 32; ++i) {
+            mcand_shl[i] = i == 0 ? b.constant(false) : mcand.q[i - 1];
+            mplier_shr[i] =
+                i == 31 ? b.constant(false) : mplier.q[i + 1];
+        }
+        b.connectBus(acc.d,
+                     b.muxB(active, acc.q,
+                            b.muxB(starting, mul_sum,
+                                   b.constantBus(32, 0))));
+        b.connectBus(mcand.d,
+                     b.muxB(active, mcand.q,
+                            b.muxB(starting, mcand_shl, rs1_data)));
+        b.connectBus(mplier.d,
+                     b.muxB(active, mplier.q,
+                            b.muxB(starting, mplier_shr, rs2_data)));
+    }
+
+    // ------------------------------------------------------------------
+    // Control / writeback.
+    // ------------------------------------------------------------------
+    {
+        BuilderScope scope(b, "ctl");
+        // Branch taken, by funct3.
+        const NetId taken = b.reduceOr({
+            b.and2(f3dec[0], cmp_eq),
+            b.and2(f3dec[1], b.inv(cmp_eq)),
+            b.and2(f3dec[4], cmp_lt),
+            b.and2(f3dec[5], b.inv(cmp_lt)),
+            b.and2(f3dec[6], cmp_ltu),
+            b.and2(f3dec[7], b.inv(cmp_ltu)),
+        });
+        const NetId do_branch = b.and3(head_valid, is_branch, taken);
+        const NetId do_jump =
+            b.and2(head_valid, b.or2(is_jal, is_jalr));
+        b.connect(redirect, b.or2(do_branch, do_jump));
+
+        Bus jalr_target = alu_result;
+        jalr_target[0] = b.constant(false);
+        b.connectBus(rtarget, b.muxB(is_jalr, btarget, jalr_target));
+
+        NetId consume_v = b.and2(
+            head_valid, b.inv(b.and2(is_load, b.inv(lsu_phase))));
+        if (cfg.enableMul) {
+            consume_v = b.and2(
+                consume_v, b.inv(b.and2(is_mul, b.inv(mul_done))));
+        }
+        b.connect(consume, consume_v);
+
+        const Bus pc4 =
+            b.adder(head_pc, b.constantBus(32, 4), b.constant(false));
+        const NetId is_jump = b.or2(is_jal, is_jalr);
+        Bus wb = b.muxB(is_load,
+                        b.muxB(is_jump, alu_result, pc4),
+                        load_data);
+        if (cfg.enableMul)
+            wb = b.muxB(is_mul, wb, mul_sum);
+        b.connectBus(rf_wdata, wb);
+        NetId we_v = b.and3(head_valid, wr_en,
+                            b.or2(b.inv(is_load), lsu_phase));
+        if (cfg.enableMul)
+            we_v = b.and2(we_v, b.or2(b.inv(is_mul), mul_done));
+        b.connect(rf_we, we_v);
+    }
+
+    // Synthesis-style cleanups: sweep dead combinational slices, then
+    // buffer high-fanout nets. Both passes invalidate raw ids, so all
+    // bookkeeping below re-derives ids from names.
+    nl.sweepDeadLogic();
+    nl.insertFanoutBuffers();
+    nl.finalize();
+
+    haltedNetId = nl.cell(nl.findCell("mem")).outputs[64];
+
+    // The register file storage flops, in creation order (register
+    // major, bit minor — nothing else in the regfile scope has flops).
+    const unsigned store_width = cfg.eccRegfile ? eccCodeWidth(32) : 32;
+    const auto reg_flops = nl.flopsByPrefix("regfile/");
+    davf_assert(reg_flops.size() == size_t{31} * store_width,
+                "unexpected regfile flop count");
+    regQ.assign(31, Bus(store_width));
+    for (unsigned reg = 0; reg < 31; ++reg) {
+        for (unsigned bit = 0; bit < store_width; ++bit) {
+            const StateElem &elem =
+                nl.stateElem(reg_flops[size_t{reg} * store_width + bit]);
+            regQ[reg][bit] = nl.cell(elem.cell).outputs[0];
+        }
+    }
+
+    registry = std::make_unique<StructureRegistry>(nl);
+    registry->add("ALU", "alu/");
+    registry->add("Decoder", "decoder/");
+    registry->add("Regfile", "regfile/");
+    registry->add("LSU", "lsu/");
+    registry->add("Prefetch", "prefetch/");
+    if (cfg.enableMul)
+        registry->add("MUL", "mul/");
+}
+
+uint32_t
+IbexMini::readRegister(const CycleSimulator &sim, unsigned index) const
+{
+    davf_assert(index < 32, "bad register index");
+    if (index == 0)
+        return 0;
+    const Bus &q = regQ[index - 1];
+    uint64_t code = 0;
+    for (size_t i = 0; i < q.size(); ++i) {
+        if (sim.value(q[i]))
+            code |= uint64_t{1} << i;
+    }
+    if (cfg.eccRegfile)
+        return static_cast<uint32_t>(eccCorrectSoft(code, 32));
+    return static_cast<uint32_t>(code);
+}
+
+} // namespace davf

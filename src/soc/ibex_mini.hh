@@ -1,0 +1,97 @@
+/**
+ * @file
+ * IbexMini: a gate-level, 2-stage, in-order RV32I core.
+ *
+ * This is the repository's stand-in for the paper's synthesized Ibex core
+ * (§VI-A). Like Ibex it is a small in-order pipeline with an instruction
+ * prefetch buffer feeding a combined decode/execute stage, and it exposes
+ * exactly the microarchitectural structures the paper studies:
+ *
+ *  - **prefetch** — fetch PC, a 2-entry prefetch FIFO, and the request /
+ *    redirect logic toward the instruction port.
+ *  - **decoder**  — instruction decode, immediate generation, control.
+ *  - **regfile**  — 31 x 32-bit flop array (x0 hardwired), 2 read ports,
+ *    1 write port; optionally protected by single-error-correcting
+ *    Hamming ECC (38-bit codewords, no double-error detection).
+ *  - **alu**      — adder/subtractor, barrel shifters, logic ops,
+ *    comparators, and the branch-target adder.
+ *  - **lsu**      — data-port request generation, byte enables, load data
+ *    extraction/sign-extension, and the 2-cycle load state machine.
+ *  - **ctl**      — writeback mux, branch resolution, pipeline control
+ *    (not one of the paper's studied structures).
+ *
+ * Memory is a behavioral block (soc/memory.hh) outside the fault model,
+ * with synchronous 1-cycle ports. Loads take 2 cycles, taken control
+ * transfers 2 cycles (one bubble), everything else 1 cycle.
+ */
+
+#ifndef DAVF_SOC_IBEX_MINI_HH
+#define DAVF_SOC_IBEX_MINI_HH
+
+#include <memory>
+#include <vector>
+
+#include "builder/builder.hh"
+#include "netlist/structure.hh"
+#include "sim/cycle_sim.hh"
+#include "soc/memory.hh"
+
+namespace davf {
+
+/** Build-time configuration of the core. */
+struct IbexMiniConfig
+{
+    /** Protect the register file with SEC Hamming ECC. */
+    bool eccRegfile = false;
+
+    /**
+     * Add an iterative (33-cycle) shift-and-add hardware multiplier —
+     * the shape of Ibex's "slow" multiplier option — decoded from the
+     * RV32M MUL encoding and exposed as a sixth structure ("MUL").
+     * Off by default: the paper's case study covers five structures and
+     * the default netlist stays exactly the paper configuration.
+     */
+    bool enableMul = false;
+
+    /** log2 of RAM words (default 16K words = 64 KiB). */
+    unsigned memWordsLog2 = 14;
+};
+
+/** A fully built IbexMini SoC: core netlist + behavioral memory. */
+class IbexMini
+{
+  public:
+    /** Build the SoC with @p image preloaded into memory. */
+    IbexMini(const IbexMiniConfig &config,
+             const std::vector<uint32_t> &image);
+
+    const Netlist &netlist() const { return nl; }
+    const IbexMiniConfig &config() const { return cfg; }
+    MemoryModel &memory() { return *mem; }
+    const MemoryModel &memory() const { return *mem; }
+
+    /** The paper's structures: ALU, Decoder, Regfile, LSU, Prefetch. */
+    const StructureRegistry &structures() const { return *registry; }
+
+    /** Architectural register value as seen by @p sim (ECC-corrected). */
+    uint32_t readRegister(const CycleSimulator &sim, unsigned index) const;
+
+    /** Net indicating the program has written the halt port. */
+    NetId haltedNet() const { return haltedNetId; }
+
+  private:
+    void build(const std::vector<uint32_t> &image);
+
+    IbexMiniConfig cfg;
+    Netlist nl;
+    std::shared_ptr<MemoryModel> mem;
+    std::unique_ptr<StructureRegistry> registry;
+    NetId haltedNetId = kInvalidId;
+
+    /** Q nets of architectural registers x1..x31 (codeword bits). */
+    std::vector<Bus> regQ;
+};
+
+} // namespace davf
+
+#endif // DAVF_SOC_IBEX_MINI_HH

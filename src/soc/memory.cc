@@ -1,0 +1,138 @@
+#include "memory.hh"
+
+#include "util/logging.hh"
+
+namespace davf {
+
+MemoryModel::MemoryModel(unsigned mem_words_log2,
+                         const std::vector<uint32_t> &initial_image)
+    : memWordsLog2(mem_words_log2), image(initial_image)
+{
+    davf_assert(image.size() <= (size_t{1} << memWordsLog2),
+                "image larger than RAM");
+    std::vector<bool> dummy;
+    dummy.resize(numOutputs());
+    reset(dummy);
+}
+
+uint64_t
+MemoryModel::mix(uint64_t index, uint64_t value)
+{
+    // splitmix64-style finalizer over (index, value).
+    uint64_t z = index * 0x9e3779b97f4a7c15ull + value
+        + 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+void
+MemoryModel::writeWord(uint32_t index, uint32_t value)
+{
+    hash ^= mix(index, mem[index]);
+    mem[index] = value;
+    hash ^= mix(index, value);
+}
+
+void
+MemoryModel::reset(std::vector<bool> &outputs)
+{
+    mem.assign(size_t{1} << memWordsLog2, 0);
+    std::copy(image.begin(), image.end(), mem.begin());
+    hash = 0;
+    for (size_t i = 0; i < mem.size(); ++i)
+        hash ^= mix(i, mem[i]);
+    outputLog.clear();
+    isHalted = false;
+    idata = 0;
+    drdata = 0;
+    outputs.assign(numOutputs(), false);
+}
+
+void
+MemoryModel::clockEdge(const std::vector<bool> &inputs,
+                       std::vector<bool> &outputs)
+{
+    // Unpack pins: iaddr, daddr, dwdata, dwe, dben.
+    size_t pin = 0;
+    auto take = [&](unsigned width) -> uint32_t {
+        uint32_t value = 0;
+        for (unsigned i = 0; i < width; ++i, ++pin)
+            value |= uint32_t{inputs[pin]} << i;
+        return value;
+    };
+    const uint32_t iaddr = take(iaddrBits());
+    const uint32_t daddr = take(daddrBits());
+    const uint32_t dwdata = take(32);
+    const bool dwe = take(1) != 0;
+    const uint32_t dben = take(4);
+
+    const uint32_t mmio_bit = 1u << memWordsLog2;
+    const uint32_t dword = daddr & (mmio_bit - 1);
+
+    // Synchronous reads (read-before-write semantics).
+    idata = mem[iaddr];
+    drdata = (daddr & mmio_bit) ? 0 : mem[dword];
+
+    if (dwe) {
+        if (daddr & mmio_bit) {
+            if (dword == 0)
+                outputLog.push_back(dwdata);
+            else if (dword == 1)
+                isHalted = true;
+        } else {
+            uint32_t value = mem[dword];
+            for (unsigned byte = 0; byte < 4; ++byte) {
+                if (dben & (1u << byte)) {
+                    const uint32_t mask = 0xffu << (byte * 8);
+                    value = (value & ~mask) | (dwdata & mask);
+                }
+            }
+            writeWord(dword, value);
+        }
+    }
+
+    outputs.assign(numOutputs(), false);
+    for (unsigned i = 0; i < 32; ++i)
+        outputs[i] = (idata >> i) & 1;
+    for (unsigned i = 0; i < 32; ++i)
+        outputs[32 + i] = (drdata >> i) & 1;
+    outputs[64] = isHalted;
+}
+
+std::vector<uint64_t>
+MemoryModel::snapshot() const
+{
+    std::vector<uint64_t> data;
+    data.reserve(5 + outputLog.size() + mem.size());
+    data.push_back(isHalted ? 1 : 0);
+    data.push_back(idata);
+    data.push_back(drdata);
+    data.push_back(hash);
+    data.push_back(outputLog.size());
+    for (uint32_t word : outputLog)
+        data.push_back(word);
+    for (uint32_t word : mem)
+        data.push_back(word);
+    return data;
+}
+
+void
+MemoryModel::restore(const std::vector<uint64_t> &data)
+{
+    size_t at = 0;
+    isHalted = data[at++] != 0;
+    idata = static_cast<uint32_t>(data[at++]);
+    drdata = static_cast<uint32_t>(data[at++]);
+    hash = data[at++];
+    const auto log_size = static_cast<size_t>(data[at++]);
+    outputLog.resize(log_size);
+    for (size_t i = 0; i < log_size; ++i)
+        outputLog[i] = static_cast<uint32_t>(data[at++]);
+    davf_assert(data.size() - at == mem.size(),
+                "memory snapshot size mismatch");
+    for (size_t i = 0; i < mem.size(); ++i)
+        mem[i] = static_cast<uint32_t>(data[at++]);
+}
+
+} // namespace davf

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The behavioral instruction/data memory backing the IbexMini core.
+ *
+ * The paper's flow keeps memory in the (Verilator) testbench and injects
+ * faults only into the core's structures; this model plays that role as a
+ * clocked BehavioralModel with two synchronous ports:
+ *
+ *  - Instruction port: `iaddr` sampled at the edge, `idata` valid the next
+ *    cycle.
+ *  - Data port: `daddr`/`dwdata`/`dwe`/`dben[4]` sampled at the edge;
+ *    `drdata` (the word at daddr) valid the next cycle; writes apply the
+ *    byte enables.
+ *
+ * The data address space is word-addressed with one extra high bit
+ * selecting MMIO: word 0 of the MMIO page is the output port (each write
+ * appends the stored word to the program's output trace) and word 1 is
+ * the halt port (any write sets the sticky `halted` output). The output
+ * trace plus the halt status *is* the program-visible behaviour that
+ * DelayAVF's GroupACE step compares (§V-B); because it lives inside the
+ * model it is captured by simulator snapshots.
+ *
+ * Because delayed signals in the LSU can corrupt what the memory samples,
+ * the model's input pins are state elements of the design (see
+ * netlist/netlist.hh); the model additionally maintains an incrementally
+ * updated content hash so the vulnerability engine can cheaply test
+ * whether a faulty run's memory has converged back to the golden image.
+ */
+
+#ifndef DAVF_SOC_MEMORY_HH
+#define DAVF_SOC_MEMORY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/behavioral.hh"
+
+namespace davf {
+
+/** Behavioral dual-port memory + MMIO for the IbexMini SoC. */
+class MemoryModel : public BehavioralModel
+{
+  public:
+    /**
+     * @param mem_words_log2 log2 of the RAM size in words.
+     * @param image          initial contents (also restored by reset()).
+     */
+    MemoryModel(unsigned mem_words_log2,
+                const std::vector<uint32_t> &image);
+
+    /** @name Pin layout */
+    /// @{
+    unsigned iaddrBits() const { return memWordsLog2; }
+    unsigned daddrBits() const { return memWordsLog2 + 1; }
+    unsigned numInputs() const override
+    {
+        return iaddrBits() + daddrBits() + 32 + 1 + 4;
+    }
+    unsigned numOutputs() const override { return 32 + 32 + 1; }
+    /// @}
+
+    std::shared_ptr<BehavioralModel> clone() const override
+    {
+        return std::make_shared<MemoryModel>(*this);
+    }
+
+    void reset(std::vector<bool> &outputs) override;
+    void clockEdge(const std::vector<bool> &inputs,
+                   std::vector<bool> &outputs) override;
+    std::vector<uint64_t> snapshot() const override;
+    void restore(const std::vector<uint64_t> &data) override;
+
+    /** @name Architectural observation */
+    /// @{
+
+    /** Words written to the MMIO output port, in order. */
+    const std::vector<uint32_t> &outputTrace() const { return outputLog; }
+
+    /** True once the program has written the halt port. */
+    bool halted() const { return isHalted; }
+
+    /** Incrementally maintained hash of the RAM contents. */
+    uint64_t contentHash() const { return hash; }
+
+    /** RAM word at byte address @p addr. */
+    uint32_t word(uint32_t addr) const { return mem[addr / 4]; }
+
+    /** All RAM words. */
+    const std::vector<uint32_t> &words() const { return mem; }
+
+    /// @}
+
+  private:
+    void writeWord(uint32_t index, uint32_t value);
+    static uint64_t mix(uint64_t index, uint64_t value);
+
+    unsigned memWordsLog2;
+    std::vector<uint32_t> image;
+    std::vector<uint32_t> mem;
+    std::vector<uint32_t> outputLog;
+    bool isHalted = false;
+    uint64_t hash = 0;
+    uint32_t idata = 0;
+    uint32_t drdata = 0;
+};
+
+} // namespace davf
+
+#endif // DAVF_SOC_MEMORY_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Small bit-manipulation helpers shared across the library.
+ */
+
+#ifndef DAVF_UTIL_BITS_HH
+#define DAVF_UTIL_BITS_HH
+
+#include <cstdint>
+
+namespace davf {
+
+/** Extract bits [hi:lo] (inclusive, hi >= lo) of a 32-bit value. */
+constexpr uint32_t
+bits(uint32_t value, unsigned hi, unsigned lo)
+{
+    const uint32_t span = hi - lo + 1;
+    const uint32_t mask = span >= 32 ? ~0u : ((1u << span) - 1u);
+    return (value >> lo) & mask;
+}
+
+/** Extract a single bit of a 32-bit value. */
+constexpr uint32_t
+bit(uint32_t value, unsigned pos)
+{
+    return (value >> pos) & 1u;
+}
+
+/** Sign-extend the low @p width bits of @p value to 32 bits. */
+constexpr int32_t
+signExtend(uint32_t value, unsigned width)
+{
+    const unsigned shift = 32 - width;
+    return static_cast<int32_t>(value << shift) >> shift;
+}
+
+/** Parity (XOR reduction) of a 32-bit value. */
+constexpr uint32_t
+parity32(uint32_t value)
+{
+    value ^= value >> 16;
+    value ^= value >> 8;
+    value ^= value >> 4;
+    value ^= value >> 2;
+    value ^= value >> 1;
+    return value & 1u;
+}
+
+/** Ceiling of log2 for sizing address/select buses; clog2(1) == 0. */
+constexpr unsigned
+clog2(uint64_t value)
+{
+    unsigned result = 0;
+    uint64_t capacity = 1;
+    while (capacity < value) {
+        capacity <<= 1;
+        ++result;
+    }
+    return result;
+}
+
+/** True iff @p value is a power of two (zero excluded). */
+constexpr bool
+isPowerOfTwo(uint64_t value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+} // namespace davf
+
+#endif // DAVF_UTIL_BITS_HH

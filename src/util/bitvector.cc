@@ -1,0 +1,105 @@
+#include "bitvector.hh"
+
+#include <bit>
+
+#include "logging.hh"
+
+namespace davf {
+
+BitVector::BitVector(size_t size, bool value)
+{
+    resize(size, value);
+}
+
+void
+BitVector::resize(size_t size, bool value)
+{
+    const size_t old_bits = numBits;
+    numBits = size;
+    words.resize((size + 63) / 64, value ? ~uint64_t{0} : 0);
+    if (value && size > old_bits && old_bits % 64 != 0) {
+        // The word holding old_bits..: set the freshly exposed bits.
+        const size_t word = old_bits >> 6;
+        const uint64_t mask = ~uint64_t{0} << (old_bits & 63);
+        words[word] |= mask;
+    }
+    clearTail();
+}
+
+void
+BitVector::fill(bool value)
+{
+    for (auto &word : words)
+        word = value ? ~uint64_t{0} : 0;
+    clearTail();
+}
+
+size_t
+BitVector::popcount() const
+{
+    size_t total = 0;
+    for (uint64_t word : words)
+        total += std::popcount(word);
+    return total;
+}
+
+bool
+BitVector::none() const
+{
+    for (uint64_t word : words) {
+        if (word != 0)
+            return false;
+    }
+    return true;
+}
+
+BitVector &
+BitVector::operator^=(const BitVector &other)
+{
+    davf_assert(numBits == other.numBits);
+    for (size_t i = 0; i < words.size(); ++i)
+        words[i] ^= other.words[i];
+    return *this;
+}
+
+BitVector &
+BitVector::operator|=(const BitVector &other)
+{
+    davf_assert(numBits == other.numBits);
+    for (size_t i = 0; i < words.size(); ++i)
+        words[i] |= other.words[i];
+    return *this;
+}
+
+BitVector &
+BitVector::operator&=(const BitVector &other)
+{
+    davf_assert(numBits == other.numBits);
+    for (size_t i = 0; i < words.size(); ++i)
+        words[i] &= other.words[i];
+    return *this;
+}
+
+std::vector<size_t>
+BitVector::setBits() const
+{
+    std::vector<size_t> result;
+    for (size_t w = 0; w < words.size(); ++w) {
+        uint64_t word = words[w];
+        while (word) {
+            const int lowest = std::countr_zero(word);
+            result.push_back(w * 64 + lowest);
+            word &= word - 1;
+        }
+    }
+    return result;
+}
+
+void
+BitVector::clearTail()
+{
+    if (numBits % 64 != 0 && !words.empty())
+        words.back() &= (uint64_t{1} << (numBits & 63)) - 1;
+}
+
+} // namespace davf

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * A compact dynamically-sized bit vector.
+ *
+ * Used for simulator state snapshots, toggle maps, and ACE bookkeeping.
+ * The storage is word-packed; words beyond the logical size are kept
+ * zeroed so that whole-word operations (popcount, equality) are exact.
+ */
+
+#ifndef DAVF_UTIL_BITVECTOR_HH
+#define DAVF_UTIL_BITVECTOR_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace davf {
+
+/** A packed vector of bits with word-level bulk operations. */
+class BitVector
+{
+  public:
+    BitVector() = default;
+
+    /** Construct with @p size bits, all initialized to @p value. */
+    explicit BitVector(size_t size, bool value = false);
+
+    /** Number of bits held. */
+    size_t size() const { return numBits; }
+
+    /** Resize to @p size bits; new bits are set to @p value. */
+    void resize(size_t size, bool value = false);
+
+    /** Read the bit at @p index. */
+    bool
+    get(size_t index) const
+    {
+        return (words[index >> 6] >> (index & 63)) & 1u;
+    }
+
+    /** Set the bit at @p index to @p value. */
+    void
+    set(size_t index, bool value)
+    {
+        const uint64_t mask = uint64_t{1} << (index & 63);
+        if (value)
+            words[index >> 6] |= mask;
+        else
+            words[index >> 6] &= ~mask;
+    }
+
+    /** Flip the bit at @p index. */
+    void flip(size_t index) { words[index >> 6] ^= uint64_t{1} << (index & 63); }
+
+    /** Set every bit to @p value. */
+    void fill(bool value);
+
+    /** Number of set bits. */
+    size_t popcount() const;
+
+    /** True iff no bit is set. */
+    bool none() const;
+
+    /** XOR with @p other (sizes must match); returns *this. */
+    BitVector &operator^=(const BitVector &other);
+
+    /** OR with @p other (sizes must match); returns *this. */
+    BitVector &operator|=(const BitVector &other);
+
+    /** AND with @p other (sizes must match); returns *this. */
+    BitVector &operator&=(const BitVector &other);
+
+    bool operator==(const BitVector &other) const = default;
+
+    /** Indices of all set bits, in increasing order. */
+    std::vector<size_t> setBits() const;
+
+  private:
+    /** Clear any bits stored above the logical size. */
+    void clearTail();
+
+    size_t numBits = 0;
+    std::vector<uint64_t> words;
+};
+
+} // namespace davf
+
+#endif // DAVF_UTIL_BITVECTOR_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panic() is for internal invariant violations (bugs in this library);
+ * fatal() is for user errors (bad configuration, malformed input). Both
+ * print a location-stamped message; panic() aborts, fatal() exits.
+ */
+
+#ifndef DAVF_UTIL_LOGGING_HH
+#define DAVF_UTIL_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace davf {
+
+/** Formats a message from stream-style arguments. */
+template <typename... Args>
+std::string
+formatMessage(Args&&... args)
+{
+    std::ostringstream oss;
+    (oss << ... << args);
+    return oss.str();
+}
+
+[[noreturn]] inline void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+[[noreturn]] inline void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::exit(1);
+}
+
+inline void
+warnImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s (%s:%d)\n", msg.c_str(), file, line);
+}
+
+} // namespace davf
+
+/** Abort with a message: an internal invariant of the library is broken. */
+#define davf_panic(...) \
+    ::davf::panicImpl(__FILE__, __LINE__, ::davf::formatMessage(__VA_ARGS__))
+
+/** Exit with a message: the user supplied invalid input or configuration. */
+#define davf_fatal(...) \
+    ::davf::fatalImpl(__FILE__, __LINE__, ::davf::formatMessage(__VA_ARGS__))
+
+/** Print a non-fatal warning. */
+#define davf_warn(...) \
+    ::davf::warnImpl(__FILE__, __LINE__, ::davf::formatMessage(__VA_ARGS__))
+
+/** Assert an internal invariant; active in all build types. */
+#define davf_assert(cond, ...)                                              \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::davf::panicImpl(__FILE__, __LINE__,                           \
+                ::davf::formatMessage("assertion failed: " #cond " ",      \
+                                      ##__VA_ARGS__));                     \
+        }                                                                   \
+    } while (0)
+
+#endif // DAVF_UTIL_LOGGING_HH

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic choices in the library (cycle sampling, randomized tests,
+ * synthetic workload generation) flow through this xoshiro256** generator
+ * so that every run is reproducible from a seed.
+ */
+
+#ifndef DAVF_UTIL_RNG_HH
+#define DAVF_UTIL_RNG_HH
+
+#include <cstdint>
+
+namespace davf {
+
+/** A small, fast, seedable PRNG (xoshiro256**). */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded with splitmix64). */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        uint64_t x = seed;
+        for (auto &word : state) {
+            // splitmix64 step.
+            x += 0x9e3779b97f4a7c15ull;
+            uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next 64 uniformly random bits. */
+    uint64_t
+    next()
+    {
+        const uint64_t result = rotl(state[1] * 5, 7) * 9;
+        const uint64_t t = state[1] << 17;
+        state[2] ^= state[0];
+        state[3] ^= state[1];
+        state[1] ^= state[2];
+        state[0] ^= state[3];
+        state[2] ^= t;
+        state[3] = rotl(state[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound); bound must be nonzero. */
+    uint64_t
+    below(uint64_t bound)
+    {
+        // Rejection sampling to avoid modulo bias.
+        const uint64_t threshold = -bound % bound;
+        for (;;) {
+            const uint64_t sample = next();
+            if (sample >= threshold)
+                return sample % bound;
+        }
+    }
+
+    /** Uniform 32-bit value. */
+    uint32_t next32() { return static_cast<uint32_t>(next() >> 32); }
+
+    /** Bernoulli draw with probability @p p of returning true. */
+    bool
+    chance(double p)
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53 < p;
+    }
+
+    /** Uniform double in [0, 1). */
+    double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  private:
+    static constexpr uint64_t
+    rotl(uint64_t value, int amount)
+    {
+        return (value << amount) | (value >> (64 - amount));
+    }
+
+    uint64_t state[4];
+};
+
+} // namespace davf
+
+#endif // DAVF_UTIL_RNG_HH

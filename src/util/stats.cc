@@ -1,0 +1,93 @@
+#include "stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "logging.hh"
+
+namespace davf {
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double total = 0.0;
+    for (double value : values)
+        total += value;
+    return total / static_cast<double>(values.size());
+}
+
+double
+geomean(const std::vector<double> &values, double floor)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double value : values)
+        log_sum += std::log(std::max(value, floor));
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double
+maxOf(const std::vector<double> &values)
+{
+    double result = 0.0;
+    for (double value : values)
+        result = std::max(result, value);
+    return result;
+}
+
+Histogram::Histogram(double lo, double hi, size_t num_bins)
+    : lo(lo), hi(hi), counts(num_bins, 0)
+{
+    davf_assert(hi > lo && num_bins > 0);
+}
+
+void
+Histogram::add(double sample)
+{
+    const double unit = (sample - lo) / (hi - lo);
+    auto index = static_cast<long>(unit * static_cast<double>(counts.size()));
+    index = std::clamp<long>(index, 0, static_cast<long>(counts.size()) - 1);
+    ++counts[static_cast<size_t>(index)];
+    ++total;
+}
+
+double
+Histogram::binLo(size_t index) const
+{
+    return lo + (hi - lo) * static_cast<double>(index)
+        / static_cast<double>(counts.size());
+}
+
+double
+Histogram::binHi(size_t index) const
+{
+    return lo + (hi - lo) * static_cast<double>(index + 1)
+        / static_cast<double>(counts.size());
+}
+
+double
+Histogram::fraction(size_t index) const
+{
+    if (total == 0)
+        return 0.0;
+    return static_cast<double>(counts[index]) / static_cast<double>(total);
+}
+
+std::string
+Histogram::render(const std::string &label) const
+{
+    std::string out = label + "\n";
+    char line[128];
+    for (size_t i = 0; i < counts.size(); ++i) {
+        std::snprintf(line, sizeof(line), "  [%7.3f, %7.3f)  %7zu  %6.2f%%\n",
+                      binLo(i), binHi(i), counts[i], 100.0 * fraction(i));
+        out += line;
+    }
+    return out;
+}
+
+} // namespace davf

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Statistics helpers used by the vulnerability engine and bench harnesses:
+ * means, geometric means, and fixed-bin histograms (for the path-length
+ * distributions of Fig. 6).
+ */
+
+#ifndef DAVF_UTIL_STATS_HH
+#define DAVF_UTIL_STATS_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace davf {
+
+/** Arithmetic mean; 0 for an empty range. */
+double mean(const std::vector<double> &values);
+
+/**
+ * Geometric mean; 0 for an empty range.
+ *
+ * Zero entries are handled with the standard epsilon substitution used in
+ * AVF studies (a zero AVF would otherwise collapse the whole mean): values
+ * below @p floor are clamped to @p floor.
+ */
+double geomean(const std::vector<double> &values, double floor = 1e-9);
+
+/** Maximum; 0 for an empty range. */
+double maxOf(const std::vector<double> &values);
+
+/** A fixed-width-bin histogram over [lo, hi). */
+class Histogram
+{
+  public:
+    /** Create @p num_bins equal bins spanning [lo, hi). */
+    Histogram(double lo, double hi, size_t num_bins);
+
+    /** Record one sample (clamped into the outermost bins). */
+    void add(double sample);
+
+    /** Number of samples recorded. */
+    size_t count() const { return total; }
+
+    /** Raw per-bin counts. */
+    const std::vector<size_t> &bins() const { return counts; }
+
+    /** Lower edge of bin @p index. */
+    double binLo(size_t index) const;
+
+    /** Upper edge of bin @p index. */
+    double binHi(size_t index) const;
+
+    /** Fraction of samples in bin @p index (0 if empty). */
+    double fraction(size_t index) const;
+
+    /** Render an ASCII table, one row per bin, for bench output. */
+    std::string render(const std::string &label) const;
+
+  private:
+    double lo;
+    double hi;
+    std::vector<size_t> counts;
+    size_t total = 0;
+};
+
+} // namespace davf
+
+#endif // DAVF_UTIL_STATS_HH

@@ -1,0 +1,43 @@
+#include "thread_pool.hh"
+
+#include <algorithm>
+
+namespace davf {
+
+void
+parallelFor(size_t count, const std::function<void(size_t)> &body,
+            unsigned num_threads)
+{
+    if (count == 0)
+        return;
+    if (num_threads == 0)
+        num_threads = std::max(1u, std::thread::hardware_concurrency());
+    num_threads = static_cast<unsigned>(
+        std::min<size_t>(num_threads, count));
+
+    if (num_threads <= 1) {
+        for (size_t i = 0; i < count; ++i)
+            body(i);
+        return;
+    }
+
+    std::atomic<size_t> next{0};
+    auto worker = [&]() {
+        for (;;) {
+            const size_t index = next.fetch_add(1);
+            if (index >= count)
+                return;
+            body(index);
+        }
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(num_threads - 1);
+    for (unsigned t = 0; t + 1 < num_threads; ++t)
+        threads.emplace_back(worker);
+    worker();
+    for (auto &thread : threads)
+        thread.join();
+}
+
+} // namespace davf

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * A minimal work-stealing-free thread pool with a parallel-for helper.
+ *
+ * The paper notes that DelayAVF's simulations are "heavily parallelizable
+ * in practice" (§V-B); the vulnerability engine fans injection cycles out
+ * across this pool.
+ */
+
+#ifndef DAVF_UTIL_THREAD_POOL_HH
+#define DAVF_UTIL_THREAD_POOL_HH
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace davf {
+
+/**
+ * Run @p body(index) for every index in [0, count) using up to
+ * @p num_threads workers (0 means hardware concurrency). The calling
+ * thread participates. Bodies must be independent.
+ */
+void parallelFor(size_t count, const std::function<void(size_t)> &body,
+                 unsigned num_threads = 0);
+
+} // namespace davf
+
+#endif // DAVF_UTIL_THREAD_POOL_HH

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Shared test fixtures: a seeded random sequential-circuit generator used
+ * by the property tests (STA bounds, timed-vs-untimed equivalence, and
+ * the two-step-vs-brute-force DelayACE exactness check).
+ */
+
+#ifndef DAVF_TESTS_HELPERS_HH
+#define DAVF_TESTS_HELPERS_HH
+
+#include <memory>
+#include <vector>
+
+#include "builder/builder.hh"
+#include "core/workload.hh"
+#include "netlist/netlist.hh"
+#include "util/rng.hh"
+
+namespace davf::test {
+
+/** A randomly generated clocked circuit with an attached trace sink. */
+struct RandomCircuit
+{
+    std::unique_ptr<Netlist> netlist;
+    CellId sinkCell = kInvalidId;
+    uint64_t numCycles = 0;
+
+    std::unique_ptr<TraceWorkload> workload;
+};
+
+/**
+ * Build a random sequential circuit: @p num_flops flops with random
+ * reset values, a random combinational cloud of @p num_gates primitive
+ * gates (acyclic by construction), random flop feedback, and a trace
+ * sink observing a random subset of nets every cycle. All cells carry the
+ * prefix "rnd/" so the whole circuit can be treated as one structure.
+ */
+inline RandomCircuit
+makeRandomCircuit(uint64_t seed, unsigned num_flops = 12,
+                  unsigned num_gates = 60, uint64_t num_cycles = 24)
+{
+    Rng rng(seed);
+    RandomCircuit circuit;
+    circuit.netlist = std::make_unique<Netlist>();
+    Netlist &nl = *circuit.netlist;
+    ModuleBuilder b(nl);
+    b.pushScope("rnd");
+
+    // Flop Q nets come first; D inputs are connected at the end.
+    std::vector<NetId> nets;
+    Bus flop_d;
+    for (unsigned i = 0; i < num_flops; ++i) {
+        const NetId d = b.freshNet("ffd" + std::to_string(i));
+        const NetId q = b.dff(d, rng.chance(0.5),
+                              "ff" + std::to_string(i));
+        flop_d.push_back(d);
+        nets.push_back(q);
+    }
+
+    // Random acyclic combinational cloud.
+    const CellType kinds[] = {CellType::Buf,   CellType::Inv,
+                              CellType::And2,  CellType::Or2,
+                              CellType::Nand2, CellType::Nor2,
+                              CellType::Xor2,  CellType::Xnor2,
+                              CellType::Mux2};
+    for (unsigned i = 0; i < num_gates; ++i) {
+        const CellType kind = kinds[rng.below(std::size(kinds))];
+        auto pick = [&]() { return nets[rng.below(nets.size())]; };
+        NetId out;
+        switch (cellNumInputs(kind)) {
+          case 1:
+            out = kind == CellType::Buf ? b.buf(pick()) : b.inv(pick());
+            break;
+          case 2: {
+            const NetId a = pick();
+            const NetId c = pick();
+            switch (kind) {
+              case CellType::And2:  out = b.and2(a, c); break;
+              case CellType::Or2:   out = b.or2(a, c); break;
+              case CellType::Nand2: out = b.nand2(a, c); break;
+              case CellType::Nor2:  out = b.nor2(a, c); break;
+              case CellType::Xor2:  out = b.xor2(a, c); break;
+              default:              out = b.xnor2(a, c); break;
+            }
+            break;
+          }
+          default:
+            out = b.mux(pick(), pick(), pick());
+            break;
+        }
+        nets.push_back(out);
+    }
+
+    // Flop feedback from random nets.
+    for (unsigned i = 0; i < num_flops; ++i)
+        b.connect(flop_d[i], nets[rng.below(nets.size())]);
+
+    // Trace sink observing a random subset of nets (always valid).
+    const unsigned watch = 4;
+    Bus sink_inputs;
+    for (unsigned i = 0; i < watch; ++i)
+        sink_inputs.push_back(nets[rng.below(nets.size())]);
+    sink_inputs.push_back(b.constant(true));
+    circuit.sinkCell = nl.addBehavioral(
+        "rnd/sink", std::make_shared<TraceSinkModel>(watch), sink_inputs,
+        {});
+
+    b.popScope();
+    nl.finalize();
+
+    circuit.numCycles = num_cycles;
+    circuit.workload = std::make_unique<TraceWorkload>(circuit.sinkCell,
+                                                       num_cycles);
+    return circuit;
+}
+
+} // namespace davf::test
+
+#endif // DAVF_TESTS_HELPERS_HH

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Tests for the RV32I assembler: encodings checked against hand-encoded
+ * reference words, label resolution, pseudo-instruction expansion, and
+ * data directives.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/isa/assembler.hh"
+
+namespace davf {
+namespace {
+
+uint32_t
+one(const std::string &line)
+{
+    const auto image = assemble(line);
+    EXPECT_EQ(image.size(), 1u);
+    return image.at(0);
+}
+
+TEST(Assembler, RegisterNames)
+{
+    EXPECT_EQ(parseRegister("x0"), 0u);
+    EXPECT_EQ(parseRegister("x31"), 31u);
+    EXPECT_EQ(parseRegister("zero"), 0u);
+    EXPECT_EQ(parseRegister("ra"), 1u);
+    EXPECT_EQ(parseRegister("sp"), 2u);
+    EXPECT_EQ(parseRegister("a0"), 10u);
+    EXPECT_EQ(parseRegister("t6"), 31u);
+    EXPECT_EQ(parseRegister("s11"), 27u);
+    EXPECT_EQ(parseRegister("fp"), 8u);
+}
+
+TEST(Assembler, RTypeEncodings)
+{
+    EXPECT_EQ(one("add x1, x2, x3"), 0x003100b3u);
+    EXPECT_EQ(one("sub x1, x2, x3"), 0x403100b3u);
+    EXPECT_EQ(one("and a0, a1, a2"), 0x00c5f533u);
+    EXPECT_EQ(one("or a0, a1, a2"), 0x00c5e533u);
+    EXPECT_EQ(one("xor a0, a1, a2"), 0x00c5c533u);
+    EXPECT_EQ(one("sll a0, a1, a2"), 0x00c59533u);
+    EXPECT_EQ(one("srl a0, a1, a2"), 0x00c5d533u);
+    EXPECT_EQ(one("sra a0, a1, a2"), 0x40c5d533u);
+    EXPECT_EQ(one("slt a0, a1, a2"), 0x00c5a533u);
+    EXPECT_EQ(one("sltu a0, a1, a2"), 0x00c5b533u);
+}
+
+TEST(Assembler, ITypeEncodings)
+{
+    EXPECT_EQ(one("addi x1, x2, -1"), 0xfff10093u);
+    EXPECT_EQ(one("addi x1, x2, 2047"), 0x7ff10093u);
+    EXPECT_EQ(one("andi a0, a1, 0xff"), 0x0ff5f513u);
+    EXPECT_EQ(one("slli a0, a1, 4"), 0x00459513u);
+    EXPECT_EQ(one("srli a0, a1, 4"), 0x0045d513u);
+    EXPECT_EQ(one("srai a0, a1, 4"), 0x4045d513u);
+    EXPECT_EQ(one("sltiu a0, a1, 1"), 0x0015b513u);
+}
+
+TEST(Assembler, LoadsAndStores)
+{
+    EXPECT_EQ(one("lw a0, 8(sp)"), 0x00812503u);
+    EXPECT_EQ(one("lw a0, -4(sp)"), 0xffc12503u);
+    EXPECT_EQ(one("lb a0, 0(a1)"), 0x00058503u);
+    EXPECT_EQ(one("lbu a0, 3(a1)"), 0x0035c503u);
+    EXPECT_EQ(one("sw a0, 8(sp)"), 0x00a12423u);
+    EXPECT_EQ(one("sb a0, 5(a1)"), 0x00a582a3u);
+}
+
+TEST(Assembler, UTypeAndJumps)
+{
+    EXPECT_EQ(one("lui a0, 0x10"), 0x00010537u);
+    EXPECT_EQ(one("auipc a0, 1"), 0x00001517u);
+    // jal with explicit register to next instruction (offset 0... -> 4).
+    const auto fwd = assemble("jal x1, target\nnop\ntarget: nop");
+    EXPECT_EQ(fwd.at(0), 0x008000efu); // +8.
+    EXPECT_EQ(one("jalr x0, 0(ra)"), 0x00008067u);
+    EXPECT_EQ(one("ret"), 0x00008067u);
+}
+
+TEST(Assembler, BranchOffsets)
+{
+    // Backward branch to self: offset 0... target == pc.
+    const auto image = assemble("loop: beq x1, x2, loop");
+    EXPECT_EQ(image.at(0), 0x00208063u);
+    const auto fwd = assemble("bne a0, a1, skip\nnop\nskip: nop");
+    EXPECT_EQ(fwd.at(0), 0x00b51463u); // +8.
+}
+
+TEST(Assembler, PseudoInstructions)
+{
+    EXPECT_EQ(one("nop"), 0x00000013u);
+    EXPECT_EQ(one("mv a0, a1"), 0x00058513u);
+    EXPECT_EQ(one("not a0, a1"), 0xfff5c513u);
+    EXPECT_EQ(one("neg a0, a1"), 0x40b00533u);
+    EXPECT_EQ(one("seqz a0, a1"), 0x0015b513u);
+    EXPECT_EQ(one("snez a0, a1"), 0x00b03533u);
+    // j == jal x0.
+    const auto jmp = assemble("j next\nnext: nop");
+    EXPECT_EQ(jmp.at(0), 0x0040006fu);
+}
+
+TEST(Assembler, LiSmallAndLarge)
+{
+    // Small: single addi.
+    EXPECT_EQ(one("li a0, 42"), 0x02a00513u);
+    EXPECT_EQ(one("li a0, -1"), 0xfff00513u);
+    // Large: lui + addi.
+    const auto big = assemble("li a0, 0x12345678");
+    ASSERT_EQ(big.size(), 2u);
+    EXPECT_EQ(big[0], 0x12345537u);  // lui a0, 0x12345
+    EXPECT_EQ(big[1], 0x67850513u);  // addi a0, a0, 0x678
+    // Negative-low-half case needs the +0x800 compensation.
+    const auto comp = assemble("li a0, 0x12345fff");
+    ASSERT_EQ(comp.size(), 2u);
+    EXPECT_EQ(comp[0], 0x12346537u);
+    EXPECT_EQ(comp[1], 0xfff50513u);
+}
+
+TEST(Assembler, LaResolvesLabels)
+{
+    const auto image = assemble("la a0, data\nnop\ndata: .word 7");
+    ASSERT_EQ(image.size(), 4u);
+    // data is at byte 12: lui a0, 0 + addi a0, a0, 12.
+    EXPECT_EQ(image[0], 0x00000537u);
+    EXPECT_EQ(image[1], 0x00c50513u);
+    EXPECT_EQ(image[3], 7u);
+}
+
+TEST(Assembler, WordAndSpaceDirectives)
+{
+    const auto image =
+        assemble(".word 1, 2, 0xdeadbeef\n.space 8\n.word 9");
+    ASSERT_EQ(image.size(), 6u);
+    EXPECT_EQ(image[0], 1u);
+    EXPECT_EQ(image[2], 0xdeadbeefu);
+    EXPECT_EQ(image[3], 0u);
+    EXPECT_EQ(image[4], 0u);
+    EXPECT_EQ(image[5], 9u);
+}
+
+TEST(Assembler, CommentsAndLabels)
+{
+    const auto image = assemble(R"(
+        # a comment
+        start:           // another comment
+        nop              # trailing
+        second: third: nop
+    )");
+    EXPECT_EQ(image.size(), 2u);
+}
+
+TEST(Assembler, SwappedBranchPseudos)
+{
+    // bgt a, b == blt b, a.
+    const auto bgt = assemble("bgt a0, a1, l\nl: nop");
+    const auto blt = assemble("blt a1, a0, l\nl: nop");
+    EXPECT_EQ(bgt[0], blt[0]);
+    const auto bleu = assemble("bleu a0, a1, l\nl: nop");
+    const auto bgeu = assemble("bgeu a1, a0, l\nl: nop");
+    EXPECT_EQ(bleu[0], bgeu[0]);
+}
+
+TEST(AssemblerDeath, RejectsHalfwordOps)
+{
+    ASSERT_DEATH({ assemble("lh a0, 0(a1)"); }, "halfword");
+    ASSERT_DEATH({ assemble("sh a0, 0(a1)"); }, "halfword");
+}
+
+TEST(AssemblerDeath, RejectsUnknownMnemonic)
+{
+    ASSERT_DEATH({ assemble("frobnicate a0"); }, "unknown mnemonic");
+}
+
+TEST(AssemblerDeath, RejectsDuplicateLabel)
+{
+    ASSERT_DEATH({ assemble("x: nop\nx: nop"); }, "duplicate label");
+}
+
+TEST(AssemblerDeath, RejectsOutOfRangeImmediate)
+{
+    ASSERT_DEATH({ assemble("addi a0, a1, 5000"); }, "out of range");
+}
+
+} // namespace
+} // namespace davf

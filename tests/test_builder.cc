@@ -1,0 +1,421 @@
+/**
+ * @file
+ * Tests for the structural builder DSL: every datapath block is compared
+ * against a C++ reference over exhaustive or randomized operand sweeps
+ * using the cycle simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/builder/builder.hh"
+#include "src/sim/cycle_sim.hh"
+#include "src/util/rng.hh"
+
+namespace davf {
+namespace {
+
+/** Fixture: a netlist with two 32-bit input buses and helpers. */
+class BuilderDatapath : public ::testing::Test
+{
+  protected:
+    Netlist nl;
+    ModuleBuilder b{nl};
+    Bus in_a, in_b;
+
+    void
+    SetUp() override
+    {
+        in_a = b.inputBus("a", 32);
+        in_b = b.inputBus("b", 32);
+    }
+
+    std::unique_ptr<CycleSimulator> sim;
+
+    void
+    finish()
+    {
+        nl.finalize();
+        sim = std::make_unique<CycleSimulator>(nl);
+    }
+
+    void
+    drive(uint32_t a, uint32_t b_val)
+    {
+        for (unsigned i = 0; i < 32; ++i) {
+            sim->setInput(in_a[i], (a >> i) & 1);
+            sim->setInput(in_b[i], (b_val >> i) & 1);
+        }
+    }
+
+    uint32_t
+    read(const Bus &bus)
+    {
+        uint32_t value = 0;
+        for (size_t i = 0; i < bus.size(); ++i)
+            value |= uint32_t{sim->value(bus[i])} << i;
+        return value;
+    }
+};
+
+TEST_F(BuilderDatapath, AdderMatchesReference)
+{
+    NetId cout = kInvalidId;
+    const Bus sum = b.adder(in_a, in_b, b.constant(false), &cout);
+    finish();
+    Rng rng(1);
+    for (int trial = 0; trial < 200; ++trial) {
+        const uint32_t a = rng.next32();
+        const uint32_t c = rng.next32();
+        drive(a, c);
+        EXPECT_EQ(read(sum), a + c);
+        EXPECT_EQ(sim->value(cout),
+                  (uint64_t{a} + uint64_t{c}) >> 32 != 0);
+    }
+}
+
+TEST_F(BuilderDatapath, SubtractorMatchesReference)
+{
+    const Bus diff = b.subtractor(in_a, in_b);
+    finish();
+    Rng rng(2);
+    for (int trial = 0; trial < 200; ++trial) {
+        const uint32_t a = rng.next32();
+        const uint32_t c = rng.next32();
+        drive(a, c);
+        EXPECT_EQ(read(diff), a - c);
+    }
+}
+
+TEST_F(BuilderDatapath, BitwiseOps)
+{
+    const Bus and_out = b.andB(in_a, in_b);
+    const Bus or_out = b.orB(in_a, in_b);
+    const Bus xor_out = b.xorB(in_a, in_b);
+    const Bus not_out = b.notB(in_a);
+    finish();
+    Rng rng(3);
+    for (int trial = 0; trial < 100; ++trial) {
+        const uint32_t a = rng.next32();
+        const uint32_t c = rng.next32();
+        drive(a, c);
+        EXPECT_EQ(read(and_out), a & c);
+        EXPECT_EQ(read(or_out), a | c);
+        EXPECT_EQ(read(xor_out), a ^ c);
+        EXPECT_EQ(read(not_out), ~a);
+    }
+}
+
+TEST_F(BuilderDatapath, Comparators)
+{
+    const NetId eq = b.equal(in_a, in_b);
+    const NetId ltu = b.lessThanUnsigned(in_a, in_b);
+    const NetId lts = b.lessThanSigned(in_a, in_b);
+    finish();
+    Rng rng(4);
+    for (int trial = 0; trial < 300; ++trial) {
+        // Mix full-random with near-equal operands.
+        uint32_t a = rng.next32();
+        uint32_t c = rng.chance(0.3) ? a + rng.below(3) - 1 : rng.next32();
+        drive(a, c);
+        EXPECT_EQ(sim->value(eq), a == c) << a << " vs " << c;
+        EXPECT_EQ(sim->value(ltu), a < c) << a << " vs " << c;
+        EXPECT_EQ(sim->value(lts),
+                  static_cast<int32_t>(a) < static_cast<int32_t>(c))
+            << a << " vs " << c;
+    }
+}
+
+class BuilderShift : public BuilderDatapath,
+                     public ::testing::WithParamInterface<int>
+{};
+
+TEST_P(BuilderShift, AllAmounts)
+{
+    const Bus amount = b.inputBus("sh", 5);
+    const Bus sll = b.barrelShift(in_a, amount, false, false);
+    const Bus srl = b.barrelShift(in_a, amount, true, false);
+    const Bus sra = b.barrelShift(in_a, amount, true, true);
+    finish();
+
+    const unsigned shamt = GetParam();
+    Rng rng(100 + shamt);
+    for (int trial = 0; trial < 20; ++trial) {
+        const uint32_t a = rng.next32();
+        drive(a, 0);
+        for (unsigned i = 0; i < 5; ++i)
+            sim->setInput(amount[i], (shamt >> i) & 1);
+        EXPECT_EQ(read(sll), a << shamt);
+        EXPECT_EQ(read(srl), a >> shamt);
+        EXPECT_EQ(read(sra),
+                  static_cast<uint32_t>(static_cast<int32_t>(a)
+                                        >> shamt));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Amounts, BuilderShift, ::testing::Range(0, 32));
+
+TEST_F(BuilderDatapath, DynamicFillShifter)
+{
+    const Bus amount = b.inputBus("sh", 5);
+    const NetId fill = b.input("fill");
+    const Bus out = b.barrelShiftRightFill(in_a, amount, fill);
+    finish();
+    Rng rng(5);
+    for (int trial = 0; trial < 100; ++trial) {
+        const uint32_t a = rng.next32();
+        const unsigned shamt = rng.below(32);
+        const bool f = rng.chance(0.5);
+        drive(a, 0);
+        for (unsigned i = 0; i < 5; ++i)
+            sim->setInput(amount[i], (shamt >> i) & 1);
+        sim->setInput(fill, f);
+        uint32_t want = a >> shamt;
+        if (f && shamt > 0)
+            want |= ~0u << (32 - shamt);
+        EXPECT_EQ(read(out), want);
+    }
+}
+
+TEST_F(BuilderDatapath, DecoderOneHot)
+{
+    const Bus sel = b.inputBus("sel", 4);
+    const Bus dec = b.decode(sel);
+    finish();
+    for (unsigned value = 0; value < 16; ++value) {
+        for (unsigned i = 0; i < 4; ++i)
+            sim->setInput(sel[i], (value >> i) & 1);
+        EXPECT_EQ(read(dec), 1u << value);
+    }
+}
+
+TEST_F(BuilderDatapath, MuxTreeSelects)
+{
+    const Bus sel = b.inputBus("sel", 2);
+    std::vector<Bus> choices;
+    for (unsigned i = 0; i < 4; ++i)
+        choices.push_back(b.constantBus(8, 0x11 * (i + 1)));
+    const Bus out = b.muxTree(sel, choices);
+    finish();
+    for (unsigned value = 0; value < 4; ++value) {
+        sim->setInput(sel[0], value & 1);
+        sim->setInput(sel[1], (value >> 1) & 1);
+        EXPECT_EQ(read(out), 0x11u * (value + 1));
+    }
+}
+
+TEST_F(BuilderDatapath, OnehotMuxSelects)
+{
+    const Bus sels = b.inputBus("sel", 3);
+    std::vector<Bus> choices = {b.constantBus(8, 0xaa),
+                                b.constantBus(8, 0x55),
+                                b.constantBus(8, 0x0f)};
+    const Bus out = b.onehotMux(sels, choices);
+    finish();
+    const uint32_t want[3] = {0xaa, 0x55, 0x0f};
+    for (unsigned hot = 0; hot < 3; ++hot) {
+        for (unsigned i = 0; i < 3; ++i)
+            sim->setInput(sels[i], i == hot);
+        EXPECT_EQ(read(out), want[hot]);
+    }
+    // Nothing selected -> zero.
+    for (unsigned i = 0; i < 3; ++i)
+        sim->setInput(sels[i], false);
+    EXPECT_EQ(read(out), 0u);
+}
+
+TEST_F(BuilderDatapath, Reductions)
+{
+    const NetId all = b.reduceAnd(in_a);
+    const NetId any = b.reduceOr(in_a);
+    const NetId par = b.reduceXor(in_a);
+    finish();
+    const uint32_t cases[] = {0u, ~0u, 1u, 0x80000000u, 0x0f0f0f0fu};
+    for (uint32_t a : cases) {
+        drive(a, 0);
+        EXPECT_EQ(sim->value(all), a == ~0u);
+        EXPECT_EQ(sim->value(any), a != 0);
+        unsigned bits_set = __builtin_popcount(a);
+        EXPECT_EQ(sim->value(par), bits_set % 2 == 1);
+    }
+}
+
+TEST_F(BuilderDatapath, PopcountTree)
+{
+    const Bus count = b.popcountTree(in_a);
+    finish();
+    Rng rng(6);
+    const uint32_t cases[] = {0u, 1u, ~0u, 0x80000000u, 0xa5a5a5a5u,
+                              rng.next32(), rng.next32(), rng.next32()};
+    for (uint32_t a : cases) {
+        drive(a, 0);
+        EXPECT_EQ(read(count),
+                  static_cast<uint32_t>(__builtin_popcount(a)))
+            << a;
+    }
+    EXPECT_EQ(count.size(), 6u); // clog2(32) + 1.
+}
+
+TEST_F(BuilderDatapath, PopcountTreeOddWidths)
+{
+    for (unsigned width : {1u, 3u, 7u, 13u}) {
+        Netlist nl;
+        ModuleBuilder builder(nl);
+        const Bus in = builder.inputBus("x", width);
+        const Bus count = builder.popcountTree(in);
+        nl.finalize();
+        CycleSimulator sim(nl);
+        Rng rng(width);
+        for (int trial = 0; trial < 20; ++trial) {
+            const uint32_t value =
+                rng.next32() & ((1u << width) - 1);
+            for (unsigned i = 0; i < width; ++i)
+                sim.setInput(in[i], (value >> i) & 1);
+            uint32_t got = 0;
+            for (size_t i = 0; i < count.size(); ++i)
+                got |= uint32_t{sim.value(count[i])} << i;
+            EXPECT_EQ(got,
+                      static_cast<uint32_t>(__builtin_popcount(value)));
+        }
+    }
+}
+
+TEST_F(BuilderDatapath, PriorityEncoder)
+{
+    NetId any = kInvalidId;
+    const Bus index = b.priorityEncode(in_a, &any);
+    finish();
+    ASSERT_EQ(index.size(), 5u);
+    Rng rng(7);
+    for (int trial = 0; trial < 100; ++trial) {
+        uint32_t a = rng.next32();
+        if (trial == 0)
+            a = 0;
+        drive(a, 0);
+        EXPECT_EQ(sim->value(any), a != 0);
+        if (a != 0) {
+            EXPECT_EQ(read(index),
+                      static_cast<uint32_t>(__builtin_ctz(a)))
+                << a;
+        }
+    }
+    // Every single-bit input maps to its own index.
+    for (unsigned bit = 0; bit < 32; ++bit) {
+        drive(1u << bit, 0);
+        EXPECT_EQ(read(index), bit);
+    }
+}
+
+TEST(Builder, ScopesPrefixNames)
+{
+    Netlist nl;
+    ModuleBuilder b(nl);
+    b.pushScope("top");
+    b.pushScope("alu");
+    EXPECT_EQ(b.scopePrefix(), "top/alu/");
+    const NetId x = b.constant(true);
+    const NetId y = b.inv(x);
+    b.popScope();
+    b.popScope();
+    b.output("o", y);
+    nl.finalize();
+    EXPECT_FALSE(nl.cellsByPrefix("top/alu/").empty());
+}
+
+TEST(Builder, ConstantsAreCached)
+{
+    Netlist nl;
+    ModuleBuilder b(nl);
+    const NetId a = b.constant(true);
+    const NetId c = b.constant(true);
+    const NetId z = b.constant(false);
+    EXPECT_EQ(a, c);
+    EXPECT_NE(a, z);
+}
+
+/** Kogge-Stone vs ripple equivalence at every small width. */
+class AdderWidths : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(AdderWidths, KoggeStoneMatchesRipple)
+{
+    const unsigned width = GetParam();
+    Netlist nl;
+    ModuleBuilder b(nl);
+    const Bus a = b.inputBus("a", width);
+    const Bus c = b.inputBus("b", width);
+    const NetId cin = b.input("cin");
+    NetId ks_cout = kInvalidId;
+    NetId rc_cout = kInvalidId;
+    const Bus ks = b.koggeStoneAdder(a, c, cin, &ks_cout);
+    const Bus rc = b.rippleAdder(a, c, cin, &rc_cout);
+    nl.finalize();
+    CycleSimulator sim(nl);
+
+    Rng rng(width);
+    const uint64_t mask = (uint64_t{1} << width) - 1;
+    for (int trial = 0; trial < 64; ++trial) {
+        const uint64_t av = rng.next() & mask;
+        const uint64_t cv = rng.next() & mask;
+        const bool carry = rng.chance(0.5);
+        for (unsigned i = 0; i < width; ++i) {
+            sim.setInput(a[i], (av >> i) & 1);
+            sim.setInput(c[i], (cv >> i) & 1);
+        }
+        sim.setInput(cin, carry);
+        uint64_t ks_value = 0;
+        uint64_t rc_value = 0;
+        for (unsigned i = 0; i < width; ++i) {
+            ks_value |= uint64_t{sim.value(ks[i])} << i;
+            rc_value |= uint64_t{sim.value(rc[i])} << i;
+        }
+        const uint64_t want = (av + cv + (carry ? 1 : 0)) & mask;
+        EXPECT_EQ(ks_value, want);
+        EXPECT_EQ(rc_value, want);
+        EXPECT_EQ(sim.value(ks_cout), sim.value(rc_cout));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, AdderWidths,
+                         ::testing::Values(1, 2, 3, 4, 5, 8, 13, 16,
+                                           24, 32));
+
+TEST(Builder, KoggeStoneIsShallowerThanRipple)
+{
+    auto depth = [](bool kogge_stone) {
+        Netlist nl;
+        ModuleBuilder b(nl);
+        const Bus a = b.inputBus("a", 32);
+        const Bus c = b.inputBus("b", 32);
+        const Bus sum = kogge_stone
+            ? b.koggeStoneAdder(a, c, b.constant(false))
+            : b.rippleAdder(a, c, b.constant(false));
+        nl.finalize();
+        unsigned worst = 0;
+        for (NetId net : sum)
+            worst = std::max(worst, nl.level(nl.net(net).driver));
+        return worst;
+    };
+    EXPECT_LT(depth(true), depth(false) / 3);
+}
+
+TEST(Builder, RegisterResetValues)
+{
+    Netlist nl;
+    ModuleBuilder b(nl);
+    const Bus d = b.constantBus(8, 0);
+    const Bus q = b.regB(d, 0xa5);
+    nl.finalize();
+    CycleSimulator sim(nl);
+    uint32_t value = 0;
+    for (size_t i = 0; i < q.size(); ++i)
+        value |= uint32_t{sim.value(q[i])} << i;
+    EXPECT_EQ(value, 0xa5u);
+    sim.step();
+    value = 0;
+    for (size_t i = 0; i < q.size(); ++i)
+        value |= uint32_t{sim.value(q[i])} << i;
+    EXPECT_EQ(value, 0u);
+}
+
+} // namespace
+} // namespace davf

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Unit tests for the behavioral memory model: synchronous port
+ * semantics, byte enables, MMIO output/halt, the incremental content
+ * hash, snapshots, and clone independence.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/soc/memory.hh"
+
+namespace davf {
+namespace {
+
+/** Drive helper: builds the input pin vector for one edge. */
+class MemoryRig : public ::testing::Test
+{
+  protected:
+    static constexpr unsigned kLog2 = 6; // 64 words.
+    MemoryModel mem{kLog2, {0x11111111, 0x22222222, 0x33333333}};
+    std::vector<bool> outs;
+
+    void
+    SetUp() override
+    {
+        outs.resize(mem.numOutputs());
+        mem.reset(outs);
+    }
+
+    void
+    edge(uint32_t iaddr, uint32_t daddr_words, uint32_t dwdata,
+         bool dwe, uint32_t dben = 0xf)
+    {
+        std::vector<bool> ins(mem.numInputs(), false);
+        size_t pin = 0;
+        auto put = [&](uint32_t value, unsigned width) {
+            for (unsigned i = 0; i < width; ++i, ++pin)
+                ins[pin] = (value >> i) & 1;
+        };
+        put(iaddr, mem.iaddrBits());
+        put(daddr_words, mem.daddrBits());
+        put(dwdata, 32);
+        put(dwe ? 1 : 0, 1);
+        put(dben, 4);
+        mem.clockEdge(ins, outs);
+    }
+
+    uint32_t
+    outWord(unsigned base)
+    {
+        uint32_t value = 0;
+        for (unsigned i = 0; i < 32; ++i)
+            value |= uint32_t{outs[base + i]} << i;
+        return value;
+    }
+
+    uint32_t idata() { return outWord(0); }
+    uint32_t drdata() { return outWord(32); }
+    bool haltedPin() { return outs[64]; }
+};
+
+TEST_F(MemoryRig, ImageLoadsAndReads)
+{
+    edge(1, 2, 0, false);
+    EXPECT_EQ(idata(), 0x22222222u);
+    EXPECT_EQ(drdata(), 0x33333333u);
+    EXPECT_EQ(mem.word(0), 0x11111111u);
+}
+
+TEST_F(MemoryRig, WordWrite)
+{
+    edge(0, 5, 0xdeadbeef, true);
+    EXPECT_EQ(mem.word(20), 0xdeadbeefu);
+    edge(0, 5, 0, false);
+    EXPECT_EQ(drdata(), 0xdeadbeefu);
+}
+
+TEST_F(MemoryRig, ByteEnables)
+{
+    edge(0, 1, 0xaabbccdd, true, 0b0101);
+    // Bytes 0 and 2 replaced; 1 and 3 kept from 0x22222222.
+    EXPECT_EQ(mem.word(4), 0x22bb22ddu);
+}
+
+TEST_F(MemoryRig, ReadBeforeWriteSemantics)
+{
+    // drdata reflects the pre-write contents on a simultaneous access.
+    edge(0, 2, 0x55555555, true);
+    EXPECT_EQ(drdata(), 0x33333333u);
+    edge(0, 2, 0, false);
+    EXPECT_EQ(drdata(), 0x55555555u);
+}
+
+TEST_F(MemoryRig, MmioOutputAndHalt)
+{
+    const uint32_t mmio = 1u << kLog2; // MMIO page bit.
+    edge(0, mmio + 0, 42, true);
+    edge(0, mmio + 0, 43, true);
+    EXPECT_EQ(mem.outputTrace(), (std::vector<uint32_t>{42, 43}));
+    EXPECT_FALSE(mem.halted());
+    edge(0, mmio + 1, 0, true);
+    EXPECT_TRUE(mem.halted());
+    EXPECT_TRUE(haltedPin());
+    // MMIO reads return zero.
+    edge(0, mmio + 0, 0, false);
+    EXPECT_EQ(drdata(), 0u);
+}
+
+TEST_F(MemoryRig, ContentHashTracksWrites)
+{
+    const uint64_t initial = mem.contentHash();
+    edge(0, 3, 0x12345678, true);
+    EXPECT_NE(mem.contentHash(), initial);
+    edge(0, 3, 0, true); // Restore the original zero word.
+    EXPECT_EQ(mem.contentHash(), initial);
+}
+
+TEST_F(MemoryRig, SnapshotRestoreRoundTrip)
+{
+    edge(0, 7, 0xcafef00d, true);
+    const uint32_t mmio = 1u << kLog2;
+    edge(0, mmio, 7, true);
+    const auto snap = mem.snapshot();
+    const uint64_t hash = mem.contentHash();
+
+    edge(0, 7, 0, true);
+    edge(0, mmio + 1, 0, true);
+    EXPECT_TRUE(mem.halted());
+
+    mem.restore(snap);
+    EXPECT_EQ(mem.word(28), 0xcafef00du);
+    EXPECT_EQ(mem.contentHash(), hash);
+    EXPECT_FALSE(mem.halted());
+    EXPECT_EQ(mem.outputTrace(), (std::vector<uint32_t>{7}));
+}
+
+TEST_F(MemoryRig, ResetRestoresImage)
+{
+    edge(0, 0, 0xffffffff, true);
+    const uint32_t mmio = 1u << kLog2;
+    edge(0, mmio, 1, true);
+    mem.reset(outs);
+    EXPECT_EQ(mem.word(0), 0x11111111u);
+    EXPECT_TRUE(mem.outputTrace().empty());
+    EXPECT_FALSE(mem.halted());
+}
+
+TEST_F(MemoryRig, CloneIsIndependent)
+{
+    auto clone = std::static_pointer_cast<MemoryModel>(mem.clone());
+    edge(0, 9, 0xabcdabcd, true);
+    EXPECT_EQ(mem.word(36), 0xabcdabcdu);
+    EXPECT_EQ(clone->word(36), 0u);
+    EXPECT_NE(mem.contentHash(), clone->contentHash());
+}
+
+TEST(MemoryModel, PinCounts)
+{
+    MemoryModel mem(10, {});
+    EXPECT_EQ(mem.iaddrBits(), 10u);
+    EXPECT_EQ(mem.daddrBits(), 11u);
+    EXPECT_EQ(mem.numInputs(), 10u + 11 + 32 + 1 + 4);
+    EXPECT_EQ(mem.numOutputs(), 65u);
+}
+
+} // namespace
+} // namespace davf

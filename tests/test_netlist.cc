@@ -1,0 +1,301 @@
+/**
+ * @file
+ * Unit tests for the netlist graph: construction, wire/state-element
+ * enumeration, levelization, cone traversal, and structure queries.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/builder/builder.hh"
+#include "src/netlist/netlist.hh"
+#include "src/netlist/structure.hh"
+
+namespace davf {
+namespace {
+
+/** Figure-2-style circuit: x,y -> AND -> A(dff); z -> B(dff). */
+struct Fig2Circuit
+{
+    Netlist nl;
+    NetId x, y, z, and_out;
+    CellId and_cell, ff_a, ff_b;
+
+    Fig2Circuit()
+    {
+        x = nl.addNet("x");
+        y = nl.addNet("y");
+        z = nl.addNet("z");
+        and_out = nl.addNet("and_out");
+        const NetId qa = nl.addNet("qa");
+        const NetId qb = nl.addNet("qb");
+
+        nl.addCell(CellType::Input, "x.in", {}, {{x}});
+        nl.addCell(CellType::Input, "y.in", {}, {{y}});
+        nl.addCell(CellType::Input, "z.in", {}, {{z}});
+        and_cell = nl.addCell(CellType::And2, "div/and", {{x, y}},
+                              {{and_out}});
+        ff_a = nl.addCell(CellType::Dff, "div/A", {{and_out}}, {{qa}});
+        ff_b = nl.addCell(CellType::Dff, "div/B", {{z}}, {{qb}});
+        nl.addCell(CellType::Output, "qa.out", {{qa}}, {});
+        nl.addCell(CellType::Output, "qb.out", {{qb}}, {});
+        nl.finalize();
+    }
+};
+
+TEST(Netlist, CountsAndWires)
+{
+    Fig2Circuit c;
+    // Wires: x->and, y->and, and->A, z->B, qa->out, qb->out = 6.
+    EXPECT_EQ(c.nl.numWires(), 6u);
+    // State elements: 2 flops + 2 output ports.
+    EXPECT_EQ(c.nl.numStateElems(), 4u);
+    EXPECT_EQ(c.nl.seqCells().size(), 2u);
+    EXPECT_EQ(c.nl.inputCells().size(), 3u);
+    EXPECT_EQ(c.nl.outputCells().size(), 2u);
+}
+
+TEST(Netlist, WireEndpoints)
+{
+    Fig2Circuit c;
+    // The wire x -> and gate.
+    const WireId wx = c.nl.net(c.x).firstWire;
+    EXPECT_EQ(c.nl.wireDriver(wx), c.nl.net(c.x).driver);
+    EXPECT_EQ(c.nl.wireSink(wx).cell, c.and_cell);
+    EXPECT_FALSE(c.nl.wireName(wx).empty());
+}
+
+TEST(Netlist, InputWireLookup)
+{
+    Fig2Circuit c;
+    const WireId w0 = c.nl.inputWire(c.and_cell, 0);
+    const WireId w1 = c.nl.inputWire(c.and_cell, 1);
+    EXPECT_EQ(c.nl.wire(w0).net, c.x);
+    EXPECT_EQ(c.nl.wire(w1).net, c.y);
+}
+
+TEST(Netlist, CombConeFromInputWire)
+{
+    Fig2Circuit c;
+    std::vector<CellId> cone;
+    std::vector<StateElemId> reached;
+    // Cone from x->AND: the AND cell, reaching flop A only.
+    c.nl.combCone(c.nl.inputWire(c.and_cell, 0), cone, reached);
+    ASSERT_EQ(cone.size(), 1u);
+    EXPECT_EQ(cone[0], c.and_cell);
+    ASSERT_EQ(reached.size(), 1u);
+    EXPECT_EQ(reached[0], c.nl.flopStateElem(c.ff_a));
+}
+
+TEST(Netlist, CombConeDirectToFlop)
+{
+    Fig2Circuit c;
+    std::vector<CellId> cone;
+    std::vector<StateElemId> reached;
+    // z drives flop B directly: empty cone, one endpoint.
+    c.nl.combCone(c.nl.inputWire(c.ff_b, 0), cone, reached);
+    EXPECT_TRUE(cone.empty());
+    ASSERT_EQ(reached.size(), 1u);
+    EXPECT_EQ(reached[0], c.nl.flopStateElem(c.ff_b));
+}
+
+TEST(Netlist, DffeEnablePinMapsToFlopElem)
+{
+    Netlist nl;
+    ModuleBuilder b(nl);
+    const NetId d = b.input("d");
+    const NetId en_raw = b.input("en");
+    const NetId en = b.buf(en_raw); // Combinational hop to the EN pin.
+    const NetId q = b.dffe(d, en);
+    b.output("o", q);
+    nl.finalize();
+
+    // A cone entered through the EN path must reach the flop's (single)
+    // state element, same as through the D path.
+    const CellId flop = nl.net(q).driver;
+    std::vector<CellId> cone;
+    std::vector<StateElemId> reached;
+    nl.combCone(nl.inputWire(nl.net(en).driver, 0), cone, reached);
+    ASSERT_EQ(reached.size(), 1u);
+    EXPECT_EQ(reached[0], nl.flopStateElem(flop));
+}
+
+TEST(Netlist, ConeReachesBehavioralInputs)
+{
+    Netlist nl;
+    ModuleBuilder b(nl);
+    const NetId in = b.input("in");
+    const NetId gated = b.and2(in, b.constant(true));
+    class NullModel : public BehavioralModel
+    {
+      public:
+        std::shared_ptr<BehavioralModel> clone() const override
+        {
+            return std::make_shared<NullModel>(*this);
+        }
+        unsigned numInputs() const override { return 1; }
+        unsigned numOutputs() const override { return 0; }
+        void reset(std::vector<bool> &outs) override { outs.clear(); }
+        void clockEdge(const std::vector<bool> &,
+                       std::vector<bool> &outs) override
+        {
+            outs.clear();
+        }
+        std::vector<uint64_t> snapshot() const override { return {}; }
+        void restore(const std::vector<uint64_t> &) override {}
+    };
+    const CellId behav = nl.addBehavioral(
+        "blk", std::make_shared<NullModel>(), {{gated}}, {});
+    nl.finalize();
+
+    std::vector<CellId> cone;
+    std::vector<StateElemId> reached;
+    const CellId and_cell = nl.net(gated).driver;
+    nl.combCone(nl.inputWire(and_cell, 0), cone, reached);
+    ASSERT_EQ(reached.size(), 1u);
+    EXPECT_EQ(reached[0], nl.pinStateElem(behav, 0));
+    EXPECT_EQ(nl.stateElemName(reached[0]), "blk.in0");
+}
+
+TEST(Netlist, PrefixQueries)
+{
+    Fig2Circuit c;
+    const auto cells = c.nl.cellsByPrefix("div/");
+    EXPECT_EQ(cells.size(), 3u);
+    const auto flops = c.nl.flopsByPrefix("div/");
+    EXPECT_EQ(flops.size(), 2u);
+    // Wires driven by div/ cells: and->A, qa->out, qb->out... qa/qb are
+    // driven by the flops (div/A, div/B), and_out by div/and.
+    const auto wires = c.nl.wiresByPrefix("div/");
+    EXPECT_EQ(wires.size(), 3u);
+}
+
+TEST(Netlist, FindByName)
+{
+    Fig2Circuit c;
+    EXPECT_EQ(c.nl.findCell("div/and"), c.and_cell);
+    EXPECT_EQ(c.nl.findCell("nope"), kInvalidId);
+    EXPECT_EQ(c.nl.findNet("x"), c.x);
+    EXPECT_EQ(c.nl.findNet("nope"), kInvalidId);
+}
+
+TEST(Netlist, StateElemNames)
+{
+    Fig2Circuit c;
+    EXPECT_EQ(c.nl.stateElemName(c.nl.flopStateElem(c.ff_a)), "div/A");
+}
+
+TEST(Netlist, DotExport)
+{
+    Fig2Circuit c;
+    const std::string dot = c.nl.toDot();
+    EXPECT_NE(dot.find("digraph"), std::string::npos);
+    EXPECT_NE(dot.find("div/and"), std::string::npos);
+}
+
+TEST(Netlist, LevelizationOrdersByDependency)
+{
+    Netlist nl;
+    ModuleBuilder b(nl);
+    const NetId in = b.input("a");
+    const NetId n1 = b.inv(in);
+    const NetId n2 = b.inv(n1);
+    const NetId n3 = b.and2(n1, n2);
+    b.output("o", n3);
+    nl.finalize();
+
+    const auto &topo = nl.topoOrder();
+    ASSERT_EQ(topo.size(), 3u);
+    // Each cell must appear after its combinational fanin.
+    std::vector<size_t> position(nl.numCells(), 0);
+    for (size_t i = 0; i < topo.size(); ++i)
+        position[topo[i]] = i;
+    for (CellId id : topo) {
+        for (NetId net : nl.cell(id).inputs) {
+            const CellId driver = nl.net(net).driver;
+            if (cellIsCombinational(nl.cell(driver).type))
+                EXPECT_LT(position[driver], position[id]);
+        }
+    }
+    EXPECT_GT(nl.level(nl.net(n3).driver), nl.level(nl.net(n1).driver));
+}
+
+TEST(NetlistDeath, CombinationalLoop)
+{
+    ASSERT_DEATH(
+        {
+            Netlist nl;
+            const NetId a = nl.addNet("a");
+            const NetId b = nl.addNet("b");
+            nl.addCell(CellType::Inv, "i1", {{a}}, {{b}});
+            nl.addCell(CellType::Inv, "i2", {{b}}, {{a}});
+            nl.finalize();
+        },
+        "combinational loop");
+}
+
+TEST(NetlistDeath, UndrivenNet)
+{
+    ASSERT_DEATH(
+        {
+            Netlist nl;
+            const NetId a = nl.addNet("a");
+            nl.addCell(CellType::Output, "o", {{a}}, {});
+            nl.finalize();
+        },
+        "no driver");
+}
+
+TEST(NetlistDeath, DoubleDriver)
+{
+    ASSERT_DEATH(
+        {
+            Netlist nl;
+            const NetId a = nl.addNet("a");
+            nl.addCell(CellType::Const0, "c0", {}, {{a}});
+            nl.addCell(CellType::Const1, "c1", {}, {{a}});
+        },
+        "multiply driven");
+}
+
+TEST(Structure, RegistryBuildsMembership)
+{
+    Fig2Circuit c;
+    StructureRegistry registry(c.nl);
+    const Structure &div = registry.add("Divider", "div/");
+    EXPECT_EQ(div.cells.size(), 3u);
+    EXPECT_EQ(div.flops.size(), 2u);
+    EXPECT_EQ(div.wires.size(), 3u);
+    EXPECT_EQ(registry.find("Divider"), &registry.all()[0]);
+    EXPECT_EQ(registry.find("nope"), nullptr);
+}
+
+TEST(CellLibrary, DefaultsAreSane)
+{
+    const CellLibrary lib = CellLibrary::defaultLibrary();
+    EXPECT_GT(lib.timing(CellType::Inv).intrinsic, 0.0);
+    EXPECT_GT(lib.timing(CellType::Xor2).intrinsic,
+              lib.timing(CellType::Nand2).intrinsic);
+    EXPECT_GT(lib.clkToQ, 0.0);
+    EXPECT_GT(lib.wireBase, 0.0);
+}
+
+TEST(Cell, EvalTruthTables)
+{
+    EXPECT_TRUE(evalCell(CellType::And2, true, true));
+    EXPECT_FALSE(evalCell(CellType::And2, true, false));
+    EXPECT_TRUE(evalCell(CellType::Nand2, true, false));
+    EXPECT_TRUE(evalCell(CellType::Or2, false, true));
+    EXPECT_FALSE(evalCell(CellType::Nor2, false, true));
+    EXPECT_TRUE(evalCell(CellType::Xor2, true, false));
+    EXPECT_TRUE(evalCell(CellType::Xnor2, true, true));
+    EXPECT_FALSE(evalCell(CellType::Inv, true));
+    EXPECT_TRUE(evalCell(CellType::Buf, true));
+    // Mux2: s ? b : a.
+    EXPECT_TRUE(evalCell(CellType::Mux2, false, true, true));
+    EXPECT_FALSE(evalCell(CellType::Mux2, false, true, false));
+}
+
+} // namespace
+} // namespace davf

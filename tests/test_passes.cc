@@ -1,0 +1,336 @@
+/**
+ * @file
+ * Tests for the synthesis-style netlist passes (dead-logic sweep,
+ * high-fanout buffering), the VCD writer, and the timing-library
+ * corners — functionality layered on the base netlist model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "src/builder/builder.hh"
+#include "src/sim/cycle_sim.hh"
+#include "src/sim/vcd.hh"
+#include "src/timing/sta.hh"
+
+namespace davf {
+namespace {
+
+TEST(SweepDeadLogic, RemovesUnobservedCells)
+{
+    Netlist nl;
+    ModuleBuilder b(nl);
+    const NetId in = b.input("in");
+    const NetId live = b.inv(in);
+    b.output("o", live);
+    // A dead chain: drives nothing observable.
+    NetId dead = b.inv(in);
+    for (int i = 0; i < 5; ++i)
+        dead = b.inv(dead);
+
+    const size_t removed = nl.sweepDeadLogic();
+    nl.finalize();
+    EXPECT_EQ(removed, 6u);
+    // input cell + live inv + output cell remain.
+    EXPECT_EQ(nl.numCells(), 3u);
+}
+
+TEST(SweepDeadLogic, KeepsLogicFeedingFlopsAndBehavs)
+{
+    Netlist nl;
+    ModuleBuilder b(nl);
+    const NetId in = b.input("in");
+    const NetId to_flop = b.inv(in);
+    const NetId q = b.dff(to_flop);
+    (void)q; // Flop output itself unobserved; the flop is still a root.
+
+    EXPECT_EQ(nl.sweepDeadLogic(), 0u);
+    nl.finalize();
+    EXPECT_EQ(nl.topoOrder().size(), 1u);
+}
+
+TEST(SweepDeadLogic, PreservesSimulationBehaviour)
+{
+    // Build a circuit with interleaved dead logic; sweeping must not
+    // change what the observable part computes.
+    auto build = [](bool sweep) {
+        auto nl = std::make_unique<Netlist>();
+        ModuleBuilder b(*nl);
+        const NetId d = b.freshNet("d");
+        const NetId q = b.dff(d);
+        b.connect(d, b.inv(q));
+        const NetId dead = b.xor2(q, b.inv(q));
+        (void)dead;
+        const NetId obs = b.and2(q, b.constant(true));
+        b.output("o", obs);
+        if (sweep)
+            nl->sweepDeadLogic();
+        nl->finalize();
+        return nl;
+    };
+
+    auto plain = build(false);
+    auto swept = build(true);
+    EXPECT_LT(swept->numCells(), plain->numCells());
+
+    CycleSimulator sim_plain(*plain);
+    CycleSimulator sim_swept(*swept);
+    const NetId o_plain = plain->cell(plain->findCell("o.out")).inputs[0];
+    const NetId o_swept = swept->cell(swept->findCell("o.out")).inputs[0];
+    for (int cycle = 0; cycle < 8; ++cycle) {
+        EXPECT_EQ(sim_plain.value(o_plain), sim_swept.value(o_swept));
+        sim_plain.step();
+        sim_swept.step();
+    }
+}
+
+TEST(FanoutBuffers, CapsEveryNet)
+{
+    Netlist nl;
+    ModuleBuilder b(nl);
+    const NetId in = b.input("in");
+    const NetId hub = b.inv(in);
+    for (int i = 0; i < 100; ++i)
+        b.output("o" + std::to_string(i), b.buf(hub));
+
+    nl.insertFanoutBuffers(8);
+    nl.finalize();
+    for (NetId id = 0; id < nl.numNets(); ++id)
+        EXPECT_LE(nl.fanout(id), 8u) << nl.net(id).name;
+}
+
+TEST(FanoutBuffers, PreservesFunction)
+{
+    auto build = [](bool buffered) {
+        auto nl = std::make_unique<Netlist>();
+        ModuleBuilder b(*nl);
+        const NetId in = b.input("in");
+        const NetId hub = b.inv(in);
+        Bus taps;
+        for (int i = 0; i < 40; ++i)
+            taps.push_back(b.xor2(hub, b.constant(i % 2 == 0)));
+        b.output("o", b.reduceXor(taps));
+        if (buffered)
+            nl->insertFanoutBuffers(4);
+        nl->finalize();
+        return nl;
+    };
+
+    auto plain = build(false);
+    auto buffered = build(true);
+    CycleSimulator sim_plain(*plain);
+    CycleSimulator sim_buffered(*buffered);
+    const NetId in_plain = plain->findNet("in");
+    const NetId in_buffered = buffered->findNet("in");
+    const NetId o_plain = plain->cell(plain->findCell("o.out")).inputs[0];
+    const NetId o_buffered =
+        buffered->cell(buffered->findCell("o.out")).inputs[0];
+    for (bool value : {false, true, false}) {
+        sim_plain.setInput(in_plain, value);
+        sim_buffered.setInput(in_buffered, value);
+        EXPECT_EQ(sim_plain.value(o_plain),
+                  sim_buffered.value(o_buffered));
+    }
+}
+
+TEST(FanoutBuffers, BuffersInheritDriverScope)
+{
+    Netlist nl;
+    ModuleBuilder b(nl);
+    b.pushScope("alu");
+    const NetId src = b.inv(b.constant(false));
+    b.popScope();
+    for (int i = 0; i < 30; ++i)
+        b.output("o" + std::to_string(i), b.buf(src));
+    nl.insertFanoutBuffers(4);
+    nl.finalize();
+    // All inserted buffers for the alu-driven net carry the alu/ prefix.
+    size_t alu_bufs = 0;
+    for (CellId id = 0; id < nl.numCells(); ++id) {
+        if (nl.cell(id).name.find("_fbuf") != std::string::npos) {
+            EXPECT_TRUE(nl.cell(id).name.starts_with("alu/"));
+            ++alu_bufs;
+        }
+    }
+    EXPECT_GT(alu_bufs, 0u);
+}
+
+TEST(FanoutBuffers, ReducesWorstWireDelay)
+{
+    auto worst_wire = [](bool buffered) {
+        auto nl = std::make_unique<Netlist>();
+        ModuleBuilder b(*nl);
+        const NetId in = b.input("in");
+        const NetId hub = b.inv(in);
+        for (int i = 0; i < 200; ++i)
+            b.output("o" + std::to_string(i), b.buf(hub));
+        if (buffered)
+            nl->insertFanoutBuffers(8);
+        nl->finalize();
+        DelayModel delays(*nl, CellLibrary::defaultLibrary());
+        double worst = 0.0;
+        for (WireId w = 0; w < nl->numWires(); ++w)
+            worst = std::max(worst, delays.wireDelay(w));
+        return worst;
+    };
+    EXPECT_LT(worst_wire(true), worst_wire(false) / 4.0);
+}
+
+TEST(Vcd, RecordsAndRendersChanges)
+{
+    Netlist nl;
+    ModuleBuilder b(nl);
+    const NetId d = b.freshNet("d");
+    const NetId q = b.dff(d, false, "toggler");
+    b.connect(d, b.inv(q));
+    nl.finalize();
+
+    CycleSimulator sim(nl);
+    VcdWriter vcd(nl, {q});
+    for (int cycle = 0; cycle < 4; ++cycle) {
+        vcd.sample(sim);
+        sim.step();
+    }
+    EXPECT_EQ(vcd.sampleCount(), 4u);
+
+    const std::string text = vcd.render("tb");
+    EXPECT_NE(text.find("$timescale"), std::string::npos);
+    EXPECT_NE(text.find("$var wire 1 ! "), std::string::npos);
+    // Toggler: 0 at cycle 0, 1 at 1, 0 at 2, 1 at 3 -> four timestamps.
+    EXPECT_NE(text.find("#0"), std::string::npos);
+    EXPECT_NE(text.find("#1"), std::string::npos);
+    EXPECT_NE(text.find("#3"), std::string::npos);
+    EXPECT_NE(text.find("0!"), std::string::npos);
+    EXPECT_NE(text.find("1!"), std::string::npos);
+}
+
+TEST(Vcd, OnlyChangesAreEmitted)
+{
+    Netlist nl;
+    ModuleBuilder b(nl);
+    const NetId constant = b.buf(b.constant(true));
+    b.output("o", constant);
+    nl.finalize();
+
+    CycleSimulator sim(nl);
+    VcdWriter vcd(nl, {constant});
+    for (int cycle = 0; cycle < 6; ++cycle) {
+        vcd.sample(sim);
+        sim.step();
+    }
+    const std::string text = vcd.render();
+    // One initial change, then silence.
+    EXPECT_NE(text.find("#0"), std::string::npos);
+    EXPECT_EQ(text.find("#1\n"), std::string::npos);
+}
+
+TEST(Vcd, WritesFileToDisk)
+{
+    Netlist nl;
+    ModuleBuilder b(nl);
+    const NetId d = b.freshNet("d");
+    const NetId q = b.dff(d);
+    b.connect(d, b.inv(q));
+    nl.finalize();
+
+    CycleSimulator sim(nl);
+    VcdWriter vcd(nl, {q});
+    for (int i = 0; i < 3; ++i) {
+        vcd.sample(sim);
+        sim.step();
+    }
+    const std::string path =
+        ::testing::TempDir() + "davf_vcd_test.vcd";
+    vcd.writeTo(path, "unit");
+    std::ifstream file(path);
+    ASSERT_TRUE(file.good());
+    std::stringstream content;
+    content << file.rdbuf();
+    EXPECT_NE(content.str().find("$scope module unit"),
+              std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(Vcd, AllNetsFactory)
+{
+    Netlist nl;
+    ModuleBuilder b(nl);
+    b.output("o", b.inv(b.constant(false)));
+    nl.finalize();
+    VcdWriter vcd = VcdWriter::allNets(nl);
+    CycleSimulator sim(nl);
+    vcd.sample(sim);
+    EXPECT_FALSE(vcd.render().empty());
+}
+
+TEST(Vcd, ManySignalsGetDistinctIdentifiers)
+{
+    // More than 94 tracked nets forces multi-character identifiers;
+    // each $var line must still be unique.
+    Netlist nl;
+    ModuleBuilder b(nl);
+    const NetId in = b.input("in");
+    std::vector<NetId> nets;
+    NetId chain = in;
+    for (int i = 0; i < 120; ++i) {
+        chain = b.inv(chain);
+        nets.push_back(chain);
+    }
+    b.output("o", chain);
+    nl.finalize();
+
+    CycleSimulator sim(nl);
+    VcdWriter vcd(nl, nets);
+    vcd.sample(sim);
+    const std::string text = vcd.render();
+
+    std::set<std::string> identifiers;
+    std::istringstream lines(text);
+    std::string line;
+    while (std::getline(lines, line)) {
+        if (line.rfind("$var wire 1 ", 0) == 0) {
+            const size_t start = std::strlen("$var wire 1 ");
+            const size_t end = line.find(' ', start);
+            identifiers.insert(line.substr(start, end - start));
+        }
+    }
+    EXPECT_EQ(identifiers.size(), 120u);
+}
+
+TEST(LibraryCorners, UniformScalingScalesMaxPath)
+{
+    Netlist nl;
+    ModuleBuilder b(nl);
+    const NetId in = b.input("in");
+    NetId chain = b.inv(in);
+    for (int i = 0; i < 6; ++i)
+        chain = b.inv(chain);
+    const NetId q = b.dff(chain);
+    (void)q;
+    nl.finalize();
+
+    DelayModel typical(nl, CellLibrary::defaultLibrary());
+    DelayModel slow(nl, CellLibrary::slowCorner());
+    Sta sta_typical(typical);
+    Sta sta_slow(slow);
+    EXPECT_NEAR(sta_slow.maxPath(), 1.3 * sta_typical.maxPath(), 1e-6);
+}
+
+TEST(LibraryCorners, WireDominatedSkewsOnlyWires)
+{
+    const CellLibrary typical = CellLibrary::defaultLibrary();
+    const CellLibrary wire_heavy = CellLibrary::wireDominatedCorner();
+    EXPECT_DOUBLE_EQ(wire_heavy.timing(CellType::Inv).intrinsic,
+                     typical.timing(CellType::Inv).intrinsic);
+    EXPECT_DOUBLE_EQ(wire_heavy.timing(CellType::Inv).loadSlope,
+                     2.5 * typical.timing(CellType::Inv).loadSlope);
+    EXPECT_DOUBLE_EQ(wire_heavy.wireBase, 2.5 * typical.wireBase);
+}
+
+} // namespace
+} // namespace davf

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Tests for result serialization (CSV and JSON reports).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/core/report.hh"
+
+namespace davf {
+namespace {
+
+DelayAvfResult
+sampleResult()
+{
+    DelayAvfResult result;
+    result.delayAvf = 0.125;
+    result.orDelayAvf = 0.0625;
+    result.staticWireFraction = 0.75;
+    result.dynamicWireFraction = 0.5;
+    result.groupAceWireFraction = 0.25;
+    result.injections = 800;
+    result.staticInjections = 600;
+    result.errorInjections = 200;
+    result.multiBitInjections = 40;
+    result.delayAceInjections = 100;
+    result.sdc = 70;
+    result.due = 30;
+    result.aceInterference = 5;
+    result.aceCompounding = 3;
+    result.wiresInjected = 100;
+    result.cyclesInjected = 8;
+    return result;
+}
+
+TEST(Report, CsvHeaderAndRowFieldCountsMatch)
+{
+    const std::string header = delayAvfCsvHeader();
+    const std::string row =
+        delayAvfCsvRow("md5", "ALU", 0.5, sampleResult());
+    const auto count_commas = [](const std::string &text) {
+        return std::count(text.begin(), text.end(), ',');
+    };
+    EXPECT_EQ(count_commas(header), count_commas(row));
+    EXPECT_NE(row.find("md5,ALU,0.5,0.125"), std::string::npos);
+    EXPECT_NE(row.find(",70,30,"), std::string::npos); // sdc, due.
+}
+
+TEST(Report, SavfCsv)
+{
+    SavfResult savf;
+    savf.savf = 0.25;
+    savf.injections = 400;
+    savf.aceInjections = 100;
+    savf.sdc = 60;
+    savf.due = 40;
+    const std::string header = savfCsvHeader();
+    const std::string row = savfCsvRow("bubblesort", "Regfile", savf);
+    EXPECT_EQ(std::count(header.begin(), header.end(), ','),
+              std::count(row.begin(), row.end(), ','));
+    EXPECT_EQ(row, "bubblesort,Regfile,0.25,400,100,60,40");
+}
+
+TEST(Report, JsonIsWellFormedEnough)
+{
+    const std::string json =
+        delayAvfJson("md5", "ALU", 0.5, sampleResult());
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+    EXPECT_NE(json.find("\"delayavf\":0.125"), std::string::npos);
+    EXPECT_NE(json.find("\"sdc\":70"), std::string::npos);
+
+    SavfResult savf;
+    savf.savf = 1.0;
+    savf.injections = 4;
+    savf.aceInjections = 4;
+    savf.sdc = 4;
+    const std::string savf_json = savfJson("x", "y", savf);
+    EXPECT_NE(savf_json.find("\"savf\":1"), std::string::npos);
+}
+
+TEST(Report, LabelsAreSanitized)
+{
+    // Commas and newlines in labels must not corrupt the CSV framing.
+    const std::string row =
+        savfCsvRow("evil,label\n", "str\"uct", SavfResult{});
+    EXPECT_EQ(std::count(row.begin(), row.end(), ','), 6);
+    EXPECT_EQ(row.find('\n'), std::string::npos);
+}
+
+} // namespace
+} // namespace davf

@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Tests for the cycle-accurate simulator: flop semantics, enables,
+ * behavioral blocks, fault forcing, flop flipping, snapshots, and the
+ * trace sink.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/builder/builder.hh"
+#include "src/core/workload.hh"
+#include "src/sim/cycle_sim.hh"
+
+namespace davf {
+namespace {
+
+TEST(CycleSim, DffPipelineShifts)
+{
+    Netlist nl;
+    ModuleBuilder b(nl);
+    const NetId in = b.input("in");
+    const NetId q1 = b.dff(in);
+    const NetId q2 = b.dff(q1);
+    const NetId q3 = b.dff(q2);
+    nl.finalize();
+
+    CycleSimulator sim(nl);
+    sim.setInput(in, true);
+    EXPECT_FALSE(sim.value(q1));
+    sim.step();
+    EXPECT_TRUE(sim.value(q1));
+    EXPECT_FALSE(sim.value(q2));
+    sim.step();
+    EXPECT_TRUE(sim.value(q2));
+    EXPECT_FALSE(sim.value(q3));
+    sim.setInput(in, false);
+    sim.step();
+    EXPECT_FALSE(sim.value(q1));
+    EXPECT_TRUE(sim.value(q3));
+    EXPECT_EQ(sim.cycle(), 3u);
+}
+
+TEST(CycleSim, DffeHoldsWithoutEnable)
+{
+    Netlist nl;
+    ModuleBuilder b(nl);
+    const NetId d = b.input("d");
+    const NetId en = b.input("en");
+    const NetId q = b.dffe(d, en, true);
+    nl.finalize();
+
+    CycleSimulator sim(nl);
+    EXPECT_TRUE(sim.value(q)); // Reset value 1.
+    sim.setInput(d, false);
+    sim.setInput(en, false);
+    sim.step();
+    EXPECT_TRUE(sim.value(q)); // Held.
+    sim.setInput(en, true);
+    sim.step();
+    EXPECT_FALSE(sim.value(q)); // Captured.
+    sim.setInput(d, true);
+    sim.setInput(en, false);
+    sim.step();
+    EXPECT_FALSE(sim.value(q)); // Held again.
+}
+
+TEST(CycleSim, CombEvaluatesThroughLevels)
+{
+    Netlist nl;
+    ModuleBuilder b(nl);
+    const NetId a = b.input("a");
+    const NetId c = b.input("c");
+    const NetId out = b.xor2(b.and2(a, c), b.or2(a, c));
+    nl.finalize();
+
+    CycleSimulator sim(nl);
+    for (int av = 0; av < 2; ++av) {
+        for (int cv = 0; cv < 2; ++cv) {
+            sim.setInput(a, av);
+            sim.setInput(c, cv);
+            EXPECT_EQ(sim.value(out),
+                      ((av && cv) != (av || cv)));
+        }
+    }
+}
+
+TEST(CycleSim, ForcingOverridesSampledValue)
+{
+    Netlist nl;
+    ModuleBuilder b(nl);
+    const NetId in = b.input("in");
+    const NetId q = b.dff(in);
+    nl.finalize();
+
+    CycleSimulator sim(nl);
+    const StateElemId elem = nl.flopStateElem(nl.net(q).driver);
+    sim.setInput(in, false);
+    const CycleSimulator::Force forces[] = {{elem, true}};
+    sim.step(forces);
+    EXPECT_TRUE(sim.value(q)); // Forced despite D = 0.
+    sim.step();
+    EXPECT_FALSE(sim.value(q)); // Transient: next edge samples D again.
+}
+
+TEST(CycleSim, StepReportsSampledValues)
+{
+    Netlist nl;
+    ModuleBuilder b(nl);
+    const NetId in = b.input("in");
+    const NetId q = b.dff(in);
+    (void)q;
+    nl.finalize();
+
+    CycleSimulator sim(nl);
+    sim.setInput(in, true);
+    std::vector<uint8_t> sampled;
+    sim.step({}, &sampled);
+    ASSERT_EQ(sampled.size(), nl.numStateElems());
+    EXPECT_EQ(sampled[0], 1);
+}
+
+TEST(CycleSim, FlipFlopInvertsStateAndPropagates)
+{
+    Netlist nl;
+    ModuleBuilder b(nl);
+    const NetId in = b.input("in");
+    const NetId q = b.dff(in);
+    const NetId derived = b.inv(q);
+    nl.finalize();
+
+    CycleSimulator sim(nl);
+    EXPECT_FALSE(sim.value(q));
+    EXPECT_TRUE(sim.value(derived));
+    sim.flipFlop(nl.flopStateElem(nl.net(q).driver));
+    EXPECT_TRUE(sim.value(q));
+    EXPECT_FALSE(sim.value(derived)); // Combinational logic re-settled.
+}
+
+TEST(CycleSim, SnapshotRestoreRoundTrip)
+{
+    Netlist nl;
+    ModuleBuilder b(nl);
+    const NetId in = b.input("in");
+    NetId q = b.dff(in);
+    for (int i = 0; i < 3; ++i)
+        q = b.dff(q);
+    nl.finalize();
+
+    CycleSimulator sim(nl);
+    sim.setInput(in, true);
+    sim.step();
+    sim.step();
+    const auto snap = sim.snapshot();
+    const auto values_at_snap = sim.netValues_();
+
+    sim.step();
+    sim.step();
+    EXPECT_NE(sim.netValues_(), values_at_snap);
+
+    sim.restore(snap);
+    EXPECT_EQ(sim.netValues_(), values_at_snap);
+    EXPECT_EQ(sim.cycle(), 2u);
+}
+
+TEST(CycleSim, ResetIsDeterministic)
+{
+    Netlist nl;
+    ModuleBuilder b(nl);
+    const NetId in = b.input("in");
+    const NetId q = b.dff(in, true);
+    nl.finalize();
+
+    CycleSimulator sim(nl);
+    EXPECT_TRUE(sim.value(q));
+    sim.setInput(in, false);
+    sim.step();
+    EXPECT_FALSE(sim.value(q));
+    sim.reset();
+    EXPECT_TRUE(sim.value(q));
+    EXPECT_EQ(sim.cycle(), 0u);
+    EXPECT_FALSE(sim.value(in)); // Inputs cleared by reset.
+}
+
+TEST(TraceSink, RecordsWhenValid)
+{
+    Netlist nl;
+    ModuleBuilder b(nl);
+    const Bus data = b.inputBus("d", 4);
+    const NetId valid = b.input("v");
+    Bus sink_in = data;
+    sink_in.push_back(valid);
+    const CellId sink = nl.addBehavioral(
+        "sink", std::make_shared<TraceSinkModel>(4), sink_in, {});
+    nl.finalize();
+
+    CycleSimulator sim(nl);
+    auto &model = static_cast<TraceSinkModel &>(sim.behavModel(sink));
+
+    for (unsigned i = 0; i < 4; ++i)
+        sim.setInput(data[i], (0x9 >> i) & 1);
+    sim.setInput(valid, true);
+    sim.step();
+    sim.setInput(valid, false);
+    sim.step();
+    for (unsigned i = 0; i < 4; ++i)
+        sim.setInput(data[i], (0x5 >> i) & 1);
+    sim.setInput(valid, true);
+    sim.step();
+
+    ASSERT_EQ(model.trace().size(), 2u);
+    EXPECT_EQ(model.trace()[0], 0x9u);
+    EXPECT_EQ(model.trace()[1], 0x5u);
+}
+
+TEST(TraceSink, ForcingBehavInputCorruptsRecord)
+{
+    Netlist nl;
+    ModuleBuilder b(nl);
+    const Bus data = b.inputBus("d", 4);
+    const NetId valid = b.input("v");
+    Bus sink_in = data;
+    sink_in.push_back(valid);
+    const CellId sink = nl.addBehavioral(
+        "sink", std::make_shared<TraceSinkModel>(4), sink_in, {});
+    nl.finalize();
+
+    CycleSimulator sim(nl);
+    for (unsigned i = 0; i < 4; ++i)
+        sim.setInput(data[i], 0);
+    sim.setInput(valid, true);
+
+    // Force the bit-1 input pin of the sink at the edge.
+    const StateElemId elem = nl.pinStateElem(sink, 1);
+    const CycleSimulator::Force forces[] = {{elem, true}};
+    sim.step(forces);
+
+    const auto &model =
+        static_cast<const TraceSinkModel &>(sim.behavModel(sink));
+    ASSERT_EQ(model.trace().size(), 1u);
+    EXPECT_EQ(model.trace()[0], 0x2u);
+}
+
+TEST(TraceSink, SimulatorsOwnIndependentModelClones)
+{
+    Netlist nl;
+    ModuleBuilder b(nl);
+    const Bus data = b.inputBus("d", 4);
+    Bus sink_in = data;
+    sink_in.push_back(b.constant(true));
+    const CellId sink = nl.addBehavioral(
+        "sink", std::make_shared<TraceSinkModel>(4), sink_in, {});
+    nl.finalize();
+
+    CycleSimulator sim_a(nl);
+    CycleSimulator sim_b(nl);
+    sim_a.step();
+    sim_a.step();
+    sim_b.step();
+
+    const auto &model_a =
+        static_cast<const TraceSinkModel &>(sim_a.behavModel(sink));
+    const auto &model_b =
+        static_cast<const TraceSinkModel &>(sim_b.behavModel(sink));
+    EXPECT_EQ(model_a.trace().size(), 2u);
+    EXPECT_EQ(model_b.trace().size(), 1u);
+}
+
+TEST(CycleSim, SnapshotCarriesBehavioralState)
+{
+    Netlist nl;
+    ModuleBuilder b(nl);
+    const Bus data = b.inputBus("d", 4);
+    Bus sink_in = data;
+    sink_in.push_back(b.constant(true));
+    const CellId sink = nl.addBehavioral(
+        "sink", std::make_shared<TraceSinkModel>(4), sink_in, {});
+    nl.finalize();
+
+    CycleSimulator sim(nl);
+    sim.step();
+    const auto snap = sim.snapshot();
+    sim.step();
+    sim.step();
+    sim.restore(snap);
+    const auto &model =
+        static_cast<const TraceSinkModel &>(sim.behavModel(sink));
+    EXPECT_EQ(model.trace().size(), 1u);
+}
+
+} // namespace
+} // namespace davf

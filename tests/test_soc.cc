@@ -1,0 +1,425 @@
+/**
+ * @file
+ * Tests for the gate-level IbexMini core: co-simulation against the
+ * reference ISS on all five Beebs benchmarks (output trace, register
+ * file, data memory), the ECC-protected build, and randomized
+ * constrained-random instruction co-simulation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/isa/assembler.hh"
+#include "src/isa/benchmarks.hh"
+#include "src/isa/iss.hh"
+#include "src/soc/ibex_mini.hh"
+#include "src/soc/soc_workload.hh"
+#include "src/util/rng.hh"
+
+namespace davf {
+namespace {
+
+struct SocRun
+{
+    std::vector<uint32_t> output;
+    bool halted = false;
+    uint64_t cycles = 0;
+};
+
+SocRun
+runSoc(IbexMini &soc, CycleSimulator &sim, uint64_t max_cycles)
+{
+    SocWorkload workload(soc);
+    while (!workload.done(sim) && sim.cycle() < max_cycles)
+        sim.step();
+    SocRun run;
+    run.halted = workload.done(sim);
+    run.output = workload.outputTrace(sim);
+    run.cycles = sim.cycle();
+    return run;
+}
+
+/** Full-architectural-state co-simulation of one program. */
+void
+cosimConfig(const std::string &source, const IbexMiniConfig &config,
+            uint64_t max_cycles = 60000)
+{
+    const std::vector<uint32_t> image = assemble(source);
+
+    Iss iss(image);
+    ASSERT_TRUE(iss.run(max_cycles)) << "ISS did not halt";
+
+    IbexMini soc(config, image);
+    CycleSimulator sim(soc.netlist());
+    const SocRun run = runSoc(soc, sim, max_cycles);
+    ASSERT_TRUE(run.halted) << "core did not halt";
+
+    EXPECT_EQ(run.output, iss.outputTrace());
+
+    for (unsigned reg = 0; reg < 32; ++reg) {
+        EXPECT_EQ(soc.readRegister(sim, reg), iss.reg(reg))
+            << "x" << reg;
+    }
+
+    SocWorkload workload(soc);
+    const MemoryModel &memory = workload.memory(sim);
+    ASSERT_EQ(memory.words().size(), iss.memWords().size());
+    for (size_t word = 0; word < memory.words().size(); ++word) {
+        ASSERT_EQ(memory.words()[word], iss.memWords()[word])
+            << "memory word " << word;
+    }
+}
+
+void
+cosim(const std::string &source, bool ecc, uint64_t max_cycles = 60000)
+{
+    IbexMiniConfig config;
+    config.eccRegfile = ecc;
+    cosimConfig(source, config, max_cycles);
+}
+
+TEST(IbexMini, BuildsWithPaperStructures)
+{
+    IbexMini soc({}, {});
+    for (const char *name :
+         {"ALU", "Decoder", "Regfile", "LSU", "Prefetch"}) {
+        const Structure *structure = soc.structures().find(name);
+        ASSERT_NE(structure, nullptr) << name;
+        EXPECT_FALSE(structure->wires.empty()) << name;
+    }
+    // The ALU and decoder are logic-only structures (paper §VI-A).
+    EXPECT_TRUE(soc.structures().find("ALU")->flops.empty());
+    EXPECT_TRUE(soc.structures().find("Decoder")->flops.empty());
+    // The register file is a flop array.
+    EXPECT_EQ(soc.structures().find("Regfile")->flops.size(), 31u * 32u);
+}
+
+TEST(IbexMini, EccRegfileIsWider)
+{
+    IbexMini plain({}, {});
+    IbexMiniConfig config;
+    config.eccRegfile = true;
+    IbexMini ecc(config, {});
+    EXPECT_EQ(ecc.structures().find("Regfile")->flops.size(),
+              31u * 38u);
+    EXPECT_GT(ecc.structures().find("Regfile")->wires.size(),
+              plain.structures().find("Regfile")->wires.size());
+}
+
+TEST(IbexMini, ExecutesMinimalProgram)
+{
+    cosim(R"(
+  li a0, 123
+  li t6, 0x10000
+  sw a0, 0(t6)
+  sw x0, 4(t6)
+hang:
+  j hang
+)",
+          false, 2000);
+}
+
+TEST(IbexMini, LoadsStoresAndBytes)
+{
+    cosim(R"(
+  la a1, buf
+  li a0, 0x11223344
+  sw a0, 0(a1)
+  lbu a2, 1(a1)
+  li a0, 0x7f
+  sb a0, 3(a1)
+  lb a3, 3(a1)
+  lw a4, 0(a1)
+  li t6, 0x10000
+  sw a2, 0(t6)
+  sw a3, 0(t6)
+  sw a4, 0(t6)
+  sw x0, 4(t6)
+hang:
+  j hang
+buf: .space 8
+)",
+          false, 2000);
+}
+
+TEST(IbexMini, BranchesTakenAndNotTaken)
+{
+    cosim(R"(
+  li a0, 0
+  li a1, 5
+  li a2, 0
+loop:
+  add a0, a0, a2
+  addi a2, a2, 1
+  blt a2, a1, loop
+  beq a0, a1, never     # 0+1+2+3+4 = 10 != 5: not taken
+  addi a0, a0, 100
+never:
+  li t6, 0x10000
+  sw a0, 0(t6)
+  sw x0, 4(t6)
+hang:
+  j hang
+)",
+          false, 2000);
+}
+
+TEST(IbexMini, JalrAndCallStack)
+{
+    cosim(R"(
+  li sp, 0xff00
+  li a0, 3
+  call triple
+  li t6, 0x10000
+  sw a0, 0(t6)
+  sw x0, 4(t6)
+hang:
+  j hang
+triple:
+  add a1, a0, a0
+  add a0, a1, a0
+  ret
+)",
+          false, 2000);
+}
+
+class BeebsOnCore
+    : public ::testing::TestWithParam<std::tuple<std::string, bool>>
+{};
+
+TEST_P(BeebsOnCore, MatchesIssArchitecturally)
+{
+    const auto &[name, ecc] = GetParam();
+    const BenchmarkProgram &program = beebsBenchmark(name);
+    cosim(program.source, ecc);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, BeebsOnCore,
+    ::testing::Combine(::testing::Values("md5", "bubblesort",
+                                         "libstrstr", "libfibcall",
+                                         "matmult"),
+                       ::testing::Bool()),
+    [](const auto &info) {
+        return std::get<0>(info.param)
+            + (std::get<1>(info.param) ? "_ecc" : "_plain");
+    });
+
+TEST(IbexMini, BenchmarkOutputsMatchGroundTruth)
+{
+    // Independent of the ISS: the gate-level core must reproduce the
+    // C++-computed expected outputs.
+    for (const BenchmarkProgram &program : beebsBenchmarks()) {
+        IbexMini soc({}, assemble(program.source));
+        CycleSimulator sim(soc.netlist());
+        const SocRun run = runSoc(soc, sim, 60000);
+        ASSERT_TRUE(run.halted) << program.name;
+        EXPECT_EQ(run.output, program.expectedOutput) << program.name;
+    }
+}
+
+/** Constrained-random straight-line program generator. */
+std::string
+randomProgram(uint64_t seed)
+{
+    Rng rng(seed);
+    std::ostringstream out;
+    out << "  li sp, 0xff00\n  li s0, 0x8000\n";
+    // Working registers x16..x26 (leaving s0/sp/t6 untouched so memory
+    // accesses stay within RAM and the MMIO protocol stays intact).
+    const int lo = 16;
+    const int hi = 26;
+    for (int reg = lo; reg <= hi; ++reg) {
+        out << "  li x" << reg << ", "
+            << static_cast<int32_t>(rng.next32()) << "\n";
+    }
+    auto reg = [&]() { return lo + static_cast<int>(rng.below(hi - lo + 1)); };
+
+    static const char *rr_ops[] = {"add", "sub", "and", "or",  "xor",
+                                   "sll", "srl", "sra", "slt", "sltu"};
+    static const char *ri_ops[] = {"addi", "andi", "ori",
+                                   "xori", "slti", "sltiu"};
+    static const char *sh_ops[] = {"slli", "srli", "srai"};
+
+    int label = 0;
+    for (int i = 0; i < 60; ++i) {
+        switch (rng.below(6)) {
+          case 0:
+            out << "  " << rr_ops[rng.below(std::size(rr_ops))] << " x"
+                << reg() << ", x" << reg() << ", x" << reg() << "\n";
+            break;
+          case 1:
+            out << "  " << ri_ops[rng.below(std::size(ri_ops))] << " x"
+                << reg() << ", x" << reg() << ", "
+                << static_cast<int>(rng.below(4096)) - 2048 << "\n";
+            break;
+          case 2:
+            out << "  " << sh_ops[rng.below(std::size(sh_ops))] << " x"
+                << reg() << ", x" << reg() << ", " << rng.below(32)
+                << "\n";
+            break;
+          case 3:
+            out << "  sw x" << reg() << ", " << 4 * rng.below(16)
+                << "(s0)\n";
+            break;
+          case 4:
+            out << "  lw x" << reg() << ", " << 4 * rng.below(16)
+                << "(s0)\n";
+            break;
+          default: {
+            // Short forward branch over one instruction.
+            const char *cond = rng.chance(0.5) ? "beq" : "bne";
+            out << "  " << cond << " x" << reg() << ", x" << reg()
+                << ", L" << label << "\n";
+            out << "  addi x" << reg() << ", x" << reg() << ", 1\n";
+            out << "L" << label << ":\n";
+            ++label;
+            break;
+          }
+        }
+    }
+
+    out << "  li t6, 0x10000\n";
+    for (int r = lo; r <= hi; ++r)
+        out << "  sw x" << r << ", 0(t6)\n";
+    out << "  sw x0, 4(t6)\nhang:\n  j hang\n";
+    return out.str();
+}
+
+class RandomCosim : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(RandomCosim, CoreMatchesIss)
+{
+    cosim(randomProgram(GetParam()), false, 5000);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomCosim,
+                         ::testing::Range<uint64_t>(1, 13));
+
+TEST(RandomCosim, EccCoreMatchesIss)
+{
+    for (uint64_t seed = 100; seed < 103; ++seed)
+        cosim(randomProgram(seed), true, 5000);
+}
+
+TEST(IbexMini, MulStructureOnlyWhenEnabled)
+{
+    IbexMini plain({}, {});
+    EXPECT_EQ(plain.structures().find("MUL"), nullptr);
+
+    IbexMiniConfig config;
+    config.enableMul = true;
+    IbexMini with_mul(config, {});
+    const Structure *mul = with_mul.structures().find("MUL");
+    ASSERT_NE(mul, nullptr);
+    EXPECT_FALSE(mul->wires.empty());
+    EXPECT_FALSE(mul->flops.empty()); // cnt/acc/mcand/mplier registers.
+    // The option must not perturb the paper-configuration netlist.
+    EXPECT_GT(with_mul.netlist().numCells(), plain.netlist().numCells());
+}
+
+TEST(IbexMini, HardwareMulMatchesIss)
+{
+    IbexMiniConfig config;
+    config.enableMul = true;
+    cosimConfig(R"(
+  li a1, 1234
+  li a2, 5678
+  mul a0, a1, a2
+  li a3, -7
+  mul a4, a0, a3
+  li a5, 0x10001
+  mul a6, a5, a5
+  li t6, 0x10000
+  sw a0, 0(t6)
+  sw a4, 0(t6)
+  sw a6, 0(t6)
+  sw x0, 4(t6)
+hang:
+  j hang
+)",
+                config, 4000);
+}
+
+TEST(IbexMini, HardwareMulLatencyIsIterative)
+{
+    IbexMiniConfig config;
+    config.enableMul = true;
+    const char *program = R"(
+  li a1, 3
+  li a2, 5
+  mul a0, a1, a2
+  li t6, 0x10000
+  sw a0, 0(t6)
+  sw x0, 4(t6)
+hang:
+  j hang
+)";
+    IbexMini soc(config, assemble(program));
+    CycleSimulator sim(soc.netlist());
+    const SocRun run = runSoc(soc, sim, 4000);
+    ASSERT_TRUE(run.halted);
+    EXPECT_EQ(run.output, (std::vector<uint32_t>{15}));
+    // ~8 instructions, one taking 33 cycles.
+    EXPECT_GT(run.cycles, 33u);
+    EXPECT_LT(run.cycles, 80u);
+}
+
+TEST(IbexMini, RandomProgramsWithMul)
+{
+    Rng rng(2718);
+    for (int trial = 0; trial < 4; ++trial) {
+        std::ostringstream out;
+        out << "  li t6, 0x10000\n";
+        for (int reg = 16; reg <= 20; ++reg) {
+            out << "  li x" << reg << ", "
+                << static_cast<int32_t>(rng.next32()) << "\n";
+        }
+        for (int i = 0; i < 12; ++i) {
+            const int rd = 16 + static_cast<int>(rng.below(5));
+            const int rs1 = 16 + static_cast<int>(rng.below(5));
+            const int rs2 = 16 + static_cast<int>(rng.below(5));
+            const char *op = rng.chance(0.4) ? "mul"
+                : rng.chance(0.5) ? "add"
+                                  : "xor";
+            out << "  " << op << " x" << rd << ", x" << rs1 << ", x"
+                << rs2 << "\n";
+        }
+        for (int reg = 16; reg <= 20; ++reg)
+            out << "  sw x" << reg << ", 0(t6)\n";
+        out << "  sw x0, 4(t6)\nhang:\n  j hang\n";
+
+        IbexMiniConfig config;
+        config.enableMul = true;
+        cosimConfig(out.str(), config, 4000);
+    }
+}
+
+TEST(IbexMini, ExtraWorkloadsMatchIss)
+{
+    for (const BenchmarkProgram &program : extraBenchmarks())
+        cosim(program.source, false);
+}
+
+TEST(IbexMini, CycleCountsAreReasonable)
+{
+    // Table II analogue: the 2-stage core should take roughly 1-3
+    // cycles per instruction.
+    for (const BenchmarkProgram &program : beebsBenchmarks()) {
+        const std::vector<uint32_t> image = assemble(program.source);
+        Iss iss(image);
+        ASSERT_TRUE(iss.run(200000));
+
+        IbexMini soc({}, image);
+        CycleSimulator sim(soc.netlist());
+        const SocRun run = runSoc(soc, sim, 80000);
+        ASSERT_TRUE(run.halted);
+        EXPECT_GT(run.cycles, iss.instructionsExecuted());
+        EXPECT_LT(run.cycles, 4 * iss.instructionsExecuted());
+    }
+}
+
+} // namespace
+} // namespace davf

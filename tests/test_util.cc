@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Unit tests for src/util: bit helpers, BitVector, Rng, stats, and the
+ * thread pool.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+
+#include "src/util/bits.hh"
+#include "src/util/bitvector.hh"
+#include "src/util/rng.hh"
+#include "src/util/stats.hh"
+#include "src/util/thread_pool.hh"
+
+namespace davf {
+namespace {
+
+TEST(Bits, Extract)
+{
+    EXPECT_EQ(bits(0xdeadbeef, 31, 28), 0xdu);
+    EXPECT_EQ(bits(0xdeadbeef, 7, 0), 0xefu);
+    EXPECT_EQ(bits(0xdeadbeef, 31, 0), 0xdeadbeefu);
+    EXPECT_EQ(bit(0x80000000, 31), 1u);
+    EXPECT_EQ(bit(0x80000000, 30), 0u);
+}
+
+TEST(Bits, SignExtend)
+{
+    EXPECT_EQ(signExtend(0xfff, 12), -1);
+    EXPECT_EQ(signExtend(0x7ff, 12), 2047);
+    EXPECT_EQ(signExtend(0x800, 12), -2048);
+    EXPECT_EQ(signExtend(0xff, 8), -1);
+    EXPECT_EQ(signExtend(42, 8), 42);
+}
+
+TEST(Bits, Parity)
+{
+    EXPECT_EQ(parity32(0), 0u);
+    EXPECT_EQ(parity32(1), 1u);
+    EXPECT_EQ(parity32(0b1011), 1u);
+    EXPECT_EQ(parity32(0xffffffff), 0u);
+}
+
+TEST(Bits, Clog2)
+{
+    EXPECT_EQ(clog2(1), 0u);
+    EXPECT_EQ(clog2(2), 1u);
+    EXPECT_EQ(clog2(3), 2u);
+    EXPECT_EQ(clog2(32), 5u);
+    EXPECT_EQ(clog2(33), 6u);
+}
+
+TEST(Bits, PowerOfTwo)
+{
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(1024));
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_FALSE(isPowerOfTwo(96));
+}
+
+TEST(BitVector, SetGetFlip)
+{
+    BitVector bv(130);
+    EXPECT_EQ(bv.size(), 130u);
+    EXPECT_TRUE(bv.none());
+    bv.set(0, true);
+    bv.set(64, true);
+    bv.set(129, true);
+    EXPECT_TRUE(bv.get(0));
+    EXPECT_TRUE(bv.get(64));
+    EXPECT_TRUE(bv.get(129));
+    EXPECT_FALSE(bv.get(1));
+    EXPECT_EQ(bv.popcount(), 3u);
+    bv.flip(64);
+    EXPECT_FALSE(bv.get(64));
+    EXPECT_EQ(bv.popcount(), 2u);
+}
+
+TEST(BitVector, FillAndTailMasking)
+{
+    BitVector bv(70, true);
+    EXPECT_EQ(bv.popcount(), 70u);
+    bv.fill(false);
+    EXPECT_TRUE(bv.none());
+    bv.fill(true);
+    EXPECT_EQ(bv.popcount(), 70u);
+}
+
+TEST(BitVector, ResizeGrowWithValue)
+{
+    BitVector bv(10, false);
+    bv.resize(20, true);
+    EXPECT_EQ(bv.popcount(), 10u);
+    for (size_t i = 10; i < 20; ++i)
+        EXPECT_TRUE(bv.get(i));
+}
+
+TEST(BitVector, BitwiseOps)
+{
+    BitVector a(100);
+    BitVector b(100);
+    a.set(3, true);
+    a.set(70, true);
+    b.set(70, true);
+    b.set(99, true);
+
+    BitVector x = a;
+    x ^= b;
+    EXPECT_TRUE(x.get(3));
+    EXPECT_FALSE(x.get(70));
+    EXPECT_TRUE(x.get(99));
+
+    BitVector o = a;
+    o |= b;
+    EXPECT_EQ(o.popcount(), 3u);
+
+    BitVector n = a;
+    n &= b;
+    EXPECT_EQ(n.popcount(), 1u);
+    EXPECT_TRUE(n.get(70));
+}
+
+TEST(BitVector, SetBitsEnumeration)
+{
+    BitVector bv(200);
+    const std::vector<size_t> want = {0, 63, 64, 127, 128, 199};
+    for (size_t i : want)
+        bv.set(i, true);
+    EXPECT_EQ(bv.setBits(), want);
+}
+
+TEST(BitVector, Equality)
+{
+    BitVector a(50);
+    BitVector b(50);
+    EXPECT_EQ(a, b);
+    a.set(20, true);
+    EXPECT_NE(a, b);
+    b.set(20, true);
+    EXPECT_EQ(a, b);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowInRange)
+{
+    Rng rng(7);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const uint64_t value = rng.below(10);
+        EXPECT_LT(value, 10u);
+        seen.insert(value);
+    }
+    EXPECT_EQ(seen.size(), 10u); // All buckets hit.
+}
+
+TEST(Rng, UniformRange)
+{
+    Rng rng(9);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Stats, MeanAndGeomean)
+{
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(mean({2.0, 4.0}), 3.0);
+    EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-12);
+    EXPECT_NEAR(geomean({1.0, 1.0, 1.0}), 1.0, 1e-12);
+    // Zero entries are floored, not fatal.
+    EXPECT_GT(geomean({0.0, 1.0}), 0.0);
+    EXPECT_DOUBLE_EQ(maxOf({1.0, 5.0, 2.0}), 5.0);
+}
+
+TEST(Stats, Histogram)
+{
+    Histogram h(0.0, 10.0, 10);
+    for (int i = 0; i < 10; ++i)
+        h.add(i + 0.5);
+    EXPECT_EQ(h.count(), 10u);
+    for (size_t i = 0; i < 10; ++i) {
+        EXPECT_EQ(h.bins()[i], 1u);
+        EXPECT_NEAR(h.fraction(i), 0.1, 1e-12);
+    }
+    // Clamping at the edges.
+    h.add(-5.0);
+    h.add(50.0);
+    EXPECT_EQ(h.bins()[0], 2u);
+    EXPECT_EQ(h.bins()[9], 2u);
+    EXPECT_FALSE(h.render("label").empty());
+}
+
+TEST(ThreadPool, CoversAllIndices)
+{
+    std::vector<std::atomic<int>> hits(1000);
+    parallelFor(1000, [&](size_t i) { hits[i].fetch_add(1); });
+    for (const auto &hit : hits)
+        EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ThreadPool, SingleThreadFallback)
+{
+    std::vector<int> hits(100, 0);
+    parallelFor(100, [&](size_t i) { hits[i] += 1; }, 1);
+    for (int hit : hits)
+        EXPECT_EQ(hit, 1);
+}
+
+TEST(ThreadPool, EmptyRange)
+{
+    bool ran = false;
+    parallelFor(0, [&](size_t) { ran = true; });
+    EXPECT_FALSE(ran);
+}
+
+} // namespace
+} // namespace davf

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Command-line front end for DelayAVF analyses — the equivalent of the
+ * paper artifact's `run_all.sh` + configuration-json workflow (paper
+ * appendix E): pick a benchmark/payload, a structure, a delay range,
+ * sampling rates, and the ECC switch, and get DelayAVF / OrDelayAVF /
+ * sAVF rows on stdout or as CSV.
+ *
+ * Usage:
+ *   davf_run [options]
+ *     --benchmark NAME     md5|bubblesort|libstrstr|libfibcall|matmult|
+ *                          crc32|popcount              (default libstrstr)
+ *     --structure NAME     ALU|Decoder|Regfile|LSU|Prefetch (default ALU)
+ *     --delays LO:HI:STEP  delay fractions of the period (default
+ *                          0.1:0.9:0.2)
+ *     --ecc                protect the register file with SEC ECC
+ *     --cycles N           injection cycles (default 8)
+ *     --wires N            wire sample per structure, 0 = all (default 400)
+ *     --flops N            flop sample for sAVF, 0 = all (default 96)
+ *     --seed N             sampling seed (default 1)
+ *     --threads N          worker threads, 0 = all cores (default 0)
+ *     --savf               also run particle-strike sAVF on the structure
+ *     --sta-period         use the STA longest path as the clock (default:
+ *                          observed-max timing-closure emulation)
+ *     --csv FILE           append results as CSV rows
+ *     --list               list benchmarks and structures, then exit
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/report.hh"
+#include "core/vulnerability.hh"
+#include "isa/assembler.hh"
+#include "isa/benchmarks.hh"
+#include "soc/ibex_mini.hh"
+#include "soc/soc_workload.hh"
+
+using namespace davf;
+
+namespace {
+
+struct Options
+{
+    std::string benchmark = "libstrstr";
+    std::string structure = "ALU";
+    double delay_lo = 0.1;
+    double delay_hi = 0.9;
+    double delay_step = 0.2;
+    bool ecc = false;
+    bool run_savf = false;
+    bool sta_period = false;
+    SamplingConfig sampling;
+    std::string csv_path;
+};
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--benchmark N] [--structure N] "
+                 "[--delays LO:HI:STEP]\n"
+                 "          [--ecc] [--cycles N] [--wires N] [--flops N]"
+                 " [--seed N]\n"
+                 "          [--threads N] [--savf] [--sta-period] "
+                 "[--csv FILE] [--list]\n",
+                 argv0);
+    std::exit(2);
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options opts;
+    opts.sampling.maxInjectionCycles = 8;
+    opts.sampling.maxWires = 400;
+    opts.sampling.maxFlops = 96;
+
+    auto need = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            usage(argv[0]);
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--benchmark") {
+            opts.benchmark = need(i);
+        } else if (arg == "--structure") {
+            opts.structure = need(i);
+        } else if (arg == "--delays") {
+            const char *spec = need(i);
+            if (std::sscanf(spec, "%lf:%lf:%lf", &opts.delay_lo,
+                            &opts.delay_hi, &opts.delay_step)
+                != 3) {
+                usage(argv[0]);
+            }
+        } else if (arg == "--ecc") {
+            opts.ecc = true;
+        } else if (arg == "--savf") {
+            opts.run_savf = true;
+        } else if (arg == "--sta-period") {
+            opts.sta_period = true;
+        } else if (arg == "--cycles") {
+            opts.sampling.maxInjectionCycles =
+                static_cast<unsigned>(std::atoi(need(i)));
+        } else if (arg == "--wires") {
+            opts.sampling.maxWires =
+                static_cast<size_t>(std::atoll(need(i)));
+        } else if (arg == "--flops") {
+            opts.sampling.maxFlops =
+                static_cast<size_t>(std::atoll(need(i)));
+        } else if (arg == "--seed") {
+            opts.sampling.seed =
+                static_cast<uint64_t>(std::atoll(need(i)));
+        } else if (arg == "--threads") {
+            opts.sampling.threads =
+                static_cast<unsigned>(std::atoi(need(i)));
+        } else if (arg == "--csv") {
+            opts.csv_path = need(i);
+        } else if (arg == "--list") {
+            std::printf("benchmarks:");
+            for (const auto &program : beebsBenchmarks())
+                std::printf(" %s", program.name.c_str());
+            for (const auto &program : extraBenchmarks())
+                std::printf(" %s", program.name.c_str());
+            std::printf("\nstructures: ALU Decoder Regfile LSU "
+                        "Prefetch\n");
+            std::exit(0);
+        } else {
+            usage(argv[0]);
+        }
+    }
+    return opts;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opts = parse(argc, argv);
+
+    const BenchmarkProgram &program = beebsBenchmark(opts.benchmark);
+    IbexMiniConfig soc_config;
+    soc_config.eccRegfile = opts.ecc;
+    std::fprintf(stderr, "building IbexMini (%s regfile), assembling "
+                 "%s...\n",
+                 opts.ecc ? "ECC" : "plain", opts.benchmark.c_str());
+    IbexMini soc(soc_config, assemble(program.source));
+
+    const Structure *structure = soc.structures().find(opts.structure);
+    if (!structure) {
+        std::fprintf(stderr, "unknown structure '%s'\n",
+                     opts.structure.c_str());
+        return 2;
+    }
+
+    SocWorkload workload(soc);
+    EngineOptions engine_options;
+    if (!opts.sta_period) {
+        engine_options.periodMode =
+            EngineOptions::PeriodMode::ObservedMaxPlusMargin;
+    }
+    std::fprintf(stderr, "running golden capture...\n");
+    VulnerabilityEngine engine(soc.netlist(),
+                               CellLibrary::defaultLibrary(), workload,
+                               engine_options);
+    std::fprintf(stderr,
+                 "golden: %llu cycles, clock period %.1f ps\n\n",
+                 static_cast<unsigned long long>(engine.goldenCycles()),
+                 engine.clockPeriod());
+
+    std::ofstream csv;
+    if (!opts.csv_path.empty()) {
+        csv.open(opts.csv_path, std::ios::app);
+        if (!csv) {
+            std::fprintf(stderr, "cannot open %s\n",
+                         opts.csv_path.c_str());
+            return 2;
+        }
+        csv << delayAvfCsvHeader() << '\n';
+    }
+
+    std::printf("%-8s%12s%12s%10s%10s%8s%8s\n", "d", "DelayAVF",
+                "OrDelayAVF", "static", "dynamic", "SDC", "DUE");
+    for (double d = opts.delay_lo; d <= opts.delay_hi + 1e-9;
+         d += opts.delay_step) {
+        const DelayAvfResult result =
+            engine.delayAvf(*structure, d, opts.sampling);
+        std::printf("%-8.2f%12.5f%12.5f%10.3f%10.3f%8llu%8llu\n", d,
+                    result.delayAvf, result.orDelayAvf,
+                    result.staticWireFraction,
+                    result.dynamicWireFraction,
+                    static_cast<unsigned long long>(result.sdc),
+                    static_cast<unsigned long long>(result.due));
+        if (csv.is_open()) {
+            const std::string label = opts.structure
+                + (opts.ecc ? " (ECC)" : "");
+            csv << delayAvfCsvRow(opts.benchmark, label, d, result)
+                << '\n';
+        }
+    }
+
+    if (opts.run_savf) {
+        if (structure->flops.empty()) {
+            std::printf("\nsAVF: structure has no flops\n");
+        } else {
+            const SavfResult savf =
+                engine.savf(*structure, opts.sampling);
+            std::printf("\nsAVF = %.5f (%llu/%llu ACE; SDC %llu, "
+                        "DUE %llu)\n",
+                        savf.savf,
+                        static_cast<unsigned long long>(
+                            savf.aceInjections),
+                        static_cast<unsigned long long>(
+                            savf.injections),
+                        static_cast<unsigned long long>(savf.sdc),
+                        static_cast<unsigned long long>(savf.due));
+        }
+    }
+    return 0;
+}
