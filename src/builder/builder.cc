@@ -1,0 +1,574 @@
+#include "builder.hh"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/logging.hh"
+
+namespace davf {
+
+void
+ModuleBuilder::pushScope(const std::string &name)
+{
+    prefixLengths.push_back(prefix.size());
+    prefix += name;
+    prefix += '/';
+}
+
+void
+ModuleBuilder::popScope()
+{
+    davf_assert(!prefixLengths.empty(), "popScope with no open scope");
+    prefix.resize(prefixLengths.back());
+    prefixLengths.pop_back();
+}
+
+std::string
+ModuleBuilder::cellName(const std::string &hint)
+{
+    return prefix + hint + "#" + std::to_string(nameCounter++);
+}
+
+std::string
+ModuleBuilder::netName(const std::string &hint)
+{
+    return prefix + hint + "." + std::to_string(nameCounter++);
+}
+
+NetId
+ModuleBuilder::freshNet(const std::string &hint)
+{
+    return nl->addNet(netName(hint));
+}
+
+Bus
+ModuleBuilder::freshBus(unsigned width, const std::string &hint)
+{
+    Bus bus(width);
+    for (unsigned i = 0; i < width; ++i)
+        bus[i] = freshNet(hint + std::to_string(i));
+    return bus;
+}
+
+NetId
+ModuleBuilder::input(const std::string &name)
+{
+    // The net carries the bare port name so findNet(name) works.
+    const NetId net = nl->addNet(prefix + name);
+    nl->addCell(CellType::Input, prefix + name + ".in", {}, {{net}});
+    return net;
+}
+
+Bus
+ModuleBuilder::inputBus(const std::string &name, unsigned width)
+{
+    Bus bus(width);
+    for (unsigned i = 0; i < width; ++i)
+        bus[i] = input(name + std::to_string(i));
+    return bus;
+}
+
+void
+ModuleBuilder::output(const std::string &name, NetId net)
+{
+    nl->addCell(CellType::Output, prefix + name + ".out", {{net}}, {});
+}
+
+NetId
+ModuleBuilder::constant(bool value)
+{
+    NetId &cached = constNets[value ? 1 : 0];
+    if (cached == kInvalidId) {
+        cached = nl->addNet(netName(value ? "const1" : "const0"));
+        nl->addCell(value ? CellType::Const1 : CellType::Const0,
+                    cellName(value ? "const1" : "const0"), {},
+                    {{cached}});
+    }
+    return cached;
+}
+
+Bus
+ModuleBuilder::constantBus(unsigned width, uint64_t value)
+{
+    Bus bus(width);
+    for (unsigned i = 0; i < width; ++i)
+        bus[i] = constant((value >> i) & 1);
+    return bus;
+}
+
+void
+ModuleBuilder::connect(NetId dst, NetId src)
+{
+    nl->addCell(CellType::Buf, cellName("conn"), {{src}}, {{dst}});
+}
+
+void
+ModuleBuilder::connectBus(const Bus &dst, const Bus &src)
+{
+    davf_assert(dst.size() == src.size(),
+                "connectBus width mismatch: ", dst.size(), " vs ",
+                src.size());
+    for (size_t i = 0; i < dst.size(); ++i)
+        connect(dst[i], src[i]);
+}
+
+NetId
+ModuleBuilder::gate(CellType type, std::initializer_list<NetId> inputs)
+{
+    std::string hint{cellTypeName(type)};
+    for (char &c : hint)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    const NetId out = nl->addNet(netName(hint));
+    nl->addCell(type, cellName(hint),
+                {inputs.begin(), inputs.size()}, {{out}});
+    return out;
+}
+
+NetId
+ModuleBuilder::buf(NetId a)
+{
+    return gate(CellType::Buf, {a});
+}
+
+NetId
+ModuleBuilder::inv(NetId a)
+{
+    return gate(CellType::Inv, {a});
+}
+
+NetId
+ModuleBuilder::and2(NetId a, NetId b)
+{
+    return gate(CellType::And2, {a, b});
+}
+
+NetId
+ModuleBuilder::or2(NetId a, NetId b)
+{
+    return gate(CellType::Or2, {a, b});
+}
+
+NetId
+ModuleBuilder::nand2(NetId a, NetId b)
+{
+    return gate(CellType::Nand2, {a, b});
+}
+
+NetId
+ModuleBuilder::nor2(NetId a, NetId b)
+{
+    return gate(CellType::Nor2, {a, b});
+}
+
+NetId
+ModuleBuilder::xor2(NetId a, NetId b)
+{
+    return gate(CellType::Xor2, {a, b});
+}
+
+NetId
+ModuleBuilder::xnor2(NetId a, NetId b)
+{
+    return gate(CellType::Xnor2, {a, b});
+}
+
+NetId
+ModuleBuilder::mux(NetId sel, NetId a, NetId b)
+{
+    return gate(CellType::Mux2, {a, b, sel});
+}
+
+NetId
+ModuleBuilder::dff(NetId d, bool reset_value, const std::string &hint)
+{
+    const NetId q = nl->addNet(netName(hint + "_q"));
+    nl->addCell(CellType::Dff, cellName(hint), {{d}}, {{q}},
+                reset_value);
+    return q;
+}
+
+NetId
+ModuleBuilder::dffe(NetId d, NetId en, bool reset_value,
+                    const std::string &hint)
+{
+    const NetId q = nl->addNet(netName(hint + "_q"));
+    nl->addCell(CellType::Dffe, cellName(hint), {{d, en}}, {{q}},
+                reset_value);
+    return q;
+}
+
+Bus
+ModuleBuilder::regB(const Bus &d, uint64_t reset_value,
+                    const std::string &hint)
+{
+    Bus q(d.size());
+    for (size_t i = 0; i < d.size(); ++i) {
+        q[i] = dff(d[i], (reset_value >> i) & 1,
+                   hint + std::to_string(i));
+    }
+    return q;
+}
+
+Bus
+ModuleBuilder::regE(const Bus &d, NetId en, uint64_t reset_value,
+                    const std::string &hint)
+{
+    Bus q(d.size());
+    for (size_t i = 0; i < d.size(); ++i) {
+        q[i] = dffe(d[i], en, (reset_value >> i) & 1,
+                    hint + std::to_string(i));
+    }
+    return q;
+}
+
+Bus
+ModuleBuilder::andB(const Bus &a, const Bus &b)
+{
+    davf_assert(a.size() == b.size(), "andB width mismatch");
+    Bus out(a.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        out[i] = and2(a[i], b[i]);
+    return out;
+}
+
+Bus
+ModuleBuilder::orB(const Bus &a, const Bus &b)
+{
+    davf_assert(a.size() == b.size(), "orB width mismatch");
+    Bus out(a.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        out[i] = or2(a[i], b[i]);
+    return out;
+}
+
+Bus
+ModuleBuilder::xorB(const Bus &a, const Bus &b)
+{
+    davf_assert(a.size() == b.size(), "xorB width mismatch");
+    Bus out(a.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        out[i] = xor2(a[i], b[i]);
+    return out;
+}
+
+Bus
+ModuleBuilder::notB(const Bus &a)
+{
+    Bus out(a.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        out[i] = inv(a[i]);
+    return out;
+}
+
+Bus
+ModuleBuilder::muxB(NetId sel, const Bus &a, const Bus &b)
+{
+    davf_assert(a.size() == b.size(), "muxB width mismatch: ", a.size(),
+                " vs ", b.size());
+    Bus out(a.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        out[i] = mux(sel, a[i], b[i]);
+    return out;
+}
+
+Bus
+ModuleBuilder::adder(const Bus &a, const Bus &b, NetId cin, NetId *cout)
+{
+    return koggeStoneAdder(a, b, cin, cout);
+}
+
+Bus
+ModuleBuilder::rippleAdder(const Bus &a, const Bus &b, NetId cin,
+                           NetId *cout)
+{
+    davf_assert(a.size() == b.size(), "adder width mismatch");
+    Bus sum(a.size());
+    NetId carry = cin;
+    for (size_t i = 0; i < a.size(); ++i) {
+        const NetId p = xor2(a[i], b[i]);
+        sum[i] = xor2(p, carry);
+        carry = or2(and2(a[i], b[i]), and2(p, carry));
+    }
+    if (cout)
+        *cout = carry;
+    return sum;
+}
+
+Bus
+ModuleBuilder::koggeStoneAdder(const Bus &a, const Bus &b, NetId cin,
+                               NetId *cout)
+{
+    davf_assert(a.size() == b.size(), "adder width mismatch");
+    const size_t n = a.size();
+
+    // Bit-level generate/propagate, then the parallel-prefix combine:
+    // after the sweep, g[i]/p[i] describe the span [0..i].
+    Bus g(n), p(n), p0(n);
+    for (size_t i = 0; i < n; ++i) {
+        g[i] = and2(a[i], b[i]);
+        p[i] = xor2(a[i], b[i]);
+        p0[i] = p[i];
+    }
+    for (size_t dist = 1; dist < n; dist *= 2) {
+        Bus g_next = g, p_next = p;
+        for (size_t i = dist; i < n; ++i) {
+            g_next[i] = or2(g[i], and2(p[i], g[i - dist]));
+            p_next[i] = and2(p[i], p[i - dist]);
+        }
+        g = std::move(g_next);
+        p = std::move(p_next);
+    }
+
+    // carry into bit i = G[i-1:0] | (P[i-1:0] & cin); bit 0 gets cin.
+    Bus sum(n);
+    for (size_t i = 0; i < n; ++i) {
+        const NetId carry_in = i == 0
+            ? cin
+            : or2(g[i - 1], and2(p[i - 1], cin));
+        sum[i] = xor2(p0[i], carry_in);
+    }
+    if (cout)
+        *cout = or2(g[n - 1], and2(p[n - 1], cin));
+    return sum;
+}
+
+Bus
+ModuleBuilder::subtractor(const Bus &a, const Bus &b)
+{
+    return adder(a, notB(b), constant(true));
+}
+
+NetId
+ModuleBuilder::equal(const Bus &a, const Bus &b)
+{
+    davf_assert(a.size() == b.size(), "equal width mismatch");
+    Bus bits(a.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        bits[i] = xnor2(a[i], b[i]);
+    return reduceAnd(bits);
+}
+
+NetId
+ModuleBuilder::lessThanUnsigned(const Bus &a, const Bus &b)
+{
+    // a < b iff a - b borrows, i.e. a + ~b + 1 has no carry out.
+    NetId carry = kInvalidId;
+    koggeStoneAdder(a, notB(b), constant(true), &carry);
+    return inv(carry);
+}
+
+NetId
+ModuleBuilder::lessThanSigned(const Bus &a, const Bus &b)
+{
+    davf_assert(!a.empty() && a.size() == b.size(),
+                "lessThanSigned width mismatch");
+    const NetId sa = a.back();
+    const NetId sb = b.back();
+    const NetId ltu = lessThanUnsigned(a, b);
+    // Same signs: unsigned compare is correct. Different signs: a < b
+    // iff a is the negative one.
+    return mux(xor2(sa, sb), ltu, sa);
+}
+
+Bus
+ModuleBuilder::barrelShift(const Bus &value, const Bus &amount,
+                           bool right, bool arith)
+{
+    if (right) {
+        const NetId fill =
+            arith ? value.back() : constant(false);
+        return barrelShiftRightFill(value, amount, fill);
+    }
+    const size_t n = value.size();
+    Bus cur = value;
+    for (size_t k = 0; k < amount.size(); ++k) {
+        const size_t step = size_t{1} << k;
+        Bus next(n);
+        for (size_t i = 0; i < n; ++i) {
+            const NetId shifted =
+                i >= step ? cur[i - step] : constant(false);
+            next[i] = mux(amount[k], cur[i], shifted);
+        }
+        cur = std::move(next);
+    }
+    return cur;
+}
+
+Bus
+ModuleBuilder::barrelShiftRightFill(const Bus &value, const Bus &amount,
+                                    NetId fill)
+{
+    const size_t n = value.size();
+    Bus cur = value;
+    for (size_t k = 0; k < amount.size(); ++k) {
+        const size_t step = size_t{1} << k;
+        Bus next(n);
+        for (size_t i = 0; i < n; ++i) {
+            const NetId shifted = i + step < n ? cur[i + step] : fill;
+            next[i] = mux(amount[k], cur[i], shifted);
+        }
+        cur = std::move(next);
+    }
+    return cur;
+}
+
+Bus
+ModuleBuilder::decode(const Bus &sel)
+{
+    davf_assert(sel.size() <= 16, "decode too wide");
+    Bus inv_sel(sel.size());
+    for (size_t i = 0; i < sel.size(); ++i)
+        inv_sel[i] = inv(sel[i]);
+
+    const size_t count = size_t{1} << sel.size();
+    Bus out(count);
+    for (size_t value = 0; value < count; ++value) {
+        Bus literals(sel.size());
+        for (size_t i = 0; i < sel.size(); ++i)
+            literals[i] = (value >> i) & 1 ? sel[i] : inv_sel[i];
+        out[value] = reduceAnd(literals);
+    }
+    return out;
+}
+
+Bus
+ModuleBuilder::muxTree(const Bus &sel, const std::vector<Bus> &choices)
+{
+    davf_assert(!choices.empty(), "muxTree with no choices");
+    davf_assert(choices.size() <= (size_t{1} << sel.size()),
+                "muxTree: too many choices for ", sel.size(),
+                " select bits");
+    std::vector<Bus> level = choices;
+    for (size_t k = 0; k < sel.size() && level.size() > 1; ++k) {
+        std::vector<Bus> next;
+        next.reserve((level.size() + 1) / 2);
+        for (size_t i = 0; i + 1 < level.size(); i += 2)
+            next.push_back(muxB(sel[k], level[i], level[i + 1]));
+        if (level.size() % 2 != 0)
+            next.push_back(level.back());
+        level = std::move(next);
+    }
+    return level.front();
+}
+
+Bus
+ModuleBuilder::onehotMux(const Bus &sels, const std::vector<Bus> &choices)
+{
+    davf_assert(sels.size() == choices.size(),
+                "onehotMux select/choice count mismatch");
+    davf_assert(!choices.empty(), "onehotMux with no choices");
+    const size_t width = choices.front().size();
+    Bus out(width);
+    Bus terms(choices.size());
+    for (size_t bit = 0; bit < width; ++bit) {
+        for (size_t j = 0; j < choices.size(); ++j) {
+            davf_assert(choices[j].size() == width,
+                        "onehotMux choice width mismatch");
+            terms[j] = and2(sels[j], choices[j][bit]);
+        }
+        out[bit] = reduceOr(terms);
+    }
+    return out;
+}
+
+template <typename Combine>
+NetId
+ModuleBuilder::reduceTree(const Bus &a, Combine &&combine)
+{
+    davf_assert(!a.empty(), "reduction over an empty bus");
+    Bus level = a;
+    while (level.size() > 1) {
+        Bus next;
+        next.reserve((level.size() + 1) / 2);
+        for (size_t i = 0; i + 1 < level.size(); i += 2)
+            next.push_back(combine(level[i], level[i + 1]));
+        if (level.size() % 2 != 0)
+            next.push_back(level.back());
+        level = std::move(next);
+    }
+    return level.front();
+}
+
+NetId
+ModuleBuilder::reduceAnd(const Bus &a)
+{
+    return reduceTree(a,
+                      [&](NetId x, NetId y) { return and2(x, y); });
+}
+
+NetId
+ModuleBuilder::reduceOr(const Bus &a)
+{
+    return reduceTree(a, [&](NetId x, NetId y) { return or2(x, y); });
+}
+
+NetId
+ModuleBuilder::reduceXor(const Bus &a)
+{
+    return reduceTree(a,
+                      [&](NetId x, NetId y) { return xor2(x, y); });
+}
+
+Bus
+ModuleBuilder::popcountTree(const Bus &a)
+{
+    davf_assert(!a.empty(), "popcount over an empty bus");
+    std::vector<Bus> level;
+    level.reserve(a.size());
+    for (NetId bit : a)
+        level.push_back(Bus{bit});
+
+    while (level.size() > 1) {
+        std::vector<Bus> next;
+        next.reserve((level.size() + 1) / 2);
+        for (size_t i = 0; i + 1 < level.size(); i += 2) {
+            Bus lhs = level[i];
+            Bus rhs = level[i + 1];
+            const size_t width = std::max(lhs.size(), rhs.size());
+            lhs.resize(width, constant(false));
+            rhs.resize(width, constant(false));
+            NetId carry = kInvalidId;
+            Bus sum = rippleAdder(lhs, rhs, constant(false), &carry);
+            sum.push_back(carry);
+            next.push_back(std::move(sum));
+        }
+        if (level.size() % 2 != 0)
+            next.push_back(level.back());
+        level = std::move(next);
+    }
+    return level.front();
+}
+
+Bus
+ModuleBuilder::priorityEncode(const Bus &a, NetId *any)
+{
+    davf_assert(!a.empty(), "priorityEncode over an empty bus");
+    const size_t n = a.size();
+
+    // first[j] = a[j] & no lower bit set.
+    Bus first(n);
+    NetId lower_any = kInvalidId;
+    for (size_t j = 0; j < n; ++j) {
+        first[j] = j == 0 ? a[0] : and2(a[j], inv(lower_any));
+        lower_any = j == 0 ? a[0] : or2(lower_any, a[j]);
+    }
+    if (any)
+        *any = lower_any;
+
+    unsigned bits = 0;
+    while ((size_t{1} << bits) < n)
+        ++bits;
+    Bus index(bits);
+    Bus terms;
+    for (unsigned k = 0; k < bits; ++k) {
+        terms.clear();
+        for (size_t j = 0; j < n; ++j) {
+            if ((j >> k) & 1)
+                terms.push_back(first[j]);
+        }
+        index[k] = terms.empty() ? constant(false) : reduceOr(terms);
+    }
+    return index;
+}
+
+} // namespace davf

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * A structural RTL builder DSL over the netlist graph.
+ *
+ * ModuleBuilder lets designs be described as C++ expressions over nets
+ * and buses (vectors of nets) instead of raw addCell() calls: primitive
+ * gates, registers, and the datapath blocks the IbexMini core and the
+ * test circuits need (adders, barrel shifters, decoders, mux trees,
+ * popcount/priority trees, comparators). Every emitted cell carries a
+ * hierarchical '/'-separated name under the current scope, which is what
+ * associates it with a microarchitectural structure (see
+ * netlist/structure.hh).
+ *
+ * Forward references (feedback paths, cross-module signals) use
+ * freshNet()/freshBus() to create undriven nets and connect() to attach
+ * their driver later; connect() emits a BUF cell, mirroring how a
+ * synthesis netlist stitches hierarchy boundaries.
+ */
+
+#ifndef DAVF_BUILDER_BUILDER_HH
+#define DAVF_BUILDER_BUILDER_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/netlist.hh"
+
+namespace davf {
+
+/** A bus: an ordered vector of nets, LSB first. */
+using Bus = std::vector<NetId>;
+
+/** Structural builder over one (not yet finalized) netlist. */
+class ModuleBuilder
+{
+  public:
+    explicit ModuleBuilder(Netlist &netlist) : nl(&netlist) {}
+
+    Netlist &netlist() { return *nl; }
+
+    /** @name Hierarchical scopes */
+    /// @{
+
+    /** Enter scope @p name; cells created inside are prefixed. */
+    void pushScope(const std::string &name);
+
+    /** Leave the innermost scope. */
+    void popScope();
+
+    /** Current prefix, e.g. "top/alu/" (empty at top level). */
+    const std::string &scopePrefix() const { return prefix; }
+
+    /// @}
+    /** @name Nets, ports, and constants */
+    /// @{
+
+    /** A fresh, yet-undriven net (connect its driver later). */
+    NetId freshNet(const std::string &hint = "n");
+
+    /** A bus of @p width fresh undriven nets. */
+    Bus freshBus(unsigned width, const std::string &hint = "b");
+
+    /** A primary input. */
+    NetId input(const std::string &name);
+
+    /** A bus of @p width primary inputs (name + bit index). */
+    Bus inputBus(const std::string &name, unsigned width);
+
+    /** Mark @p net as a primary output named @p name. */
+    void output(const std::string &name, NetId net);
+
+    /** Constant 0/1 driver (cached: one cell per value per builder). */
+    NetId constant(bool value);
+
+    /** Bus of constant bits spelling @p value (LSB first). */
+    Bus constantBus(unsigned width, uint64_t value);
+
+    /** Drive the fresh net @p dst from @p src (emits a BUF). */
+    void connect(NetId dst, NetId src);
+
+    /** Element-wise connect(); widths must match. */
+    void connectBus(const Bus &dst, const Bus &src);
+
+    /// @}
+    /** @name Primitive gates */
+    /// @{
+
+    NetId buf(NetId a);
+    NetId inv(NetId a);
+    NetId and2(NetId a, NetId b);
+    NetId or2(NetId a, NetId b);
+    NetId nand2(NetId a, NetId b);
+    NetId nor2(NetId a, NetId b);
+    NetId xor2(NetId a, NetId b);
+    NetId xnor2(NetId a, NetId b);
+
+    /** 2:1 mux: @p sel ? @p b : @p a. */
+    NetId mux(NetId sel, NetId a, NetId b);
+
+    NetId and3(NetId a, NetId b, NetId c) { return and2(and2(a, b), c); }
+    NetId or3(NetId a, NetId b, NetId c) { return or2(or2(a, b), c); }
+
+    /// @}
+    /** @name Registers */
+    /// @{
+
+    /** D flip-flop; returns the Q net. */
+    NetId dff(NetId d, bool reset_value = false,
+              const std::string &hint = "ff");
+
+    /** D flip-flop with enable; returns the Q net. */
+    NetId dffe(NetId d, NetId en, bool reset_value = false,
+               const std::string &hint = "ffe");
+
+    /** Register bus: one DFF per bit of @p d, reset to @p reset_value. */
+    Bus regB(const Bus &d, uint64_t reset_value = 0,
+             const std::string &hint = "reg");
+
+    /** Enabled register bus: one DFFE per bit, shared enable. */
+    Bus regE(const Bus &d, NetId en, uint64_t reset_value = 0,
+             const std::string &hint = "reg");
+
+    /// @}
+    /** @name Bus logic */
+    /// @{
+
+    Bus andB(const Bus &a, const Bus &b);
+    Bus orB(const Bus &a, const Bus &b);
+    Bus xorB(const Bus &a, const Bus &b);
+    Bus notB(const Bus &a);
+
+    /** Element-wise 2:1 mux: @p sel ? @p b : @p a. */
+    Bus muxB(NetId sel, const Bus &a, const Bus &b);
+
+    /// @}
+    /** @name Arithmetic and comparison */
+    /// @{
+
+    /** The default adder (Kogge-Stone). */
+    Bus adder(const Bus &a, const Bus &b, NetId cin,
+              NetId *cout = nullptr);
+
+    /** Ripple-carry adder: minimal area, O(n) depth. */
+    Bus rippleAdder(const Bus &a, const Bus &b, NetId cin,
+                    NetId *cout = nullptr);
+
+    /** Kogge-Stone parallel-prefix adder: O(log n) depth. */
+    Bus koggeStoneAdder(const Bus &a, const Bus &b, NetId cin,
+                        NetId *cout = nullptr);
+
+    /** a - b (two's complement). */
+    Bus subtractor(const Bus &a, const Bus &b);
+
+    NetId equal(const Bus &a, const Bus &b);
+    NetId lessThanUnsigned(const Bus &a, const Bus &b);
+    NetId lessThanSigned(const Bus &a, const Bus &b);
+
+    /// @}
+    /** @name Shifters, decoders, and selection trees */
+    /// @{
+
+    /**
+     * Logarithmic barrel shifter.
+     *
+     * @param value  the shifted operand.
+     * @param amount shift amount bus (LSB first).
+     * @param right  shift right if true, else left.
+     * @param arith  right shifts fill with value's MSB instead of 0.
+     */
+    Bus barrelShift(const Bus &value, const Bus &amount, bool right,
+                    bool arith);
+
+    /** Right shifter whose fill bit is the (dynamic) net @p fill. */
+    Bus barrelShiftRightFill(const Bus &value, const Bus &amount,
+                             NetId fill);
+
+    /** Binary-to-one-hot decoder: 1 << sel.size() outputs. */
+    Bus decode(const Bus &sel);
+
+    /** Binary-select mux tree over equal-width choices. */
+    Bus muxTree(const Bus &sel, const std::vector<Bus> &choices);
+
+    /** One-hot mux (AND-OR): zero when no select is hot. */
+    Bus onehotMux(const Bus &sels, const std::vector<Bus> &choices);
+
+    NetId reduceAnd(const Bus &a);
+    NetId reduceOr(const Bus &a);
+    NetId reduceXor(const Bus &a);
+
+    /** Population count: clog2(n)+1 output bits for n input bits. */
+    Bus popcountTree(const Bus &a);
+
+    /**
+     * Index of the lowest set bit (clog2(n) bits); @p any (optional)
+     * is the OR of all inputs. The index is 0 when nothing is set.
+     */
+    Bus priorityEncode(const Bus &a, NetId *any = nullptr);
+
+    /// @}
+
+  private:
+    /** Unique cell name under the current scope. */
+    std::string cellName(const std::string &hint);
+
+    /** Unique net name under the current scope. */
+    std::string netName(const std::string &hint);
+
+    /** Emit a gate cell with a fresh output net. */
+    NetId gate(CellType type, std::initializer_list<NetId> inputs);
+
+    /** Balanced binary reduction with @p combine. */
+    template <typename Combine>
+    NetId reduceTree(const Bus &a, Combine &&combine);
+
+    Netlist *nl;
+    std::string prefix;
+    std::vector<size_t> prefixLengths;
+    uint64_t nameCounter = 0;
+    NetId constNets[2] = {kInvalidId, kInvalidId};
+};
+
+/** RAII scope helper: pushScope on construction, popScope on exit. */
+class BuilderScope
+{
+  public:
+    BuilderScope(ModuleBuilder &builder, const std::string &name)
+        : b(&builder)
+    {
+        b->pushScope(name);
+    }
+
+    ~BuilderScope() { b->popScope(); }
+
+    BuilderScope(const BuilderScope &) = delete;
+    BuilderScope &operator=(const BuilderScope &) = delete;
+
+  private:
+    ModuleBuilder *b;
+};
+
+} // namespace davf
+
+#endif // DAVF_BUILDER_BUILDER_HH

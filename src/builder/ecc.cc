@@ -1,0 +1,153 @@
+#include "ecc.hh"
+
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace davf {
+
+namespace {
+
+/** True if Hamming position @p pos (1-based) holds a parity bit. */
+bool
+isParityPosition(unsigned pos)
+{
+    return (pos & (pos - 1)) == 0;
+}
+
+/** Data positions (1-based), ascending, for @p data_bits of data. */
+std::vector<unsigned>
+dataPositions(unsigned data_bits)
+{
+    std::vector<unsigned> positions;
+    positions.reserve(data_bits);
+    const unsigned n = eccCodeWidth(data_bits);
+    for (unsigned pos = 1; pos <= n; ++pos) {
+        if (!isParityPosition(pos))
+            positions.push_back(pos);
+    }
+    davf_assert(positions.size() == data_bits,
+                "ecc layout mismatch for ", data_bits, " data bits");
+    return positions;
+}
+
+} // namespace
+
+unsigned
+eccParityBits(unsigned data_bits)
+{
+    davf_assert(data_bits >= 1 && data_bits <= 57,
+                "unsupported ecc data width ", data_bits);
+    unsigned r = 1;
+    while ((1u << r) < data_bits + r + 1)
+        ++r;
+    return r;
+}
+
+unsigned
+eccCodeWidth(unsigned data_bits)
+{
+    return data_bits + eccParityBits(data_bits);
+}
+
+uint64_t
+eccEncodeSoft(uint64_t data, unsigned data_bits)
+{
+    const unsigned r = eccParityBits(data_bits);
+    const std::vector<unsigned> positions = dataPositions(data_bits);
+
+    uint64_t code = 0;
+    for (unsigned i = 0; i < data_bits; ++i) {
+        if ((data >> i) & 1)
+            code |= uint64_t{1} << (positions[i] - 1);
+    }
+    // Parity bit i covers every position with bit i set in its index;
+    // choose it so the covered XOR (parity included) is zero.
+    for (unsigned i = 0; i < r; ++i) {
+        const unsigned parity_pos = 1u << i;
+        unsigned parity = 0;
+        for (unsigned pos = 1; pos <= eccCodeWidth(data_bits); ++pos) {
+            if ((pos & parity_pos) && ((code >> (pos - 1)) & 1))
+                parity ^= 1;
+        }
+        if (parity)
+            code |= uint64_t{1} << (parity_pos - 1);
+    }
+    return code;
+}
+
+uint64_t
+eccCorrectSoft(uint64_t code, unsigned data_bits)
+{
+    const unsigned n = eccCodeWidth(data_bits);
+    unsigned syndrome = 0;
+    for (unsigned pos = 1; pos <= n; ++pos) {
+        if ((code >> (pos - 1)) & 1)
+            syndrome ^= pos;
+    }
+    if (syndrome != 0 && syndrome <= n)
+        code ^= uint64_t{1} << (syndrome - 1);
+
+    const std::vector<unsigned> positions = dataPositions(data_bits);
+    uint64_t data = 0;
+    for (unsigned i = 0; i < data_bits; ++i) {
+        if ((code >> (positions[i] - 1)) & 1)
+            data |= uint64_t{1} << i;
+    }
+    return data;
+}
+
+Bus
+eccEncode(ModuleBuilder &b, const Bus &data)
+{
+    const auto data_bits = static_cast<unsigned>(data.size());
+    const unsigned r = eccParityBits(data_bits);
+    const unsigned n = eccCodeWidth(data_bits);
+    const std::vector<unsigned> positions = dataPositions(data_bits);
+
+    Bus code(n, kInvalidId);
+    for (unsigned i = 0; i < data_bits; ++i)
+        code[positions[i] - 1] = data[i];
+
+    for (unsigned i = 0; i < r; ++i) {
+        const unsigned parity_pos = 1u << i;
+        Bus covered;
+        for (unsigned pos = 1; pos <= n; ++pos) {
+            if ((pos & parity_pos) && !isParityPosition(pos))
+                covered.push_back(code[pos - 1]);
+        }
+        code[parity_pos - 1] = b.reduceXor(covered);
+    }
+    return code;
+}
+
+Bus
+eccCorrect(ModuleBuilder &b, const Bus &code, unsigned data_bits)
+{
+    const unsigned r = eccParityBits(data_bits);
+    const unsigned n = eccCodeWidth(data_bits);
+    davf_assert(code.size() == n, "ecc codeword width mismatch");
+
+    // Syndrome bit i = XOR of every position with bit i set (parity
+    // included); the syndrome spells the flipped position, 0 if clean.
+    Bus syndrome(r);
+    for (unsigned i = 0; i < r; ++i) {
+        Bus covered;
+        for (unsigned pos = 1; pos <= n; ++pos) {
+            if (pos & (1u << i))
+                covered.push_back(code[pos - 1]);
+        }
+        syndrome[i] = b.reduceXor(covered);
+    }
+
+    // Data bit = code bit XOR (syndrome == its position).
+    const Bus dec = b.decode(syndrome);
+    const std::vector<unsigned> positions = dataPositions(data_bits);
+    Bus data(data_bits);
+    for (unsigned i = 0; i < data_bits; ++i) {
+        data[i] = b.xor2(code[positions[i] - 1], dec[positions[i]]);
+    }
+    return data;
+}
+
+} // namespace davf

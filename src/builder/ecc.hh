@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Single-error-correcting Hamming ECC, soft and gate-level.
+ *
+ * The paper's ECC case study (§VI-C, Fig. 11) protects the Ibex register
+ * file with a SEC code and no double-error detection: every single-bit
+ * codeword error is corrected transparently, while multi-bit errors can
+ * silently mis-correct — exactly the behaviour Table III's
+ * ACE-compounding analysis relies on.
+ *
+ * Codewords use the classic Hamming layout: positions 1..n with parity
+ * bits at the powers of two and data bits filling the remaining
+ * positions in ascending order. Code bit i of the Bus/uint64_t forms
+ * corresponds to position i+1. For k = 32 data bits this gives r = 6
+ * parity bits and a 38-bit codeword.
+ *
+ * The soft model (eccEncodeSoft/eccCorrectSoft) is the specification;
+ * the gate-level builders (eccEncode/eccCorrect) emit XOR trees plus a
+ * syndrome decoder and are verified equivalent by tests/test_ecc.cc.
+ */
+
+#ifndef DAVF_BUILDER_ECC_HH
+#define DAVF_BUILDER_ECC_HH
+
+#include <cstdint>
+
+#include "builder/builder.hh"
+
+namespace davf {
+
+/** Number of Hamming parity bits for @p data_bits of data. */
+unsigned eccParityBits(unsigned data_bits);
+
+/** Codeword width: data_bits + eccParityBits(data_bits). */
+unsigned eccCodeWidth(unsigned data_bits);
+
+/** Encode @p data (low @p data_bits bits) into a codeword. */
+uint64_t eccEncodeSoft(uint64_t data, unsigned data_bits);
+
+/**
+ * Decode @p code, correcting up to one flipped bit. Multi-bit errors
+ * silently decode to wrong data (no detection).
+ */
+uint64_t eccCorrectSoft(uint64_t code, unsigned data_bits);
+
+/** Gate-level encoder: @p data.size() data bits -> codeword bus. */
+Bus eccEncode(ModuleBuilder &b, const Bus &data);
+
+/** Gate-level corrector: codeword bus -> @p data_bits corrected data. */
+Bus eccCorrect(ModuleBuilder &b, const Bus &code, unsigned data_bits);
+
+} // namespace davf
+
+#endif // DAVF_BUILDER_ECC_HH

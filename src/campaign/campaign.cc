@@ -1,0 +1,272 @@
+#include "campaign.hh"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "core/report.hh"
+#include "util/atomic_file.hh"
+#include "util/logging.hh"
+
+namespace davf {
+
+namespace {
+
+/** FNV-1a 64, printed as hex: the journal's config fingerprint. */
+std::string
+fnv1aHex(const std::string &text)
+{
+    uint64_t hash = 0xcbf29ce484222325ull;
+    for (unsigned char c : text) {
+        hash ^= c;
+        hash *= 0x100000001b3ull;
+    }
+    std::ostringstream os;
+    os << std::hex << hash;
+    return os.str();
+}
+
+double
+delayFromKey(const CheckpointKey &key)
+{
+    return std::strtod(key.delay.c_str(), nullptr);
+}
+
+} // namespace
+
+std::string
+campaignConfigHash(const CampaignOptions &options)
+{
+    std::ostringstream os;
+    os << "benchmark=" << options.benchmark << ";structures=";
+    for (const std::string &name : options.structures)
+        os << name << ',';
+    os << ";delays=";
+    for (double d : options.delays)
+        os << canonicalDelay(d) << ',';
+    os << ";savf=" << (options.runSavf ? 1 : 0)
+       << ";cycleFraction=" << canonicalDelay(options.sampling.cycleFraction)
+       << ";maxInjectionCycles=" << options.sampling.maxInjectionCycles
+       << ";maxWires=" << options.sampling.maxWires
+       << ";maxFlops=" << options.sampling.maxFlops
+       << ";seed=" << options.sampling.seed
+       << ";watchdogSlack=" << options.sampling.watchdogSlack;
+    return fnv1aHex(os.str());
+}
+
+Campaign::Campaign(VulnerabilityEngine &the_engine,
+                   const StructureRegistry &structures,
+                   CampaignOptions the_options)
+    : engine(&the_engine), registry(&structures),
+      options(std::move(the_options))
+{
+    journal.configHash = campaignConfigHash(options);
+}
+
+void
+Campaign::save() const
+{
+    if (options.checkpointPath.empty())
+        return;
+    saveCheckpoint(options.checkpointPath, journal);
+    if (options.onCheckpointSaved)
+        options.onCheckpointSaved();
+}
+
+void
+Campaign::flushCsv(const CampaignSummary &summary) const
+{
+    if (options.csvPath.empty())
+        return;
+    std::ostringstream os;
+    os << delayAvfCsvHeader() << '\n';
+    for (const CampaignCellResult &cell : summary.cells) {
+        if (cell.key.kind != "davf" || cell.failed)
+            continue;
+        os << delayAvfCsvRow(cell.key.benchmark,
+                             cell.key.structure + options.structureLabel,
+                             cell.delay, cell.davf)
+           << '\n';
+    }
+    writeFileAtomic(options.csvPath, os.str());
+}
+
+CampaignSummary
+Campaign::run()
+{
+    // Resolve structures up front: an unknown name is a user error that
+    // should fail the campaign before any simulation time is spent.
+    std::vector<const Structure *> resolved;
+    for (const std::string &name : options.structures) {
+        const Structure *structure = registry->find(name);
+        if (!structure) {
+            davf_throw(ErrorKind::NotFound, "unknown structure '", name,
+                       "'");
+        }
+        resolved.push_back(structure);
+    }
+
+    if (options.resume) {
+        if (options.checkpointPath.empty()) {
+            davf_throw(ErrorKind::BadArgument,
+                       "resume requested without a checkpoint path");
+        }
+        Result<Checkpoint> loaded =
+            loadCheckpoint(options.checkpointPath);
+        if (!loaded)
+            throw loaded.error();
+        if (loaded.value().configHash != journal.configHash) {
+            davf_throw(ErrorKind::BadArgument,
+                       "checkpoint '", options.checkpointPath,
+                       "' was written by a different campaign "
+                       "configuration (hash ",
+                       loaded.value().configHash, ", expected ",
+                       journal.configHash, ")");
+        }
+        journal = std::move(loaded.value());
+    }
+
+    // The cell schedule, in deterministic order.
+    struct PlannedCell
+    {
+        CheckpointKey key;
+        const Structure *structure;
+        double delay;
+    };
+    std::vector<PlannedCell> plan;
+    for (size_t s = 0; s < resolved.size(); ++s) {
+        for (double d : options.delays) {
+            plan.push_back({{"davf", options.benchmark,
+                             options.structures[s], canonicalDelay(d)},
+                            resolved[s], d});
+        }
+        if (options.runSavf) {
+            plan.push_back({{"savf", options.benchmark,
+                             options.structures[s],
+                             canonicalDelay(0.0)},
+                            resolved[s], 0.0});
+        }
+    }
+
+    auto stop_requested = [&]() {
+        return options.stopFlag
+            && options.stopFlag->load(std::memory_order_relaxed);
+    };
+
+    CampaignSummary summary;
+    for (const PlannedCell &planned : plan) {
+        // Adopt journaled cells verbatim: this is what makes a resumed
+        // campaign bit-identical to an uninterrupted one.
+        if (const CheckpointCell *cached = journal.find(planned.key)) {
+            CampaignCellResult cell;
+            cell.key = cached->key;
+            cell.delay = delayFromKey(cached->key);
+            cell.fromCheckpoint = true;
+            cell.failed = cached->failed;
+            cell.failReason = cached->failReason;
+            cell.davf = cached->davf;
+            cell.savf = cached->savf;
+            summary.cells.push_back(std::move(cell));
+            ++summary.cellsFromCheckpoint;
+            if (cached->failed)
+                ++summary.cellsFailed;
+            continue;
+        }
+
+        if (stop_requested()) {
+            summary.interrupted = true;
+            save();
+            break;
+        }
+
+        SamplingConfig config = options.sampling;
+        config.stopFlag = options.stopFlag;
+        config.injectionTimeoutMs = options.injectionTimeoutMs;
+        config.maxFailureRate = options.maxFailureRate;
+
+        CampaignCellResult cell;
+        cell.key = planned.key;
+        cell.delay = planned.delay;
+
+        if (planned.key.kind == "savf") {
+            cell.savf = engine->savf(*planned.structure, config);
+            if (cell.savf.stopped) {
+                summary.interrupted = true;
+                save();
+                break;
+            }
+        } else {
+            DelayAvfProgress progress;
+            if (journal.hasPartial
+                && journal.partialKey == planned.key) {
+                progress.completed = journal.partialCycles;
+            }
+            // Journal every completed injection cycle: an interruption
+            // (even SIGKILL) loses at most one cycle of work. Calls are
+            // serialized by the engine.
+            progress.onCycleDone =
+                [&](const InjectionCycleOutcome &outcome) {
+                    if (!journal.hasPartial
+                        || !(journal.partialKey == planned.key)) {
+                        journal.hasPartial = true;
+                        journal.partialKey = planned.key;
+                        journal.partialCycles.clear();
+                    }
+                    for (const InjectionCycleOutcome &have :
+                         journal.partialCycles) {
+                        if (have.cycle == outcome.cycle)
+                            return;
+                    }
+                    journal.partialCycles.push_back(outcome);
+                    save();
+                };
+
+            try {
+                cell.davf = engine->delayAvf(
+                    *planned.structure, planned.delay, config,
+                    &progress);
+            } catch (const DavfError &error) {
+                if (error.kind() != ErrorKind::ExcessiveFailures)
+                    throw;
+                // The cell is untrustworthy; record why and move on.
+                cell.failed = true;
+                cell.failReason = error.what();
+            }
+
+            if (!cell.failed && cell.davf.stopped) {
+                // Partial cycles are already journaled via onCycleDone;
+                // flush once more for good measure and stop cleanly.
+                summary.interrupted = true;
+                save();
+                flushCsv(summary);
+                break;
+            }
+        }
+
+        // The cell is final (completed or failed): promote it to the
+        // journal and drop any partial progress it had.
+        CheckpointCell record;
+        record.key = planned.key;
+        record.failed = cell.failed;
+        record.failReason = cell.failReason;
+        record.davf = cell.davf;
+        record.savf = cell.savf;
+        journal.cells.push_back(std::move(record));
+        if (journal.hasPartial && journal.partialKey == planned.key) {
+            journal.hasPartial = false;
+            journal.partialCycles.clear();
+        }
+
+        if (cell.failed)
+            ++summary.cellsFailed;
+        ++summary.cellsComputed;
+        summary.cells.push_back(std::move(cell));
+
+        save();
+        flushCsv(summary);
+    }
+
+    flushCsv(summary);
+    return summary;
+}
+
+} // namespace davf

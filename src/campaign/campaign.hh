@@ -1,0 +1,140 @@
+/**
+ * @file
+ * The resilient sweep executor.
+ *
+ * A campaign is the cross product (structures × delays [× sAVF]) over
+ * one prepared VulnerabilityEngine, run cell by cell with:
+ *
+ *  - **journaling**: after every completed cell — and after every
+ *    completed injection cycle inside a cell — the journal is rewritten
+ *    atomically (checkpoint.hh), so no interruption point loses more
+ *    than one injection cycle of work;
+ *  - **resume**: a rerun with CampaignOptions::resume adopts completed
+ *    cells verbatim and completed cycles of the in-flight cell exactly,
+ *    reproducing bit-identical aggregates versus an uninterrupted run,
+ *    at any thread count (the engine's per-cycle outcomes are
+ *    deterministic and aggregated in cycle order);
+ *  - **fault isolation**: a cell whose failure rate crosses
+ *    CampaignOptions::maxFailureRate is recorded as failed with its
+ *    reason and the campaign moves on — one pathological structure
+ *    cannot poison the sweep;
+ *  - **cooperative stop**: when the stop flag (stop.hh) is raised, the
+ *    engine returns between injections, the journal and the partial CSV
+ *    are flushed, and run() reports interrupted.
+ */
+
+#ifndef DAVF_CAMPAIGN_CAMPAIGN_HH
+#define DAVF_CAMPAIGN_CAMPAIGN_HH
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "campaign/checkpoint.hh"
+#include "core/vulnerability.hh"
+#include "netlist/structure.hh"
+
+namespace davf {
+
+/** What to run and how to survive it. */
+struct CampaignOptions
+{
+    /** Benchmark label recorded in the journal and CSV. */
+    std::string benchmark = "unknown";
+
+    /** Structure names, resolved against the registry at run(). */
+    std::vector<std::string> structures;
+
+    /** Delay fractions of the clock period, one davf cell each. */
+    std::vector<double> delays;
+
+    /** Also run a particle-strike sAVF cell per structure. */
+    bool runSavf = false;
+
+    /** Engine sampling; threads/stop flag are campaign-managed. */
+    SamplingConfig sampling;
+
+    /** Per-injection wall-clock budget in ms (0 = unlimited). */
+    double injectionTimeoutMs = 0.0;
+
+    /** Failed-injection fraction beyond which a cell is abandoned. */
+    double maxFailureRate = 0.05;
+
+    /** Journal path; empty disables checkpointing. */
+    std::string checkpointPath;
+
+    /** Adopt an existing journal at checkpointPath. */
+    bool resume = false;
+
+    /** CSV output path (atomically rewritten); empty disables. */
+    std::string csvPath;
+
+    /** Label suffix for CSV rows (e.g. " (ECC)"). */
+    std::string structureLabel;
+
+    /** Cooperative stop flag (see stop.hh); may be null. */
+    const std::atomic<bool> *stopFlag = nullptr;
+
+    /** Test hook: called after every journal write. */
+    std::function<void()> onCheckpointSaved;
+};
+
+/** One cell's outcome as the campaign saw it. */
+struct CampaignCellResult
+{
+    CheckpointKey key;
+    double delay = 0.0;          ///< Parsed back from key.delay.
+    bool fromCheckpoint = false; ///< Adopted, not recomputed.
+    bool failed = false;
+    std::string failReason;
+    DelayAvfResult davf;
+    SavfResult savf;
+};
+
+/** The whole sweep's outcome. */
+struct CampaignSummary
+{
+    std::vector<CampaignCellResult> cells;
+    bool interrupted = false;
+    uint64_t cellsComputed = 0;
+    uint64_t cellsFromCheckpoint = 0;
+    uint64_t cellsFailed = 0;
+};
+
+/**
+ * The identity of a campaign configuration, as recorded in the journal.
+ * Deliberately excludes thread count and operational limits (timeout,
+ * failure rate, paths): those may change across a resume without
+ * affecting results.
+ */
+std::string campaignConfigHash(const CampaignOptions &options);
+
+/** The sweep executor (see file comment). */
+class Campaign
+{
+  public:
+    Campaign(VulnerabilityEngine &engine,
+             const StructureRegistry &structures,
+             CampaignOptions options);
+
+    /**
+     * Run (or resume) the sweep. Throws DavfError for unusable input:
+     * unknown structure name, a corrupt journal, or a journal written
+     * by a different configuration.
+     */
+    CampaignSummary run();
+
+  private:
+    void flushCsv(const CampaignSummary &summary) const;
+    void save() const;
+
+    VulnerabilityEngine *engine;
+    const StructureRegistry *registry;
+    CampaignOptions options;
+    Checkpoint journal;
+};
+
+} // namespace davf
+
+#endif // DAVF_CAMPAIGN_CAMPAIGN_HH

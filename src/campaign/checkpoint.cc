@@ -1,0 +1,368 @@
+#include "checkpoint.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/atomic_file.hh"
+#include "util/logging.hh"
+
+namespace davf {
+
+namespace {
+
+/** Journal tokens are space-separated: reject names that would split. */
+void
+checkToken(const std::string &token, const char *what)
+{
+    if (token.empty()
+        || token.find_first_of(" \t\n\r") != std::string::npos) {
+        davf_throw(ErrorKind::BadArgument, "checkpoint ", what, " '",
+                   token, "' is empty or contains whitespace");
+    }
+}
+
+std::string
+doubleToText(double value)
+{
+    char buffer[64];
+    std::snprintf(buffer, sizeof buffer, "%a", value);
+    return buffer;
+}
+
+bool
+textToDouble(const std::string &text, double &out)
+{
+    const char *begin = text.c_str();
+    char *end = nullptr;
+    out = std::strtod(begin, &end);
+    return end == begin + text.size() && !text.empty();
+}
+
+void
+writeKey(std::ostream &os, const CheckpointKey &key)
+{
+    os << key.kind << ' ' << key.benchmark << ' ' << key.structure << ' '
+       << key.delay;
+}
+
+bool
+readKey(std::istream &is, CheckpointKey &key)
+{
+    return static_cast<bool>(is >> key.kind >> key.benchmark
+                                >> key.structure >> key.delay);
+}
+
+void
+writeSkipReasons(std::ostream &os,
+                 const std::map<std::string, uint64_t> &reasons)
+{
+    os << ' ' << reasons.size();
+    for (const auto &[reason, count] : reasons)
+        os << ' ' << reason << ' ' << count;
+}
+
+bool
+readSkipReasons(std::istream &is,
+                std::map<std::string, uint64_t> &reasons)
+{
+    size_t count = 0;
+    if (!(is >> count) || count > 1024)
+        return false;
+    for (size_t i = 0; i < count; ++i) {
+        std::string reason;
+        uint64_t tally = 0;
+        if (!(is >> reason >> tally))
+            return false;
+        reasons[reason] = tally;
+    }
+    return true;
+}
+
+void
+writeBits(std::ostream &os, const std::vector<uint8_t> &bits)
+{
+    os << ' ';
+    if (bits.empty()) {
+        os << '-';
+        return;
+    }
+    for (uint8_t bit : bits)
+        os << (bit ? '1' : '0');
+}
+
+bool
+readBits(std::istream &is, std::vector<uint8_t> &bits)
+{
+    std::string text;
+    if (!(is >> text))
+        return false;
+    bits.clear();
+    if (text == "-")
+        return true;
+    bits.reserve(text.size());
+    for (char c : text) {
+        if (c != '0' && c != '1')
+            return false;
+        bits.push_back(c == '1' ? 1 : 0);
+    }
+    return true;
+}
+
+void
+writeDavfResult(std::ostream &os, const DelayAvfResult &result)
+{
+    os << ' ' << doubleToText(result.delayAvf) << ' '
+       << doubleToText(result.orDelayAvf) << ' '
+       << doubleToText(result.staticWireFraction) << ' '
+       << doubleToText(result.dynamicWireFraction) << ' '
+       << doubleToText(result.groupAceWireFraction) << ' '
+       << result.injections << ' ' << result.staticInjections << ' '
+       << result.errorInjections << ' ' << result.multiBitInjections
+       << ' ' << result.delayAceInjections << ' '
+       << result.orAceInjections << ' ' << result.sdc << ' '
+       << result.due << ' ' << result.aceInterference << ' '
+       << result.aceCompounding << ' ' << result.skippedNoToggle << ' '
+       << result.uniqueGroupSims << ' ' << result.skippedErrors << ' '
+       << result.wiresInjected << ' ' << result.cyclesInjected;
+    writeSkipReasons(os, result.skipReasons);
+}
+
+bool
+readDavfResult(std::istream &is, DelayAvfResult &result)
+{
+    std::string davf, ordavf, stat, dyn, group;
+    if (!(is >> davf >> ordavf >> stat >> dyn >> group
+             >> result.injections >> result.staticInjections
+             >> result.errorInjections >> result.multiBitInjections
+             >> result.delayAceInjections >> result.orAceInjections
+             >> result.sdc >> result.due >> result.aceInterference
+             >> result.aceCompounding >> result.skippedNoToggle
+             >> result.uniqueGroupSims >> result.skippedErrors
+             >> result.wiresInjected >> result.cyclesInjected)) {
+        return false;
+    }
+    return textToDouble(davf, result.delayAvf)
+        && textToDouble(ordavf, result.orDelayAvf)
+        && textToDouble(stat, result.staticWireFraction)
+        && textToDouble(dyn, result.dynamicWireFraction)
+        && textToDouble(group, result.groupAceWireFraction)
+        && readSkipReasons(is, result.skipReasons);
+}
+
+void
+writeSavfResult(std::ostream &os, const SavfResult &result)
+{
+    os << ' ' << doubleToText(result.savf) << ' ' << result.injections
+       << ' ' << result.aceInjections << ' ' << result.sdc << ' '
+       << result.due << ' ' << result.skippedErrors;
+}
+
+bool
+readSavfResult(std::istream &is, SavfResult &result)
+{
+    std::string savf;
+    if (!(is >> savf >> result.injections >> result.aceInjections
+             >> result.sdc >> result.due >> result.skippedErrors)) {
+        return false;
+    }
+    return textToDouble(savf, result.savf);
+}
+
+void
+writeOutcome(std::ostream &os, const InjectionCycleOutcome &outcome)
+{
+    os << "pcycle " << outcome.cycle << ' ' << outcome.injections << ' '
+       << outcome.staticInjections << ' ' << outcome.errorInjections
+       << ' ' << outcome.multiBit << ' ' << outcome.delayAce << ' '
+       << outcome.orAce << ' ' << outcome.sdc << ' ' << outcome.due
+       << ' ' << outcome.interference << ' ' << outcome.compounding
+       << ' ' << outcome.skippedNoToggle << ' '
+       << outcome.uniqueGroupSims << ' ' << outcome.skippedErrors;
+    writeSkipReasons(os, outcome.skipReasons);
+    writeBits(os, outcome.wireDyn);
+    writeBits(os, outcome.wireAce);
+    os << '\n';
+}
+
+bool
+readOutcome(std::istream &is, InjectionCycleOutcome &outcome)
+{
+    if (!(is >> outcome.cycle >> outcome.injections
+             >> outcome.staticInjections >> outcome.errorInjections
+             >> outcome.multiBit >> outcome.delayAce >> outcome.orAce
+             >> outcome.sdc >> outcome.due >> outcome.interference
+             >> outcome.compounding >> outcome.skippedNoToggle
+             >> outcome.uniqueGroupSims >> outcome.skippedErrors)) {
+        return false;
+    }
+    return readSkipReasons(is, outcome.skipReasons)
+        && readBits(is, outcome.wireDyn)
+        && readBits(is, outcome.wireAce);
+}
+
+} // namespace
+
+const CheckpointCell *
+Checkpoint::find(const CheckpointKey &key) const
+{
+    for (const CheckpointCell &cell : cells) {
+        if (cell.key == key)
+            return &cell;
+    }
+    return nullptr;
+}
+
+std::string
+canonicalDelay(double delay)
+{
+    return doubleToText(delay);
+}
+
+std::string
+serializeCheckpoint(const Checkpoint &checkpoint)
+{
+    std::ostringstream os;
+    os << "davf-checkpoint v" << Checkpoint::kVersion << '\n';
+    checkToken(checkpoint.configHash, "config hash");
+    os << "config " << checkpoint.configHash << '\n';
+
+    for (const CheckpointCell &cell : checkpoint.cells) {
+        checkToken(cell.key.kind, "kind");
+        checkToken(cell.key.benchmark, "benchmark");
+        checkToken(cell.key.structure, "structure");
+        checkToken(cell.key.delay, "delay");
+        os << "cell ";
+        writeKey(os, cell.key);
+        if (cell.failed) {
+            os << " failed " << cell.failReason << '\n';
+        } else {
+            os << " ok";
+            if (cell.key.kind == "savf")
+                writeSavfResult(os, cell.savf);
+            else
+                writeDavfResult(os, cell.davf);
+            os << '\n';
+        }
+    }
+
+    if (checkpoint.hasPartial) {
+        os << "partial ";
+        writeKey(os, checkpoint.partialKey);
+        os << '\n';
+        for (const InjectionCycleOutcome &outcome :
+             checkpoint.partialCycles) {
+            writeOutcome(os, outcome);
+        }
+    }
+    os << "end\n";
+    return os.str();
+}
+
+Result<Checkpoint>
+parseCheckpoint(const std::string &text)
+{
+    using R = Result<Checkpoint>;
+    std::istringstream is(text);
+    std::string line;
+
+    if (!std::getline(is, line)
+        || line != "davf-checkpoint v"
+                + std::to_string(Checkpoint::kVersion)) {
+        return R::Err(ErrorKind::BadInput,
+                      "checkpoint header mismatch: expected "
+                      "'davf-checkpoint v"
+                          + std::to_string(Checkpoint::kVersion)
+                          + "', got '" + line + "'");
+    }
+
+    Checkpoint checkpoint;
+    bool sawEnd = false;
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        std::istringstream ls(line);
+        std::string tag;
+        ls >> tag;
+        if (tag == "config") {
+            if (!(ls >> checkpoint.configHash))
+                return R::Err(ErrorKind::BadInput,
+                              "checkpoint: bad config line");
+        } else if (tag == "cell") {
+            CheckpointCell cell;
+            std::string status;
+            if (!readKey(ls, cell.key) || !(ls >> status))
+                return R::Err(ErrorKind::BadInput,
+                              "checkpoint: bad cell line: " + line);
+            if (status == "failed") {
+                cell.failed = true;
+                std::getline(ls, cell.failReason);
+                if (!cell.failReason.empty()
+                    && cell.failReason.front() == ' ')
+                    cell.failReason.erase(0, 1);
+            } else if (status == "ok") {
+                const bool ok = cell.key.kind == "savf"
+                    ? readSavfResult(ls, cell.savf)
+                    : readDavfResult(ls, cell.davf);
+                if (!ok)
+                    return R::Err(ErrorKind::BadInput,
+                                  "checkpoint: bad cell result: "
+                                      + line);
+            } else {
+                return R::Err(ErrorKind::BadInput,
+                              "checkpoint: bad cell status '" + status
+                                  + "'");
+            }
+            checkpoint.cells.push_back(std::move(cell));
+        } else if (tag == "partial") {
+            if (!readKey(ls, checkpoint.partialKey))
+                return R::Err(ErrorKind::BadInput,
+                              "checkpoint: bad partial line: " + line);
+            checkpoint.hasPartial = true;
+        } else if (tag == "pcycle") {
+            if (!checkpoint.hasPartial)
+                return R::Err(ErrorKind::BadInput,
+                              "checkpoint: pcycle before partial");
+            InjectionCycleOutcome outcome;
+            if (!readOutcome(ls, outcome))
+                return R::Err(ErrorKind::BadInput,
+                              "checkpoint: bad pcycle line: " + line);
+            checkpoint.partialCycles.push_back(std::move(outcome));
+        } else if (tag == "end") {
+            sawEnd = true;
+            break;
+        } else {
+            return R::Err(ErrorKind::BadInput,
+                          "checkpoint: unknown record '" + tag + "'");
+        }
+    }
+    if (!sawEnd)
+        return R::Err(ErrorKind::BadInput,
+                      "checkpoint: truncated (no end record)");
+    if (checkpoint.configHash.empty())
+        return R::Err(ErrorKind::BadInput,
+                      "checkpoint: missing config record");
+    return R::Ok(std::move(checkpoint));
+}
+
+void
+saveCheckpoint(const std::string &path, const Checkpoint &checkpoint)
+{
+    writeFileAtomic(path, serializeCheckpoint(checkpoint));
+}
+
+Result<Checkpoint>
+loadCheckpoint(const std::string &path)
+{
+    std::ifstream file(path, std::ios::binary);
+    if (!file) {
+        return Result<Checkpoint>::Err(
+            ErrorKind::Io, "cannot open checkpoint '" + path + "'");
+    }
+    std::ostringstream contents;
+    contents << file.rdbuf();
+    return parseCheckpoint(contents.str());
+}
+
+} // namespace davf

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The campaign journal: a versioned, human-readable checkpoint of a
+ * sweep's progress, written atomically (tmp + rename) after every
+ * completed cell and every completed injection cycle of the in-flight
+ * cell.
+ *
+ * Contents (see docs/ROBUSTNESS.md for the line grammar):
+ *  - a version stamp and the campaign's config hash (a resume against a
+ *    different configuration is rejected);
+ *  - one record per completed (kind, benchmark, structure, delay) cell
+ *    with its full aggregate result — doubles are serialized as C
+ *    hexfloats ("%a"), so a resumed campaign reproduces aggregates
+ *    bit-identically without re-simulation;
+ *  - at most one partial cell: the per-injection-cycle outcomes that
+ *    completed before the interruption. Cycles are mutually independent
+ *    in the engine, so adopting them on resume is exact.
+ */
+
+#ifndef DAVF_CAMPAIGN_CHECKPOINT_HH
+#define DAVF_CAMPAIGN_CHECKPOINT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/vulnerability.hh"
+#include "util/error.hh"
+
+namespace davf {
+
+/** Identity of one campaign cell. @c delay is canonicalDelay() text. */
+struct CheckpointKey
+{
+    std::string kind; ///< "davf" or "savf".
+    std::string benchmark;
+    std::string structure;
+    std::string delay;
+
+    bool operator==(const CheckpointKey &) const = default;
+};
+
+/** One completed (or permanently failed) cell. */
+struct CheckpointCell
+{
+    CheckpointKey key;
+    bool failed = false;
+    std::string failReason;     ///< Only when failed.
+    DelayAvfResult davf;        ///< Valid when kind == "davf" && !failed.
+    SavfResult savf;            ///< Valid when kind == "savf" && !failed.
+};
+
+/** The whole journal. */
+struct Checkpoint
+{
+    static constexpr uint32_t kVersion = 1;
+
+    std::string configHash;
+    std::vector<CheckpointCell> cells;
+
+    bool hasPartial = false;
+    CheckpointKey partialKey;
+    std::vector<InjectionCycleOutcome> partialCycles;
+
+    const CheckpointCell *find(const CheckpointKey &key) const;
+};
+
+/** Canonical exact text form of a delay fraction (C hexfloat). */
+std::string canonicalDelay(double delay);
+
+/** Serialize to the journal text form. */
+std::string serializeCheckpoint(const Checkpoint &checkpoint);
+
+/** Parse journal text; corrupt or version-mismatched input is an Err. */
+Result<Checkpoint> parseCheckpoint(const std::string &text);
+
+/** Atomically write @p checkpoint to @p path (DavfError{Io} on failure). */
+void saveCheckpoint(const std::string &path, const Checkpoint &checkpoint);
+
+/** Load and parse @p path. */
+Result<Checkpoint> loadCheckpoint(const std::string &path);
+
+} // namespace davf
+
+#endif // DAVF_CAMPAIGN_CHECKPOINT_HH

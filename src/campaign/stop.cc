@@ -1,0 +1,48 @@
+#include "stop.hh"
+
+#include <csignal>
+
+#include <unistd.h>
+
+namespace davf {
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+extern "C" void
+stopSignalHandler(int)
+{
+    // Second signal while already stopping: force-exit. Only
+    // async-signal-safe calls are allowed here.
+    if (g_stop.exchange(true))
+        ::_exit(130);
+}
+
+} // namespace
+
+std::atomic<bool> &
+stopFlag()
+{
+    return g_stop;
+}
+
+void
+resetStopFlag()
+{
+    g_stop.store(false);
+}
+
+const std::atomic<bool> &
+installStopHandlers()
+{
+    struct sigaction action = {};
+    action.sa_handler = stopSignalHandler;
+    sigemptyset(&action.sa_mask);
+    action.sa_flags = 0; // No SA_RESTART: interrupt blocking IO too.
+    ::sigaction(SIGINT, &action, nullptr);
+    ::sigaction(SIGTERM, &action, nullptr);
+    return g_stop;
+}
+
+} // namespace davf

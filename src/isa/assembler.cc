@@ -110,7 +110,8 @@ parseImmediate(const std::string &token, int line)
         negative = text[0] == '-';
         text = text.substr(1);
     }
-    davf_assert(!text.empty(), "line ", line, ": empty immediate");
+    if (text.empty())
+        davf_fatal("line ", line, ": empty immediate");
     int64_t value = 0;
     try {
         size_t used = 0;
@@ -122,8 +123,8 @@ parseImmediate(const std::string &token, int line)
         } else {
             value = static_cast<int64_t>(std::stoll(text, &used, 10));
         }
-        davf_assert(used == text.size(), "line ", line,
-                    ": bad immediate '", token, "'");
+        if (used != text.size())
+            davf_fatal("line ", line, ": bad immediate '", token, "'");
     } catch (const std::exception &) {
         davf_fatal("line ", line, ": bad immediate '", token, "'");
     }
@@ -159,8 +160,8 @@ uint32_t
 encodeI(int32_t imm, unsigned rs1, unsigned funct3, unsigned rd,
         unsigned opcode, int line)
 {
-    davf_assert(imm >= -2048 && imm <= 2047, "line ", line,
-                ": I-immediate out of range: ", imm);
+    if (imm < -2048 || imm > 2047)
+        davf_fatal("line ", line, ": I-immediate out of range: ", imm);
     return (static_cast<uint32_t>(imm & 0xfff) << 20) | (rs1 << 15)
         | (funct3 << 12) | (rd << 7) | opcode;
 }
@@ -169,8 +170,8 @@ uint32_t
 encodeS(int32_t imm, unsigned rs2, unsigned rs1, unsigned funct3,
         unsigned opcode, int line)
 {
-    davf_assert(imm >= -2048 && imm <= 2047, "line ", line,
-                ": S-immediate out of range: ", imm);
+    if (imm < -2048 || imm > 2047)
+        davf_fatal("line ", line, ": S-immediate out of range: ", imm);
     const uint32_t uimm = static_cast<uint32_t>(imm & 0xfff);
     return ((uimm >> 5) << 25) | (rs2 << 20) | (rs1 << 15)
         | (funct3 << 12) | ((uimm & 0x1f) << 7) | opcode;
@@ -180,8 +181,9 @@ uint32_t
 encodeB(int32_t offset, unsigned rs2, unsigned rs1, unsigned funct3,
         int line)
 {
-    davf_assert(offset >= -4096 && offset <= 4094 && (offset & 1) == 0,
-                "line ", line, ": branch offset out of range: ", offset);
+    if (offset < -4096 || offset > 4094 || (offset & 1) != 0)
+        davf_fatal("line ", line, ": branch offset out of range: ",
+                   offset);
     const uint32_t u = static_cast<uint32_t>(offset);
     return (((u >> 12) & 1) << 31) | (((u >> 5) & 0x3f) << 25)
         | (rs2 << 20) | (rs1 << 15) | (funct3 << 12)
@@ -197,9 +199,11 @@ encodeU(uint32_t imm_31_12, unsigned rd, unsigned opcode)
 uint32_t
 encodeJ(int32_t offset, unsigned rd, int line)
 {
-    davf_assert(offset >= -(1 << 20) && offset < (1 << 20)
-                    && (offset & 1) == 0,
-                "line ", line, ": jump offset out of range: ", offset);
+    if (offset < -(1 << 20) || offset >= (1 << 20)
+        || (offset & 1) != 0) {
+        davf_fatal("line ", line, ": jump offset out of range: ",
+                   offset);
+    }
     const uint32_t u = static_cast<uint32_t>(offset);
     return (((u >> 20) & 1) << 31) | (((u >> 1) & 0x3ff) << 21)
         | (((u >> 11) & 1) << 20) | (((u >> 12) & 0xff) << 12)
@@ -213,10 +217,11 @@ parseMemOperand(const std::string &operand, int line, int64_t &offset,
 {
     const size_t open = operand.find('(');
     const size_t close = operand.rfind(')');
-    davf_assert(open != std::string::npos && close != std::string::npos
-                    && close > open,
-                "line ", line, ": expected offset(reg), got '", operand,
-                "'");
+    if (open == std::string::npos || close == std::string::npos
+        || close <= open) {
+        davf_fatal("line ", line, ": expected offset(reg), got '",
+                   operand, "'");
+    }
     const std::string off = trim(operand.substr(0, open));
     offset = off.empty() ? 0 : parseImmediate(off, line);
     base_reg = parseRegister(trim(
@@ -264,7 +269,8 @@ parseRegister(const std::string &token)
         if (numeric) {
             const unsigned index =
                 static_cast<unsigned>(std::stoul(token.substr(1)));
-            davf_assert(index < 32, "bad register ", token);
+            if (index >= 32)
+                davf_fatal("bad register ", token);
             return index;
         }
     }
@@ -285,8 +291,10 @@ assemble(const std::string &source, uint32_t base)
     uint32_t pc = base;
     for (const Line &line : lines) {
         for (const std::string &label : line.labels) {
-            davf_assert(!labels.contains(label), "line ", line.number,
-                        ": duplicate label '", label, "'");
+            if (labels.contains(label)) {
+                davf_fatal("line ", line.number, ": duplicate label '",
+                           label, "'");
+            }
             labels[label] = pc;
         }
         pc += 4 * lineLength(line);
@@ -338,8 +346,8 @@ assemble(const std::string &source, uint32_t base)
             continue;
 
         auto reg = [&](size_t index) {
-            davf_assert(index < ops.size(), "line ", ln,
-                        ": missing operand");
+            if (index >= ops.size())
+                davf_fatal("line ", ln, ": missing operand");
             return parseRegister(ops[index]);
         };
 
@@ -360,8 +368,8 @@ assemble(const std::string &source, uint32_t base)
         } else if (shift_ops.contains(m)) {
             const AluOp &op = shift_ops.at(m);
             const int64_t amount = parseImmediate(ops.at(2), ln);
-            davf_assert(amount >= 0 && amount < 32, "line ", ln,
-                        ": bad shift amount");
+            if (amount < 0 || amount >= 32)
+                davf_fatal("line ", ln, ": bad shift amount");
             emit(encodeR(op.funct7, static_cast<unsigned>(amount),
                          reg(1), op.funct3, reg(0), 0x13));
         } else if (branch_ops.contains(m)) {

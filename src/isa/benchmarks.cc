@@ -684,7 +684,7 @@ beebsBenchmark(const std::string &name)
         if (program.name == name)
             return program;
     }
-    davf_fatal("unknown benchmark '", name, "'");
+    davf_throw(ErrorKind::NotFound, "unknown benchmark '", name, "'");
 }
 
 } // namespace davf

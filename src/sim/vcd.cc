@@ -99,9 +99,11 @@ VcdWriter::writeTo(const std::string &path,
 {
     std::ofstream file(path);
     if (!file)
-        davf_fatal("cannot open '", path, "' for writing");
+        davf_throw(ErrorKind::Io, "cannot open '", path,
+                   "' for writing");
     file << render(design_name);
-    davf_assert(static_cast<bool>(file), "write to ", path, " failed");
+    if (!file)
+        davf_throw(ErrorKind::Io, "write to ", path, " failed");
 }
 
 } // namespace davf

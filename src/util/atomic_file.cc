@@ -1,0 +1,46 @@
+#include "atomic_file.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <unistd.h>
+
+#include "util/logging.hh"
+
+namespace davf {
+
+void
+writeFileAtomic(const std::string &path, std::string_view contents)
+{
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
+
+    std::FILE *file = std::fopen(tmp.c_str(), "wb");
+    if (!file) {
+        davf_throw(ErrorKind::Io, "cannot open '", tmp,
+                   "' for writing: ", std::strerror(errno));
+    }
+
+    bool ok = contents.empty()
+        || std::fwrite(contents.data(), 1, contents.size(), file)
+            == contents.size();
+    ok = std::fflush(file) == 0 && ok;
+    // Persist the data before the rename publishes it.
+    ok = ::fsync(::fileno(file)) == 0 && ok;
+    ok = std::fclose(file) == 0 && ok;
+    if (!ok) {
+        std::remove(tmp.c_str());
+        davf_throw(ErrorKind::Io, "short write to '", tmp,
+                   "': ", std::strerror(errno));
+    }
+
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        const int saved = errno;
+        std::remove(tmp.c_str());
+        davf_throw(ErrorKind::Io, "cannot rename '", tmp, "' to '", path,
+                   "': ", std::strerror(saved));
+    }
+}
+
+} // namespace davf

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Crash-safe file replacement: write to a temporary sibling, fsync,
+ * rename over the target. A reader (or a resumed campaign) therefore
+ * only ever sees either the complete old contents or the complete new
+ * contents — never a truncated checkpoint or a half CSV row.
+ */
+
+#ifndef DAVF_UTIL_ATOMIC_FILE_HH
+#define DAVF_UTIL_ATOMIC_FILE_HH
+
+#include <string>
+#include <string_view>
+
+namespace davf {
+
+/**
+ * Atomically replace @p path with @p contents (tmp file + rename).
+ * Throws DavfError{Io} on any filesystem failure; the target is left
+ * untouched in that case.
+ */
+void writeFileAtomic(const std::string &path, std::string_view contents);
+
+} // namespace davf
+
+#endif // DAVF_UTIL_ATOMIC_FILE_HH

@@ -2,9 +2,14 @@
  * @file
  * Error-reporting helpers in the spirit of gem5's logging.hh.
  *
- * panic() is for internal invariant violations (bugs in this library);
- * fatal() is for user errors (bad configuration, malformed input). Both
- * print a location-stamped message; panic() aborts, fatal() exits.
+ * panic() is for internal invariant violations (bugs in this library):
+ * it prints a location-stamped message and aborts. fatal() is for user
+ * errors (bad configuration, malformed input): it throws a catchable
+ * DavfError (util/error.hh) so long-running campaigns can skip the
+ * offending unit of work instead of dying; a CLI entry point that wants
+ * the classic print-and-exit behaviour catches it at main() (see
+ * guardedMain below). davf_throw() is fatal() with an explicit
+ * ErrorKind.
  */
 
 #ifndef DAVF_UTIL_LOGGING_HH
@@ -14,6 +19,8 @@
 #include <cstdlib>
 #include <sstream>
 #include <string>
+
+#include "util/error.hh"
 
 namespace davf {
 
@@ -37,8 +44,7 @@ panicImpl(const char *file, int line, const std::string &msg)
 [[noreturn]] inline void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
-    std::exit(1);
+    throw DavfError(ErrorKind::BadInput, msg, file, line);
 }
 
 inline void
@@ -47,15 +53,38 @@ warnImpl(const char *file, int line, const std::string &msg)
     std::fprintf(stderr, "warn: %s (%s:%d)\n", msg.c_str(), file, line);
 }
 
+/**
+ * Run a CLI body, converting an escaped DavfError into the classic
+ * "fatal: message" + nonzero exit. Keeps tools' observable behaviour
+ * while the library itself stays exception-based.
+ */
+template <typename Fn>
+int
+guardedMain(Fn &&body)
+{
+    try {
+        return body();
+    } catch (const DavfError &error) {
+        std::fprintf(stderr, "fatal: %s\n", error.what());
+        return 1;
+    }
+}
+
 } // namespace davf
 
 /** Abort with a message: an internal invariant of the library is broken. */
 #define davf_panic(...) \
     ::davf::panicImpl(__FILE__, __LINE__, ::davf::formatMessage(__VA_ARGS__))
 
-/** Exit with a message: the user supplied invalid input or configuration. */
+/** Throw a DavfError: the user supplied invalid input or configuration. */
 #define davf_fatal(...) \
     ::davf::fatalImpl(__FILE__, __LINE__, ::davf::formatMessage(__VA_ARGS__))
+
+/** Throw a DavfError with an explicit ErrorKind. */
+#define davf_throw(kind, ...)                                               \
+    throw ::davf::DavfError((kind),                                         \
+                            ::davf::formatMessage(__VA_ARGS__), __FILE__,   \
+                            __LINE__)
 
 /** Print a non-fatal warning. */
 #define davf_warn(...) \

@@ -1,6 +1,8 @@
 #include "thread_pool.hh"
 
 #include <algorithm>
+#include <exception>
+#include <mutex>
 
 namespace davf {
 
@@ -22,12 +24,26 @@ parallelFor(size_t count, const std::function<void(size_t)> &body,
     }
 
     std::atomic<size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+
     auto worker = [&]() {
         for (;;) {
+            if (failed.load(std::memory_order_relaxed))
+                return;
             const size_t index = next.fetch_add(1);
             if (index >= count)
                 return;
-            body(index);
+            try {
+                body(index);
+            } catch (...) {
+                const std::lock_guard<std::mutex> lock(error_mutex);
+                if (!first_error)
+                    first_error = std::current_exception();
+                failed.store(true, std::memory_order_relaxed);
+                return;
+            }
         }
     };
 
@@ -38,6 +54,9 @@ parallelFor(size_t count, const std::function<void(size_t)> &body,
     worker();
     for (auto &thread : threads)
         thread.join();
+
+    if (first_error)
+        std::rethrow_exception(first_error);
 }
 
 } // namespace davf

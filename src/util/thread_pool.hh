@@ -22,6 +22,10 @@ namespace davf {
  * Run @p body(index) for every index in [0, count) using up to
  * @p num_threads workers (0 means hardware concurrency). The calling
  * thread participates. Bodies must be independent.
+ *
+ * If a body throws, no further indices are scheduled, all workers are
+ * joined, and the first exception is rethrown on the calling thread
+ * (indices not yet started may therefore never run).
  */
 void parallelFor(size_t count, const std::function<void(size_t)> &body,
                  unsigned num_threads = 0);

@@ -1,0 +1,452 @@
+/**
+ * @file
+ * Tests for the resilience layer:
+ *
+ *  - the recoverable error taxonomy (DavfError kinds, Result<T>,
+ *    library errors that used to exit());
+ *  - atomic file writes;
+ *  - checkpoint serialization: bit-exact double round-trips, rejection
+ *    of corrupt/mismatched journals;
+ *  - campaign checkpoint/resume: an interrupted-then-resumed sweep
+ *    reproduces the uninterrupted journal and CSV byte-for-byte, at a
+ *    different thread count;
+ *  - per-injection fault isolation: timeouts become skip accounting,
+ *    excessive failure rates fail the cell but not the campaign;
+ *  - the cooperative SIGINT/SIGTERM stop flag.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/campaign/campaign.hh"
+#include "src/campaign/checkpoint.hh"
+#include "src/campaign/stop.hh"
+#include "src/core/vulnerability.hh"
+#include "src/isa/benchmarks.hh"
+#include "src/util/atomic_file.hh"
+#include "src/util/error.hh"
+#include "tests/helpers.hh"
+
+namespace davf {
+namespace {
+
+std::string
+tempPath(const std::string &name)
+{
+    return ::testing::TempDir() + "davf_test_"
+        + std::to_string(::getpid()) + "_" + name;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream file(path, std::ios::binary);
+    EXPECT_TRUE(static_cast<bool>(file)) << path;
+    std::ostringstream os;
+    os << file.rdbuf();
+    return os.str();
+}
+
+// ---------------------------------------------------------------- errors
+
+TEST(ErrorTaxonomy, KindsHaveStableNames)
+{
+    EXPECT_EQ(errorKindName(ErrorKind::Timeout), "timeout");
+    EXPECT_EQ(errorKindName(ErrorKind::NotFound), "not-found");
+    EXPECT_EQ(errorKindName(ErrorKind::ExcessiveFailures),
+              "excessive-failures");
+}
+
+TEST(ErrorTaxonomy, ResultCarriesValueOrError)
+{
+    const auto ok = Result<int>::Ok(42);
+    EXPECT_TRUE(ok.ok());
+    EXPECT_EQ(ok.value(), 42);
+
+    const auto err = Result<int>::Err(ErrorKind::Io, "disk on fire");
+    EXPECT_FALSE(err.ok());
+    EXPECT_EQ(err.error().kind(), ErrorKind::Io);
+    EXPECT_THROW(err.value(), DavfError);
+}
+
+TEST(ErrorTaxonomy, UnknownBenchmarkThrowsNotFound)
+{
+    // Used to davf_fatal (uncatchable); a sweep driver must be able to
+    // catch it.
+    try {
+        beebsBenchmark("no-such-benchmark");
+        FAIL() << "expected DavfError";
+    } catch (const DavfError &error) {
+        EXPECT_EQ(error.kind(), ErrorKind::NotFound);
+    }
+}
+
+TEST(ErrorTaxonomy, OutOfRangeDelayThrows)
+{
+    const auto circuit = test::makeRandomCircuit(3, 6, 24, 8);
+    VulnerabilityEngine engine(*circuit.netlist,
+                               CellLibrary::defaultLibrary(),
+                               *circuit.workload);
+    StructureRegistry registry(*circuit.netlist);
+    const Structure &structure = registry.add("Rnd", "rnd/");
+    try {
+        engine.delayAvf(structure, 5.0);
+        FAIL() << "expected DavfError";
+    } catch (const DavfError &error) {
+        EXPECT_EQ(error.kind(), ErrorKind::OutOfRange);
+    }
+}
+
+// ----------------------------------------------------------- atomic file
+
+TEST(AtomicFile, WritesContentsAndLeavesNoTemporary)
+{
+    const std::string path = tempPath("atomic.txt");
+    writeFileAtomic(path, "first");
+    EXPECT_EQ(slurp(path), "first");
+    writeFileAtomic(path, "second");
+    EXPECT_EQ(slurp(path), "second");
+    // The temporary is pid-suffixed; it must be gone after the rename.
+    std::ifstream tmp(path + ".tmp." + std::to_string(::getpid()));
+    EXPECT_FALSE(static_cast<bool>(tmp));
+    std::remove(path.c_str());
+}
+
+TEST(AtomicFile, UnwritablePathThrowsIo)
+{
+    try {
+        writeFileAtomic("/no-such-dir-davf/x.txt", "y");
+        FAIL() << "expected DavfError";
+    } catch (const DavfError &error) {
+        EXPECT_EQ(error.kind(), ErrorKind::Io);
+    }
+}
+
+// ------------------------------------------------------------ checkpoint
+
+Checkpoint
+sampleCheckpoint()
+{
+    Checkpoint checkpoint;
+    checkpoint.configHash = "feedc0de";
+
+    CheckpointCell davf_cell;
+    davf_cell.key = {"davf", "md5", "ALU", canonicalDelay(1.0 / 3.0)};
+    davf_cell.davf.delayAvf = 1.0 / 3.0;
+    davf_cell.davf.orDelayAvf = 0.1;
+    davf_cell.davf.staticWireFraction = 5e-324; // subnormal
+    davf_cell.davf.dynamicWireFraction = 0.25;
+    davf_cell.davf.injections = 1234;
+    davf_cell.davf.sdc = 3;
+    davf_cell.davf.skippedErrors = 2;
+    davf_cell.davf.skipReasons = {{"timeout", 1}, {"exception", 1}};
+    checkpoint.cells.push_back(davf_cell);
+
+    CheckpointCell failed_cell;
+    failed_cell.key = {"davf", "md5", "LSU", canonicalDelay(0.5)};
+    failed_cell.failed = true;
+    failed_cell.failReason = "structure 'LSU': too many failures";
+    checkpoint.cells.push_back(failed_cell);
+
+    CheckpointCell savf_cell;
+    savf_cell.key = {"savf", "md5", "ALU", canonicalDelay(0.0)};
+    savf_cell.savf.savf = 0.7;
+    savf_cell.savf.injections = 64;
+    savf_cell.savf.aceInjections = 44;
+    checkpoint.cells.push_back(savf_cell);
+
+    checkpoint.hasPartial = true;
+    checkpoint.partialKey = {"davf", "md5", "Regfile",
+                             canonicalDelay(0.7)};
+    InjectionCycleOutcome outcome;
+    outcome.cycle = 17;
+    outcome.injections = 40;
+    outcome.delayAce = 4;
+    outcome.skippedErrors = 1;
+    outcome.skipReasons = {{"timeout", 1}};
+    outcome.wireDyn = {1, 0, 1, 1};
+    outcome.wireAce = {0, 0, 1, 0};
+    checkpoint.partialCycles.push_back(outcome);
+    return checkpoint;
+}
+
+TEST(CheckpointFormat, RoundTripsBitExactly)
+{
+    const Checkpoint before = sampleCheckpoint();
+    const std::string text = serializeCheckpoint(before);
+    const Result<Checkpoint> parsed = parseCheckpoint(text);
+    ASSERT_TRUE(parsed.ok()) << parsed.error().what();
+    const Checkpoint &after = parsed.value();
+
+    EXPECT_EQ(after.configHash, before.configHash);
+    ASSERT_EQ(after.cells.size(), before.cells.size());
+    // Hexfloat serialization must be bit-exact, including subnormals.
+    EXPECT_EQ(after.cells[0].davf.delayAvf, before.cells[0].davf.delayAvf);
+    EXPECT_EQ(after.cells[0].davf.staticWireFraction, 5e-324);
+    EXPECT_EQ(after.cells[0].davf.skipReasons,
+              before.cells[0].davf.skipReasons);
+    EXPECT_TRUE(after.cells[1].failed);
+    EXPECT_EQ(after.cells[1].failReason, before.cells[1].failReason);
+    EXPECT_EQ(after.cells[2].savf.aceInjections, 44u);
+    ASSERT_TRUE(after.hasPartial);
+    EXPECT_TRUE(after.partialKey == before.partialKey);
+    ASSERT_EQ(after.partialCycles.size(), 1u);
+    EXPECT_TRUE(after.partialCycles[0] == before.partialCycles[0]);
+
+    // Serialization is deterministic.
+    EXPECT_EQ(serializeCheckpoint(after), text);
+}
+
+TEST(CheckpointFormat, RejectsCorruptInput)
+{
+    EXPECT_FALSE(parseCheckpoint("").ok());
+    EXPECT_FALSE(parseCheckpoint("davf-checkpoint v999\nend\n").ok());
+    EXPECT_FALSE(
+        parseCheckpoint("davf-checkpoint v1\nconfig abc\n").ok())
+        << "truncated journal (no end record) must be rejected";
+    EXPECT_FALSE(
+        parseCheckpoint("davf-checkpoint v1\nconfig abc\nwat\nend\n")
+            .ok());
+    EXPECT_FALSE(
+        parseCheckpoint(
+            "davf-checkpoint v1\nconfig abc\ncell davf b s 0.1 ok\nend\n")
+            .ok())
+        << "cell with missing result fields must be rejected";
+    EXPECT_FALSE(parseCheckpoint("davf-checkpoint v1\nend\n").ok())
+        << "journal without a config record must be rejected";
+}
+
+TEST(CheckpointFormat, SaveLoadRoundTrips)
+{
+    const std::string path = tempPath("journal.ckpt");
+    const Checkpoint before = sampleCheckpoint();
+    saveCheckpoint(path, before);
+    const Result<Checkpoint> loaded = loadCheckpoint(path);
+    ASSERT_TRUE(loaded.ok());
+    EXPECT_EQ(serializeCheckpoint(loaded.value()),
+              serializeCheckpoint(before));
+    std::remove(path.c_str());
+
+    EXPECT_FALSE(loadCheckpoint(tempPath("absent.ckpt")).ok());
+}
+
+// -------------------------------------------------------------- campaign
+
+struct CampaignFixture
+{
+    test::RandomCircuit circuit;
+    std::unique_ptr<VulnerabilityEngine> engine;
+    std::unique_ptr<StructureRegistry> registry;
+
+    explicit CampaignFixture(uint64_t seed = 11)
+        : circuit(test::makeRandomCircuit(seed, 8, 40, 12))
+    {
+        engine = std::make_unique<VulnerabilityEngine>(
+            *circuit.netlist, CellLibrary::defaultLibrary(),
+            *circuit.workload);
+        registry = std::make_unique<StructureRegistry>(*circuit.netlist);
+        registry->add("Rnd", "rnd/");
+    }
+
+    CampaignOptions options() const
+    {
+        CampaignOptions opts;
+        opts.benchmark = "rndtrace";
+        opts.structures = {"Rnd"};
+        opts.delays = {0.3, 0.6, 0.9};
+        opts.runSavf = true;
+        opts.sampling.maxInjectionCycles = 4;
+        opts.sampling.maxWires = 30;
+        opts.sampling.maxFlops = 8;
+        opts.sampling.seed = 5;
+        return opts;
+    }
+};
+
+TEST(Campaign, UnknownStructureThrowsNotFound)
+{
+    CampaignFixture fixture;
+    CampaignOptions opts = fixture.options();
+    opts.structures = {"NoSuchUnit"};
+    Campaign campaign(*fixture.engine, *fixture.registry, opts);
+    try {
+        campaign.run();
+        FAIL() << "expected DavfError";
+    } catch (const DavfError &error) {
+        EXPECT_EQ(error.kind(), ErrorKind::NotFound);
+    }
+}
+
+TEST(Campaign, ResumeRejectsForeignJournal)
+{
+    CampaignFixture fixture;
+    const std::string path = tempPath("foreign.ckpt");
+    Checkpoint foreign;
+    foreign.configHash = "0123456789abcdef"; // not this campaign's hash
+    saveCheckpoint(path, foreign);
+
+    CampaignOptions opts = fixture.options();
+    opts.checkpointPath = path;
+    opts.resume = true;
+    Campaign campaign(*fixture.engine, *fixture.registry, opts);
+    try {
+        campaign.run();
+        FAIL() << "expected DavfError";
+    } catch (const DavfError &error) {
+        EXPECT_EQ(error.kind(), ErrorKind::BadArgument);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Campaign, InterruptedResumeIsBitIdenticalAcrossThreadCounts)
+{
+    const std::string ref_ckpt = tempPath("ref.ckpt");
+    const std::string ref_csv = tempPath("ref.csv");
+    const std::string cut_ckpt = tempPath("cut.ckpt");
+    const std::string cut_csv = tempPath("cut.csv");
+
+    // Reference: uninterrupted, 1 thread.
+    {
+        CampaignFixture fixture;
+        CampaignOptions opts = fixture.options();
+        opts.sampling.threads = 1;
+        opts.checkpointPath = ref_ckpt;
+        opts.csvPath = ref_csv;
+        Campaign campaign(*fixture.engine, *fixture.registry, opts);
+        const CampaignSummary summary = campaign.run();
+        EXPECT_FALSE(summary.interrupted);
+        EXPECT_EQ(summary.cellsComputed, 4u); // 3 delays + sAVF
+        EXPECT_EQ(summary.cellsFailed, 0u);
+    }
+
+    // Interrupted mid-sweep: raise the stop flag after a few journal
+    // writes (journal writes happen after every injection cycle, so
+    // this lands inside a cell).
+    std::atomic<bool> stop{false};
+    uint64_t saves = 0;
+    {
+        CampaignFixture fixture;
+        CampaignOptions opts = fixture.options();
+        opts.sampling.threads = 2;
+        opts.checkpointPath = cut_ckpt;
+        opts.csvPath = cut_csv;
+        opts.stopFlag = &stop;
+        opts.onCheckpointSaved = [&] {
+            if (++saves == 3)
+                stop.store(true);
+        };
+        Campaign campaign(*fixture.engine, *fixture.registry, opts);
+        const CampaignSummary summary = campaign.run();
+        EXPECT_TRUE(summary.interrupted);
+        EXPECT_LT(summary.cellsComputed, 4u);
+    }
+    ASSERT_GE(saves, 3u);
+
+    // Resume at a different thread count; result must be byte-identical
+    // to the uninterrupted reference — journal and CSV.
+    {
+        CampaignFixture fixture;
+        CampaignOptions opts = fixture.options();
+        opts.sampling.threads = 3;
+        opts.checkpointPath = cut_ckpt;
+        opts.csvPath = cut_csv;
+        opts.resume = true;
+        Campaign campaign(*fixture.engine, *fixture.registry, opts);
+        const CampaignSummary summary = campaign.run();
+        EXPECT_FALSE(summary.interrupted);
+        EXPECT_EQ(summary.cells.size(), 4u);
+        EXPECT_GT(summary.cellsFromCheckpoint
+                      + summary.cellsComputed, 0u);
+    }
+
+    EXPECT_EQ(slurp(cut_ckpt), slurp(ref_ckpt));
+    EXPECT_EQ(slurp(cut_csv), slurp(ref_csv));
+
+    // Resuming a fully complete journal recomputes nothing.
+    {
+        CampaignFixture fixture;
+        CampaignOptions opts = fixture.options();
+        opts.checkpointPath = ref_ckpt;
+        opts.resume = true;
+        Campaign campaign(*fixture.engine, *fixture.registry, opts);
+        const CampaignSummary summary = campaign.run();
+        EXPECT_EQ(summary.cellsComputed, 0u);
+        EXPECT_EQ(summary.cellsFromCheckpoint, 4u);
+    }
+
+    for (const auto &path : {ref_ckpt, ref_csv, cut_ckpt, cut_csv})
+        std::remove(path.c_str());
+}
+
+TEST(Campaign, TimeoutsBecomeSkipsNotCrashes)
+{
+    CampaignFixture fixture;
+    CampaignOptions opts = fixture.options();
+    opts.delays = {0.6};
+    opts.runSavf = false;
+    // An impossible per-injection budget: every continuation times out.
+    opts.injectionTimeoutMs = 1e-6;
+    opts.maxFailureRate = 1.0; // tolerate them all
+    Campaign campaign(*fixture.engine, *fixture.registry, opts);
+    const CampaignSummary summary = campaign.run();
+    ASSERT_EQ(summary.cells.size(), 1u);
+    const DelayAvfResult &result = summary.cells[0].davf;
+    EXPECT_FALSE(summary.cells[0].failed);
+    EXPECT_GT(result.skippedErrors, 0u);
+    EXPECT_GT(result.skipReasons.count("timeout"), 0u);
+    // Skipped injections leave the denominator.
+    EXPECT_LE(result.skippedErrors, result.injections);
+}
+
+TEST(Campaign, ExcessiveFailuresFailTheCellNotTheCampaign)
+{
+    CampaignFixture fixture;
+    CampaignOptions opts = fixture.options();
+    opts.runSavf = false;
+    opts.injectionTimeoutMs = 1e-6; // force a ~100% failure rate
+    opts.maxFailureRate = 0.01;
+    Campaign campaign(*fixture.engine, *fixture.registry, opts);
+    const CampaignSummary summary = campaign.run();
+    ASSERT_EQ(summary.cells.size(), 3u);
+    EXPECT_EQ(summary.cellsFailed, 3u);
+    for (const CampaignCellResult &cell : summary.cells) {
+        EXPECT_TRUE(cell.failed);
+        EXPECT_NE(cell.failReason.find("injections failed"),
+                  std::string::npos)
+            << cell.failReason;
+    }
+    EXPECT_FALSE(summary.interrupted)
+        << "failed cells must not abort the sweep";
+}
+
+TEST(Campaign, PresetStopFlagInterruptsBeforeWork)
+{
+    CampaignFixture fixture;
+    std::atomic<bool> stop{true};
+    CampaignOptions opts = fixture.options();
+    opts.stopFlag = &stop;
+    Campaign campaign(*fixture.engine, *fixture.registry, opts);
+    const CampaignSummary summary = campaign.run();
+    EXPECT_TRUE(summary.interrupted);
+    EXPECT_EQ(summary.cellsComputed, 0u);
+}
+
+TEST(StopFlag, SigintRaisesTheFlagCooperatively)
+{
+    const std::atomic<bool> &flag = installStopHandlers();
+    resetStopFlag();
+    EXPECT_FALSE(flag.load());
+    ::raise(SIGINT); // first signal: cooperative, no process exit
+    EXPECT_TRUE(flag.load());
+    resetStopFlag();
+    EXPECT_FALSE(flag.load());
+}
+
+} // namespace
+} // namespace davf

@@ -9,6 +9,7 @@
 #include <atomic>
 #include <cmath>
 #include <set>
+#include <stdexcept>
 
 #include "src/util/bits.hh"
 #include "src/util/bitvector.hh"
@@ -237,6 +238,57 @@ TEST(ThreadPool, EmptyRange)
     bool ran = false;
     parallelFor(0, [&](size_t) { ran = true; });
     EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, RethrowsWorkerException)
+{
+    // A worker exception must surface on the calling thread, not
+    // std::terminate the process.
+    EXPECT_THROW(
+        parallelFor(64,
+                    [&](size_t i) {
+                        if (i == 13)
+                            throw std::runtime_error("boom");
+                    },
+                    4),
+        std::runtime_error);
+}
+
+TEST(ThreadPool, RethrowsFirstExceptionAndStopsScheduling)
+{
+    // Every scheduled index either runs or is skipped after the
+    // failure; none runs twice, and exactly one exception escapes.
+    std::vector<std::atomic<int>> hits(5000);
+    bool caught = false;
+    try {
+        parallelFor(5000, [&](size_t i) {
+            hits[i].fetch_add(1);
+            if (i == 100)
+                throw std::runtime_error("first failure");
+        });
+    } catch (const std::runtime_error &error) {
+        caught = true;
+        EXPECT_STREQ(error.what(), "first failure");
+    }
+    EXPECT_TRUE(caught);
+    for (const auto &hit : hits)
+        EXPECT_LE(hit.load(), 1);
+}
+
+TEST(ThreadPool, RethrowsOnSingleThread)
+{
+    std::vector<int> hits(100, 0);
+    EXPECT_THROW(parallelFor(100,
+                             [&](size_t i) {
+                                 hits[i] += 1;
+                                 if (i == 10)
+                                     throw std::runtime_error("stop");
+                             },
+                             1),
+                 std::runtime_error);
+    // The single-thread path runs in order and stops at the throw.
+    EXPECT_EQ(hits[10], 1);
+    EXPECT_EQ(hits[11], 0);
 }
 
 } // namespace

@@ -1,0 +1,27 @@
+#!/bin/sh
+# Tier-1 CI gate: build the tree in the default (RelWithDebInfo)
+# configuration and under address+undefined sanitizers, and run the
+# full ctest suite in both. Any failure fails the script.
+#
+# Usage: tools/ci_check.sh [jobs]
+set -eu
+
+jobs="${1:-$(nproc 2>/dev/null || echo 4)}"
+root="$(cd "$(dirname "$0")/.." && pwd)"
+
+run_config() {
+    build_dir="$1"
+    shift
+    echo "=== configure $build_dir ($*)" >&2
+    cmake -B "$build_dir" -S "$root" "$@"
+    echo "=== build $build_dir" >&2
+    cmake --build "$build_dir" -j "$jobs"
+    echo "=== test $build_dir" >&2
+    ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
+}
+
+run_config "$root/build-ci-release" -DCMAKE_BUILD_TYPE=Release
+run_config "$root/build-ci-asan" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DDAVF_SANITIZE=address,undefined
+
+echo "=== ci_check: all configurations passed" >&2

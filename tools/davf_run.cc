@@ -6,13 +6,19 @@
  * sampling rates, and the ECC switch, and get DelayAVF / OrDelayAVF /
  * sAVF rows on stdout or as CSV.
  *
+ * Sweeps run through the resilient campaign layer (src/campaign/):
+ * SIGINT/SIGTERM stop cooperatively between injections after flushing
+ * the journal and CSV, `--checkpoint` journals progress after every
+ * injection cycle, and `--resume` continues an interrupted sweep with
+ * bit-identical aggregate results (see docs/ROBUSTNESS.md).
+ *
  * Usage:
  *   davf_run [options]
  *     --benchmark NAME     md5|bubblesort|libstrstr|libfibcall|matmult|
  *                          crc32|popcount              (default libstrstr)
  *     --structure NAME     ALU|Decoder|Regfile|LSU|Prefetch (default ALU)
- *     --delays LO:HI:STEP  delay fractions of the period (default
- *                          0.1:0.9:0.2)
+ *     --delays LO:HI:STEP  delay fractions of the period, 0 <= LO <= HI
+ *                          <= 1, STEP > 0 (default 0.1:0.9:0.2)
  *     --ecc                protect the register file with SEC ECC
  *     --cycles N           injection cycles (default 8)
  *     --wires N            wire sample per structure, 0 = all (default 400)
@@ -22,23 +28,30 @@
  *     --savf               also run particle-strike sAVF on the structure
  *     --sta-period         use the STA longest path as the clock (default:
  *                          observed-max timing-closure emulation)
- *     --csv FILE           append results as CSV rows
+ *     --csv FILE           write results as CSV (atomic rewrite)
+ *     --checkpoint FILE    journal campaign progress to FILE
+ *     --resume FILE        resume the campaign journaled in FILE
+ *     --timeout-ms X       wall-clock budget per injection (0 = none)
+ *     --max-failure-rate X abandon a cell if > X of injections fail
+ *                          (default 0.05)
  *     --list               list benchmarks and structures, then exit
  */
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <string>
 #include <vector>
 
-#include "core/report.hh"
+#include "campaign/campaign.hh"
+#include "campaign/stop.hh"
 #include "core/vulnerability.hh"
 #include "isa/assembler.hh"
 #include "isa/benchmarks.hh"
 #include "soc/ibex_mini.hh"
 #include "soc/soc_workload.hh"
+#include "util/logging.hh"
 
 using namespace davf;
 
@@ -55,11 +68,15 @@ struct Options
     bool run_savf = false;
     bool sta_period = false;
     SamplingConfig sampling;
+    double timeout_ms = 0.0;
+    double max_failure_rate = 0.05;
     std::string csv_path;
+    std::string checkpoint_path;
+    bool resume = false;
 };
 
-[[noreturn]] void
-usage(const char *argv0)
+void
+printUsage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s [--benchmark N] [--structure N] "
@@ -67,9 +84,93 @@ usage(const char *argv0)
                  "          [--ecc] [--cycles N] [--wires N] [--flops N]"
                  " [--seed N]\n"
                  "          [--threads N] [--savf] [--sta-period] "
-                 "[--csv FILE] [--list]\n",
+                 "[--csv FILE]\n"
+                 "          [--checkpoint FILE] [--resume FILE] "
+                 "[--timeout-ms X]\n"
+                 "          [--max-failure-rate X] [--list]\n",
                  argv0);
+}
+
+/** Reject the run: usage + the offending flag/value, exit nonzero. */
+[[noreturn]] void
+usageError(const char *argv0, const std::string &detail)
+{
+    printUsage(argv0);
+    std::fprintf(stderr, "error: %s\n", detail.c_str());
     std::exit(2);
+}
+
+uint64_t
+parseU64(const char *argv0, const std::string &flag, const char *text)
+{
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long value = std::strtoull(text, &end, 10);
+    if (errno != 0 || end == text || *end != '\0') {
+        usageError(argv0,
+                   flag + " expects a non-negative integer, got '"
+                       + text + "'");
+    }
+    return static_cast<uint64_t>(value);
+}
+
+double
+parseDouble(const char *argv0, const std::string &flag, const char *text)
+{
+    errno = 0;
+    char *end = nullptr;
+    const double value = std::strtod(text, &end);
+    if (errno != 0 || end == text || *end != '\0') {
+        usageError(argv0, flag + " expects a number, got '"
+                              + std::string(text) + "'");
+    }
+    return value;
+}
+
+void
+parseDelays(const char *argv0, const char *spec, Options &opts)
+{
+    const std::string text = spec;
+    const size_t first = text.find(':');
+    const size_t second =
+        first == std::string::npos ? first : text.find(':', first + 1);
+    if (first == std::string::npos || second == std::string::npos
+        || text.find(':', second + 1) != std::string::npos) {
+        usageError(argv0, "--delays expects LO:HI:STEP, got '" + text
+                              + "'");
+    }
+    opts.delay_lo = parseDouble(argv0, "--delays LO",
+                                text.substr(0, first).c_str());
+    opts.delay_hi = parseDouble(
+        argv0, "--delays HI",
+        text.substr(first + 1, second - first - 1).c_str());
+    opts.delay_step =
+        parseDouble(argv0, "--delays STEP",
+                    text.substr(second + 1).c_str());
+    if (opts.delay_lo > opts.delay_hi) {
+        usageError(argv0, "--delays range is inverted: " + text);
+    }
+    if (opts.delay_lo < 0.0 || opts.delay_hi > 1.0) {
+        usageError(argv0,
+                   "--delays fractions must lie in [0, 1]: " + text);
+    }
+    if (!(opts.delay_step > 0.0)) {
+        usageError(argv0, "--delays STEP must be > 0: " + text);
+    }
+}
+
+bool
+knownBenchmark(const std::string &name)
+{
+    for (const auto &program : beebsBenchmarks()) {
+        if (program.name == name)
+            return true;
+    }
+    for (const auto &program : extraBenchmarks()) {
+        if (program.name == name)
+            return true;
+    }
+    return false;
 }
 
 Options
@@ -81,8 +182,10 @@ parse(int argc, char **argv)
     opts.sampling.maxFlops = 96;
 
     auto need = [&](int &i) -> const char * {
-        if (i + 1 >= argc)
-            usage(argv[0]);
+        if (i + 1 >= argc) {
+            usageError(argv[0], std::string(argv[i])
+                                    + " expects a value");
+        }
         return argv[++i];
     };
 
@@ -93,12 +196,7 @@ parse(int argc, char **argv)
         } else if (arg == "--structure") {
             opts.structure = need(i);
         } else if (arg == "--delays") {
-            const char *spec = need(i);
-            if (std::sscanf(spec, "%lf:%lf:%lf", &opts.delay_lo,
-                            &opts.delay_hi, &opts.delay_step)
-                != 3) {
-                usage(argv[0]);
-            }
+            parseDelays(argv[0], need(i), opts);
         } else if (arg == "--ecc") {
             opts.ecc = true;
         } else if (arg == "--savf") {
@@ -107,21 +205,37 @@ parse(int argc, char **argv)
             opts.sta_period = true;
         } else if (arg == "--cycles") {
             opts.sampling.maxInjectionCycles =
-                static_cast<unsigned>(std::atoi(need(i)));
+                static_cast<unsigned>(parseU64(argv[0], arg, need(i)));
         } else if (arg == "--wires") {
             opts.sampling.maxWires =
-                static_cast<size_t>(std::atoll(need(i)));
+                static_cast<size_t>(parseU64(argv[0], arg, need(i)));
         } else if (arg == "--flops") {
             opts.sampling.maxFlops =
-                static_cast<size_t>(std::atoll(need(i)));
+                static_cast<size_t>(parseU64(argv[0], arg, need(i)));
         } else if (arg == "--seed") {
-            opts.sampling.seed =
-                static_cast<uint64_t>(std::atoll(need(i)));
+            opts.sampling.seed = parseU64(argv[0], arg, need(i));
         } else if (arg == "--threads") {
             opts.sampling.threads =
-                static_cast<unsigned>(std::atoi(need(i)));
+                static_cast<unsigned>(parseU64(argv[0], arg, need(i)));
         } else if (arg == "--csv") {
             opts.csv_path = need(i);
+        } else if (arg == "--checkpoint") {
+            opts.checkpoint_path = need(i);
+        } else if (arg == "--resume") {
+            opts.checkpoint_path = need(i);
+            opts.resume = true;
+        } else if (arg == "--timeout-ms") {
+            opts.timeout_ms = parseDouble(argv[0], arg, need(i));
+            if (opts.timeout_ms < 0.0)
+                usageError(argv[0], "--timeout-ms must be >= 0");
+        } else if (arg == "--max-failure-rate") {
+            opts.max_failure_rate =
+                parseDouble(argv[0], arg, need(i));
+            if (opts.max_failure_rate < 0.0
+                || opts.max_failure_rate > 1.0) {
+                usageError(argv[0],
+                           "--max-failure-rate must lie in [0, 1]");
+            }
         } else if (arg == "--list") {
             std::printf("benchmarks:");
             for (const auto &program : beebsBenchmarks())
@@ -132,16 +246,20 @@ parse(int argc, char **argv)
                         "Prefetch\n");
             std::exit(0);
         } else {
-            usage(argv[0]);
+            usageError(argv[0], "unknown flag '" + arg + "'");
         }
+    }
+
+    if (!knownBenchmark(opts.benchmark)) {
+        usageError(argv[0],
+                   "--benchmark: unknown benchmark '" + opts.benchmark
+                       + "' (try --list)");
     }
     return opts;
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+runTool(int argc, char **argv)
 {
     const Options opts = parse(argc, argv);
 
@@ -153,11 +271,9 @@ main(int argc, char **argv)
                  opts.ecc ? "ECC" : "plain", opts.benchmark.c_str());
     IbexMini soc(soc_config, assemble(program.source));
 
-    const Structure *structure = soc.structures().find(opts.structure);
-    if (!structure) {
-        std::fprintf(stderr, "unknown structure '%s'\n",
-                     opts.structure.c_str());
-        return 2;
+    if (!soc.structures().find(opts.structure)) {
+        usageError(argv[0], "--structure: unknown structure '"
+                                + opts.structure + "' (try --list)");
     }
 
     SocWorkload workload(soc);
@@ -175,53 +291,84 @@ main(int argc, char **argv)
                  static_cast<unsigned long long>(engine.goldenCycles()),
                  engine.clockPeriod());
 
-    std::ofstream csv;
-    if (!opts.csv_path.empty()) {
-        csv.open(opts.csv_path, std::ios::app);
-        if (!csv) {
-            std::fprintf(stderr, "cannot open %s\n",
-                         opts.csv_path.c_str());
-            return 2;
-        }
-        csv << delayAvfCsvHeader() << '\n';
-    }
-
-    std::printf("%-8s%12s%12s%10s%10s%8s%8s\n", "d", "DelayAVF",
-                "OrDelayAVF", "static", "dynamic", "SDC", "DUE");
+    CampaignOptions campaign_options;
+    campaign_options.benchmark = opts.benchmark;
+    campaign_options.structures = {opts.structure};
     for (double d = opts.delay_lo; d <= opts.delay_hi + 1e-9;
          d += opts.delay_step) {
-        const DelayAvfResult result =
-            engine.delayAvf(*structure, d, opts.sampling);
-        std::printf("%-8.2f%12.5f%12.5f%10.3f%10.3f%8llu%8llu\n", d,
-                    result.delayAvf, result.orDelayAvf,
+        campaign_options.delays.push_back(d);
+    }
+    campaign_options.runSavf = opts.run_savf;
+    campaign_options.sampling = opts.sampling;
+    campaign_options.injectionTimeoutMs = opts.timeout_ms;
+    campaign_options.maxFailureRate = opts.max_failure_rate;
+    campaign_options.checkpointPath = opts.checkpoint_path;
+    campaign_options.resume = opts.resume;
+    campaign_options.csvPath = opts.csv_path;
+    campaign_options.structureLabel = opts.ecc ? " (ECC)" : "";
+    campaign_options.stopFlag = &installStopHandlers();
+
+    Campaign campaign(engine, soc.structures(), campaign_options);
+    const CampaignSummary summary = campaign.run();
+
+    std::printf("%-8s%12s%12s%10s%10s%8s%8s%9s\n", "d", "DelayAVF",
+                "OrDelayAVF", "static", "dynamic", "SDC", "DUE",
+                "skipped");
+    for (const CampaignCellResult &cell : summary.cells) {
+        if (cell.key.kind != "davf")
+            continue;
+        if (cell.failed) {
+            std::printf("%-8.2f  [failed: %s]\n", cell.delay,
+                        cell.failReason.c_str());
+            continue;
+        }
+        const DelayAvfResult &result = cell.davf;
+        std::printf("%-8.2f%12.5f%12.5f%10.3f%10.3f%8llu%8llu%9llu%s\n",
+                    cell.delay, result.delayAvf, result.orDelayAvf,
                     result.staticWireFraction,
                     result.dynamicWireFraction,
                     static_cast<unsigned long long>(result.sdc),
-                    static_cast<unsigned long long>(result.due));
-        if (csv.is_open()) {
-            const std::string label = opts.structure
-                + (opts.ecc ? " (ECC)" : "");
-            csv << delayAvfCsvRow(opts.benchmark, label, d, result)
-                << '\n';
-        }
+                    static_cast<unsigned long long>(result.due),
+                    static_cast<unsigned long long>(
+                        result.skippedErrors),
+                    cell.fromCheckpoint ? "  (resumed)" : "");
     }
 
-    if (opts.run_savf) {
-        if (structure->flops.empty()) {
+    for (const CampaignCellResult &cell : summary.cells) {
+        if (cell.key.kind != "savf" || cell.failed)
+            continue;
+        const SavfResult &savf = cell.savf;
+        if (savf.injections == 0) {
             std::printf("\nsAVF: structure has no flops\n");
-        } else {
-            const SavfResult savf =
-                engine.savf(*structure, opts.sampling);
-            std::printf("\nsAVF = %.5f (%llu/%llu ACE; SDC %llu, "
-                        "DUE %llu)\n",
-                        savf.savf,
-                        static_cast<unsigned long long>(
-                            savf.aceInjections),
-                        static_cast<unsigned long long>(
-                            savf.injections),
-                        static_cast<unsigned long long>(savf.sdc),
-                        static_cast<unsigned long long>(savf.due));
+            continue;
         }
+        std::printf("\nsAVF = %.5f (%llu/%llu ACE; SDC %llu, "
+                    "DUE %llu)%s\n",
+                    savf.savf,
+                    static_cast<unsigned long long>(savf.aceInjections),
+                    static_cast<unsigned long long>(savf.injections),
+                    static_cast<unsigned long long>(savf.sdc),
+                    static_cast<unsigned long long>(savf.due),
+                    cell.fromCheckpoint ? "  (resumed)" : "");
     }
-    return 0;
+
+    if (summary.interrupted) {
+        std::fprintf(stderr,
+                     "\ninterrupted: progress %s; rerun with --resume "
+                     "to continue\n",
+                     opts.checkpoint_path.empty()
+                         ? "not journaled (no --checkpoint)"
+                         : ("saved to '" + opts.checkpoint_path + "'")
+                               .c_str());
+        return 130;
+    }
+    return summary.cellsFailed > 0 ? 3 : 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return guardedMain([&] { return runTool(argc, argv); });
 }

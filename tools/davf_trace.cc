@@ -29,11 +29,14 @@
 #include "sim/vcd.hh"
 #include "soc/ibex_mini.hh"
 #include "soc/soc_workload.hh"
+#include "util/logging.hh"
 
 using namespace davf;
 
+namespace {
+
 int
-main(int argc, char **argv)
+runTool(int argc, char **argv)
 {
     std::string benchmark = "libstrstr";
     std::string structure_name = "ALU";
@@ -179,4 +182,12 @@ main(int argc, char **argv)
     std::printf("wrote %s.golden.vcd and %s.faulty.vcd (%zu nets)\n",
                 prefix.c_str(), prefix.c_str(), nets.size());
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return guardedMain([&] { return runTool(argc, argv); });
 }
