@@ -110,10 +110,25 @@ Campaign::run()
             davf_throw(ErrorKind::BadArgument,
                        "resume requested without a checkpoint path");
         }
+        // Lenient about a torn final line only: the journal is written
+        // atomically, so a damaged tail means the file was copied or
+        // the filesystem crashed mid-write — losing that one record
+        // (it is re-simulated) beats refusing to resume.
+        CheckpointLoadStats stats;
         Result<Checkpoint> loaded =
-            loadCheckpoint(options.checkpointPath);
+            loadCheckpoint(options.checkpointPath, &stats);
         if (!loaded)
             throw loaded.error();
+        if (stats.truncatedTail) {
+            davf_warn("checkpoint '", options.checkpointPath,
+                      "': dropped torn final line \"",
+                      stats.droppedLine.substr(0, 80),
+                      "\"; its record will be recomputed");
+        } else if (stats.missingEnd) {
+            davf_warn("checkpoint '", options.checkpointPath,
+                      "': missing end record (truncated write?); "
+                      "resuming from the readable prefix");
+        }
         if (loaded.value().configHash != journal.configHash) {
             davf_throw(ErrorKind::BadArgument,
                        "checkpoint '", options.checkpointPath,
@@ -152,6 +167,30 @@ Campaign::run()
             && options.stopFlag->load(std::memory_order_relaxed);
     };
 
+    // Process isolation: known-bad injections from earlier runs keep
+    // their exclusions, so a resumed campaign converges instead of
+    // re-crashing on the same cell. Records from other configurations
+    // are ignored (their sampled-wire indices mean something else).
+    const bool process_mode = options.isolate == IsolationMode::Process;
+    std::vector<QuarantineRecord> knownQuarantine;
+    if (process_mode && !options.supervisor.quarantineDir.empty()) {
+        for (QuarantineRecord &record :
+             loadQuarantineRecords(options.supervisor.quarantineDir)) {
+            if (record.configHash == journal.configHash)
+                knownQuarantine.push_back(std::move(record));
+        }
+    }
+    auto ensure_supervisor = [&]() {
+        if (supervisor)
+            return;
+        SupervisorOptions sup = options.supervisor;
+        sup.configHash = journal.configHash;
+        sup.benchmark = options.benchmark;
+        sup.seed = options.sampling.seed;
+        sup.stopFlag = options.stopFlag;
+        supervisor = std::make_unique<Supervisor>(std::move(sup));
+    };
+
     CampaignSummary summary;
     for (const PlannedCell &planned : plan) {
         // Adopt journaled cells verbatim: this is what makes a resumed
@@ -188,11 +227,26 @@ Campaign::run()
         cell.delay = planned.delay;
 
         if (planned.key.kind == "savf") {
-            cell.savf = engine->savf(*planned.structure, config);
-            if (cell.savf.stopped) {
-                summary.interrupted = true;
-                save();
-                break;
+            if (process_mode) {
+                ensure_supervisor();
+                Supervisor::SavfCellResult shard =
+                    supervisor->runSavfCell(planned.key.structure,
+                                            config);
+                if (shard.stopped) {
+                    summary.interrupted = true;
+                    save();
+                    break;
+                }
+                cell.savf = shard.savf;
+                cell.failed = shard.failed;
+                cell.failReason = shard.failReason;
+            } else {
+                cell.savf = engine->savf(*planned.structure, config);
+                if (cell.savf.stopped) {
+                    summary.interrupted = true;
+                    save();
+                    break;
+                }
             }
         } else {
             DelayAvfProgress progress;
@@ -220,25 +274,89 @@ Campaign::run()
                     save();
                 };
 
-            try {
-                cell.davf = engine->delayAvf(
-                    *planned.structure, planned.delay, config,
-                    &progress);
-            } catch (const DavfError &error) {
-                if (error.kind() != ErrorKind::ExcessiveFailures)
-                    throw;
-                // The cell is untrustworthy; record why and move on.
-                cell.failed = true;
-                cell.failReason = error.what();
-            }
+            // Aggregation from completed outcomes is shared by both
+            // isolation modes; catching ExcessiveFailures (the cell is
+            // untrustworthy) records why and moves on.
+            auto aggregate = [&](DelayAvfProgress *with) {
+                try {
+                    cell.davf = engine->delayAvf(*planned.structure,
+                                                 planned.delay, config,
+                                                 with);
+                } catch (const DavfError &error) {
+                    if (error.kind() != ErrorKind::ExcessiveFailures)
+                        throw;
+                    cell.failed = true;
+                    cell.failReason = error.what();
+                }
+            };
 
-            if (!cell.failed && cell.davf.stopped) {
-                // Partial cycles are already journaled via onCycleDone;
-                // flush once more for good measure and stop cleanly.
-                summary.interrupted = true;
-                save();
-                flushCsv(summary);
-                break;
+            if (process_mode) {
+                ensure_supervisor();
+
+                // Dispatch only the cycles the journal does not already
+                // have; workers compute, the supervisor retries /
+                // bisects / quarantines, and every completed outcome is
+                // journaled through the same onCycleDone as thread
+                // mode.
+                std::vector<uint64_t> todo;
+                for (uint64_t cycle : engine->injectionCycles(config)) {
+                    bool have = false;
+                    for (const InjectionCycleOutcome &out :
+                         progress.completed) {
+                        if (out.cycle == cycle) {
+                            have = true;
+                            break;
+                        }
+                    }
+                    if (!have)
+                        todo.push_back(cycle);
+                }
+                const std::vector<WireId> wires =
+                    engine->sampledWires(*planned.structure, config);
+
+                Supervisor::DavfCellResult shard =
+                    supervisor->runDavfCell(
+                        planned.key.structure, planned.delay, todo,
+                        wires, config, knownQuarantine,
+                        progress.onCycleDone);
+                for (QuarantineRecord &record : shard.quarantined) {
+                    knownQuarantine.push_back(record);
+                    summary.quarantined.push_back(std::move(record));
+                }
+
+                if (shard.stopped) {
+                    summary.interrupted = true;
+                    save();
+                    flushCsv(summary);
+                    break;
+                }
+                if (shard.failed) {
+                    cell.failed = true;
+                    cell.failReason = shard.failReason;
+                } else {
+                    // Every outcome is in the journal now; the engine
+                    // call only aggregates (no cycle is re-simulated),
+                    // which keeps process mode bit-identical to thread
+                    // mode at any worker count.
+                    DelayAvfProgress completed;
+                    if (journal.hasPartial
+                        && journal.partialKey == planned.key) {
+                        completed.completed = journal.partialCycles;
+                    }
+                    aggregate(&completed);
+                }
+            } else {
+                aggregate(&progress);
+
+                if (!cell.failed && cell.davf.stopped) {
+                    // Partial cycles are already journaled via
+                    // onCycleDone; flush once more for good measure and
+                    // stop cleanly.
+                    summary.interrupted = true;
+                    save();
+                    flushCsv(summary);
+                    break;
+                }
             }
         }
 

@@ -28,14 +28,31 @@
 
 #include <atomic>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "campaign/checkpoint.hh"
+#include "campaign/supervisor.hh"
 #include "core/vulnerability.hh"
 #include "netlist/structure.hh"
 
 namespace davf {
+
+/** Where a cell's simulations execute. */
+enum class IsolationMode : uint8_t {
+    /** In-process, on the engine's thread pool (the default). */
+    Thread,
+
+    /**
+     * In supervised worker processes (supervisor.hh): crashes, hangs,
+     * and memory blowups inside one injection are contained, retried,
+     * and — when persistent — bisected down to a quarantined single
+     * injection while the sweep continues. Aggregates over surviving
+     * injections are bit-identical to Thread mode at any worker count.
+     */
+    Process,
+};
 
 /** What to run and how to survive it. */
 struct CampaignOptions
@@ -78,6 +95,17 @@ struct CampaignOptions
 
     /** Test hook: called after every journal write. */
     std::function<void()> onCheckpointSaved;
+
+    /** Execution isolation for cell simulations. */
+    IsolationMode isolate = IsolationMode::Thread;
+
+    /**
+     * Worker pool and failure policy for IsolationMode::Process.
+     * configHash, benchmark, seed, and stopFlag are filled in by the
+     * campaign; the rest (workerArgv, workers, retries, quarantineDir,
+     * ...) comes from the caller.
+     */
+    SupervisorOptions supervisor;
 };
 
 /** One cell's outcome as the campaign saw it. */
@@ -100,6 +128,10 @@ struct CampaignSummary
     uint64_t cellsComputed = 0;
     uint64_t cellsFromCheckpoint = 0;
     uint64_t cellsFailed = 0;
+
+    /** Process isolation only: injections newly quarantined this run
+     *  (already excluded from the affected cells' denominators). */
+    std::vector<QuarantineRecord> quarantined;
 };
 
 /**
@@ -133,6 +165,7 @@ class Campaign
     const StructureRegistry *registry;
     CampaignOptions options;
     Checkpoint journal;
+    std::unique_ptr<Supervisor> supervisor; ///< Process mode, lazy.
 };
 
 } // namespace davf

@@ -152,11 +152,18 @@ readDavfResult(std::istream &is, DelayAvfResult &result)
 }
 
 void
+writeSavfFields(std::ostream &os, const SavfResult &result)
+{
+    os << doubleToText(result.savf) << ' ' << result.injections << ' '
+       << result.aceInjections << ' ' << result.sdc << ' ' << result.due
+       << ' ' << result.skippedErrors;
+}
+
+void
 writeSavfResult(std::ostream &os, const SavfResult &result)
 {
-    os << ' ' << doubleToText(result.savf) << ' ' << result.injections
-       << ' ' << result.aceInjections << ' ' << result.sdc << ' '
-       << result.due << ' ' << result.skippedErrors;
+    os << ' ';
+    writeSavfFields(os, result);
 }
 
 bool
@@ -171,9 +178,9 @@ readSavfResult(std::istream &is, SavfResult &result)
 }
 
 void
-writeOutcome(std::ostream &os, const InjectionCycleOutcome &outcome)
+writeOutcomeFields(std::ostream &os, const InjectionCycleOutcome &outcome)
 {
-    os << "pcycle " << outcome.cycle << ' ' << outcome.injections << ' '
+    os << outcome.cycle << ' ' << outcome.injections << ' '
        << outcome.staticInjections << ' ' << outcome.errorInjections
        << ' ' << outcome.multiBit << ' ' << outcome.delayAce << ' '
        << outcome.orAce << ' ' << outcome.sdc << ' ' << outcome.due
@@ -183,6 +190,13 @@ writeOutcome(std::ostream &os, const InjectionCycleOutcome &outcome)
     writeSkipReasons(os, outcome.skipReasons);
     writeBits(os, outcome.wireDyn);
     writeBits(os, outcome.wireAce);
+}
+
+void
+writeOutcome(std::ostream &os, const InjectionCycleOutcome &outcome)
+{
+    os << "pcycle ";
+    writeOutcomeFields(os, outcome);
     os << '\n';
 }
 
@@ -261,7 +275,7 @@ serializeCheckpoint(const Checkpoint &checkpoint)
 }
 
 Result<Checkpoint>
-parseCheckpoint(const std::string &text)
+parseCheckpoint(const std::string &text, CheckpointLoadStats *stats)
 {
     using R = Result<Checkpoint>;
     std::istringstream is(text);
@@ -279,6 +293,21 @@ parseCheckpoint(const std::string &text)
 
     Checkpoint checkpoint;
     bool sawEnd = false;
+
+    // The journal is written atomically, so a damaged line can only be
+    // the result of an interrupted copy or similar — and then only the
+    // final line can be torn. Lenient mode (stats != nullptr) drops
+    // exactly such a torn tail line; damage anywhere else stays fatal
+    // because it means the file was corrupted, not truncated.
+    auto tolerateTornTail = [&]() -> bool {
+        const bool last_line = is.peek() == std::char_traits<char>::eof();
+        if (stats == nullptr || !last_line)
+            return false;
+        stats->truncatedTail = true;
+        stats->droppedLine = line;
+        return true;
+    };
+
     while (std::getline(is, line)) {
         if (line.empty())
             continue;
@@ -286,60 +315,75 @@ parseCheckpoint(const std::string &text)
         std::string tag;
         ls >> tag;
         if (tag == "config") {
-            if (!(ls >> checkpoint.configHash))
+            if (!(ls >> checkpoint.configHash)) {
+                if (tolerateTornTail())
+                    break;
                 return R::Err(ErrorKind::BadInput,
                               "checkpoint: bad config line");
+            }
         } else if (tag == "cell") {
             CheckpointCell cell;
             std::string status;
-            if (!readKey(ls, cell.key) || !(ls >> status))
+            bool ok = readKey(ls, cell.key) && (ls >> status);
+            if (ok) {
+                if (status == "failed") {
+                    cell.failed = true;
+                    std::getline(ls, cell.failReason);
+                    if (!cell.failReason.empty()
+                        && cell.failReason.front() == ' ')
+                        cell.failReason.erase(0, 1);
+                } else if (status == "ok") {
+                    ok = cell.key.kind == "savf"
+                        ? readSavfResult(ls, cell.savf)
+                        : readDavfResult(ls, cell.davf);
+                } else {
+                    ok = false;
+                }
+            }
+            if (!ok) {
+                if (tolerateTornTail())
+                    break;
                 return R::Err(ErrorKind::BadInput,
                               "checkpoint: bad cell line: " + line);
-            if (status == "failed") {
-                cell.failed = true;
-                std::getline(ls, cell.failReason);
-                if (!cell.failReason.empty()
-                    && cell.failReason.front() == ' ')
-                    cell.failReason.erase(0, 1);
-            } else if (status == "ok") {
-                const bool ok = cell.key.kind == "savf"
-                    ? readSavfResult(ls, cell.savf)
-                    : readDavfResult(ls, cell.davf);
-                if (!ok)
-                    return R::Err(ErrorKind::BadInput,
-                                  "checkpoint: bad cell result: "
-                                      + line);
-            } else {
-                return R::Err(ErrorKind::BadInput,
-                              "checkpoint: bad cell status '" + status
-                                  + "'");
             }
             checkpoint.cells.push_back(std::move(cell));
         } else if (tag == "partial") {
-            if (!readKey(ls, checkpoint.partialKey))
+            if (!readKey(ls, checkpoint.partialKey)) {
+                if (tolerateTornTail())
+                    break;
                 return R::Err(ErrorKind::BadInput,
                               "checkpoint: bad partial line: " + line);
+            }
             checkpoint.hasPartial = true;
         } else if (tag == "pcycle") {
             if (!checkpoint.hasPartial)
                 return R::Err(ErrorKind::BadInput,
                               "checkpoint: pcycle before partial");
             InjectionCycleOutcome outcome;
-            if (!readOutcome(ls, outcome))
+            if (!readOutcome(ls, outcome)) {
+                if (tolerateTornTail())
+                    break;
                 return R::Err(ErrorKind::BadInput,
                               "checkpoint: bad pcycle line: " + line);
+            }
             checkpoint.partialCycles.push_back(std::move(outcome));
         } else if (tag == "end") {
             sawEnd = true;
             break;
         } else {
+            if (tolerateTornTail())
+                break;
             return R::Err(ErrorKind::BadInput,
                           "checkpoint: unknown record '" + tag + "'");
         }
     }
-    if (!sawEnd)
-        return R::Err(ErrorKind::BadInput,
-                      "checkpoint: truncated (no end record)");
+    if (!sawEnd) {
+        if (stats == nullptr) {
+            return R::Err(ErrorKind::BadInput,
+                          "checkpoint: truncated (no end record)");
+        }
+        stats->missingEnd = true;
+    }
     if (checkpoint.configHash.empty())
         return R::Err(ErrorKind::BadInput,
                       "checkpoint: missing config record");
@@ -353,7 +397,7 @@ saveCheckpoint(const std::string &path, const Checkpoint &checkpoint)
 }
 
 Result<Checkpoint>
-loadCheckpoint(const std::string &path)
+loadCheckpoint(const std::string &path, CheckpointLoadStats *stats)
 {
     std::ifstream file(path, std::ios::binary);
     if (!file) {
@@ -362,7 +406,35 @@ loadCheckpoint(const std::string &path)
     }
     std::ostringstream contents;
     contents << file.rdbuf();
-    return parseCheckpoint(contents.str());
+    return parseCheckpoint(contents.str(), stats);
+}
+
+std::string
+serializeOutcomeFields(const InjectionCycleOutcome &outcome)
+{
+    std::ostringstream os;
+    writeOutcomeFields(os, outcome);
+    return os.str();
+}
+
+bool
+parseOutcomeFields(std::istream &is, InjectionCycleOutcome &outcome)
+{
+    return readOutcome(is, outcome);
+}
+
+std::string
+serializeSavfFields(const SavfResult &result)
+{
+    std::ostringstream os;
+    writeSavfFields(os, result);
+    return os.str();
+}
+
+bool
+parseSavfFields(std::istream &is, SavfResult &result)
+{
+    return readSavfResult(is, result);
 }
 
 } // namespace davf

@@ -21,6 +21,7 @@
 #define DAVF_CAMPAIGN_CHECKPOINT_HH
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -65,20 +66,54 @@ struct Checkpoint
     const CheckpointCell *find(const CheckpointKey &key) const;
 };
 
+/**
+ * What lenient parsing repaired. The journal is written atomically, so
+ * at most the final line can be torn (interrupted copy, crashed
+ * filesystem); passing a stats object to parseCheckpoint() tolerates
+ * exactly that — the damaged tail line is dropped with a note here
+ * instead of failing the whole resume. Damage anywhere else is still an
+ * error.
+ */
+struct CheckpointLoadStats
+{
+    bool truncatedTail = false; ///< A torn final line was dropped.
+    bool missingEnd = false;    ///< The "end" sentinel never arrived.
+    std::string droppedLine;    ///< The dropped text, for the warning.
+};
+
 /** Canonical exact text form of a delay fraction (C hexfloat). */
 std::string canonicalDelay(double delay);
 
 /** Serialize to the journal text form. */
 std::string serializeCheckpoint(const Checkpoint &checkpoint);
 
-/** Parse journal text; corrupt or version-mismatched input is an Err. */
-Result<Checkpoint> parseCheckpoint(const std::string &text);
+/**
+ * Parse journal text; corrupt or version-mismatched input is an Err.
+ * With @p stats, a damaged *final* line is skipped and reported there
+ * instead (see CheckpointLoadStats).
+ */
+Result<Checkpoint> parseCheckpoint(const std::string &text,
+                                   CheckpointLoadStats *stats = nullptr);
 
 /** Atomically write @p checkpoint to @p path (DavfError{Io} on failure). */
 void saveCheckpoint(const std::string &path, const Checkpoint &checkpoint);
 
-/** Load and parse @p path. */
-Result<Checkpoint> loadCheckpoint(const std::string &path);
+/** Load and parse @p path, lenient about a torn tail when @p stats. */
+Result<Checkpoint> loadCheckpoint(const std::string &path,
+                                  CheckpointLoadStats *stats = nullptr);
+
+/**
+ * @name Field-level forms shared with the process-isolation protocol
+ * The same space-separated hexfloat-exact token grammar the journal
+ * uses for cycle outcomes and sAVF results, without the record tag, so
+ * worker replies aggregate and journal bit-identically.
+ */
+/// @{
+std::string serializeOutcomeFields(const InjectionCycleOutcome &outcome);
+bool parseOutcomeFields(std::istream &is, InjectionCycleOutcome &outcome);
+std::string serializeSavfFields(const SavfResult &result);
+bool parseSavfFields(std::istream &is, SavfResult &result);
+/// @}
 
 } // namespace davf
 

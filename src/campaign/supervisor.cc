@@ -1,0 +1,875 @@
+#include "supervisor.hh"
+
+#include <signal.h>
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "campaign/checkpoint.hh"
+#include "util/atomic_file.hh"
+#include "util/logging.hh"
+
+namespace davf {
+
+namespace {
+
+constexpr double kHeartbeatIntervalMs = 200.0;
+constexpr double kQuitGraceMs = 2000.0;
+constexpr double kKillGraceMs = 500.0;
+
+std::string
+hexDouble(double value)
+{
+    char buffer[64];
+    std::snprintf(buffer, sizeof buffer, "%a", value);
+    return buffer;
+}
+
+bool
+textToDouble(const std::string &text, double &out)
+{
+    const char *begin = text.c_str();
+    char *end = nullptr;
+    out = std::strtod(begin, &end);
+    return end == begin + text.size() && !text.empty();
+}
+
+double
+nowMs()
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+uint64_t
+fnv1a(const std::string &text, uint64_t hash = 0xcbf29ce484222325ull)
+{
+    for (unsigned char c : text) {
+        hash ^= c;
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+} // namespace
+
+std::string
+serializeQuarantineRecord(const QuarantineRecord &record)
+{
+    std::ostringstream os;
+    os << "davf-quarantine v1 " << record.configHash << ' '
+       << record.benchmark << ' ' << record.structure << ' '
+       << hexDouble(record.delayFraction) << ' ' << record.cycle << ' '
+       << record.wireIndex << ' ' << record.wire << ' ' << record.seed
+       << ' ' << record.reason;
+    return os.str();
+}
+
+Result<QuarantineRecord>
+parseQuarantineRecord(const std::string &text)
+{
+    using R = Result<QuarantineRecord>;
+    std::istringstream is(text);
+    std::string magic, version, delay;
+    QuarantineRecord record;
+    if (!(is >> magic >> version) || magic != "davf-quarantine"
+        || version != "v1") {
+        return R::Err(ErrorKind::BadInput,
+                      "quarantine record: bad header: " + text);
+    }
+    if (!(is >> record.configHash >> record.benchmark >> record.structure
+             >> delay >> record.cycle >> record.wireIndex >> record.wire
+             >> record.seed)
+        || !textToDouble(delay, record.delayFraction)) {
+        return R::Err(ErrorKind::BadInput,
+                      "quarantine record: bad fields: " + text);
+    }
+    std::getline(is, record.reason);
+    if (!record.reason.empty() && record.reason.front() == ' ')
+        record.reason.erase(0, 1);
+    return R::Ok(std::move(record));
+}
+
+void
+saveQuarantineRecord(const std::string &dir,
+                     const QuarantineRecord &record)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+        davf_throw(ErrorKind::Io, "cannot create quarantine dir '", dir,
+                   "': ", ec.message());
+    }
+    // A deterministic name keeps reruns from piling up duplicates; the
+    // delay lives in the hash so every (cell, injection) gets its own
+    // file.
+    std::ostringstream name;
+    name << "q-" << record.structure << "-c" << record.cycle << "-w"
+         << record.wireIndex << "-" << std::hex
+         << fnv1a(record.configHash + ':' + record.benchmark + ':'
+                  + hexDouble(record.delayFraction))
+         << ".qr";
+    const std::filesystem::path path =
+        std::filesystem::path(dir) / name.str();
+    writeFileAtomic(path.string(),
+                    serializeQuarantineRecord(record) + "\n");
+}
+
+std::vector<QuarantineRecord>
+loadQuarantineRecords(const std::string &dir)
+{
+    std::vector<QuarantineRecord> records;
+    std::error_code ec;
+    std::filesystem::directory_iterator it(dir, ec);
+    if (ec)
+        return records;
+    for (const std::filesystem::directory_entry &entry : it) {
+        if (!entry.is_regular_file(ec))
+            continue;
+        std::ifstream file(entry.path(), std::ios::binary);
+        std::string line;
+        if (!file || !std::getline(file, line))
+            continue;
+        Result<QuarantineRecord> parsed = parseQuarantineRecord(line);
+        if (!parsed) {
+            davf_warn("ignoring unparseable quarantine record '",
+                      entry.path().string(), "'");
+            continue;
+        }
+        records.push_back(std::move(parsed.value()));
+    }
+    std::sort(records.begin(), records.end(),
+              [](const QuarantineRecord &a, const QuarantineRecord &b) {
+                  return std::tie(a.structure, a.delayFraction, a.cycle,
+                                  a.wireIndex)
+                      < std::tie(b.structure, b.delayFraction, b.cycle,
+                                 b.wireIndex);
+              });
+    return records;
+}
+
+// ---------------------------------------------------------------------
+// Supervisor
+// ---------------------------------------------------------------------
+
+struct Supervisor::Slot
+{
+    std::unique_ptr<Subprocess> proc;
+    bool ready = false; ///< The worker said hello and is idle.
+};
+
+struct Supervisor::Attempt
+{
+    enum class Outcome : uint8_t {
+        Ok,        ///< A well-formed reply arrived.
+        Crash,     ///< The worker died (signal or nonzero exit).
+        Timeout,   ///< Heartbeat or shard deadline expired; killed.
+        Oom,       ///< The worker exceeded its memory cap.
+        BadOutput, ///< The worker replied with something unparseable.
+        Error,     ///< The worker reported a deterministic DavfError.
+        Stopped,   ///< The cooperative stop flag interrupted us.
+    };
+
+    Outcome outcome = Outcome::Error;
+    std::string detail;
+    InjectionCycleOutcome cycleOutcome; ///< Valid for Ok davf shards.
+    SavfResult savfOutcome;             ///< Valid for Ok savf shards.
+    double wallMs = 0.0;
+    long rssKb = 0;
+    double userSec = 0.0;
+    double sysSec = 0.0;
+
+    bool retryable() const
+    {
+        return outcome == Outcome::Crash || outcome == Outcome::Timeout
+            || outcome == Outcome::Oom || outcome == Outcome::BadOutput;
+    }
+
+    const char *outcomeName() const
+    {
+        switch (outcome) {
+        case Outcome::Ok: return "ok";
+        case Outcome::Crash: return "crash";
+        case Outcome::Timeout: return "timeout";
+        case Outcome::Oom: return "oom";
+        case Outcome::BadOutput: return "bad-output";
+        case Outcome::Error: return "error";
+        case Outcome::Stopped: return "stopped";
+        }
+        return "?";
+    }
+};
+
+struct Supervisor::CellState
+{
+    std::mutex mutex;
+    size_t next = 0; ///< Next undispatched job index (under mutex).
+    std::vector<QuarantineRecord> quarantined;
+    bool failed = false;
+    std::string failReason;
+    bool stopped = false;
+};
+
+Supervisor::Supervisor(SupervisorOptions the_options)
+    : options(std::move(the_options))
+{
+    davf_assert(!options.workerArgv.empty(),
+                "supervisor needs a worker command line");
+    if (options.workers == 0)
+        options.workers = 1;
+    // A dead worker surfaces as EPIPE on write, not a process-fatal
+    // SIGPIPE.
+    ::signal(SIGPIPE, SIG_IGN);
+    for (unsigned i = 0; i < options.workers; ++i)
+        slots.push_back(std::make_unique<Slot>());
+}
+
+Supervisor::~Supervisor()
+{
+    try {
+        shutdown();
+    } catch (...) {
+        // Destructors stay silent; Subprocess cleans up regardless.
+    }
+}
+
+bool
+Supervisor::stopRequested() const
+{
+    return options.stopFlag
+        && options.stopFlag->load(std::memory_order_relaxed);
+}
+
+void
+Supervisor::retireWorker(Slot &slot, double grace_ms)
+{
+    if (!slot.proc)
+        return;
+    if (slot.proc->running())
+        slot.proc->terminate(grace_ms);
+    slot.proc.reset();
+    slot.ready = false;
+}
+
+void
+Supervisor::ensureWorker(Slot &slot)
+{
+    if (slot.proc && slot.proc->running() && slot.ready)
+        return;
+    retireWorker(slot, 0.0);
+
+    slot.proc = std::make_unique<Subprocess>();
+    SpawnOptions spawn;
+    spawn.memLimitMb = options.workerMemMb;
+    slot.proc->spawn(options.workerArgv, spawn);
+
+    // The hello covers the worker's whole engine build (golden run
+    // included), so it gets its own generous budget.
+    std::string frame;
+    const Subprocess::ReadStatus st =
+        slot.proc->readFrame(frame, options.startTimeoutMs);
+    if (st != Subprocess::ReadStatus::Frame || frame != "hello") {
+        std::string detail;
+        if (st == Subprocess::ReadStatus::Timeout) {
+            detail = "no hello within "
+                + std::to_string(options.startTimeoutMs) + " ms";
+            retireWorker(slot, kKillGraceMs);
+        } else if (st == Subprocess::ReadStatus::Eof) {
+            detail = slot.proc->wait().describe();
+            slot.proc.reset();
+        } else {
+            detail = "unexpected first frame '" + frame + "'";
+            retireWorker(slot, kKillGraceMs);
+        }
+        davf_throw(ErrorKind::Io, "campaign worker failed to start (",
+                   detail, "); command: ", options.workerArgv[0]);
+    }
+    slot.ready = true;
+}
+
+Supervisor::Attempt
+Supervisor::dispatchOnce(Slot &slot, const ShardSpec &spec)
+{
+    Attempt attempt;
+    const double started = nowMs();
+    auto finish = [&](Attempt::Outcome outcome, std::string detail) {
+        attempt.outcome = outcome;
+        attempt.detail = std::move(detail);
+        attempt.wallMs = nowMs() - started;
+        return attempt;
+    };
+    auto absorbStatus = [&](const ExitStatus &status) {
+        attempt.rssKb = status.maxRssKb;
+        attempt.userSec = status.userSec;
+        attempt.sysSec = status.sysSec;
+    };
+
+    try {
+        ensureWorker(slot);
+    } catch (const DavfError &error) {
+        // A worker that cannot even start is indistinguishable from a
+        // startup crash; the retry path respawns it.
+        return finish(Attempt::Outcome::Crash, error.what());
+    }
+
+    try {
+        slot.proc->sendFrame("shard " + serializeShardSpec(spec));
+    } catch (const DavfError &) {
+        const ExitStatus status = slot.proc->terminate(kKillGraceMs);
+        slot.proc.reset();
+        slot.ready = false;
+        absorbStatus(status);
+        if (status.exited && status.code == 86)
+            return finish(Attempt::Outcome::Oom, status.describe());
+        return finish(Attempt::Outcome::Crash, status.describe());
+    }
+
+    const double shard_deadline = options.shardTimeoutMs > 0.0
+        ? started + options.shardTimeoutMs
+        : 0.0;
+    std::string frame;
+    for (;;) {
+        double budget = options.heartbeatTimeoutMs;
+        if (shard_deadline > 0.0) {
+            const double remaining = shard_deadline - nowMs();
+            if (remaining <= 0.0) {
+                const ExitStatus status =
+                    slot.proc->terminate(kKillGraceMs);
+                slot.proc.reset();
+                slot.ready = false;
+                absorbStatus(status);
+                return finish(Attempt::Outcome::Timeout,
+                              "shard exceeded its "
+                                  + std::to_string(options.shardTimeoutMs)
+                                  + " ms budget");
+            }
+            budget = std::min(budget, remaining);
+        }
+
+        Subprocess::ReadStatus st;
+        try {
+            st = slot.proc->readFrame(frame, budget);
+        } catch (const DavfError &error) {
+            // Torn stream or read failure: the worker is unusable.
+            const ExitStatus status = slot.proc->terminate(kKillGraceMs);
+            slot.proc.reset();
+            slot.ready = false;
+            absorbStatus(status);
+            return finish(Attempt::Outcome::BadOutput, error.what());
+        }
+
+        if (st == Subprocess::ReadStatus::Eof) {
+            const ExitStatus status = slot.proc->wait();
+            slot.proc.reset();
+            slot.ready = false;
+            absorbStatus(status);
+            if (status.exited && status.code == 86)
+                return finish(Attempt::Outcome::Oom, status.describe());
+            return finish(Attempt::Outcome::Crash, status.describe());
+        }
+        if (st == Subprocess::ReadStatus::Timeout) {
+            if (shard_deadline > 0.0 && nowMs() < shard_deadline)
+                continue; // The heartbeat window is rearmed per frame.
+            const ExitStatus status = slot.proc->terminate(kKillGraceMs);
+            slot.proc.reset();
+            slot.ready = false;
+            absorbStatus(status);
+            return finish(Attempt::Outcome::Timeout,
+                          shard_deadline > 0.0
+                              ? "shard exceeded its "
+                                  + std::to_string(options.shardTimeoutMs)
+                                  + " ms budget"
+                              : "no heartbeat within "
+                                  + std::to_string(
+                                        options.heartbeatTimeoutMs)
+                                  + " ms");
+        }
+
+        if (frame == "hb")
+            continue;
+
+        std::istringstream is(frame);
+        std::string tag;
+        is >> tag;
+        if (tag == "err") {
+            std::string kind;
+            is >> kind;
+            std::string message;
+            std::getline(is, message);
+            if (!message.empty() && message.front() == ' ')
+                message.erase(0, 1);
+            return finish(Attempt::Outcome::Error,
+                          kind + ": " + message);
+        }
+        if (tag == "ok") {
+            std::string what;
+            is >> what;
+            bool ok = false;
+            if (what == "davf" && spec.kind == ShardSpec::Kind::Cycle)
+                ok = parseOutcomeFields(is, attempt.cycleOutcome);
+            else if (what == "savf" && spec.kind == ShardSpec::Kind::Savf)
+                ok = parseSavfFields(is, attempt.savfOutcome);
+            std::string rss_tag;
+            if (ok && (is >> rss_tag) && rss_tag == "rss")
+                is >> attempt.rssKb >> attempt.userSec
+                    >> attempt.sysSec;
+            if (ok)
+                return finish(Attempt::Outcome::Ok, "");
+        }
+        // Anything else is protocol corruption: retire the worker so
+        // the retry starts from a clean process.
+        retireWorker(slot, kKillGraceMs);
+        return finish(Attempt::Outcome::BadOutput,
+                      "unparseable reply: " + frame.substr(0, 120));
+    }
+}
+
+void
+Supervisor::backoff(const ShardSpec &spec, unsigned attempt) const
+{
+    if (options.backoffBaseMs <= 0.0)
+        return;
+    double delay_ms =
+        options.backoffBaseMs * static_cast<double>(1u << attempt);
+    // Deterministic jitter: no shared clock or RNG state, yet distinct
+    // shards desynchronize their retries.
+    const uint64_t jitter_seed = fnv1a(
+        spec.structure + ':' + std::to_string(spec.cycle) + ':'
+        + std::to_string(attempt) + ':' + std::to_string(options.seed));
+    delay_ms +=
+        static_cast<double>(jitter_seed % 1000) / 1000.0
+        * options.backoffBaseMs;
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(delay_ms));
+}
+
+void
+Supervisor::recordMetrics(const ShardSpec &spec, unsigned attempt,
+                          const Attempt &outcome)
+{
+    if (options.metricsCsvPath.empty())
+        return;
+    const std::lock_guard<std::mutex> lock(metricsMutex);
+    const bool fresh = !std::filesystem::exists(options.metricsCsvPath);
+    std::ofstream file(options.metricsCsvPath, std::ios::app);
+    if (!file)
+        return;
+    if (fresh) {
+        file << "structure,kind,cycle,wire_begin,wire_end,attempt,"
+                "outcome,wall_ms,max_rss_kb,user_s,sys_s\n";
+    }
+    char wall[32], user[32], sys[32];
+    std::snprintf(wall, sizeof wall, "%.3f", outcome.wallMs);
+    std::snprintf(user, sizeof user, "%.3f", outcome.userSec);
+    std::snprintf(sys, sizeof sys, "%.3f", outcome.sysSec);
+    file << spec.structure << ','
+         << (spec.kind == ShardSpec::Kind::Cycle ? "davf" : "savf")
+         << ',' << spec.cycle << ',' << spec.wireBegin << ','
+         << (spec.wireEnd == SIZE_MAX ? std::string("-")
+                                      : std::to_string(spec.wireEnd))
+         << ',' << attempt << ',' << outcome.outcomeName() << ','
+         << wall << ',' << outcome.rssKb << ',' << user << ',' << sys
+         << '\n';
+}
+
+Supervisor::Attempt
+Supervisor::dispatchWithRetries(Slot &slot, const ShardSpec &spec)
+{
+    Attempt attempt;
+    for (unsigned n = 0;; ++n) {
+        if (stopRequested()) {
+            attempt.outcome = Attempt::Outcome::Stopped;
+            attempt.detail = "stop requested";
+            return attempt;
+        }
+        attempt = dispatchOnce(slot, spec);
+        recordMetrics(spec, n, attempt);
+        if (!attempt.retryable() || n >= options.maxRetries)
+            return attempt;
+        davf_warn("shard ", spec.structure, " cycle ", spec.cycle,
+                  " attempt ", n, " failed (", attempt.detail,
+                  "); retrying");
+        backoff(spec, n);
+    }
+}
+
+Supervisor::Attempt
+Supervisor::bisectAndQuarantine(Slot &slot, ShardSpec spec,
+                                const std::vector<WireId> &wires,
+                                CellState &cell)
+{
+    // Probe one wire-index sub-range with a single attempt; bisection
+    // only needs a fails/passes signal, and probe outcomes are always
+    // discarded (per-cycle memoization makes sub-range counters
+    // non-additive).
+    auto probe_fails = [&](size_t begin, size_t end,
+                           Attempt &last) -> bool {
+        ShardSpec probe = spec;
+        probe.wireBegin = begin;
+        probe.wireEnd = end;
+        last = dispatchOnce(slot, probe);
+        recordMetrics(probe, 0, last);
+        return last.retryable();
+    };
+
+    Attempt last;
+    for (;;) {
+        if (stopRequested()) {
+            last.outcome = Attempt::Outcome::Stopped;
+            last.detail = "stop requested";
+            return last;
+        }
+        {
+            const std::lock_guard<std::mutex> lock(cell.mutex);
+            if (cell.quarantined.size() >= options.maxQuarantinePerCell) {
+                last.outcome = Attempt::Outcome::Crash;
+                last.detail = "quarantine budget ("
+                    + std::to_string(options.maxQuarantinePerCell)
+                    + " per cell) exhausted";
+                return last;
+            }
+        }
+
+        // Binary descent: keep the failing half. The full range is
+        // known to fail, so if the left half passes the culprit is on
+        // the right.
+        size_t lo = 0;
+        size_t hi = wires.size();
+        while (hi - lo > 1) {
+            const size_t mid = lo + (hi - lo) / 2;
+            if (probe_fails(lo, mid, last))
+                hi = mid;
+            else
+                lo = mid;
+            if (stopRequested()) {
+                last.outcome = Attempt::Outcome::Stopped;
+                last.detail = "stop requested";
+                return last;
+            }
+        }
+
+        if (hi - lo != 1 || !probe_fails(lo, hi, last)) {
+            // The failure does not reproduce on any single injection —
+            // flaky hardware, or a crash that needs cross-wire state.
+            last.outcome = Attempt::Outcome::Crash;
+            last.detail = "crash did not bisect to a single injection";
+            return last;
+        }
+
+        QuarantineRecord record;
+        record.configHash = options.configHash;
+        record.benchmark = options.benchmark;
+        record.structure = spec.structure;
+        record.delayFraction = spec.delayFraction;
+        record.cycle = spec.cycle;
+        record.wireIndex = lo;
+        record.wire = lo < wires.size() ? wires[lo] : 0;
+        record.seed = spec.sampling.seed;
+        record.reason = last.detail;
+        if (!options.quarantineDir.empty())
+            saveQuarantineRecord(options.quarantineDir, record);
+        {
+            const std::lock_guard<std::mutex> lock(cell.mutex);
+            cell.quarantined.push_back(record);
+        }
+        davf_warn("quarantined injection: structure ", spec.structure,
+                  " cycle ", spec.cycle, " wire index ", lo, " (",
+                  last.detail, ")");
+
+        spec.quarantined.push_back(lo);
+        std::sort(spec.quarantined.begin(), spec.quarantined.end());
+
+        // Re-run the whole cycle with the exclusion; more culprits send
+        // us around the loop (budget permitting).
+        last = dispatchWithRetries(slot, spec);
+        if (!last.retryable())
+            return last;
+    }
+}
+
+Supervisor::DavfCellResult
+Supervisor::runDavfCell(
+    const std::string &structure, double delay_fraction,
+    const std::vector<uint64_t> &cycles, const std::vector<WireId> &wires,
+    const SamplingConfig &sampling,
+    const std::vector<QuarantineRecord> &prior,
+    const std::function<void(const InjectionCycleOutcome &)>
+        &on_cycle_done)
+{
+    DavfCellResult result;
+    if (cycles.empty())
+        return result;
+
+    // Exclusions apply per cycle: a quarantined injection names one
+    // (cycle, wire index) pair.
+    std::vector<std::vector<size_t>> exclusions(cycles.size());
+    for (const QuarantineRecord &record : prior) {
+        if (record.structure != structure
+            || record.delayFraction != delay_fraction)
+            continue;
+        for (size_t i = 0; i < cycles.size(); ++i) {
+            if (cycles[i] == record.cycle)
+                exclusions[i].push_back(record.wireIndex);
+        }
+    }
+    for (std::vector<size_t> &list : exclusions)
+        std::sort(list.begin(), list.end());
+
+    CellState cell;
+    auto drain = [&](Slot &slot) {
+        for (;;) {
+            size_t job;
+            {
+                const std::lock_guard<std::mutex> lock(cell.mutex);
+                if (cell.failed || cell.stopped
+                    || cell.next >= cycles.size())
+                    return;
+                job = cell.next++;
+            }
+            if (stopRequested()) {
+                const std::lock_guard<std::mutex> lock(cell.mutex);
+                cell.stopped = true;
+                return;
+            }
+
+            ShardSpec spec;
+            spec.kind = ShardSpec::Kind::Cycle;
+            spec.structure = structure;
+            spec.delayFraction = delay_fraction;
+            spec.cycle = cycles[job];
+            spec.quarantined = exclusions[job];
+            spec.sampling = sampling;
+
+            Attempt attempt = dispatchWithRetries(slot, spec);
+            if (attempt.retryable())
+                attempt = bisectAndQuarantine(slot, spec, wires, cell);
+
+            const std::lock_guard<std::mutex> lock(cell.mutex);
+            if (attempt.outcome == Attempt::Outcome::Ok) {
+                if (on_cycle_done)
+                    on_cycle_done(attempt.cycleOutcome);
+            } else if (attempt.outcome == Attempt::Outcome::Stopped) {
+                cell.stopped = true;
+            } else if (!cell.failed) {
+                cell.failed = true;
+                cell.failReason = "cycle "
+                    + std::to_string(cycles[job]) + ": "
+                    + std::string(attempt.outcomeName()) + " ("
+                    + attempt.detail + ")";
+            }
+        }
+    };
+
+    const size_t pool =
+        std::min<size_t>(options.workers, cycles.size());
+    std::vector<std::thread> threads;
+    threads.reserve(pool);
+    for (size_t i = 1; i < pool; ++i)
+        threads.emplace_back([&, i] { drain(*slots[i]); });
+    drain(*slots[0]);
+    for (std::thread &thread : threads)
+        thread.join();
+
+    result.quarantined = std::move(cell.quarantined);
+    result.failed = cell.failed;
+    result.failReason = std::move(cell.failReason);
+    result.stopped = cell.stopped;
+    return result;
+}
+
+Supervisor::SavfCellResult
+Supervisor::runSavfCell(const std::string &structure,
+                        const SamplingConfig &sampling)
+{
+    SavfCellResult result;
+    ShardSpec spec;
+    spec.kind = ShardSpec::Kind::Savf;
+    spec.structure = structure;
+    spec.sampling = sampling;
+
+    const Attempt attempt = dispatchWithRetries(*slots[0], spec);
+    if (attempt.outcome == Attempt::Outcome::Ok) {
+        result.savf = attempt.savfOutcome;
+    } else if (attempt.outcome == Attempt::Outcome::Stopped) {
+        result.stopped = true;
+    } else {
+        result.failed = true;
+        result.failReason = std::string(attempt.outcomeName())
+            + " (" + attempt.detail + ")";
+    }
+    return result;
+}
+
+void
+Supervisor::shutdown()
+{
+    for (const std::unique_ptr<Slot> &slot : slots) {
+        if (!slot->proc || !slot->proc->running())
+            continue;
+        try {
+            slot->proc->sendFrame("quit");
+            slot->proc->closeWrite();
+        } catch (const DavfError &) {
+            // Already dead; terminate() below reaps it.
+        }
+    }
+    for (const std::unique_ptr<Slot> &slot : slots) {
+        if (slot->proc && slot->proc->running())
+            slot->proc->terminate(kQuitGraceMs);
+        slot->proc.reset();
+        slot->ready = false;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Worker side
+// ---------------------------------------------------------------------
+
+namespace {
+
+/**
+ * Sends "hb" frames while a shard computes, so the supervisor can tell
+ * a slow shard from a dead worker. Frame writes from this thread and
+ * the main reply path share one mutex: frames must never interleave.
+ */
+class Heartbeat
+{
+  public:
+    Heartbeat(std::mutex &the_mutex) : writeMutex(the_mutex)
+    {
+        thread = std::thread([this] { run(); });
+    }
+
+    ~Heartbeat()
+    {
+        done.store(true, std::memory_order_relaxed);
+        thread.join();
+    }
+
+  private:
+    void run()
+    {
+        double last_beat = nowMs();
+        while (!done.load(std::memory_order_relaxed)) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(10));
+            if (nowMs() - last_beat < kHeartbeatIntervalMs)
+                continue;
+            last_beat = nowMs();
+            try {
+                const std::lock_guard<std::mutex> lock(writeMutex);
+                writeFrameFd(STDOUT_FILENO, "hb");
+            } catch (const DavfError &) {
+                return; // The supervisor hung up; stop beating.
+            }
+        }
+    }
+
+    std::mutex &writeMutex;
+    std::atomic<bool> done{false};
+    std::thread thread;
+};
+
+std::string
+selfRusageSuffix()
+{
+    struct rusage ru = {};
+    ::getrusage(RUSAGE_SELF, &ru);
+    char buffer[96];
+    std::snprintf(buffer, sizeof buffer, " rss %ld %.3f %.3f",
+                  ru.ru_maxrss,
+                  static_cast<double>(ru.ru_utime.tv_sec)
+                      + static_cast<double>(ru.ru_utime.tv_usec) * 1e-6,
+                  static_cast<double>(ru.ru_stime.tv_sec)
+                      + static_cast<double>(ru.ru_stime.tv_usec) * 1e-6);
+    return buffer;
+}
+
+} // namespace
+
+int
+runCampaignWorker(VulnerabilityEngine &engine,
+                  const StructureRegistry &registry)
+{
+    ::signal(SIGPIPE, SIG_IGN);
+    std::mutex write_mutex;
+    auto send = [&](const std::string &payload) {
+        const std::lock_guard<std::mutex> lock(write_mutex);
+        writeFrameFd(STDOUT_FILENO, payload);
+    };
+
+    try {
+        send("hello");
+        std::string frame;
+        while (readFrameFd(STDIN_FILENO, frame)) {
+            if (frame == "quit")
+                break;
+            if (frame.rfind("shard ", 0) != 0) {
+                send("err bad-input unknown frame");
+                continue;
+            }
+            Result<ShardSpec> parsed = parseShardSpec(frame.substr(6));
+            if (!parsed) {
+                send(std::string("err bad-input ")
+                     + parsed.error().what());
+                continue;
+            }
+            const ShardSpec &spec = parsed.value();
+            const Structure *structure = registry.find(spec.structure);
+            if (!structure) {
+                send("err not-found unknown structure '" + spec.structure
+                     + "'");
+                continue;
+            }
+
+            // Workers compute one shard at a time; inner threading
+            // would multiply processes times threads.
+            SamplingConfig sampling = spec.sampling;
+            sampling.threads = 1;
+
+            std::string reply;
+            try {
+                const Heartbeat heartbeat(write_mutex);
+                if (spec.kind == ShardSpec::Kind::Cycle) {
+                    const InjectionCycleOutcome out = engine.delayAvfCycle(
+                        *structure, spec.delayFraction, spec.cycle,
+                        sampling, spec.wireBegin, spec.wireEnd,
+                        spec.quarantined);
+                    reply = "ok davf " + serializeOutcomeFields(out);
+                } else {
+                    const SavfResult out =
+                        engine.savf(*structure, sampling);
+                    reply = "ok savf " + serializeSavfFields(out);
+                }
+                reply += selfRusageSuffix();
+            } catch (const std::bad_alloc &) {
+                // The conventional OOM exit: the supervisor reads exit
+                // code 86 as "memory cap tripped", distinct from a
+                // crash.
+                ::_exit(86);
+            } catch (const DavfError &error) {
+                reply = std::string("err ")
+                    + std::string(errorKindName(error.kind())) + " "
+                    + error.what();
+            } catch (const std::exception &error) {
+                reply = std::string("err exception ") + error.what();
+            }
+            send(reply);
+        }
+    } catch (const DavfError &error) {
+        std::fprintf(stderr, "campaign worker: fatal: %s\n",
+                     error.what());
+        return 1;
+    }
+    return 0;
+}
+
+} // namespace davf

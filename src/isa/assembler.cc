@@ -245,12 +245,20 @@ lineLength(const Line &line)
     if (m == ".word")
         return static_cast<unsigned>(line.operands.size());
     if (m == ".space") {
-        const int64_t bytes = parseImmediate(line.operands.at(0),
+        if (line.operands.empty())
+            davf_fatal("line ", line.number, ": missing operand");
+        const int64_t bytes = parseImmediate(line.operands[0],
                                              line.number);
+        if (bytes < 0 || bytes > (1 << 26))
+            davf_fatal("line ", line.number, ": bad .space size ",
+                       bytes);
         return static_cast<unsigned>((bytes + 3) / 4);
     }
-    if (m == "li")
-        return liLength(parseImmediate(line.operands.at(1), line.number));
+    if (m == "li") {
+        if (line.operands.size() < 2)
+            davf_fatal("line ", line.number, ": missing operand");
+        return liLength(parseImmediate(line.operands[1], line.number));
+    }
     if (m == "la" || m == "call")
         return m == "la" ? 2 : 1;
     return 1;
@@ -267,8 +275,12 @@ parseRegister(const std::string &token)
             numeric = numeric
                 && std::isdigit(static_cast<unsigned char>(token[i]));
         if (numeric) {
-            const unsigned index =
-                static_cast<unsigned>(std::stoul(token.substr(1)));
+            unsigned index = 32; // huge numerals overflow stoul
+            try {
+                index =
+                    static_cast<unsigned>(std::stoul(token.substr(1)));
+            } catch (const std::exception &) {
+            }
             if (index >= 32)
                 davf_fatal("bad register ", token);
             return index;
@@ -350,6 +362,11 @@ assemble(const std::string &source, uint32_t base)
                 davf_fatal("line ", ln, ": missing operand");
             return parseRegister(ops[index]);
         };
+        auto arg = [&](size_t index) -> const std::string & {
+            if (index >= ops.size())
+                davf_fatal("line ", ln, ": missing operand");
+            return ops[index];
+        };
 
         if (m == ".word") {
             for (const std::string &op : ops)
@@ -363,17 +380,17 @@ assemble(const std::string &source, uint32_t base)
             emit(encodeR(op.funct7, reg(2), reg(1), op.funct3, reg(0),
                          0x33));
         } else if (i_ops.contains(m)) {
-            emit(encodeI(static_cast<int32_t>(resolve(ops.at(2), ln)),
+            emit(encodeI(static_cast<int32_t>(resolve(arg(2), ln)),
                          reg(1), i_ops.at(m), reg(0), 0x13, ln));
         } else if (shift_ops.contains(m)) {
             const AluOp &op = shift_ops.at(m);
-            const int64_t amount = parseImmediate(ops.at(2), ln);
+            const int64_t amount = parseImmediate(arg(2), ln);
             if (amount < 0 || amount >= 32)
                 davf_fatal("line ", ln, ": bad shift amount");
             emit(encodeR(op.funct7, static_cast<unsigned>(amount),
                          reg(1), op.funct3, reg(0), 0x13));
         } else if (branch_ops.contains(m)) {
-            const int64_t target = resolve(ops.at(2), ln);
+            const int64_t target = resolve(arg(2), ln);
             emit(encodeB(static_cast<int32_t>(target - pc), reg(1),
                          reg(0), branch_ops.at(m), ln));
         } else if (m == "bgt" || m == "ble" || m == "bgtu"
@@ -382,52 +399,52 @@ assemble(const std::string &source, uint32_t base)
             const unsigned funct3 =
                 (m == "bgt") ? 4 : (m == "ble") ? 5 : (m == "bgtu") ? 6
                                                                     : 7;
-            const int64_t target = resolve(ops.at(2), ln);
+            const int64_t target = resolve(arg(2), ln);
             emit(encodeB(static_cast<int32_t>(target - pc), reg(0),
                          reg(1), funct3, ln));
         } else if (m == "beqz" || m == "bnez") {
-            const int64_t target = resolve(ops.at(1), ln);
+            const int64_t target = resolve(arg(1), ln);
             emit(encodeB(static_cast<int32_t>(target - pc), 0, reg(0),
                          m == "beqz" ? 0 : 1, ln));
         } else if (m == "lw" || m == "lb" || m == "lbu") {
             int64_t offset;
             unsigned base_reg;
-            parseMemOperand(ops.at(1), ln, offset, base_reg);
+            parseMemOperand(arg(1), ln, offset, base_reg);
             const unsigned funct3 = (m == "lw") ? 2 : (m == "lb") ? 0 : 4;
             emit(encodeI(static_cast<int32_t>(offset), base_reg, funct3,
                          reg(0), 0x03, ln));
         } else if (m == "sw" || m == "sb") {
             int64_t offset;
             unsigned base_reg;
-            parseMemOperand(ops.at(1), ln, offset, base_reg);
+            parseMemOperand(arg(1), ln, offset, base_reg);
             emit(encodeS(static_cast<int32_t>(offset), reg(0), base_reg,
                          m == "sw" ? 2 : 0, 0x23, ln));
         } else if (m == "lh" || m == "lhu" || m == "sh") {
             davf_fatal("line ", ln,
                        ": halfword memory ops are unsupported");
         } else if (m == "lui") {
-            emit(encodeU(static_cast<uint32_t>(resolve(ops.at(1), ln))
+            emit(encodeU(static_cast<uint32_t>(resolve(arg(1), ln))
                              & 0xfffff,
                          reg(0), 0x37));
         } else if (m == "auipc") {
-            emit(encodeU(static_cast<uint32_t>(resolve(ops.at(1), ln))
+            emit(encodeU(static_cast<uint32_t>(resolve(arg(1), ln))
                              & 0xfffff,
                          reg(0), 0x17));
         } else if (m == "jal") {
             // "jal label" or "jal rd, label".
             if (ops.size() == 1) {
-                const int64_t target = resolve(ops.at(0), ln);
+                const int64_t target = resolve(arg(0), ln);
                 emit(encodeJ(static_cast<int32_t>(target - pc), 1, ln));
             } else {
-                const int64_t target = resolve(ops.at(1), ln);
+                const int64_t target = resolve(arg(1), ln);
                 emit(encodeJ(static_cast<int32_t>(target - pc), reg(0),
                              ln));
             }
         } else if (m == "j") {
-            const int64_t target = resolve(ops.at(0), ln);
+            const int64_t target = resolve(arg(0), ln);
             emit(encodeJ(static_cast<int32_t>(target - pc), 0, ln));
         } else if (m == "call") {
-            const int64_t target = resolve(ops.at(0), ln);
+            const int64_t target = resolve(arg(0), ln);
             emit(encodeJ(static_cast<int32_t>(target - pc), 1, ln));
         } else if (m == "jalr") {
             // "jalr rd, offset(rs1)" or "jalr rs1".
@@ -436,7 +453,7 @@ assemble(const std::string &source, uint32_t base)
             } else {
                 int64_t offset;
                 unsigned base_reg;
-                parseMemOperand(ops.at(1), ln, offset, base_reg);
+                parseMemOperand(arg(1), ln, offset, base_reg);
                 emit(encodeI(static_cast<int32_t>(offset), base_reg, 0,
                              reg(0), 0x67, ln));
             }
@@ -455,7 +472,7 @@ assemble(const std::string &source, uint32_t base)
         } else if (m == "snez") {
             emit(encodeR(0, reg(1), 0, 3, reg(0), 0x33)); // sltu rd,x0,rs
         } else if (m == "li") {
-            const int64_t value = resolve(ops.at(1), ln);
+            const int64_t value = resolve(arg(1), ln);
             const auto u = static_cast<uint32_t>(value);
             if (liLength(value) == 1) {
                 emit(encodeI(static_cast<int32_t>(value), 0, 0, reg(0),
@@ -470,7 +487,7 @@ assemble(const std::string &source, uint32_t base)
                 emit(encodeI(lower, reg(0), 0, reg(0), 0x13, ln));
             }
         } else if (m == "la") {
-            const int64_t value = resolve(ops.at(1), ln);
+            const int64_t value = resolve(arg(1), ln);
             const auto u = static_cast<uint32_t>(value);
             const uint32_t upper = (u + 0x800) >> 12;
             const auto lower = static_cast<int32_t>(u & 0xfff)

@@ -7,8 +7,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+
 #include "src/isa/assembler.hh"
 #include "src/util/error.hh"
+#include "src/util/rng.hh"
 
 namespace davf {
 namespace {
@@ -207,6 +211,102 @@ TEST(AssemblerErrors, RejectsBadImmediateAndRegister)
     expectBadInput("addi a0, a1, 12junk", "bad immediate");
     expectBadInput("add a0, a1, q9", "unknown register");
     expectBadInput("lw a0, a1", "expected offset(reg)");
+}
+
+// A valid program used as the seed for the mutation corpus below.
+const char *const kFuzzSeedProgram = R"(
+start:
+    li   a0, 0x1234
+    la   a1, data
+    addi a2, a0, -7
+loop:
+    lw   a3, 0(a1)
+    add  a2, a2, a3
+    addi a1, a1, 4
+    bne  a1, a0, loop
+    sw   a2, 8(a1)
+    jal  ra, start
+    beqz a2, done
+    j    loop
+done:
+    ecall
+data:
+    .word 1, 2, 0xdeadbeef
+    .space 16
+)";
+
+/** assemble() must either succeed or throw DavfError — never crash,
+ *  never throw anything else. */
+void
+assembleMustNotCrash(const std::string &source)
+{
+    try {
+        (void)assemble(source);
+    } catch (const DavfError &) {
+        // Rejection is fine; escaping with any other exception is not.
+    }
+}
+
+TEST(AssemblerFuzz, TruncationsNeverCrash)
+{
+    const std::string seed = kFuzzSeedProgram;
+    for (size_t n = 0; n <= seed.size(); ++n)
+        assembleMustNotCrash(seed.substr(0, n));
+}
+
+TEST(AssemblerFuzz, MutationsNeverCrash)
+{
+    const std::string seed = kFuzzSeedProgram;
+    Rng rng(0xa55e3b1e5);
+    for (int round = 0; round < 600; ++round) {
+        std::string mutated = seed;
+        const unsigned edits = 1 + unsigned(rng.below(6));
+        for (unsigned e = 0; e < edits && !mutated.empty(); ++e) {
+            const size_t pos = size_t(rng.below(mutated.size()));
+            switch (rng.below(4)) {
+              case 0: // byte flip, full range incl. NUL and high bytes
+                mutated[pos] = char(rng.below(256));
+                break;
+              case 1: // insertion
+                mutated.insert(pos, 1, char(rng.below(256)));
+                break;
+              case 2: // deletion
+                mutated.erase(pos, 1 + size_t(rng.below(12)));
+                break;
+              default: { // line splice: duplicate a random slice
+                const size_t from = size_t(rng.below(mutated.size()));
+                const size_t len =
+                    std::min<size_t>(1 + size_t(rng.below(40)),
+                                     mutated.size() - from);
+                mutated.insert(pos, mutated.substr(from, len));
+                break;
+              }
+            }
+        }
+        assembleMustNotCrash(mutated);
+    }
+}
+
+TEST(AssemblerFuzz, GarbageNeverCrashes)
+{
+    Rng rng(0xdecafbad);
+    for (int round = 0; round < 200; ++round) {
+        std::string garbage;
+        const size_t len = size_t(rng.below(300));
+        for (size_t i = 0; i < len; ++i) {
+            // Bias toward assembler-relevant characters so tokenizer
+            // paths deeper than "unknown mnemonic" get exercised.
+            static const char alphabet[] =
+                "abcxyz0123456789 \t\n,:().-+#\"\\";
+            if (rng.chance(0.8)) {
+                garbage.push_back(
+                    alphabet[rng.below(sizeof alphabet - 1)]);
+            } else {
+                garbage.push_back(char(rng.below(256)));
+            }
+        }
+        assembleMustNotCrash(garbage);
+    }
 }
 
 } // namespace

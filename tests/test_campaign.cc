@@ -12,7 +12,15 @@
  *    different thread count;
  *  - per-injection fault isolation: timeouts become skip accounting,
  *    excessive failure rates fail the cell but not the campaign;
- *  - the cooperative SIGINT/SIGTERM stop flag.
+ *  - the cooperative SIGINT/SIGTERM stop flag;
+ *  - lenient loading of journals with a torn final line, plus a
+ *    fuzz-ish corpus over the checkpoint/shard/quarantine parsers;
+ *  - supervised process isolation: bit-identity with thread mode at
+ *    any worker count, and crash -> retry -> bisect -> quarantine.
+ *
+ * The binary re-executes itself as a campaign worker when invoked with
+ * --campaign-worker (rebuilding the same fixture engine), so it has
+ * its own main() instead of linking gtest_main.
  */
 
 #include <gtest/gtest.h>
@@ -20,17 +28,24 @@
 #include <atomic>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 #include "src/campaign/campaign.hh"
 #include "src/campaign/checkpoint.hh"
 #include "src/campaign/stop.hh"
+#include "src/campaign/supervisor.hh"
+#include "src/core/shard.hh"
 #include "src/core/vulnerability.hh"
 #include "src/isa/benchmarks.hh"
 #include "src/util/atomic_file.hh"
 #include "src/util/error.hh"
+#include "src/util/rng.hh"
+#include "src/util/subprocess.hh"
 #include "tests/helpers.hh"
 
 namespace davf {
@@ -448,5 +463,461 @@ TEST(StopFlag, SigintRaisesTheFlagCooperatively)
     EXPECT_FALSE(flag.load());
 }
 
+// --------------------------------------------- lenient checkpoint loading
+
+TEST(CheckpointFormat, LenientLoadDropsTornFinalLine)
+{
+    const std::string text = serializeCheckpoint(sampleCheckpoint());
+    // Tear the tail mid-record: drop "end\n" plus part of the final
+    // pcycle line, the shape a crashed copy or torn write leaves.
+    const std::string torn = text.substr(0, text.size() - 12);
+
+    EXPECT_FALSE(parseCheckpoint(torn).ok())
+        << "strict parsing must still reject a torn journal";
+
+    CheckpointLoadStats stats;
+    const Result<Checkpoint> parsed = parseCheckpoint(torn, &stats);
+    ASSERT_TRUE(parsed.ok()) << parsed.error().what();
+    EXPECT_TRUE(stats.truncatedTail);
+    EXPECT_FALSE(stats.droppedLine.empty());
+    // Everything before the torn line survives.
+    EXPECT_EQ(parsed.value().configHash, "feedc0de");
+    EXPECT_EQ(parsed.value().cells.size(), 3u);
+}
+
+TEST(CheckpointFormat, LenientLoadToleratesOnlyTheFinalLine)
+{
+    // A damaged line in the *middle* is corruption, not a torn write:
+    // both strict and lenient parsing must reject it.
+    std::string text = serializeCheckpoint(sampleCheckpoint());
+    const size_t pos = text.find("\ncell ");
+    ASSERT_NE(pos, std::string::npos);
+    text.insert(pos + 1, "cell davf broken\n");
+    EXPECT_FALSE(parseCheckpoint(text).ok());
+    CheckpointLoadStats stats;
+    EXPECT_FALSE(parseCheckpoint(text, &stats).ok());
+}
+
+TEST(CheckpointFormat, LenientLoadReportsMissingEnd)
+{
+    std::string text = serializeCheckpoint(sampleCheckpoint());
+    const size_t end_pos = text.rfind("end\n");
+    ASSERT_NE(end_pos, std::string::npos);
+    text.resize(end_pos); // intact records, missing end marker
+
+    EXPECT_FALSE(parseCheckpoint(text).ok());
+    CheckpointLoadStats stats;
+    const Result<Checkpoint> parsed = parseCheckpoint(text, &stats);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_TRUE(stats.missingEnd);
+    EXPECT_FALSE(stats.truncatedTail);
+    EXPECT_EQ(parsed.value().cells.size(), 3u);
+}
+
+TEST(CheckpointFormat, FuzzedInputNeverCrashesTheParser)
+{
+    const std::string text = serializeCheckpoint(sampleCheckpoint());
+
+    // Every truncation point, strict and lenient: the parser must
+    // return a Result either way, never crash or throw.
+    for (size_t n = 0; n <= text.size(); ++n) {
+        const std::string prefix = text.substr(0, n);
+        (void)parseCheckpoint(prefix);
+        CheckpointLoadStats stats;
+        (void)parseCheckpoint(prefix, &stats);
+    }
+
+    // Deterministic byte mutations (flips, splices, truncations).
+    Rng rng(0xfadedfacade);
+    for (int round = 0; round < 400; ++round) {
+        std::string mutated = text;
+        const unsigned edits = 1 + unsigned(rng.below(4));
+        for (unsigned e = 0; e < edits; ++e) {
+            const size_t pos = size_t(rng.below(mutated.size()));
+            switch (rng.below(3)) {
+              case 0:
+                mutated[pos] = char(rng.below(256));
+                break;
+              case 1:
+                mutated.insert(pos, 1, char(rng.below(256)));
+                break;
+              default:
+                mutated.erase(pos, 1 + size_t(rng.below(8)));
+                break;
+            }
+            if (mutated.empty())
+                mutated.push_back('x');
+        }
+        (void)parseCheckpoint(mutated);
+        CheckpointLoadStats stats;
+        (void)parseCheckpoint(mutated, &stats);
+    }
+}
+
+TEST(Campaign, ResumeSurvivesTornFinalJournalLine)
+{
+    const std::string ref_ckpt = tempPath("torn_ref.ckpt");
+    const std::string ckpt = tempPath("torn.ckpt");
+
+    // Reference: a complete sweep.
+    {
+        CampaignFixture fixture;
+        CampaignOptions opts = fixture.options();
+        opts.checkpointPath = ref_ckpt;
+        Campaign campaign(*fixture.engine, *fixture.registry, opts);
+        const CampaignSummary summary = campaign.run();
+        EXPECT_FALSE(summary.interrupted);
+        EXPECT_EQ(summary.cellsFailed, 0u);
+    }
+
+    // The same journal with its tail torn mid-line.
+    const std::string reference = slurp(ref_ckpt);
+    const size_t end_pos = reference.rfind("end\n");
+    ASSERT_NE(end_pos, std::string::npos);
+    ASSERT_GT(end_pos, 8u);
+    writeFileAtomic(ckpt, reference.substr(0, end_pos - 7));
+
+    EXPECT_FALSE(loadCheckpoint(ckpt).ok());
+    CheckpointLoadStats stats;
+    EXPECT_TRUE(loadCheckpoint(ckpt, &stats).ok());
+    EXPECT_TRUE(stats.truncatedTail);
+
+    // Resume recomputes only the lost record; the final journal is
+    // byte-identical to the uninterrupted reference.
+    {
+        CampaignFixture fixture;
+        CampaignOptions opts = fixture.options();
+        opts.checkpointPath = ckpt;
+        opts.resume = true;
+        Campaign campaign(*fixture.engine, *fixture.registry, opts);
+        const CampaignSummary summary = campaign.run();
+        EXPECT_FALSE(summary.interrupted);
+        EXPECT_GT(summary.cellsComputed, 0u);
+        EXPECT_GT(summary.cellsFromCheckpoint, 0u);
+    }
+    EXPECT_EQ(slurp(ckpt), reference);
+
+    for (const auto &path : {ref_ckpt, ckpt})
+        std::remove(path.c_str());
+}
+
+// ------------------------------------------------------ shard wire format
+
+TEST(ShardFormat, RoundTripsAndRejectsGarbage)
+{
+    ShardSpec spec;
+    spec.kind = ShardSpec::Kind::Cycle;
+    spec.structure = "ALU";
+    spec.delayFraction = 1.0 / 3.0;
+    spec.cycle = 1234;
+    spec.wireBegin = 3;
+    spec.wireEnd = 17;
+    spec.quarantined = {4, 9};
+    spec.sampling.maxInjectionCycles = 7;
+    spec.sampling.maxWires = 30;
+    spec.sampling.seed = 99;
+    spec.sampling.injectionTimeoutMs = 12.5;
+
+    const std::string line = serializeShardSpec(spec);
+    const Result<ShardSpec> parsed = parseShardSpec(line);
+    ASSERT_TRUE(parsed.ok()) << parsed.error().what();
+    EXPECT_EQ(parsed.value().structure, "ALU");
+    EXPECT_EQ(parsed.value().delayFraction, spec.delayFraction);
+    EXPECT_EQ(parsed.value().cycle, 1234u);
+    EXPECT_EQ(parsed.value().wireBegin, 3u);
+    EXPECT_EQ(parsed.value().wireEnd, 17u);
+    EXPECT_EQ(parsed.value().quarantined, spec.quarantined);
+    EXPECT_EQ(parsed.value().sampling.maxWires, 30u);
+    EXPECT_EQ(parsed.value().sampling.seed, 99u);
+    EXPECT_EQ(parsed.value().sampling.injectionTimeoutMs, 12.5);
+
+    ShardSpec savf;
+    savf.kind = ShardSpec::Kind::Savf;
+    savf.structure = "LSU";
+    const Result<ShardSpec> savf_parsed =
+        parseShardSpec(serializeShardSpec(savf));
+    ASSERT_TRUE(savf_parsed.ok());
+    EXPECT_EQ(savf_parsed.value().kind, ShardSpec::Kind::Savf);
+    EXPECT_EQ(savf_parsed.value().structure, "LSU");
+
+    EXPECT_FALSE(parseShardSpec("").ok());
+    EXPECT_FALSE(parseShardSpec("wat 1 2 3").ok());
+    EXPECT_FALSE(parseShardSpec("cycle ALU").ok());
+    // An absurd quarantine count must be rejected, not allocated.
+    EXPECT_FALSE(
+        parseShardSpec("cycle ALU 0x1p-1 4 0 10 99999999999 1").ok());
+
+    // No truncation may crash the parser.
+    for (size_t n = 0; n < line.size(); ++n)
+        (void)parseShardSpec(line.substr(0, n));
+}
+
+TEST(QuarantineFormat, RoundTripsAndPersists)
+{
+    QuarantineRecord record;
+    record.configHash = "feedc0de";
+    record.benchmark = "md5";
+    record.structure = "ALU";
+    record.delayFraction = 0.7;
+    record.cycle = 42;
+    record.wireIndex = 3;
+    record.wire = 77;
+    record.seed = 5;
+    record.reason = "killed by signal 6 (Aborted)";
+
+    const std::string line = serializeQuarantineRecord(record);
+    EXPECT_NE(line.find("davf-quarantine v1"), std::string::npos);
+    const Result<QuarantineRecord> parsed = parseQuarantineRecord(line);
+    ASSERT_TRUE(parsed.ok()) << parsed.error().what();
+    EXPECT_EQ(parsed.value(), record);
+
+    EXPECT_FALSE(parseQuarantineRecord("").ok());
+    EXPECT_FALSE(parseQuarantineRecord("davf-quarantine v999 x").ok());
+    for (size_t n = 0; n < line.size(); ++n)
+        (void)parseQuarantineRecord(line.substr(0, n));
+
+    // Directory persistence: save under a fresh dir, load it back.
+    const std::string dir = tempPath("qdir");
+    std::filesystem::remove_all(dir);
+    saveQuarantineRecord(dir, record);
+    QuarantineRecord other = record;
+    other.delayFraction = 0.9; // must get its own file, not overwrite
+    saveQuarantineRecord(dir, other);
+    std::vector<QuarantineRecord> loaded = loadQuarantineRecords(dir);
+    ASSERT_EQ(loaded.size(), 2u);
+    EXPECT_TRUE((loaded[0] == record && loaded[1] == other)
+                || (loaded[0] == other && loaded[1] == record));
+
+    EXPECT_TRUE(loadQuarantineRecords(tempPath("no-such-qdir")).empty());
+    std::filesystem::remove_all(dir);
+}
+
+// ------------------------------------------------------ process isolation
+
+/** Sets an environment variable for the enclosing scope. */
+struct EnvGuard
+{
+    const char *name;
+    EnvGuard(const char *the_name, const std::string &value)
+        : name(the_name)
+    {
+        ::setenv(name, value.c_str(), 1);
+    }
+    ~EnvGuard() { ::unsetenv(name); }
+};
+
+/** Campaign options running shards in worker processes. */
+CampaignOptions
+processOptions(const CampaignFixture &fixture, unsigned workers)
+{
+    CampaignOptions opts = fixture.options();
+    opts.isolate = IsolationMode::Process;
+    opts.supervisor.workerArgv = {Subprocess::selfExePath(),
+                                  "--campaign-worker"};
+    opts.supervisor.workers = workers;
+    opts.supervisor.backoffBaseMs = 1.0;
+    return opts;
+}
+
+TEST(Campaign, ProcessIsolationIsBitIdenticalToThreadMode)
+{
+    const std::string thread_ckpt = tempPath("iso_thread.ckpt");
+    const std::string thread_csv = tempPath("iso_thread.csv");
+
+    {
+        CampaignFixture fixture;
+        CampaignOptions opts = fixture.options();
+        opts.checkpointPath = thread_ckpt;
+        opts.csvPath = thread_csv;
+        Campaign campaign(*fixture.engine, *fixture.registry, opts);
+        const CampaignSummary summary = campaign.run();
+        EXPECT_FALSE(summary.interrupted);
+        EXPECT_EQ(summary.cellsFailed, 0u);
+    }
+    const std::string ref_journal = slurp(thread_ckpt);
+    const std::string ref_csv = slurp(thread_csv);
+
+    // Process isolation at two different worker counts: journal and
+    // CSV must match thread mode byte for byte.
+    for (unsigned workers : {1u, 3u}) {
+        const std::string tag = std::to_string(workers);
+        const std::string ckpt = tempPath("iso_proc" + tag + ".ckpt");
+        const std::string csv = tempPath("iso_proc" + tag + ".csv");
+        CampaignFixture fixture;
+        CampaignOptions opts = processOptions(fixture, workers);
+        opts.checkpointPath = ckpt;
+        opts.csvPath = csv;
+        Campaign campaign(*fixture.engine, *fixture.registry, opts);
+        const CampaignSummary summary = campaign.run();
+        EXPECT_FALSE(summary.interrupted);
+        EXPECT_EQ(summary.cellsFailed, 0u);
+        EXPECT_TRUE(summary.quarantined.empty());
+        EXPECT_EQ(slurp(ckpt), ref_journal) << workers << " workers";
+        EXPECT_EQ(slurp(csv), ref_csv) << workers << " workers";
+        std::remove(ckpt.c_str());
+        std::remove(csv.c_str());
+    }
+
+    std::remove(thread_ckpt.c_str());
+    std::remove(thread_csv.c_str());
+}
+
+TEST(Campaign, WorkerCrashIsRetriedBisectedAndQuarantined)
+{
+    const std::string qdir = tempPath("crash_qdir");
+    const std::string metrics = tempPath("crash_metrics.csv");
+    const std::string ckpt = tempPath("crash.ckpt");
+    const std::string ckpt2 = tempPath("crash2.ckpt");
+    std::filesystem::remove_all(qdir);
+    std::remove(metrics.c_str());
+
+    CampaignFixture fixture;
+    CampaignOptions opts = processOptions(fixture, 2);
+    opts.delays = {0.6};
+    opts.runSavf = false;
+    opts.supervisor.maxRetries = 1;
+    opts.supervisor.quarantineDir = qdir;
+    opts.supervisor.metricsCsvPath = metrics;
+    opts.checkpointPath = ckpt;
+
+    // Aim the deterministic crash hook at one (cycle, wire) injection;
+    // the workers inherit the environment and die there with SIGABRT.
+    const std::vector<uint64_t> cycles =
+        fixture.engine->injectionCycles(opts.sampling);
+    ASSERT_FALSE(cycles.empty());
+    const uint64_t target = cycles[cycles.size() / 2];
+    QuarantineRecord record;
+    {
+        EnvGuard fault("DAVF_TEST_FAULT",
+                       "crash@Rnd:" + std::to_string(target) + ":2");
+        Campaign campaign(*fixture.engine, *fixture.registry, opts);
+        const CampaignSummary summary = campaign.run();
+
+        EXPECT_FALSE(summary.interrupted);
+        ASSERT_EQ(summary.cells.size(), 1u);
+        EXPECT_FALSE(summary.cells[0].failed)
+            << summary.cells[0].failReason;
+
+        // The crash was bisected down to the single injection.
+        ASSERT_EQ(summary.quarantined.size(), 1u);
+        record = summary.quarantined[0];
+        EXPECT_EQ(record.structure, "Rnd");
+        EXPECT_EQ(record.cycle, target);
+        EXPECT_EQ(record.wireIndex, 2u);
+        EXPECT_NE(record.reason.find("signal"), std::string::npos)
+            << record.reason;
+
+        // Quarantined injections are skip-tallied, not silently lost.
+        const DelayAvfResult &davf = summary.cells[0].davf;
+        EXPECT_EQ(davf.skipReasons.count("quarantined"), 1u);
+        EXPECT_GE(davf.skippedErrors, 1u);
+        EXPECT_LE(davf.skippedErrors, davf.injections);
+    }
+
+    // The record was persisted and is loadable.
+    const std::vector<QuarantineRecord> loaded =
+        loadQuarantineRecords(qdir);
+    ASSERT_EQ(loaded.size(), 1u);
+    EXPECT_EQ(loaded[0], record);
+
+    // Workers died with SIGABRT mid-shard, but the journal (written
+    // only by the supervisor process) stays strictly parseable.
+    ASSERT_TRUE(loadCheckpoint(ckpt).ok());
+
+    // Per-attempt metrics recorded crashes and successes.
+    const std::string csv = slurp(metrics);
+    EXPECT_NE(csv.find("outcome,wall_ms,max_rss_kb"), std::string::npos);
+    EXPECT_NE(csv.find(",crash,"), std::string::npos);
+    EXPECT_NE(csv.find(",ok,"), std::string::npos);
+
+    // Convergence: with the fault disarmed but the quarantine records
+    // kept, a fresh campaign reproduces the exact same journal without
+    // a single crash (the known-bad injection stays excluded).
+    {
+        CampaignFixture fixture2;
+        CampaignOptions opts2 = processOptions(fixture2, 2);
+        opts2.delays = {0.6};
+        opts2.runSavf = false;
+        opts2.supervisor.quarantineDir = qdir;
+        opts2.checkpointPath = ckpt2;
+        Campaign campaign(*fixture2.engine, *fixture2.registry, opts2);
+        const CampaignSummary summary = campaign.run();
+        EXPECT_FALSE(summary.interrupted);
+        EXPECT_TRUE(summary.quarantined.empty())
+            << "no new quarantines expected";
+    }
+    EXPECT_EQ(slurp(ckpt2), slurp(ckpt));
+
+    std::filesystem::remove_all(qdir);
+    for (const auto &path : {metrics, ckpt, ckpt2})
+        std::remove(path.c_str());
+}
+
+TEST(Campaign, HungWorkerIsKilledByTheShardDeadline)
+{
+    const std::string qdir = tempPath("hang_qdir");
+    std::filesystem::remove_all(qdir);
+
+    CampaignFixture fixture;
+    CampaignOptions opts = processOptions(fixture, 1);
+    opts.delays = {0.6};
+    opts.runSavf = false;
+    // A small shard keeps the bisection probes cheap: each probe that
+    // contains the hanging injection burns one deadline.
+    opts.sampling.maxInjectionCycles = 2;
+    opts.sampling.maxWires = 8;
+    // One quarantined injection out of 8 wires would trip the default
+    // 5% failure threshold; this test is about the deadline, not that.
+    opts.maxFailureRate = 0.5;
+    opts.supervisor.maxRetries = 0;
+    opts.supervisor.shardTimeoutMs = 1000.0;
+    opts.supervisor.quarantineDir = qdir;
+
+    const std::vector<uint64_t> cycles =
+        fixture.engine->injectionCycles(opts.sampling);
+    ASSERT_FALSE(cycles.empty());
+    const uint64_t target = cycles.front();
+
+    // The hook hangs while heartbeating, so only the shard deadline
+    // (not the heartbeat watchdog) can catch it.
+    EnvGuard fault("DAVF_TEST_FAULT",
+                   "hang@Rnd:" + std::to_string(target) + ":1");
+    Campaign campaign(*fixture.engine, *fixture.registry, opts);
+    const CampaignSummary summary = campaign.run();
+
+    EXPECT_FALSE(summary.interrupted);
+    ASSERT_EQ(summary.cells.size(), 1u);
+    EXPECT_FALSE(summary.cells[0].failed) << summary.cells[0].failReason;
+    ASSERT_EQ(summary.quarantined.size(), 1u);
+    EXPECT_EQ(summary.quarantined[0].cycle, target);
+    EXPECT_EQ(summary.quarantined[0].wireIndex, 1u);
+    EXPECT_NE(summary.quarantined[0].reason.find("budget"),
+              std::string::npos)
+        << summary.quarantined[0].reason;
+
+    std::filesystem::remove_all(qdir);
+}
+
+/** The hidden worker mode: rebuild the fixture engine and serve
+ *  shards. Must match CampaignFixture exactly, or the bit-identity
+ *  tests above would (correctly) fail. */
+int
+campaignWorkerMain()
+{
+    CampaignFixture fixture;
+    return runCampaignWorker(*fixture.engine, *fixture.registry);
+}
+
 } // namespace
 } // namespace davf
+
+int
+main(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::string_view(argv[i]) == "--campaign-worker")
+            return davf::campaignWorkerMain();
+    }
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}

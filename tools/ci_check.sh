@@ -20,8 +20,46 @@ run_config() {
     ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
 }
 
+# Process-isolation smoke: run a tiny campaign with worker processes
+# and the deterministic crash hook armed. The supervisor must retry,
+# bisect the crash down to one injection, quarantine it, and still
+# complete with exit 0 — under sanitizers, so the worker protocol and
+# the bisection path get ASan/UBSan coverage on every CI run.
+# RLIMIT_AS (--worker-mem-mb) is incompatible with ASan's shadow
+# mappings and is deliberately not passed here.
+isolation_smoke() {
+    build_dir="$1"
+    smoke_dir="$build_dir/isolation-smoke"
+    rm -rf "$smoke_dir"
+    mkdir -p "$smoke_dir"
+    echo "=== isolation smoke $build_dir" >&2
+    DAVF_TEST_FAULT='crash@ALU:*:3' \
+        "$build_dir/tools/davf_run" \
+        --benchmark popcount --structure ALU --delays 0.5:0.9:0.4 \
+        --cycles 2 --wires 12 --isolate process --workers 2 \
+        --max-retries 1 --backoff-ms 1 --max-failure-rate 0.5 \
+        --quarantine-dir "$smoke_dir/quarantine" \
+        --shard-metrics-csv "$smoke_dir/shards.csv" \
+        --checkpoint "$smoke_dir/journal.ckpt" \
+        --csv "$smoke_dir/davf.csv"
+    quarantined=$(ls "$smoke_dir/quarantine"/*.qr 2>/dev/null | wc -l)
+    if [ "$quarantined" -eq 0 ]; then
+        echo "isolation smoke: no quarantine records written" >&2
+        exit 1
+    fi
+    for f in shards.csv journal.ckpt davf.csv; do
+        if [ ! -s "$smoke_dir/$f" ]; then
+            echo "isolation smoke: missing $f" >&2
+            exit 1
+        fi
+    done
+    echo "=== isolation smoke ok ($quarantined quarantined)" >&2
+}
+
 run_config "$root/build-ci-release" -DCMAKE_BUILD_TYPE=Release
+isolation_smoke "$root/build-ci-release"
 run_config "$root/build-ci-asan" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DDAVF_SANITIZE=address,undefined
+isolation_smoke "$root/build-ci-asan"
 
 echo "=== ci_check: all configurations passed" >&2

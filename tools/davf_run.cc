@@ -34,7 +34,28 @@
  *     --timeout-ms X       wall-clock budget per injection (0 = none)
  *     --max-failure-rate X abandon a cell if > X of injections fail
  *                          (default 0.05)
+ *     --isolate MODE       thread (default) or process: run injection
+ *                          cycles in supervised worker processes that
+ *                          are respawned on crash/hang/OOM, with retry,
+ *                          crash bisection, and quarantine (see
+ *                          docs/ROBUSTNESS.md)
+ *     --workers N          worker processes for --isolate process
+ *                          (default 1)
+ *     --max-retries N      re-dispatches per shard after a failure
+ *                          (default 2)
+ *     --backoff-ms X       base of the exponential retry backoff
+ *                          (default 50)
+ *     --worker-mem-mb N    RLIMIT_AS cap per worker in MiB, 0 = none
+ *                          (default 0; incompatible with ASan)
+ *     --shard-timeout-ms X wall-clock budget per shard attempt, 0 = none
+ *     --quarantine-dir D   persist quarantine records (one file per
+ *                          isolated injection) under D
+ *     --shard-metrics-csv F  append per-attempt wall/RSS/CPU metrics
  *     --list               list benchmarks and structures, then exit
+ *
+ * The hidden --worker-shard flag turns the process into a campaign
+ * worker serving shards over stdin/stdout; it is appended automatically
+ * when the supervisor re-executes this binary.
  */
 
 #include <cerrno>
@@ -46,6 +67,7 @@
 
 #include "campaign/campaign.hh"
 #include "campaign/stop.hh"
+#include "campaign/supervisor.hh"
 #include "core/vulnerability.hh"
 #include "isa/assembler.hh"
 #include "isa/benchmarks.hh"
@@ -73,6 +95,16 @@ struct Options
     std::string csv_path;
     std::string checkpoint_path;
     bool resume = false;
+
+    bool isolate_process = false;
+    unsigned workers = 1;
+    unsigned max_retries = 2;
+    double backoff_ms = 50.0;
+    uint64_t worker_mem_mb = 0;
+    double shard_timeout_ms = 0.0;
+    std::string quarantine_dir;
+    std::string shard_metrics_csv;
+    bool worker_shard = false; ///< Hidden: serve shards over stdio.
 };
 
 void
@@ -87,7 +119,12 @@ printUsage(const char *argv0)
                  "[--csv FILE]\n"
                  "          [--checkpoint FILE] [--resume FILE] "
                  "[--timeout-ms X]\n"
-                 "          [--max-failure-rate X] [--list]\n",
+                 "          [--max-failure-rate X] "
+                 "[--isolate thread|process] [--workers N]\n"
+                 "          [--max-retries N] [--backoff-ms X] "
+                 "[--worker-mem-mb N]\n"
+                 "          [--shard-timeout-ms X] [--quarantine-dir D]\n"
+                 "          [--shard-metrics-csv FILE] [--list]\n",
                  argv0);
 }
 
@@ -236,6 +273,39 @@ parse(int argc, char **argv)
                 usageError(argv[0],
                            "--max-failure-rate must lie in [0, 1]");
             }
+        } else if (arg == "--isolate") {
+            const std::string mode = need(i);
+            if (mode == "process")
+                opts.isolate_process = true;
+            else if (mode == "thread")
+                opts.isolate_process = false;
+            else
+                usageError(argv[0], "--isolate expects 'thread' or "
+                                    "'process', got '" + mode + "'");
+        } else if (arg == "--workers") {
+            opts.workers =
+                static_cast<unsigned>(parseU64(argv[0], arg, need(i)));
+            if (opts.workers == 0)
+                usageError(argv[0], "--workers must be >= 1");
+        } else if (arg == "--max-retries") {
+            opts.max_retries =
+                static_cast<unsigned>(parseU64(argv[0], arg, need(i)));
+        } else if (arg == "--backoff-ms") {
+            opts.backoff_ms = parseDouble(argv[0], arg, need(i));
+            if (opts.backoff_ms < 0.0)
+                usageError(argv[0], "--backoff-ms must be >= 0");
+        } else if (arg == "--worker-mem-mb") {
+            opts.worker_mem_mb = parseU64(argv[0], arg, need(i));
+        } else if (arg == "--shard-timeout-ms") {
+            opts.shard_timeout_ms = parseDouble(argv[0], arg, need(i));
+            if (opts.shard_timeout_ms < 0.0)
+                usageError(argv[0], "--shard-timeout-ms must be >= 0");
+        } else if (arg == "--quarantine-dir") {
+            opts.quarantine_dir = need(i);
+        } else if (arg == "--shard-metrics-csv") {
+            opts.shard_metrics_csv = need(i);
+        } else if (arg == "--worker-shard") {
+            opts.worker_shard = true;
         } else if (arg == "--list") {
             std::printf("benchmarks:");
             for (const auto &program : beebsBenchmarks())
@@ -291,6 +361,11 @@ runTool(int argc, char **argv)
                  static_cast<unsigned long long>(engine.goldenCycles()),
                  engine.clockPeriod());
 
+    // Hidden worker mode: same engine build as above, then serve shard
+    // requests from the supervising campaign over stdin/stdout.
+    if (opts.worker_shard)
+        return runCampaignWorker(engine, soc.structures());
+
     CampaignOptions campaign_options;
     campaign_options.benchmark = opts.benchmark;
     campaign_options.structures = {opts.structure};
@@ -307,6 +382,24 @@ runTool(int argc, char **argv)
     campaign_options.csvPath = opts.csv_path;
     campaign_options.structureLabel = opts.ecc ? " (ECC)" : "";
     campaign_options.stopFlag = &installStopHandlers();
+
+    if (opts.isolate_process) {
+        campaign_options.isolate = IsolationMode::Process;
+        SupervisorOptions &sup = campaign_options.supervisor;
+        // Workers re-execute this binary with the same arguments (so
+        // they build the same engine) plus the hidden worker flag.
+        sup.workerArgv.push_back(Subprocess::selfExePath());
+        for (int i = 1; i < argc; ++i)
+            sup.workerArgv.push_back(argv[i]);
+        sup.workerArgv.push_back("--worker-shard");
+        sup.workers = opts.workers;
+        sup.maxRetries = opts.max_retries;
+        sup.backoffBaseMs = opts.backoff_ms;
+        sup.workerMemMb = opts.worker_mem_mb;
+        sup.shardTimeoutMs = opts.shard_timeout_ms;
+        sup.quarantineDir = opts.quarantine_dir;
+        sup.metricsCsvPath = opts.shard_metrics_csv;
+    }
 
     Campaign campaign(engine, soc.structures(), campaign_options);
     const CampaignSummary summary = campaign.run();
@@ -350,6 +443,15 @@ runTool(int argc, char **argv)
                     static_cast<unsigned long long>(savf.sdc),
                     static_cast<unsigned long long>(savf.due),
                     cell.fromCheckpoint ? "  (resumed)" : "");
+    }
+
+    if (!summary.quarantined.empty()) {
+        std::fprintf(stderr, "\n%zu injection(s) quarantined this run:\n",
+                     summary.quarantined.size());
+        for (const QuarantineRecord &record : summary.quarantined) {
+            std::fprintf(stderr, "  %s\n",
+                         serializeQuarantineRecord(record).c_str());
+        }
     }
 
     if (summary.interrupted) {
