@@ -2,8 +2,7 @@
 
 #include <cstdlib>
 
-#include "isa/assembler.hh"
-#include "isa/benchmarks.hh"
+#include "util/atomic_file.hh"
 #include "util/logging.hh"
 
 namespace davf::bench {
@@ -26,22 +25,15 @@ BenchLab::buildContext(const std::string &benchmark, bool ecc)
     if (slot)
         return;
     slot = std::make_unique<BenchContext>();
-    const BenchmarkProgram &program = beebsBenchmark(benchmark);
-    IbexMiniConfig config;
-    config.eccRegfile = ecc;
-    slot->soc = std::make_unique<IbexMini>(config,
-                                           assemble(program.source));
-    slot->workload = std::make_unique<SocWorkload>(*slot->soc);
-    // Timing-closure emulation (see EngineOptions): the observed
-    // critical activity sets the clock, as in an optimized core.
-    EngineOptions options;
-    options.periodMode =
-        EngineOptions::PeriodMode::ObservedMaxPlusMargin;
-    slot->engine = std::make_unique<VulnerabilityEngine>(
-        slot->soc->netlist(), CellLibrary::defaultLibrary(),
-        *slot->workload, options);
-    davf_assert(slot->engine->goldenOutput() == program.expectedOutput,
-                "golden run of ", benchmark, " produced wrong output");
+    // The shared Workspace loader: same assemble/build/golden-capture
+    // (and golden-output assert) as davf_run and davf_serve. The
+    // default spec keeps the observed-max timing-closure clock.
+    service::WorkspaceSpec spec;
+    spec.benchmark = benchmark;
+    spec.ecc = ecc;
+    slot->workspace = std::make_unique<service::Workspace>(spec);
+    slot->soc = &slot->workspace->soc();
+    slot->engine = &slot->workspace->engine();
 }
 
 BenchContext &
@@ -85,6 +77,19 @@ BenchLab::sampling()
     return config;
 }
 
+AvfTable::~AvfTable()
+{
+    const char *path = std::getenv("DAVF_BENCH_JSON");
+    if (path == nullptr || *path == '\0' || rows.empty())
+        return;
+    try {
+        writeFileAtomic(path, reportJson(rows) + "\n");
+    } catch (const DavfError &error) {
+        std::fprintf(stderr, "DAVF_BENCH_JSON write failed: %s\n",
+                     error.what());
+    }
+}
+
 const DelayAvfResult &
 AvfTable::delayAvf(const std::string &benchmark, bool ecc,
                    const std::string &structure, double delay_fraction)
@@ -100,6 +105,13 @@ AvfTable::delayAvf(const std::string &benchmark, bool ecc,
                                    ctx.structure(structure),
                                    delay_fraction, BenchLab::sampling()))
                  .first;
+        ReportRow row;
+        row.kind = "davf";
+        row.benchmark = benchmark;
+        row.structure = structure;
+        row.delayFraction = delay_fraction;
+        row.davf = it->second;
+        rows.push_back(std::move(row));
     }
     return it->second;
 }
@@ -125,6 +137,12 @@ AvfTable::savf(const std::string &benchmark, bool ecc,
                  .emplace(key, ctx.engine->savf(ctx.structure(structure),
                                                 config))
                  .first;
+        ReportRow row;
+        row.kind = "savf";
+        row.benchmark = benchmark;
+        row.structure = structure;
+        row.savf = it->second;
+        rows.push_back(std::move(row));
     }
     return it->second;
 }

@@ -22,9 +22,10 @@
 #include <string>
 #include <vector>
 
+#include "core/report.hh"
 #include "core/vulnerability.hh"
+#include "service/workspace.hh"
 #include "soc/ibex_mini.hh"
-#include "soc/soc_workload.hh"
 
 namespace davf::bench {
 
@@ -45,14 +46,16 @@ inline const std::vector<std::string> kStatefulStructures = {
     "Regfile", "Regfile (ECC)", "LSU", "Prefetch"};
 
 /**
- * One built SoC + engine for a (benchmark, ecc) pair. Construction runs
- * the golden execution.
+ * One built SoC + engine for a (benchmark, ecc) pair, loaded through
+ * the shared service::Workspace (the same setup davf_run and
+ * davf_serve use). Construction runs the golden execution. The raw
+ * pointers alias the workspace's objects for harness convenience.
  */
 struct BenchContext
 {
-    std::unique_ptr<IbexMini> soc;
-    std::unique_ptr<SocWorkload> workload;
-    std::unique_ptr<VulnerabilityEngine> engine;
+    std::unique_ptr<service::Workspace> workspace;
+    IbexMini *soc = nullptr;
+    VulnerabilityEngine *engine = nullptr;
 
     const Structure &structure(const std::string &name) const;
 };
@@ -84,11 +87,19 @@ class BenchLab
     bool flavorReady[2] = {false, false};
 };
 
-/** DelayAVF with result caching, keyed (benchmark, ecc, structure, d). */
+/**
+ * DelayAVF with result caching, keyed (benchmark, ecc, structure, d).
+ *
+ * Every computed result is also recorded as a core/report ReportRow;
+ * when the DAVF_BENCH_JSON environment variable names a file, the
+ * destructor writes the whole report there as one reportJson() line,
+ * so a harness run doubles as a machine-readable regression artifact.
+ */
 class AvfTable
 {
   public:
     explicit AvfTable(BenchLab &lab) : lab(&lab) {}
+    ~AvfTable();
 
     const DelayAvfResult &delayAvf(const std::string &benchmark,
                                    bool ecc,
@@ -102,6 +113,7 @@ class AvfTable
     BenchLab *lab;
     std::map<std::string, DelayAvfResult> delayCache;
     std::map<std::string, SavfResult> savfCache;
+    std::vector<ReportRow> rows;
 };
 
 /** Print a rule line sized for @p width columns of 12 chars. */

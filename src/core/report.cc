@@ -92,6 +92,31 @@ delayAvfJson(const std::string &benchmark, const std::string &structure,
 }
 
 std::string
+reportRowJson(const ReportRow &row)
+{
+    const std::string body = row.kind == "savf"
+        ? savfJson(row.benchmark, row.structure, row.savf)
+        : delayAvfJson(row.benchmark, row.structure, row.delayFraction,
+                       row.davf);
+    // Prefix the kind discriminator into the per-kind object.
+    return "{\"kind\":\"" + escape(row.kind) + "\"," + body.substr(1);
+}
+
+std::string
+reportJson(const std::vector<ReportRow> &rows)
+{
+    std::ostringstream out;
+    out << "{\"schema\":\"davf-report/v1\",\"results\":[";
+    for (size_t i = 0; i < rows.size(); ++i) {
+        if (i > 0)
+            out << ',';
+        out << reportRowJson(rows[i]);
+    }
+    out << "]}";
+    return out.str();
+}
+
+std::string
 savfJson(const std::string &benchmark, const std::string &structure,
          const SavfResult &result)
 {

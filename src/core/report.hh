@@ -9,10 +9,38 @@
 #define DAVF_CORE_REPORT_HH
 
 #include <string>
+#include <vector>
 
 #include "core/vulnerability.hh"
 
 namespace davf {
+
+/**
+ * One row of a structured report: a single DelayAVF or sAVF evaluation
+ * with its labels. The shared currency of `davf_run --json`, the
+ * davf_serve query service, and the CI smoke checks — all three emit
+ * rows through reportJson(), so a served result can be compared
+ * byte-for-byte against a cold CLI run.
+ */
+struct ReportRow
+{
+    std::string kind = "davf"; ///< "davf" or "savf".
+    std::string benchmark;
+    std::string structure; ///< Display label (may carry " (ECC)").
+    double delayFraction = 0.0; ///< davf rows only.
+    DelayAvfResult davf;        ///< Valid when kind == "davf".
+    SavfResult savf;            ///< Valid when kind == "savf".
+};
+
+/** One row as a single-line JSON object. */
+std::string reportRowJson(const ReportRow &row);
+
+/**
+ * A whole report as one line of JSON:
+ * {"schema":"davf-report/v1","results":[<row>,...]}. Deterministic:
+ * equal rows serialize to equal bytes.
+ */
+std::string reportJson(const std::vector<ReportRow> &rows);
 
 /** Column header matching delayAvfCsvRow(). */
 std::string delayAvfCsvHeader();

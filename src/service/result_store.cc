@@ -1,0 +1,181 @@
+#include "result_store.hh"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/atomic_file.hh"
+#include "util/logging.hh"
+
+namespace davf::service {
+
+namespace {
+
+std::string
+fnv1aHex(const std::string &text)
+{
+    uint64_t hash = 0xcbf29ce484222325ull;
+    for (unsigned char c : text) {
+        hash ^= c;
+        hash *= 0x100000001b3ull;
+    }
+    std::ostringstream os;
+    os << std::hex << hash;
+    return os.str();
+}
+
+} // namespace
+
+ResultStore::ResultStore(Options the_options)
+    : options(std::move(the_options))
+{
+    if (options.dir.empty())
+        return;
+    std::error_code ec;
+    std::filesystem::create_directories(options.dir, ec);
+    if (ec) {
+        davf_throw(ErrorKind::Io, "cannot create store dir '",
+                   options.dir, "': ", ec.message());
+    }
+}
+
+std::string
+ResultStore::serializeRecord(const std::string &key,
+                             const std::string &payload)
+{
+    std::ostringstream os;
+    os << "davf-store v" << kVersion << "\nkey " << key << "\npayload "
+       << payload << "\nend\n";
+    return os.str();
+}
+
+Result<std::pair<std::string, std::string>>
+ResultStore::parseRecord(const std::string &text)
+{
+    using R = Result<std::pair<std::string, std::string>>;
+    std::istringstream is(text);
+    std::string line;
+
+    if (!std::getline(is, line)
+        || line != "davf-store v" + std::to_string(kVersion)) {
+        return R::Err(ErrorKind::BadInput,
+                      "store record: bad header: " + line.substr(0, 60));
+    }
+    if (!std::getline(is, line) || line.rfind("key ", 0) != 0
+        || line.size() == 4) {
+        return R::Err(ErrorKind::BadInput,
+                      "store record: missing key record");
+    }
+    std::string key = line.substr(4);
+    if (!std::getline(is, line) || line.rfind("payload ", 0) != 0
+        || line.size() == 8) {
+        return R::Err(ErrorKind::BadInput,
+                      "store record: missing payload record");
+    }
+    std::string payload = line.substr(8);
+    // The end sentinel proves the payload line was not truncated
+    // mid-write; without it the record is torn and must be recomputed.
+    if (!std::getline(is, line) || line != "end") {
+        return R::Err(ErrorKind::BadInput,
+                      "store record: missing end sentinel");
+    }
+    if (std::getline(is, line) && !line.empty()) {
+        return R::Err(ErrorKind::BadInput,
+                      "store record: trailing garbage");
+    }
+    return R::Ok({std::move(key), std::move(payload)});
+}
+
+std::string
+ResultStore::recordPath(const std::string &key) const
+{
+    if (options.dir.empty())
+        return "";
+    const std::filesystem::path path = std::filesystem::path(options.dir)
+        / ("r-" + fnv1aHex(key) + ".rec");
+    return path.string();
+}
+
+void
+ResultStore::remember(const std::string &key, const std::string &payload)
+{
+    // Caller holds the mutex.
+    if (options.memCapacity == 0)
+        return;
+    auto it = lruIndex.find(key);
+    if (it != lruIndex.end()) {
+        it->second->second = payload;
+        lru.splice(lru.begin(), lru, it->second);
+        return;
+    }
+    lru.emplace_front(key, payload);
+    lruIndex[key] = lru.begin();
+    while (lru.size() > options.memCapacity) {
+        lruIndex.erase(lru.back().first);
+        lru.pop_back();
+        ++counters.evictions;
+    }
+}
+
+std::optional<std::string>
+ResultStore::lookup(const std::string &key)
+{
+    const std::lock_guard<std::mutex> lock(mutex);
+
+    if (auto it = lruIndex.find(key); it != lruIndex.end()) {
+        ++counters.memoryHits;
+        lru.splice(lru.begin(), lru, it->second);
+        return it->second->second;
+    }
+
+    const std::string path = recordPath(key);
+    if (!path.empty()) {
+        std::ifstream file(path, std::ios::binary);
+        if (file) {
+            std::ostringstream contents;
+            contents << file.rdbuf();
+            auto parsed = parseRecord(contents.str());
+            if (!parsed) {
+                // Truncated / wrong-version / damaged record: a miss
+                // the caller's recompute-and-store will repair.
+                ++counters.corruptRecords;
+            } else if (parsed.value().first != key) {
+                // A filename-hash collision stores someone else's
+                // result here; serving it would poison the cache.
+                ++counters.corruptRecords;
+            } else {
+                ++counters.diskHits;
+                remember(key, parsed.value().second);
+                return std::move(parsed.value().second);
+            }
+        }
+    }
+
+    ++counters.misses;
+    return std::nullopt;
+}
+
+void
+ResultStore::store(const std::string &key, const std::string &payload)
+{
+    const std::lock_guard<std::mutex> lock(mutex);
+    remember(key, payload);
+    const std::string path = recordPath(key);
+    if (!path.empty()) {
+        // tmp+rename keeps concurrent writers (other server processes
+        // sharing the directory) safe: a reader only ever sees a
+        // complete old or complete new record. Same-process writers are
+        // serialized by the store mutex (the tmp name is per-pid).
+        writeFileAtomic(path, serializeRecord(key, payload));
+    }
+    ++counters.writes;
+}
+
+StoreStats
+ResultStore::stats() const
+{
+    const std::lock_guard<std::mutex> lock(mutex);
+    return counters;
+}
+
+} // namespace davf::service

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The persistent content-addressed result store behind davf_serve.
+ *
+ * A record maps a **store key** — the workspace build fingerprint plus
+ * the serialized shard spec (structure, d, cycle, wire range, sampling
+ * knobs) — to the shard's outcome payload in the exact hexfloat token
+ * grammar the campaign journal uses, so a served result aggregates
+ * bit-identically to a freshly computed one.
+ *
+ * Two tiers:
+ *  - an in-memory LRU map (bounded entry count) absorbs the hot set;
+ *  - one versioned file per record under the store directory, written
+ *    with the atomic tmp+rename discipline (util/atomic_file), survives
+ *    process exit and is shared by every server pointed at the same
+ *    directory.
+ *
+ * Loads are corruption-tolerant in the same spirit as the lenient
+ * checkpoint loader: a truncated, wrong-version, or otherwise
+ * unparseable record — and a hash-collision record whose embedded key
+ * disagrees — is reported as a miss (tallied in StoreStats), so the
+ * caller recomputes and the rewrite repairs the store. Nothing in this
+ * class ever throws on a damaged record; only an unwritable store
+ * directory surfaces as DavfError{Io}.
+ */
+
+#ifndef DAVF_SERVICE_RESULT_STORE_HH
+#define DAVF_SERVICE_RESULT_STORE_HH
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "util/error.hh"
+
+namespace davf::service {
+
+/** Monotonic counters describing one store's traffic. */
+struct StoreStats
+{
+    uint64_t memoryHits = 0;     ///< Served from the LRU tier.
+    uint64_t diskHits = 0;       ///< Served from a record file.
+    uint64_t misses = 0;         ///< No (usable) record existed.
+    uint64_t evictions = 0;      ///< LRU entries displaced.
+    uint64_t corruptRecords = 0; ///< Unreadable records treated as misses.
+    uint64_t writes = 0;         ///< Records persisted.
+
+    bool operator==(const StoreStats &) const = default;
+};
+
+/** The two-tier persistent result store (see file comment). */
+class ResultStore
+{
+  public:
+    static constexpr uint32_t kVersion = 1;
+
+    struct Options
+    {
+        /** Record directory; empty keeps the store memory-only. */
+        std::string dir;
+
+        /** LRU tier capacity in entries (0 disables the tier). */
+        size_t memCapacity = 4096;
+    };
+
+    explicit ResultStore(Options options);
+
+    /**
+     * The payload stored under @p key, or nullopt (a miss — including
+     * a corrupt or mismatched record, which the next store() repairs).
+     * Keys and payloads must be single-line strings.
+     */
+    std::optional<std::string> lookup(const std::string &key);
+
+    /** Persist @p payload under @p key (memory tier + record file). */
+    void store(const std::string &key, const std::string &payload);
+
+    StoreStats stats() const;
+
+    /** Path of the record file that holds @p key; "" if memory-only. */
+    std::string recordPath(const std::string &key) const;
+
+    /**
+     * @name Record text form (exposed for tests and fuzzing)
+     * A record is "davf-store v1\nkey <key>\npayload <payload>\nend\n".
+     * parseRecord returns the (key, payload) pair or an Err for any
+     * damage: bad magic, unknown version, missing fields, missing end
+     * sentinel, trailing garbage.
+     */
+    /// @{
+    static std::string serializeRecord(const std::string &key,
+                                       const std::string &payload);
+    static Result<std::pair<std::string, std::string>>
+    parseRecord(const std::string &text);
+    /// @}
+
+  private:
+    /** Insert into the LRU tier, evicting beyond capacity. */
+    void remember(const std::string &key, const std::string &payload);
+
+    Options options;
+
+    mutable std::mutex mutex;
+    /** Most recent at the front. */
+    std::list<std::pair<std::string, std::string>> lru;
+    std::unordered_map<
+        std::string,
+        std::list<std::pair<std::string, std::string>>::iterator>
+        lruIndex;
+    StoreStats counters;
+};
+
+} // namespace davf::service
+
+#endif // DAVF_SERVICE_RESULT_STORE_HH

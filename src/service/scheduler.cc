@@ -1,0 +1,413 @@
+#include "scheduler.hh"
+
+#include <chrono>
+#include <sstream>
+
+#include "campaign/checkpoint.hh"
+#include "campaign/supervisor.hh"
+#include "util/logging.hh"
+
+namespace davf::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+elapsedMs(Clock::time_point since)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() - since)
+        .count();
+}
+
+/** Parse a stored outcome payload; any damage or trailing junk fails. */
+bool
+parseOutcomePayload(const std::string &payload,
+                    InjectionCycleOutcome &outcome)
+{
+    std::istringstream is(payload);
+    if (!parseOutcomeFields(is, outcome))
+        return false;
+    std::string trailing;
+    return !(is >> trailing);
+}
+
+bool
+parseSavfPayload(const std::string &payload, SavfResult &result)
+{
+    std::istringstream is(payload);
+    if (!parseSavfFields(is, result))
+        return false;
+    std::string trailing;
+    return !(is >> trailing);
+}
+
+std::string
+histogramJson(const Histogram &h)
+{
+    std::ostringstream os;
+    os << "{\"count\":" << h.count() << ",\"bins\":[";
+    bool first = true;
+    for (size_t i = 0; i < h.bins().size(); ++i) {
+        if (h.bins()[i] == 0)
+            continue;
+        if (!first)
+            os << ',';
+        first = false;
+        os << "{\"lo\":" << h.binLo(i) << ",\"hi\":" << h.binHi(i)
+           << ",\"n\":" << h.bins()[i] << '}';
+    }
+    os << "]}";
+    return os.str();
+}
+
+} // namespace
+
+QueryScheduler::QueryScheduler(VulnerabilityEngine &the_engine,
+                               const StructureRegistry &the_registry,
+                               std::string the_fingerprint,
+                               ResultStore &the_store, Options the_options)
+    : engine(&the_engine), registry(&the_registry),
+      fingerprint(std::move(the_fingerprint)), store(&the_store),
+      options(std::move(the_options)), lookupMs(0.0, 50.0, 25),
+      computeMs(0.0, 5000.0, 25), aggregateMs(0.0, 50.0, 25)
+{
+    if (!options.workerArgv.empty()) {
+        SupervisorOptions sup;
+        sup.workerArgv = options.workerArgv;
+        sup.workers = options.workers;
+        sup.maxRetries = options.maxRetries;
+        sup.workerMemMb = options.workerMemMb;
+        sup.configHash = fingerprint;
+        sup.benchmark = options.benchmark;
+        supervisor = std::make_unique<Supervisor>(std::move(sup));
+    }
+}
+
+QueryScheduler::~QueryScheduler() = default;
+
+std::string
+QueryScheduler::shardKey(const ShardSpec &spec) const
+{
+    return fingerprint + " " + serializeShardSpec(spec);
+}
+
+void
+QueryScheduler::storeOutcome(ShardSpec spec,
+                             const InjectionCycleOutcome &outcome)
+{
+    spec.cycle = outcome.cycle;
+    store->store(shardKey(spec), serializeOutcomeFields(outcome));
+}
+
+Result<DelayAvfResult>
+QueryScheduler::runDavfCell(const Structure &structure,
+                            const QuerySpec &query, double d,
+                            const std::atomic<bool> *cancel,
+                            QueryReply &reply)
+{
+    using R = Result<DelayAvfResult>;
+
+    SamplingConfig sampling = query.sampling;
+    sampling.threads = options.threads;
+    sampling.stopFlag = cancel;
+
+    // The spec prototype that, with a cycle filled in, keys one shard.
+    // Its sampling is the query's verbatim (threads and stop flag are
+    // operational and not serialized), so every process pointed at the
+    // same store derives the same keys.
+    ShardSpec spec;
+    spec.kind = ShardSpec::Kind::Cycle;
+    spec.structure = query.structure;
+    spec.delayFraction = d;
+    spec.sampling = query.sampling;
+
+    const std::vector<uint64_t> cycles = engine->injectionCycles(sampling);
+
+    DelayAvfProgress progress;
+    std::vector<uint64_t> missing;
+    const Clock::time_point lookup_start = Clock::now();
+    for (uint64_t cycle : cycles) {
+        spec.cycle = cycle;
+        bool hit = false;
+        if (auto payload = store->lookup(shardKey(spec))) {
+            InjectionCycleOutcome outcome;
+            if (parseOutcomePayload(*payload, outcome)) {
+                progress.completed.push_back(std::move(outcome));
+                hit = true;
+            } else {
+                davf_warn("store payload for cycle ", cycle,
+                          " unparseable; recomputing");
+            }
+        }
+        if (hit) {
+            ++reply.storeHits;
+            const std::lock_guard<std::mutex> stats_lock(statsMutex);
+            ++counters.shardHits;
+        } else {
+            missing.push_back(cycle);
+        }
+    }
+    {
+        const std::lock_guard<std::mutex> stats_lock(statsMutex);
+        lookupMs.add(elapsedMs(lookup_start));
+    }
+
+    const std::lock_guard<std::mutex> engine_lock(engineMutex);
+
+    if (!missing.empty()) {
+        // Double-check under the compute lock: a concurrent client may
+        // have computed (and stored) these shards while we waited. This
+        // is the in-flight dedupe — identical concurrent queries cost
+        // one simulation.
+        std::vector<uint64_t> still;
+        for (uint64_t cycle : missing) {
+            spec.cycle = cycle;
+            InjectionCycleOutcome outcome;
+            if (auto payload = store->lookup(shardKey(spec));
+                payload && parseOutcomePayload(*payload, outcome)) {
+                progress.completed.push_back(std::move(outcome));
+                ++reply.storeHits;
+                const std::lock_guard<std::mutex> stats_lock(statsMutex);
+                ++counters.shardHits;
+                ++counters.inFlightHits;
+            } else {
+                still.push_back(cycle);
+            }
+        }
+        missing = std::move(still);
+    }
+
+    if (!missing.empty() && supervisor) {
+        // Process-isolated compute: ship the missing cycles to the
+        // worker pool; each completed outcome is persisted on arrival.
+        // (Cancellation takes effect between cells in this mode.)
+        const Clock::time_point compute_start = Clock::now();
+        const std::vector<WireId> wires =
+            engine->sampledWires(structure, sampling);
+        const Supervisor::DavfCellResult cell = supervisor->runDavfCell(
+            query.structure, d, missing, wires, query.sampling, {},
+            [&](const InjectionCycleOutcome &outcome) {
+                storeOutcome(spec, outcome);
+                progress.completed.push_back(outcome);
+                ++reply.storeMisses;
+                const std::lock_guard<std::mutex> stats_lock(statsMutex);
+                ++counters.shardsComputed;
+            });
+        {
+            const std::lock_guard<std::mutex> stats_lock(statsMutex);
+            computeMs.add(elapsedMs(compute_start));
+        }
+        if (cell.stopped)
+            return R::Err(ErrorKind::Timeout, "query cancelled");
+        if (cell.failed) {
+            return R::Err(ErrorKind::Internal,
+                          "isolated cell failed: " + cell.failReason);
+        }
+        missing.clear();
+    }
+
+    if (!missing.empty()) {
+        // In-process compute: delayAvf() simulates exactly the cycles
+        // absent from progress.completed on the engine thread pool and
+        // aggregates everything — the checkpoint-resume path, so the
+        // result is bit-identical to a cold run.
+        progress.onCycleDone = [&](const InjectionCycleOutcome &outcome) {
+            storeOutcome(spec, outcome);
+            ++reply.storeMisses;
+            const std::lock_guard<std::mutex> stats_lock(statsMutex);
+            ++counters.shardsComputed;
+        };
+        const Clock::time_point compute_start = Clock::now();
+        DelayAvfResult result =
+            engine->delayAvf(structure, d, sampling, &progress);
+        {
+            const std::lock_guard<std::mutex> stats_lock(statsMutex);
+            computeMs.add(elapsedMs(compute_start));
+        }
+        if (result.stopped)
+            return R::Err(ErrorKind::Timeout, "query cancelled");
+        return R::Ok(std::move(result));
+    }
+
+    // Aggregation only: every cycle came from the store (or the worker
+    // pool). No stop flag — nothing simulates, so nothing can hang.
+    SamplingConfig agg_sampling = sampling;
+    agg_sampling.stopFlag = nullptr;
+    progress.onCycleDone = nullptr;
+    const Clock::time_point agg_start = Clock::now();
+    DelayAvfResult result =
+        engine->delayAvf(structure, d, agg_sampling, &progress);
+    {
+        const std::lock_guard<std::mutex> stats_lock(statsMutex);
+        aggregateMs.add(elapsedMs(agg_start));
+    }
+    return R::Ok(std::move(result));
+}
+
+Result<SavfResult>
+QueryScheduler::runSavfCell(const Structure &structure,
+                            const QuerySpec &query,
+                            const std::atomic<bool> *cancel,
+                            QueryReply &reply)
+{
+    using R = Result<SavfResult>;
+
+    ShardSpec spec;
+    spec.kind = ShardSpec::Kind::Savf;
+    spec.structure = query.structure;
+    spec.sampling = query.sampling;
+    const std::string key = shardKey(spec);
+
+    const Clock::time_point lookup_start = Clock::now();
+    auto tryLookup = [&]() -> std::optional<SavfResult> {
+        SavfResult result;
+        if (auto payload = store->lookup(key);
+            payload && parseSavfPayload(*payload, result)) {
+            return result;
+        }
+        return std::nullopt;
+    };
+    std::optional<SavfResult> hit = tryLookup();
+    {
+        const std::lock_guard<std::mutex> stats_lock(statsMutex);
+        lookupMs.add(elapsedMs(lookup_start));
+    }
+    if (hit) {
+        ++reply.storeHits;
+        const std::lock_guard<std::mutex> stats_lock(statsMutex);
+        ++counters.shardHits;
+        return R::Ok(std::move(*hit));
+    }
+
+    const std::lock_guard<std::mutex> engine_lock(engineMutex);
+    if ((hit = tryLookup())) {
+        ++reply.storeHits;
+        const std::lock_guard<std::mutex> stats_lock(statsMutex);
+        ++counters.shardHits;
+        ++counters.inFlightHits;
+        return R::Ok(std::move(*hit));
+    }
+
+    const Clock::time_point compute_start = Clock::now();
+    SavfResult result;
+    if (supervisor) {
+        const Supervisor::SavfCellResult cell =
+            supervisor->runSavfCell(query.structure, query.sampling);
+        if (cell.failed) {
+            return R::Err(ErrorKind::Internal,
+                          "isolated sAVF cell failed: " + cell.failReason);
+        }
+        result = cell.savf;
+    } else {
+        SamplingConfig sampling = query.sampling;
+        sampling.threads = options.threads;
+        sampling.stopFlag = cancel;
+        result = engine->savf(structure, sampling);
+    }
+    {
+        const std::lock_guard<std::mutex> stats_lock(statsMutex);
+        computeMs.add(elapsedMs(compute_start));
+        ++counters.shardsComputed;
+    }
+    if (result.stopped)
+        return R::Err(ErrorKind::Timeout, "query cancelled");
+    store->store(key, serializeSavfFields(result));
+    ++reply.storeMisses;
+    return R::Ok(std::move(result));
+}
+
+Result<QueryScheduler::QueryReply>
+QueryScheduler::run(const QuerySpec &query,
+                    const std::atomic<bool> *cancel)
+{
+    using R = Result<QueryReply>;
+    try {
+        const Structure *structure = registry->find(query.structure);
+        if (!structure) {
+            return R::Err(ErrorKind::NotFound, "unknown structure '"
+                                                   + query.structure
+                                                   + "'");
+        }
+
+        QueryReply reply;
+        std::vector<ReportRow> rows;
+        for (double d : query.delays) {
+            Result<DelayAvfResult> cell =
+                runDavfCell(*structure, query, d, cancel, reply);
+            if (!cell) {
+                if (cell.error().kind() == ErrorKind::Timeout) {
+                    const std::lock_guard<std::mutex> lock(statsMutex);
+                    ++counters.cancelled;
+                }
+                return R::Err(cell.error());
+            }
+            ReportRow row;
+            row.kind = "davf";
+            row.benchmark = options.benchmark;
+            row.structure = query.structure + options.structureLabel;
+            row.delayFraction = d;
+            row.davf = std::move(cell.value());
+            rows.push_back(std::move(row));
+        }
+
+        if (query.runSavf) {
+            Result<SavfResult> cell =
+                runSavfCell(*structure, query, cancel, reply);
+            if (!cell) {
+                if (cell.error().kind() == ErrorKind::Timeout) {
+                    const std::lock_guard<std::mutex> lock(statsMutex);
+                    ++counters.cancelled;
+                }
+                return R::Err(cell.error());
+            }
+            ReportRow row;
+            row.kind = "savf";
+            row.benchmark = options.benchmark;
+            row.structure = query.structure + options.structureLabel;
+            row.savf = std::move(cell.value());
+            rows.push_back(std::move(row));
+        }
+
+        reply.reportJson = reportJson(rows);
+        {
+            const std::lock_guard<std::mutex> lock(statsMutex);
+            ++counters.queries;
+        }
+        return R::Ok(std::move(reply));
+    } catch (const DavfError &error) {
+        return R::Err(error);
+    }
+}
+
+SchedulerStats
+QueryScheduler::stats() const
+{
+    const std::lock_guard<std::mutex> lock(statsMutex);
+    return counters;
+}
+
+std::string
+QueryScheduler::statsJson() const
+{
+    const StoreStats store_stats = store->stats();
+    const std::lock_guard<std::mutex> lock(statsMutex);
+    std::ostringstream os;
+    os << "{\"queries\":" << counters.queries
+       << ",\"shard_hits\":" << counters.shardHits
+       << ",\"in_flight_hits\":" << counters.inFlightHits
+       << ",\"shards_computed\":" << counters.shardsComputed
+       << ",\"cancelled\":" << counters.cancelled
+       << ",\"store\":{\"memory_hits\":" << store_stats.memoryHits
+       << ",\"disk_hits\":" << store_stats.diskHits
+       << ",\"misses\":" << store_stats.misses
+       << ",\"evictions\":" << store_stats.evictions
+       << ",\"corrupt_records\":" << store_stats.corruptRecords
+       << ",\"writes\":" << store_stats.writes
+       << "},\"latency_ms\":{\"lookup\":" << histogramJson(lookupMs)
+       << ",\"compute\":" << histogramJson(computeMs)
+       << ",\"aggregate\":" << histogramJson(aggregateMs) << "}}";
+    return os.str();
+}
+
+} // namespace davf::service

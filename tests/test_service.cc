@@ -1,0 +1,736 @@
+/**
+ * @file
+ * Tests for the davf_serve subsystem (src/service/):
+ *
+ *  - workspace specs and the netlist structural hash;
+ *  - the persistent result store: record round trips, corruption
+ *    tolerance (truncated / wrong-version / key-collision records all
+ *    degrade to misses and are repaired by the next store), LRU
+ *    eviction with disk fallback, concurrent writers, and a fuzz
+ *    corpus over the record parser;
+ *  - the client/server protocol: query-spec and frame round trips,
+ *    malformed-input rejection, and a live Unix-socket frame exchange;
+ *  - the query scheduler: cold queries compute and persist, warm
+ *    queries are served entirely from the store with byte-identical
+ *    reports, results match a direct engine evaluation bit-for-bit,
+ *    concurrent identical queries simulate each shard once, and
+ *    cancellation surfaces as a recoverable error.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/campaign/checkpoint.hh"
+#include "src/core/report.hh"
+#include "src/core/shard.hh"
+#include "src/core/vulnerability.hh"
+#include "src/service/protocol.hh"
+#include "src/service/result_store.hh"
+#include "src/service/scheduler.hh"
+#include "src/service/workspace.hh"
+#include "src/util/rng.hh"
+#include "src/util/subprocess.hh"
+#include "tests/helpers.hh"
+
+namespace davf::service {
+namespace {
+
+std::string
+tempPath(const std::string &name)
+{
+    return ::testing::TempDir() + "davf_service_"
+        + std::to_string(::getpid()) + "_" + name;
+}
+
+// ------------------------------------------------------------- workspace
+
+TEST(WorkspaceSpecText, RoundTrips)
+{
+    WorkspaceSpec spec;
+    spec.benchmark = "md5";
+    spec.ecc = true;
+    spec.staPeriod = false;
+    const auto parsed = parseWorkspaceSpec(serializeWorkspaceSpec(spec));
+    ASSERT_TRUE(parsed.ok()) << parsed.error().what();
+    EXPECT_EQ(parsed.value(), spec);
+}
+
+TEST(WorkspaceSpecText, RejectsDamage)
+{
+    EXPECT_FALSE(parseWorkspaceSpec("").ok());
+    EXPECT_FALSE(parseWorkspaceSpec("md5").ok());
+    EXPECT_FALSE(parseWorkspaceSpec("md5 2 0").ok());
+    EXPECT_FALSE(parseWorkspaceSpec("md5 1 0 extra").ok());
+}
+
+TEST(NetlistHash, StableAndDiscriminating)
+{
+    const auto a1 = test::makeRandomCircuit(5, 6, 24, 8);
+    const auto a2 = test::makeRandomCircuit(5, 6, 24, 8);
+    const auto b = test::makeRandomCircuit(6, 6, 24, 8);
+    EXPECT_EQ(netlistHash(*a1.netlist), netlistHash(*a2.netlist));
+    EXPECT_NE(netlistHash(*a1.netlist), netlistHash(*b.netlist));
+}
+
+// ------------------------------------------------------------ the store
+
+TEST(ResultStoreRecord, RoundTrips)
+{
+    const std::string text =
+        ResultStore::serializeRecord("some key", "payload 1 2 3");
+    const auto parsed = ResultStore::parseRecord(text);
+    ASSERT_TRUE(parsed.ok()) << parsed.error().what();
+    EXPECT_EQ(parsed.value().first, "some key");
+    EXPECT_EQ(parsed.value().second, "payload 1 2 3");
+}
+
+TEST(ResultStoreRecord, RejectsDamage)
+{
+    const std::string good = ResultStore::serializeRecord("k", "p");
+    EXPECT_TRUE(ResultStore::parseRecord(good).ok());
+
+    EXPECT_FALSE(ResultStore::parseRecord("").ok());
+    EXPECT_FALSE(ResultStore::parseRecord("davf-store v2\nkey k\n"
+                                          "payload p\nend\n")
+                     .ok());
+    EXPECT_FALSE(ResultStore::parseRecord("davf-store v1\nkey k\n"
+                                          "payload p\n")
+                     .ok()); // missing end sentinel
+    EXPECT_FALSE(
+        ResultStore::parseRecord(good + "trailing garbage\n").ok());
+    EXPECT_FALSE(ResultStore::parseRecord("davf-store v1\nkey \n"
+                                          "payload p\nend\n")
+                     .ok()); // empty key
+}
+
+TEST(ResultStore_, MemoryOnlyHitsAndMisses)
+{
+    ResultStore store({.dir = "", .memCapacity = 8});
+    EXPECT_FALSE(store.lookup("k").has_value());
+    store.store("k", "v");
+    const auto hit = store.lookup("k");
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, "v");
+    const StoreStats stats = store.stats();
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.memoryHits, 1u);
+    EXPECT_EQ(stats.writes, 1u);
+    EXPECT_EQ(store.recordPath("k"), "");
+}
+
+TEST(ResultStore_, PersistsAcrossInstances)
+{
+    const std::string dir = tempPath("persist");
+    std::filesystem::remove_all(dir);
+    {
+        ResultStore store({.dir = dir, .memCapacity = 8});
+        store.store("k one", "v 1");
+    }
+    ResultStore fresh({.dir = dir, .memCapacity = 8});
+    const auto hit = fresh.lookup("k one");
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, "v 1");
+    EXPECT_EQ(fresh.stats().diskHits, 1u);
+    // A second lookup is served from the now-populated memory tier.
+    fresh.lookup("k one");
+    EXPECT_EQ(fresh.stats().memoryHits, 1u);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ResultStore_, TruncatedRecordIsAMissAndIsRepaired)
+{
+    const std::string dir = tempPath("truncated");
+    std::filesystem::remove_all(dir);
+    ResultStore store({.dir = dir, .memCapacity = 0}); // no memory tier
+    store.store("k", "v");
+
+    const std::string path = store.recordPath("k");
+    const std::string full = ResultStore::serializeRecord("k", "v");
+    std::ofstream(path, std::ios::binary)
+        << full.substr(0, full.size() / 2);
+
+    EXPECT_FALSE(store.lookup("k").has_value());
+    EXPECT_EQ(store.stats().corruptRecords, 1u);
+
+    // The recompute-and-store path repairs the damaged record.
+    store.store("k", "v");
+    const auto hit = store.lookup("k");
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, "v");
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ResultStore_, WrongVersionRecordIsAMiss)
+{
+    const std::string dir = tempPath("version");
+    std::filesystem::remove_all(dir);
+    ResultStore store({.dir = dir, .memCapacity = 0});
+    store.store("k", "v");
+    std::ofstream(store.recordPath("k"), std::ios::binary)
+        << "davf-store v999\nkey k\npayload v\nend\n";
+    EXPECT_FALSE(store.lookup("k").has_value());
+    EXPECT_EQ(store.stats().corruptRecords, 1u);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ResultStore_, EmbeddedKeyMismatchIsAMiss)
+{
+    const std::string dir = tempPath("collision");
+    std::filesystem::remove_all(dir);
+    ResultStore store({.dir = dir, .memCapacity = 0});
+    // Simulate a filename-hash collision: the record file for "mine"
+    // holds a record whose embedded key is someone else's.
+    store.store("mine", "v");
+    std::ofstream(store.recordPath("mine"), std::ios::binary)
+        << ResultStore::serializeRecord("theirs", "w");
+    EXPECT_FALSE(store.lookup("mine").has_value());
+    EXPECT_EQ(store.stats().corruptRecords, 1u);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ResultStore_, LruEvictionFallsBackToDisk)
+{
+    const std::string dir = tempPath("lru");
+    std::filesystem::remove_all(dir);
+    ResultStore store({.dir = dir, .memCapacity = 2});
+    store.store("a", "1");
+    store.store("b", "2");
+    store.store("c", "3"); // evicts "a"
+    EXPECT_EQ(store.stats().evictions, 1u);
+
+    const auto hit = store.lookup("a");
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, "1");
+    EXPECT_EQ(store.stats().diskHits, 1u);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ResultStore_, LruEvictionWithoutDiskIsAMiss)
+{
+    ResultStore store({.dir = "", .memCapacity = 1});
+    store.store("a", "1");
+    store.store("b", "2");
+    EXPECT_FALSE(store.lookup("a").has_value());
+    ASSERT_TRUE(store.lookup("b").has_value());
+}
+
+TEST(ResultStore_, ConcurrentWritersAndReaders)
+{
+    const std::string dir = tempPath("concurrent");
+    std::filesystem::remove_all(dir);
+    ResultStore store({.dir = dir, .memCapacity = 16});
+
+    constexpr unsigned kThreads = 8;
+    constexpr unsigned kRounds = 40;
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&store, t] {
+            for (unsigned i = 0; i < kRounds; ++i) {
+                // Half the keys are shared across threads, half private.
+                const std::string key = i % 2 == 0
+                    ? "shared " + std::to_string(i)
+                    : "t" + std::to_string(t) + " " + std::to_string(i);
+                const std::string value = "v " + std::to_string(i);
+                store.store(key, value);
+                const auto hit = store.lookup(key);
+                EXPECT_TRUE(hit.has_value());
+                if (hit) {
+                    EXPECT_EQ(*hit, value);
+                }
+            }
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+
+    const StoreStats stats = store.stats();
+    EXPECT_EQ(stats.writes, kThreads * kRounds);
+    EXPECT_EQ(stats.corruptRecords, 0u);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ResultStore_, FuzzedRecordParserNeverCrashes)
+{
+    const std::string base =
+        ResultStore::serializeRecord("fp 0.5 spec tokens",
+                                     "0x1.8p-1 12 34 end-like payload");
+    // Every truncation point.
+    for (size_t len = 0; len <= base.size(); ++len) {
+        const auto parsed = ResultStore::parseRecord(base.substr(0, len));
+        if (len == base.size()) {
+            EXPECT_TRUE(parsed.ok());
+        }
+    }
+    // Seeded random mutations: flips, inserts, erasures.
+    Rng rng(20240806);
+    for (int round = 0; round < 400; ++round) {
+        std::string text = base;
+        const unsigned edits = 1 + rng.below(4);
+        for (unsigned e = 0; e < edits; ++e) {
+            if (text.empty())
+                break;
+            const size_t pos = rng.below(text.size());
+            switch (rng.below(3)) {
+              case 0:
+                text[pos] = static_cast<char>(rng.below(256));
+                break;
+              case 1:
+                text.insert(pos, 1, static_cast<char>(rng.below(256)));
+                break;
+              default:
+                text.erase(pos, 1);
+                break;
+            }
+        }
+        const auto parsed = ResultStore::parseRecord(text);
+        if (parsed.ok()) {
+            // A mutation that still parses must round-trip cleanly.
+            EXPECT_TRUE(
+                ResultStore::parseRecord(ResultStore::serializeRecord(
+                                             parsed.value().first,
+                                             parsed.value().second))
+                    .ok());
+        }
+    }
+}
+
+// ------------------------------------------------------------- protocol
+
+QuerySpec
+sampleQuery()
+{
+    QuerySpec query;
+    query.workspace.benchmark = "md5";
+    query.workspace.ecc = true;
+    query.structure = "Regfile";
+    query.delays = {0.1, 0.1 + 0.2, 0.9}; // non-representable doubles
+    query.runSavf = true;
+    query.sampling.cycleFraction = 0.07;
+    query.sampling.maxInjectionCycles = 5;
+    query.sampling.maxWires = 123;
+    query.sampling.maxFlops = 45;
+    query.sampling.seed = 99;
+    query.sampling.watchdogSlack = 111;
+    query.sampling.injectionTimeoutMs = 250.5;
+    query.sampling.maxFailureRate = 0.125;
+    return query;
+}
+
+TEST(QuerySpecText, RoundTripsBitExactly)
+{
+    const QuerySpec query = sampleQuery();
+    const auto parsed = parseQuerySpec(serializeQuerySpec(query));
+    ASSERT_TRUE(parsed.ok()) << parsed.error().what();
+    const QuerySpec &got = parsed.value();
+    EXPECT_EQ(got.workspace, query.workspace);
+    EXPECT_EQ(got.structure, query.structure);
+    ASSERT_EQ(got.delays.size(), query.delays.size());
+    for (size_t i = 0; i < query.delays.size(); ++i)
+        EXPECT_EQ(got.delays[i], query.delays[i]); // bit-exact hexfloats
+    EXPECT_EQ(got.runSavf, query.runSavf);
+    EXPECT_EQ(got.sampling.cycleFraction, query.sampling.cycleFraction);
+    EXPECT_EQ(got.sampling.maxWires, query.sampling.maxWires);
+    EXPECT_EQ(got.sampling.seed, query.sampling.seed);
+    EXPECT_EQ(got.sampling.maxFailureRate,
+              query.sampling.maxFailureRate);
+    // Serialization is canonical: re-serializing reproduces the bytes.
+    EXPECT_EQ(serializeQuerySpec(got), serializeQuerySpec(query));
+}
+
+TEST(QuerySpecText, RejectsDamage)
+{
+    const std::string good = serializeQuerySpec(sampleQuery());
+    EXPECT_FALSE(parseQuerySpec("").ok());
+    EXPECT_FALSE(parseQuerySpec(good + " trailing").ok());
+    EXPECT_FALSE(
+        parseQuerySpec(good.substr(0, good.size() / 2)).ok());
+    EXPECT_FALSE(parseQuerySpec("md5 9 0 ALU 0 0").ok());
+}
+
+TEST(ClientFrames, VerbsRoundTrip)
+{
+    const auto query = parseClientFrame(makeQueryFrame(sampleQuery()));
+    ASSERT_TRUE(query.ok());
+    EXPECT_EQ(query.value().verb, ClientFrame::Verb::Query);
+    EXPECT_EQ(query.value().query.structure, "Regfile");
+
+    for (const char *verb : {"cancel", "stats", "quit"})
+        EXPECT_TRUE(parseClientFrame(verb).ok()) << verb;
+    EXPECT_FALSE(parseClientFrame("").ok());
+    EXPECT_FALSE(parseClientFrame("launch missiles").ok());
+    EXPECT_FALSE(parseClientFrame("query not a spec").ok());
+}
+
+TEST(ServerReplies, RoundTrip)
+{
+    ServerReply ok;
+    ok.ok = true;
+    ok.tag = "report";
+    ok.body = "{\"results\":[1, 2, 3]} with spaces";
+    const auto ok_parsed = parseServerReply(serializeServerReply(ok));
+    ASSERT_TRUE(ok_parsed.ok());
+    EXPECT_TRUE(ok_parsed.value().ok);
+    EXPECT_EQ(ok_parsed.value().tag, "report");
+    EXPECT_EQ(ok_parsed.value().body, ok.body);
+
+    ServerReply err;
+    err.errorKind = "not-found";
+    err.message = "unknown structure 'Bogus'";
+    const auto err_parsed = parseServerReply(serializeServerReply(err));
+    ASSERT_TRUE(err_parsed.ok());
+    EXPECT_FALSE(err_parsed.value().ok);
+    EXPECT_EQ(err_parsed.value().errorKind, "not-found");
+    EXPECT_EQ(err_parsed.value().message, err.message);
+
+    EXPECT_FALSE(parseServerReply("").ok());
+    EXPECT_FALSE(parseServerReply("ok bogus-tag x").ok());
+    EXPECT_FALSE(parseServerReply("maybe report x").ok());
+}
+
+TEST(UnixSocket, FramesCrossTheSocket)
+{
+    const std::string path = tempPath("sock");
+    ::unlink(path.c_str());
+    const int listen_fd = listenUnix(path);
+
+    std::thread server([listen_fd] {
+        const int fd = ::accept(listen_fd, nullptr, nullptr);
+        ASSERT_GE(fd, 0);
+        std::string payload;
+        while (readFrameFd(fd, payload))
+            writeFrameFd(fd, "echo " + payload);
+        ::close(fd);
+    });
+
+    const int fd = connectUnix(path);
+    writeFrameFd(fd, makeQueryFrame(sampleQuery()));
+    std::string reply;
+    ASSERT_TRUE(readFrameFd(fd, reply));
+    EXPECT_EQ(reply, "echo " + makeQueryFrame(sampleQuery()));
+    ::close(fd);
+    server.join();
+    ::close(listen_fd);
+    ::unlink(path.c_str());
+}
+
+// ------------------------------------------------------------ scheduler
+
+/** A cheap RandomCircuit engine + store + scheduler. */
+class SchedulerFixture : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        circuit = test::makeRandomCircuit(11, 8, 40, 12);
+        engine = std::make_unique<VulnerabilityEngine>(
+            *circuit.netlist, CellLibrary::defaultLibrary(),
+            *circuit.workload);
+        registry =
+            std::make_unique<StructureRegistry>(*circuit.netlist);
+        registry->add("Rnd", "rnd/");
+
+        storeDir = tempPath("sched");
+        std::filesystem::remove_all(storeDir);
+        store = std::make_unique<ResultStore>(
+            ResultStore::Options{.dir = storeDir, .memCapacity = 64});
+
+        QueryScheduler::Options options;
+        options.benchmark = "rnd";
+        options.threads = 2;
+        scheduler = std::make_unique<QueryScheduler>(
+            *engine, *registry, "test-fp", *store, options);
+    }
+
+    void
+    TearDown() override
+    {
+        std::filesystem::remove_all(storeDir);
+    }
+
+    QuerySpec
+    query() const
+    {
+        QuerySpec q;
+        q.structure = "Rnd";
+        q.delays = {0.3, 0.6};
+        q.sampling.maxInjectionCycles = 4;
+        q.sampling.seed = 7;
+        return q;
+    }
+
+    size_t
+    numShards(const QuerySpec &q) const
+    {
+        return q.delays.size()
+            * engine->injectionCycles(q.sampling).size();
+    }
+
+    test::RandomCircuit circuit;
+    std::unique_ptr<VulnerabilityEngine> engine;
+    std::unique_ptr<StructureRegistry> registry;
+    std::string storeDir;
+    std::unique_ptr<ResultStore> store;
+    std::unique_ptr<QueryScheduler> scheduler;
+};
+
+TEST_F(SchedulerFixture, ColdComputesWarmHitsByteIdentically)
+{
+    const QuerySpec q = query();
+    const size_t shards = numShards(q);
+    ASSERT_GT(shards, 0u);
+
+    auto cold = scheduler->run(q);
+    ASSERT_TRUE(cold.ok()) << cold.error().what();
+    EXPECT_EQ(cold.value().storeMisses, shards);
+    EXPECT_EQ(cold.value().storeHits, 0u);
+
+    auto warm = scheduler->run(q);
+    ASSERT_TRUE(warm.ok()) << warm.error().what();
+    EXPECT_EQ(warm.value().storeHits, shards);
+    EXPECT_EQ(warm.value().storeMisses, 0u);
+    EXPECT_EQ(warm.value().reportJson, cold.value().reportJson);
+
+    const SchedulerStats stats = scheduler->stats();
+    EXPECT_EQ(stats.queries, 2u);
+    EXPECT_EQ(stats.shardsComputed, shards);
+    EXPECT_EQ(stats.shardHits, shards);
+}
+
+TEST_F(SchedulerFixture, MatchesADirectEngineEvaluation)
+{
+    QuerySpec q = query();
+    q.runSavf = true;
+
+    auto reply = scheduler->run(q);
+    ASSERT_TRUE(reply.ok()) << reply.error().what();
+
+    // The expected report, computed straight on the engine with the
+    // same sampling (threads don't affect results).
+    SamplingConfig sampling = q.sampling;
+    sampling.threads = 1;
+    std::vector<ReportRow> rows;
+    for (double d : q.delays) {
+        ReportRow row;
+        row.kind = "davf";
+        row.benchmark = "rnd";
+        row.structure = "Rnd";
+        row.delayFraction = d;
+        row.davf =
+            engine->delayAvf(*registry->find("Rnd"), d, sampling);
+        rows.push_back(std::move(row));
+    }
+    ReportRow savf_row;
+    savf_row.kind = "savf";
+    savf_row.benchmark = "rnd";
+    savf_row.structure = "Rnd";
+    savf_row.savf = engine->savf(*registry->find("Rnd"), sampling);
+    rows.push_back(std::move(savf_row));
+
+    EXPECT_EQ(reply.value().reportJson, reportJson(rows));
+}
+
+TEST_F(SchedulerFixture, SavfShardIsCachedToo)
+{
+    QuerySpec q = query();
+    q.delays.clear();
+    q.runSavf = true;
+
+    auto cold = scheduler->run(q);
+    ASSERT_TRUE(cold.ok()) << cold.error().what();
+    EXPECT_EQ(cold.value().storeMisses, 1u);
+
+    auto warm = scheduler->run(q);
+    ASSERT_TRUE(warm.ok()) << warm.error().what();
+    EXPECT_EQ(warm.value().storeHits, 1u);
+    EXPECT_EQ(warm.value().reportJson, cold.value().reportJson);
+}
+
+TEST_F(SchedulerFixture, ConcurrentIdenticalQueriesComputeEachShardOnce)
+{
+    const QuerySpec q = query();
+    const size_t shards = numShards(q);
+
+    std::string bodies[2];
+    std::thread threads[2];
+    std::atomic<bool> failed{false};
+    for (int t = 0; t < 2; ++t) {
+        threads[t] = std::thread([&, t] {
+            auto reply = scheduler->run(q);
+            if (reply.ok())
+                bodies[t] = reply.value().reportJson;
+            else
+                failed = true;
+        });
+    }
+    threads[0].join();
+    threads[1].join();
+
+    ASSERT_FALSE(failed.load());
+    EXPECT_FALSE(bodies[0].empty());
+    EXPECT_EQ(bodies[0], bodies[1]);
+
+    // The in-flight dedupe: every shard was simulated exactly once;
+    // the other client's copies came from the store — either as plain
+    // hits or, when it raced the compute, as in-flight hits.
+    const SchedulerStats stats = scheduler->stats();
+    EXPECT_EQ(stats.shardsComputed, shards);
+    EXPECT_EQ(stats.shardHits + stats.inFlightHits
+                  + stats.shardsComputed,
+              2 * shards);
+}
+
+TEST_F(SchedulerFixture, AFreshSchedulerServesFromThePersistedStore)
+{
+    const QuerySpec q = query();
+    auto cold = scheduler->run(q);
+    ASSERT_TRUE(cold.ok()) << cold.error().what();
+
+    // New store + scheduler over the same directory and fingerprint:
+    // everything is a (disk) hit and the bytes match.
+    ResultStore fresh_store(
+        ResultStore::Options{.dir = storeDir, .memCapacity = 64});
+    QueryScheduler::Options options;
+    options.benchmark = "rnd";
+    options.threads = 2;
+    QueryScheduler fresh(*engine, *registry, "test-fp", fresh_store,
+                         options);
+    auto warm = fresh.run(q);
+    ASSERT_TRUE(warm.ok()) << warm.error().what();
+    EXPECT_EQ(warm.value().storeHits, numShards(q));
+    EXPECT_EQ(warm.value().reportJson, cold.value().reportJson);
+    EXPECT_GT(fresh_store.stats().diskHits, 0u);
+}
+
+TEST_F(SchedulerFixture, ADifferentFingerprintMissesTheStore)
+{
+    const QuerySpec q = query();
+    ASSERT_TRUE(scheduler->run(q).ok());
+
+    QueryScheduler::Options options;
+    options.benchmark = "rnd";
+    QueryScheduler other(*engine, *registry, "other-fp", *store,
+                         options);
+    auto reply = other.run(q);
+    ASSERT_TRUE(reply.ok());
+    EXPECT_EQ(reply.value().storeHits, 0u);
+    EXPECT_EQ(reply.value().storeMisses, numShards(q));
+}
+
+TEST_F(SchedulerFixture, CorruptRecordIsRecomputedAndRepaired)
+{
+    const QuerySpec q = query();
+    auto cold = scheduler->run(q);
+    ASSERT_TRUE(cold.ok());
+
+    // Damage one shard record on disk and drop the memory tier by
+    // using a fresh store over the same directory.
+    ShardSpec spec;
+    spec.kind = ShardSpec::Kind::Cycle;
+    spec.structure = q.structure;
+    spec.delayFraction = q.delays[0];
+    spec.cycle = engine->injectionCycles(q.sampling)[0];
+    spec.sampling = q.sampling;
+    ResultStore fresh_store(
+        ResultStore::Options{.dir = storeDir, .memCapacity = 64});
+    QueryScheduler::Options options;
+    options.benchmark = "rnd";
+    options.threads = 2;
+    QueryScheduler fresh(*engine, *registry, "test-fp", fresh_store,
+                         options);
+    const std::string path =
+        fresh_store.recordPath(fresh.shardKey(spec));
+    ASSERT_FALSE(path.empty());
+    std::ofstream(path, std::ios::binary) << "davf-store v1\nkey trunc";
+
+    auto warm = fresh.run(q);
+    ASSERT_TRUE(warm.ok()) << warm.error().what();
+    EXPECT_EQ(warm.value().storeMisses, 1u);
+    EXPECT_EQ(warm.value().storeHits, numShards(q) - 1);
+    EXPECT_EQ(warm.value().reportJson, cold.value().reportJson);
+    // >= 1: the double-checked miss path may read (and tally) the
+    // damaged record again under the compute lock before repairing it.
+    EXPECT_GE(fresh_store.stats().corruptRecords, 1u);
+
+    // The rewrite repaired the record: a second pass is all hits.
+    auto repaired = fresh.run(q);
+    ASSERT_TRUE(repaired.ok());
+    EXPECT_EQ(repaired.value().storeHits, numShards(q));
+}
+
+TEST_F(SchedulerFixture, UnknownStructureIsNotFound)
+{
+    QuerySpec q = query();
+    q.structure = "Bogus";
+    auto reply = scheduler->run(q);
+    ASSERT_FALSE(reply.ok());
+    EXPECT_EQ(reply.error().kind(), ErrorKind::NotFound);
+}
+
+TEST_F(SchedulerFixture, CancelStopsTheQuery)
+{
+    const std::atomic<bool> cancel{true};
+    auto reply = scheduler->run(query(), &cancel);
+    ASSERT_FALSE(reply.ok());
+    EXPECT_EQ(reply.error().kind(), ErrorKind::Timeout);
+    EXPECT_GE(scheduler->stats().cancelled, 1u);
+}
+
+TEST_F(SchedulerFixture, StatsJsonCarriesTheCounters)
+{
+    ASSERT_TRUE(scheduler->run(query()).ok());
+    const std::string json = scheduler->statsJson();
+    EXPECT_NE(json.find("\"queries\":1"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"shards_computed\":"), std::string::npos);
+    EXPECT_NE(json.find("\"store\":{"), std::string::npos);
+    EXPECT_NE(json.find("\"latency_ms\":{"), std::string::npos);
+}
+
+TEST_F(SchedulerFixture, ShardKeyEmbedsTheFingerprint)
+{
+    ShardSpec spec;
+    spec.structure = "Rnd";
+    const std::string key = scheduler->shardKey(spec);
+    EXPECT_EQ(key.rfind("test-fp ", 0), 0u) << key;
+}
+
+// ----------------------------------------------------- report emitters
+
+TEST(ReportJson, RowsCarryTheKindDiscriminator)
+{
+    ReportRow davf_row;
+    davf_row.kind = "davf";
+    davf_row.benchmark = "md5";
+    davf_row.structure = "ALU";
+    davf_row.delayFraction = 0.5;
+    ReportRow savf_row;
+    savf_row.kind = "savf";
+    savf_row.benchmark = "md5";
+    savf_row.structure = "ALU";
+
+    const std::string json = reportJson({davf_row, savf_row});
+    EXPECT_EQ(json.rfind("{\"schema\":\"davf-report/v1\",\"results\":[",
+                         0),
+              0u)
+        << json;
+    EXPECT_NE(json.find("{\"kind\":\"davf\",\"benchmark\":\"md5\""),
+              std::string::npos);
+    EXPECT_NE(json.find("{\"kind\":\"savf\",\"benchmark\":\"md5\""),
+              std::string::npos);
+    // Deterministic: equal rows, equal bytes.
+    EXPECT_EQ(json, reportJson({davf_row, savf_row}));
+}
+
+} // namespace
+} // namespace davf::service

@@ -56,10 +56,89 @@ isolation_smoke() {
     echo "=== isolation smoke ok ($quarantined quarantined)" >&2
 }
 
+# Serve smoke: start davf_serve with a persistent store, issue the
+# same query twice and then from two concurrent clients, and require
+# (a) every reply byte-identical, (b) the reply byte-identical to a
+# cold `davf_run --json` of the same query (the cache-identity
+# guarantee, docs/SERVICE.md), and (c) a non-zero store hit count in
+# the server stats. Runs under both configs so the socket/framing and
+# scheduler paths get sanitizer coverage.
+serve_smoke() {
+    build_dir="$1"
+    smoke_dir="$build_dir/serve-smoke"
+    rm -rf "$smoke_dir"
+    mkdir -p "$smoke_dir"
+    echo "=== serve smoke $build_dir" >&2
+    sock="$smoke_dir/davf.sock"
+
+    "$build_dir/tools/davf_serve" --socket "$sock" \
+        --store-dir "$smoke_dir/store" --benchmark popcount \
+        2> "$smoke_dir/serve.log" &
+    serve_pid=$!
+    trap 'kill "$serve_pid" 2>/dev/null || true' EXIT
+
+    # The server binds the socket only once the workspace is built.
+    waited=0
+    while [ ! -S "$sock" ]; do
+        if ! kill -0 "$serve_pid" 2>/dev/null; then
+            echo "serve smoke: server died during startup" >&2
+            cat "$smoke_dir/serve.log" >&2
+            exit 1
+        fi
+        if [ "$waited" -ge 300 ]; then
+            echo "serve smoke: server never bound $sock" >&2
+            exit 1
+        fi
+        sleep 1
+        waited=$((waited + 1))
+    done
+
+    query() {
+        "$build_dir/tools/davf_client" --socket "$sock" \
+            --benchmark popcount --structure ALU --delays 0.5:0.9:0.4 \
+            --cycles 2 --wires 12 2>> "$smoke_dir/client.log"
+    }
+    query > "$smoke_dir/cold.json"
+    query > "$smoke_dir/warm.json"
+    query > "$smoke_dir/conc1.json" &
+    pid1=$!
+    query > "$smoke_dir/conc2.json" &
+    pid2=$!
+    wait "$pid1" "$pid2"
+
+    "$build_dir/tools/davf_run" --json \
+        --benchmark popcount --structure ALU --delays 0.5:0.9:0.4 \
+        --cycles 2 --wires 12 > "$smoke_dir/run.json"
+
+    for f in warm.json conc1.json conc2.json run.json; do
+        if ! cmp -s "$smoke_dir/cold.json" "$smoke_dir/$f"; then
+            echo "serve smoke: $f differs from cold.json" >&2
+            exit 1
+        fi
+    done
+
+    "$build_dir/tools/davf_client" --socket "$sock" --stats \
+        > "$smoke_dir/stats.json" 2>> "$smoke_dir/client.log"
+    hits=$(sed -n 's/.*"shard_hits":\([0-9]*\).*/\1/p' \
+        "$smoke_dir/stats.json")
+    if [ -z "$hits" ] || [ "$hits" -eq 0 ]; then
+        echo "serve smoke: expected store hits, stats were:" >&2
+        cat "$smoke_dir/stats.json" >&2
+        exit 1
+    fi
+
+    kill "$serve_pid" 2>/dev/null || true
+    wait "$serve_pid" 2>/dev/null || true
+    trap - EXIT
+    echo "=== serve smoke ok ($hits shard hits)" >&2
+}
+
 run_config "$root/build-ci-release" -DCMAKE_BUILD_TYPE=Release
 isolation_smoke "$root/build-ci-release"
+serve_smoke "$root/build-ci-release"
 run_config "$root/build-ci-asan" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DDAVF_SANITIZE=address,undefined
 isolation_smoke "$root/build-ci-asan"
+serve_smoke "$root/build-ci-asan"
 
 echo "=== ci_check: all configurations passed" >&2

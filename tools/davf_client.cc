@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Client for the davf_serve query service (see docs/SERVICE.md).
+ *
+ * Sends one query (or one stats request) over the server's Unix-domain
+ * socket and prints the reply body — a single line of report JSON that
+ * is byte-identical to what `davf_run --json` prints for the same
+ * query when the server computes (or has cached) the same workspace.
+ *
+ * Usage:
+ *   davf_client --socket PATH [options]
+ *     --socket PATH        server socket (required)
+ *     --stats              request server statistics instead of a query
+ *     --benchmark NAME     workload (default libstrstr)
+ *     --ecc                query the ECC-regfile workspace
+ *     --sta-period         query the STA-clock workspace
+ *     --structure NAME     structure (default ALU)
+ *     --delays LO:HI:STEP  delay fractions (default 0.1:0.9:0.2)
+ *     --savf               also request particle-strike sAVF
+ *     --cycles N           injection cycles (default 8)
+ *     --wires N            wire sample, 0 = all (default 400)
+ *     --flops N            flop sample for sAVF, 0 = all (default 96)
+ *     --seed N             sampling seed (default 1)
+ *     --timeout-ms X       per-injection wall-clock budget (0 = none)
+ *     --max-failure-rate X abandon a cell past this failure fraction
+ *                          (default 0.05)
+ *
+ * Exit status: 0 on an ok reply, 1 on a server-reported error. The
+ * round-trip wall time is printed to stderr.
+ */
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "service/protocol.hh"
+#include "util/logging.hh"
+#include "util/subprocess.hh"
+
+using namespace davf;
+using namespace davf::service;
+
+namespace {
+
+struct Options
+{
+    std::string socket_path;
+    bool stats = false;
+    QuerySpec query;
+    double delay_lo = 0.1;
+    double delay_hi = 0.9;
+    double delay_step = 0.2;
+};
+
+[[noreturn]] void
+usageError(const char *argv0, const std::string &detail)
+{
+    std::fprintf(stderr,
+                 "usage: %s --socket PATH [--stats] [--benchmark N] "
+                 "[--ecc]\n"
+                 "          [--sta-period] [--structure N] "
+                 "[--delays LO:HI:STEP] [--savf]\n"
+                 "          [--cycles N] [--wires N] [--flops N] "
+                 "[--seed N]\n"
+                 "          [--timeout-ms X] [--max-failure-rate X]\n",
+                 argv0);
+    std::fprintf(stderr, "error: %s\n", detail.c_str());
+    std::exit(2);
+}
+
+uint64_t
+parseU64(const char *argv0, const std::string &flag, const char *text)
+{
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long value = std::strtoull(text, &end, 10);
+    if (errno != 0 || end == text || *end != '\0') {
+        usageError(argv0, flag + " expects a non-negative integer, got '"
+                              + text + "'");
+    }
+    return static_cast<uint64_t>(value);
+}
+
+double
+parseDouble(const char *argv0, const std::string &flag, const char *text)
+{
+    errno = 0;
+    char *end = nullptr;
+    const double value = std::strtod(text, &end);
+    if (errno != 0 || end == text || *end != '\0') {
+        usageError(argv0, flag + " expects a number, got '"
+                              + std::string(text) + "'");
+    }
+    return value;
+}
+
+void
+parseDelays(const char *argv0, const char *spec, Options &opts)
+{
+    const std::string text = spec;
+    const size_t first = text.find(':');
+    const size_t second =
+        first == std::string::npos ? first : text.find(':', first + 1);
+    if (first == std::string::npos || second == std::string::npos
+        || text.find(':', second + 1) != std::string::npos) {
+        usageError(argv0, "--delays expects LO:HI:STEP, got '" + text
+                              + "'");
+    }
+    opts.delay_lo = parseDouble(argv0, "--delays LO",
+                                text.substr(0, first).c_str());
+    opts.delay_hi = parseDouble(
+        argv0, "--delays HI",
+        text.substr(first + 1, second - first - 1).c_str());
+    opts.delay_step = parseDouble(argv0, "--delays STEP",
+                                  text.substr(second + 1).c_str());
+    if (opts.delay_lo > opts.delay_hi)
+        usageError(argv0, "--delays range is inverted: " + text);
+    if (opts.delay_lo < 0.0 || opts.delay_hi > 1.0)
+        usageError(argv0, "--delays fractions must lie in [0, 1]: " + text);
+    if (!(opts.delay_step > 0.0))
+        usageError(argv0, "--delays STEP must be > 0: " + text);
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options opts;
+    opts.query.sampling.maxInjectionCycles = 8;
+    opts.query.sampling.maxWires = 400;
+    opts.query.sampling.maxFlops = 96;
+    opts.query.sampling.maxFailureRate = 0.05;
+
+    auto need = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            usageError(argv[0], std::string(argv[i]) + " expects a value");
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--socket") {
+            opts.socket_path = need(i);
+        } else if (arg == "--stats") {
+            opts.stats = true;
+        } else if (arg == "--benchmark") {
+            opts.query.workspace.benchmark = need(i);
+        } else if (arg == "--ecc") {
+            opts.query.workspace.ecc = true;
+        } else if (arg == "--sta-period") {
+            opts.query.workspace.staPeriod = true;
+        } else if (arg == "--structure") {
+            opts.query.structure = need(i);
+        } else if (arg == "--delays") {
+            parseDelays(argv[0], need(i), opts);
+        } else if (arg == "--savf") {
+            opts.query.runSavf = true;
+        } else if (arg == "--cycles") {
+            opts.query.sampling.maxInjectionCycles =
+                static_cast<unsigned>(parseU64(argv[0], arg, need(i)));
+        } else if (arg == "--wires") {
+            opts.query.sampling.maxWires =
+                static_cast<size_t>(parseU64(argv[0], arg, need(i)));
+        } else if (arg == "--flops") {
+            opts.query.sampling.maxFlops =
+                static_cast<size_t>(parseU64(argv[0], arg, need(i)));
+        } else if (arg == "--seed") {
+            opts.query.sampling.seed = parseU64(argv[0], arg, need(i));
+        } else if (arg == "--timeout-ms") {
+            opts.query.sampling.injectionTimeoutMs =
+                parseDouble(argv[0], arg, need(i));
+            if (opts.query.sampling.injectionTimeoutMs < 0.0)
+                usageError(argv[0], "--timeout-ms must be >= 0");
+        } else if (arg == "--max-failure-rate") {
+            opts.query.sampling.maxFailureRate =
+                parseDouble(argv[0], arg, need(i));
+            if (opts.query.sampling.maxFailureRate < 0.0
+                || opts.query.sampling.maxFailureRate > 1.0) {
+                usageError(argv[0],
+                           "--max-failure-rate must lie in [0, 1]");
+            }
+        } else {
+            usageError(argv[0], "unknown flag '" + arg + "'");
+        }
+    }
+    if (opts.socket_path.empty())
+        usageError(argv[0], "--socket is required");
+
+    // The same range expansion davf_run uses, so a query names the
+    // exact delay values a CLI sweep would evaluate.
+    for (double d = opts.delay_lo; d <= opts.delay_hi + 1e-9;
+         d += opts.delay_step) {
+        opts.query.delays.push_back(d);
+    }
+    return opts;
+}
+
+int
+runTool(int argc, char **argv)
+{
+    const Options opts = parse(argc, argv);
+
+    const int fd = connectUnix(opts.socket_path);
+    const auto start = std::chrono::steady_clock::now();
+    writeFrameFd(fd, opts.stats ? std::string("stats")
+                                : makeQueryFrame(opts.query));
+
+    std::string payload;
+    if (!readFrameFd(fd, payload)) {
+        ::close(fd);
+        davf_throw(ErrorKind::Io,
+                   "server closed the connection before replying");
+    }
+    const double elapsed_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    ::close(fd);
+
+    Result<ServerReply> reply = parseServerReply(payload);
+    if (!reply)
+        throw reply.error();
+    std::fprintf(stderr, "reply in %.1f ms\n", elapsed_ms);
+    if (!reply.value().ok) {
+        std::fprintf(stderr, "server error [%s]: %s\n",
+                     reply.value().errorKind.c_str(),
+                     reply.value().message.c_str());
+        return 1;
+    }
+    std::printf("%s\n", reply.value().body.c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return guardedMain([&] { return runTool(argc, argv); });
+}

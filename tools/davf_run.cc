@@ -28,6 +28,10 @@
  *     --savf               also run particle-strike sAVF on the structure
  *     --sta-period         use the STA longest path as the clock (default:
  *                          observed-max timing-closure emulation)
+ *     --json               print the structured report (core/report
+ *                          reportJson) instead of the human tables; the
+ *                          line is byte-identical to a davf_serve reply
+ *                          for the same query
  *     --csv FILE           write results as CSV (atomic rewrite)
  *     --checkpoint FILE    journal campaign progress to FILE
  *     --resume FILE        resume the campaign journaled in FILE
@@ -68,11 +72,10 @@
 #include "campaign/campaign.hh"
 #include "campaign/stop.hh"
 #include "campaign/supervisor.hh"
+#include "core/report.hh"
 #include "core/vulnerability.hh"
-#include "isa/assembler.hh"
 #include "isa/benchmarks.hh"
-#include "soc/ibex_mini.hh"
-#include "soc/soc_workload.hh"
+#include "service/workspace.hh"
 #include "util/logging.hh"
 
 using namespace davf;
@@ -89,6 +92,7 @@ struct Options
     bool ecc = false;
     bool run_savf = false;
     bool sta_period = false;
+    bool json = false;
     SamplingConfig sampling;
     double timeout_ms = 0.0;
     double max_failure_rate = 0.05;
@@ -116,7 +120,7 @@ printUsage(const char *argv0)
                  "          [--ecc] [--cycles N] [--wires N] [--flops N]"
                  " [--seed N]\n"
                  "          [--threads N] [--savf] [--sta-period] "
-                 "[--csv FILE]\n"
+                 "[--json] [--csv FILE]\n"
                  "          [--checkpoint FILE] [--resume FILE] "
                  "[--timeout-ms X]\n"
                  "          [--max-failure-rate X] "
@@ -240,6 +244,8 @@ parse(int argc, char **argv)
             opts.run_savf = true;
         } else if (arg == "--sta-period") {
             opts.sta_period = true;
+        } else if (arg == "--json") {
+            opts.json = true;
         } else if (arg == "--cycles") {
             opts.sampling.maxInjectionCycles =
                 static_cast<unsigned>(parseU64(argv[0], arg, need(i)));
@@ -333,29 +339,24 @@ runTool(int argc, char **argv)
 {
     const Options opts = parse(argc, argv);
 
-    const BenchmarkProgram &program = beebsBenchmark(opts.benchmark);
-    IbexMiniConfig soc_config;
-    soc_config.eccRegfile = opts.ecc;
+    // The shared Workspace loader performs the whole expensive setup —
+    // assemble, SoC build, golden capture — identically to davf_serve
+    // and the bench harnesses (see src/service/workspace.hh).
+    service::WorkspaceSpec ws_spec;
+    ws_spec.benchmark = opts.benchmark;
+    ws_spec.ecc = opts.ecc;
+    ws_spec.staPeriod = opts.sta_period;
     std::fprintf(stderr, "building IbexMini (%s regfile), assembling "
-                 "%s...\n",
+                 "%s, running golden capture...\n",
                  opts.ecc ? "ECC" : "plain", opts.benchmark.c_str());
-    IbexMini soc(soc_config, assemble(program.source));
+    service::Workspace workspace(ws_spec);
 
-    if (!soc.structures().find(opts.structure)) {
+    if (!workspace.structures().find(opts.structure)) {
         usageError(argv[0], "--structure: unknown structure '"
                                 + opts.structure + "' (try --list)");
     }
 
-    SocWorkload workload(soc);
-    EngineOptions engine_options;
-    if (!opts.sta_period) {
-        engine_options.periodMode =
-            EngineOptions::PeriodMode::ObservedMaxPlusMargin;
-    }
-    std::fprintf(stderr, "running golden capture...\n");
-    VulnerabilityEngine engine(soc.netlist(),
-                               CellLibrary::defaultLibrary(), workload,
-                               engine_options);
+    VulnerabilityEngine &engine = workspace.engine();
     std::fprintf(stderr,
                  "golden: %llu cycles, clock period %.1f ps\n\n",
                  static_cast<unsigned long long>(engine.goldenCycles()),
@@ -364,7 +365,7 @@ runTool(int argc, char **argv)
     // Hidden worker mode: same engine build as above, then serve shard
     // requests from the supervising campaign over stdin/stdout.
     if (opts.worker_shard)
-        return runCampaignWorker(engine, soc.structures());
+        return runCampaignWorker(engine, workspace.structures());
 
     CampaignOptions campaign_options;
     campaign_options.benchmark = opts.benchmark;
@@ -401,8 +402,42 @@ runTool(int argc, char **argv)
         sup.metricsCsvPath = opts.shard_metrics_csv;
     }
 
-    Campaign campaign(engine, soc.structures(), campaign_options);
+    Campaign campaign(engine, workspace.structures(), campaign_options);
     const CampaignSummary summary = campaign.run();
+
+    if (opts.json) {
+        // The structured report: the same rows, in the same order, as a
+        // davf_serve reply for this query (davf rows per delay, then
+        // the sAVF row), so the two outputs compare byte-for-byte.
+        std::vector<ReportRow> rows;
+        for (const CampaignCellResult &cell : summary.cells) {
+            if (cell.key.kind != "davf" || cell.failed)
+                continue;
+            ReportRow row;
+            row.kind = "davf";
+            row.benchmark = opts.benchmark;
+            row.structure =
+                opts.structure + campaign_options.structureLabel;
+            row.delayFraction = cell.delay;
+            row.davf = cell.davf;
+            rows.push_back(std::move(row));
+        }
+        for (const CampaignCellResult &cell : summary.cells) {
+            if (cell.key.kind != "savf" || cell.failed)
+                continue;
+            ReportRow row;
+            row.kind = "savf";
+            row.benchmark = opts.benchmark;
+            row.structure =
+                opts.structure + campaign_options.structureLabel;
+            row.savf = cell.savf;
+            rows.push_back(std::move(row));
+        }
+        std::printf("%s\n", reportJson(rows).c_str());
+        if (summary.interrupted)
+            return 130;
+        return summary.cellsFailed > 0 ? 3 : 0;
+    }
 
     std::printf("%-8s%12s%12s%10s%10s%8s%8s%9s\n", "d", "DelayAVF",
                 "OrDelayAVF", "static", "dynamic", "SDC", "DUE",
