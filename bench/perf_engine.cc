@@ -4,16 +4,33 @@
  * cycle-simulation throughput on the full core, single-cycle
  * timing-aware simulation, per-wire cone re-simulation, STA
  * statically-reachable queries, and snapshot/restore — the primitives
- * whose costs the two-step method (§V-B/V-C) is designed around.
+ * whose costs the two-step method (§V-B/V-C) is designed around — plus
+ * the end-to-end GroupACE sweep comparison between the scalar and the
+ * bit-parallel continuation paths (docs/PERFORMANCE.md).
+ *
+ * When the DAVF_BENCH_JSON environment variable names a file and both
+ * BM_GroupAceAluSweep variants ran (e.g.
+ * `--benchmark_filter=GroupAceAluSweep`), the measured speedup and the
+ * sweep's davf-report/v1 rows are written there as one JSON object —
+ * the BENCH_groupace.json artifact tools/ci_check.sh tracks. The two
+ * sweeps must serialize to identical bytes; a mismatch fails the run.
  */
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
 
 #include "isa/assembler.hh"
 #include "isa/benchmarks.hh"
 #include "soc/ibex_mini.hh"
 #include "soc/soc_workload.hh"
+#include "bench/common.hh"
+#include "core/report.hh"
 #include "core/vulnerability.hh"
+#include "util/atomic_file.hh"
 
 using namespace davf;
 
@@ -141,6 +158,146 @@ BM_SoCBuild(benchmark::State &state)
 }
 BENCHMARK(BM_SoCBuild);
 
+/** Fixture for the end-to-end sweep: core + engine, built once. */
+struct EngineRig
+{
+    IbexMini soc;
+    SocWorkload workload;
+    VulnerabilityEngine engine;
+
+    EngineRig()
+        : soc({}, assemble(beebsBenchmark("popcount").source)),
+          workload(soc),
+          engine(soc.netlist(), CellLibrary::defaultLibrary(), workload)
+    {}
+
+    static EngineRig &
+    instance()
+    {
+        static EngineRig rig;
+        return rig;
+    }
+};
+
+/** Best time and report bytes of each sweep flavor ([0]=scalar). */
+struct SweepCapture
+{
+    double seconds = 0.0;
+    std::string json;
+};
+SweepCapture g_sweep[2];
+
+/**
+ * The paper's dominant cost, end to end: a full ALU DelayAVF sweep over
+ * the case study's nine SDF durations on popcount, with the GroupACE
+ * continuations on the scalar path (Arg 0) or batched onto the 64-lane
+ * vector path (Arg 1). Both must produce byte-identical reports; the
+ * ratio of their times is the headline speedup in BENCH_groupace.json.
+ */
+void
+BM_GroupAceAluSweep(benchmark::State &state)
+{
+    const bool vectorize = state.range(0) != 0;
+    EngineRig &rig = EngineRig::instance();
+    const Structure *alu = rig.soc.structures().find("ALU");
+    const SamplingConfig config = bench::BenchLab::sampling();
+    rig.engine.setVectorMode(vectorize);
+
+    for (auto _ : state) {
+        std::vector<ReportRow> rows;
+        const auto start = std::chrono::steady_clock::now();
+        for (double d : bench::kDelayFractions) {
+            ReportRow row;
+            row.benchmark = "popcount";
+            row.structure = "ALU";
+            row.delayFraction = d;
+            row.davf = rig.engine.delayAvf(*alu, d, config);
+            rows.push_back(std::move(row));
+        }
+        const double seconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        SweepCapture &capture = g_sweep[vectorize ? 1 : 0];
+        if (capture.seconds == 0.0 || seconds < capture.seconds)
+            capture.seconds = seconds;
+        capture.json = reportJson(rows);
+    }
+
+    state.counters["delays"] =
+        static_cast<double>(bench::kDelayFractions.size());
+    if (g_sweep[0].seconds > 0.0 && g_sweep[1].seconds > 0.0)
+        state.counters["speedup"] =
+            g_sweep[0].seconds / g_sweep[1].seconds;
+}
+BENCHMARK(BM_GroupAceAluSweep)
+    ->Arg(1)
+    ->Arg(0)
+    ->Iterations(1)
+    ->Unit(benchmark::kSecond);
+
+/**
+ * Write the DAVF_BENCH_JSON artifact once both sweep flavors ran.
+ * Returns false (failing the binary) if their reports differ by even
+ * one byte — the vector path is only legal while bit-identical.
+ */
+bool
+writeGroupAceArtifact()
+{
+    if (g_sweep[0].json.empty() || g_sweep[1].json.empty())
+        return true; // Sweeps filtered out: nothing to record.
+    const bool identical = g_sweep[0].json == g_sweep[1].json;
+    if (!identical) {
+        std::fprintf(stderr,
+                     "GroupACE sweep: vector report differs from "
+                     "scalar report (bit-identity violated)\n");
+    }
+    const double speedup = g_sweep[1].seconds > 0.0
+        ? g_sweep[0].seconds / g_sweep[1].seconds
+        : 0.0;
+    std::fprintf(stderr,
+                 "GroupACE ALU sweep: scalar %.2fs, vector %.2fs, "
+                 "speedup %.2fx, reports %s\n",
+                 g_sweep[0].seconds, g_sweep[1].seconds, speedup,
+                 identical ? "bit-identical" : "DIFFER");
+
+    const char *path = std::getenv("DAVF_BENCH_JSON");
+    if (path != nullptr && *path != '\0') {
+        char head[512];
+        std::snprintf(head, sizeof(head),
+                      "{\"schema\":\"davf-bench-groupace/v1\","
+                      "\"benchmark\":\"popcount\","
+                      "\"structure\":\"ALU\","
+                      "\"delays\":%zu,"
+                      "\"seconds_scalar\":%.3f,"
+                      "\"seconds_vector\":%.3f,"
+                      "\"speedup\":%.3f,"
+                      "\"bit_identical\":%s,"
+                      "\"report\":",
+                      bench::kDelayFractions.size(), g_sweep[0].seconds,
+                      g_sweep[1].seconds, speedup,
+                      identical ? "true" : "false");
+        try {
+            writeFileAtomic(path,
+                            std::string(head) + g_sweep[1].json + "}\n");
+        } catch (const DavfError &error) {
+            std::fprintf(stderr, "DAVF_BENCH_JSON write failed: %s\n",
+                         error.what());
+            return false;
+        }
+    }
+    return identical;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return writeGroupAceArtifact() ? 0 : 1;
+}

@@ -75,6 +75,18 @@ struct CampaignOptions
     /** Per-injection wall-clock budget in ms (0 = unlimited). */
     double injectionTimeoutMs = 0.0;
 
+    /**
+     * Batch faulty continuations on the engine's bit-parallel vector
+     * path (docs/PERFORMANCE.md). Purely operational — vector and
+     * scalar runs produce bit-identical results — so, like the thread
+     * count, it is excluded from campaignConfigHash() and may change
+     * across a resume.
+     */
+    bool vectorize = true;
+
+    /** Lanes per vector batch (2..64). */
+    unsigned vectorLanes = 64;
+
     /** Failed-injection fraction beyond which a cell is abandoned. */
     double maxFailureRate = 0.05;
 

@@ -49,11 +49,31 @@ TraceSinkModel::restore(const std::vector<uint64_t> &data)
         log[i] = static_cast<uint32_t>(data[i + 1]);
 }
 
+bool
+Workload::done(const VecSimulator &, unsigned) const
+{
+    davf_panic("workload is not vectorizable");
+}
+
+std::vector<uint32_t>
+Workload::outputTrace(const VecSimulator &, unsigned) const
+{
+    davf_panic("workload is not vectorizable");
+}
+
 std::vector<uint32_t>
 TraceWorkload::outputTrace(const CycleSimulator &sim) const
 {
     const auto &sink =
         static_cast<const TraceSinkModel &>(sim.behavModel(sinkCell));
+    return sink.trace();
+}
+
+std::vector<uint32_t>
+TraceWorkload::outputTrace(const VecSimulator &sim, unsigned lane) const
+{
+    const auto &sink = static_cast<const TraceSinkModel &>(
+        sim.behavModel(sinkCell, lane));
     return sink.trace();
 }
 

@@ -22,6 +22,7 @@
 
 #include "netlist/behavioral.hh"
 #include "sim/cycle_sim.hh"
+#include "sim/vec_sim.hh"
 
 namespace davf {
 
@@ -47,6 +48,35 @@ class Workload
 
     /** Upper bound on golden-run length (fatal if exceeded). */
     virtual uint64_t maxGoldenCycles() const { return 1u << 20; }
+
+    /**
+     * @name Per-lane observation (the engine's bit-parallel path)
+     *
+     * The same three observations, applied to one lane of a
+     * VecSimulator (via the lane's private behavioral clones). A
+     * workload that cannot observe individual lanes keeps the default
+     * vectorizable() == false, and the engine runs every faulty
+     * continuation on the scalar path instead.
+     */
+    /// @{
+
+    /** Whether the per-lane observation overloads are implemented. */
+    virtual bool vectorizable() const { return false; }
+
+    /** Per-lane done(); panics unless vectorizable(). */
+    virtual bool done(const VecSimulator &sim, unsigned lane) const;
+
+    /** Per-lane outputTrace(); panics unless vectorizable(). */
+    virtual std::vector<uint32_t>
+    outputTrace(const VecSimulator &sim, unsigned lane) const;
+
+    /** Per-lane archHash(); 0 if all state is in flops. */
+    virtual uint64_t archHash(const VecSimulator &, unsigned) const
+    {
+        return 0;
+    }
+
+    /// @}
 };
 
 /**
@@ -106,6 +136,17 @@ class TraceWorkload : public Workload
     outputTrace(const CycleSimulator &sim) const override;
 
     uint64_t maxGoldenCycles() const override { return numCycles + 1; }
+
+    bool vectorizable() const override { return true; }
+
+    bool
+    done(const VecSimulator &sim, unsigned) const override
+    {
+        return sim.cycle() >= numCycles;
+    }
+
+    std::vector<uint32_t>
+    outputTrace(const VecSimulator &sim, unsigned lane) const override;
 
   private:
     CellId sinkCell;

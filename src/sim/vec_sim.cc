@@ -1,0 +1,283 @@
+#include "vec_sim.hh"
+
+#include "util/logging.hh"
+
+namespace davf {
+
+namespace {
+
+/** Broadcast a scalar 0/1 byte to a full lane word. */
+inline uint64_t
+broadcast(uint8_t value)
+{
+    return value ? ~uint64_t{0} : 0;
+}
+
+} // namespace
+
+VecSimulator::VecSimulator(const Netlist &netlist, unsigned max_lanes)
+    : nl(&netlist), laneCap(max_lanes), laneCount(max_lanes)
+{
+    davf_assert(netlist.finalized(), "simulator requires finalize()");
+    davf_assert(max_lanes >= 2 && max_lanes <= kMaxLanes,
+                "lane count ", max_lanes, " outside [2, ", kMaxLanes,
+                "]");
+    netWords.assign(netlist.numNets(), 0);
+    sampledWords.assign(netlist.numStateElems(), 0);
+
+    for (CellId id : netlist.seqCells()) {
+        if (netlist.cell(id).type != CellType::Behav)
+            continue;
+        std::vector<BehavioralModelPtr> clones;
+        clones.reserve(laneCap);
+        for (unsigned lane = 0; lane < laneCap; ++lane)
+            clones.push_back(netlist.behavModel(id)->clone());
+        models.emplace(id, std::move(clones));
+    }
+
+    combProgram.reserve(netlist.topoOrder().size());
+    for (CellId id : netlist.topoOrder()) {
+        const Cell &cell = netlist.cell(id);
+        CombOp op;
+        op.type = cell.type;
+        op.in0 = cell.inputs[0];
+        op.in1 = cell.inputs.size() > 1 ? cell.inputs[1] : cell.inputs[0];
+        op.in2 = cell.inputs.size() > 2 ? cell.inputs[2] : cell.inputs[0];
+        op.out = cell.outputs[0];
+        combProgram.push_back(op);
+    }
+
+    reset();
+}
+
+void
+VecSimulator::reset()
+{
+    const Netlist &netlist = *nl;
+    std::fill(netWords.begin(), netWords.end(), 0);
+    laneCount = laneCap;
+
+    for (CellId id = 0; id < netlist.numCells(); ++id) {
+        const Cell &cell = netlist.cell(id);
+        switch (cell.type) {
+          case CellType::Const1:
+            netWords[cell.outputs[0]] = ~uint64_t{0};
+            break;
+          case CellType::Dff:
+          case CellType::Dffe:
+            netWords[cell.outputs[0]] = broadcast(cell.resetValue);
+            break;
+          case CellType::Behav: {
+            std::vector<BehavioralModelPtr> &clones = models.at(id);
+            for (unsigned lane = 0; lane < laneCap; ++lane) {
+                behavOut.assign(cell.outputs.size(), false);
+                clones[lane]->reset(behavOut);
+                for (size_t pin = 0; pin < cell.outputs.size(); ++pin) {
+                    const uint64_t bit = uint64_t{1} << lane;
+                    if (behavOut[pin])
+                        netWords[cell.outputs[pin]] |= bit;
+                    else
+                        netWords[cell.outputs[pin]] &= ~bit;
+                }
+            }
+            break;
+          }
+          default:
+            break;
+        }
+    }
+
+    cycleCount = 0;
+    evalComb();
+}
+
+void
+VecSimulator::seed(const CycleSimulator::Snapshot &snap,
+                   unsigned num_lanes)
+{
+    davf_assert(snap.netValues.size() == netWords.size(),
+                "snapshot from a different netlist");
+    davf_assert(num_lanes >= 1 && num_lanes <= laneCap,
+                "seed lane count ", num_lanes, " outside [1, ", laneCap,
+                "]");
+    laneCount = num_lanes;
+    for (size_t i = 0; i < netWords.size(); ++i)
+        netWords[i] = broadcast(snap.netValues[i]);
+    cycleCount = snap.cycle;
+
+    size_t behav_index = 0;
+    for (CellId id : nl->seqCells()) {
+        if (nl->cell(id).type != CellType::Behav)
+            continue;
+        const std::vector<uint64_t> &state =
+            snap.behavState[behav_index++];
+        std::vector<BehavioralModelPtr> &clones = models.at(id);
+        for (unsigned lane = 0; lane < num_lanes; ++lane)
+            clones[lane]->restore(state);
+    }
+}
+
+void
+VecSimulator::setInput(NetId id, LaneMask value_bits)
+{
+    const Netlist &netlist = *nl;
+    davf_assert(netlist.cell(netlist.net(id).driver).type
+                    == CellType::Input,
+                "setInput on non-input net ", netlist.net(id).name);
+    netWords[id] = value_bits;
+    evalComb();
+}
+
+void
+VecSimulator::step(std::span<const LaneForce> forces,
+                   LaneMask behav_lanes)
+{
+    const Netlist &netlist = *nl;
+
+    // Phase 1: sample every state element, all lanes at once.
+    for (StateElemId id = 0; id < netlist.numStateElems(); ++id) {
+        const StateElem &elem = netlist.stateElem(id);
+        const Cell &cell = netlist.cell(elem.cell);
+        uint64_t value = 0;
+        switch (elem.kind) {
+          case StateElemKind::Flop:
+            if (cell.type == CellType::Dff) {
+                value = netWords[cell.inputs[0]];
+            } else { // Dffe: Q' = EN ? D : Q, lanewise.
+                const uint64_t en = netWords[cell.inputs[1]];
+                value = (en & netWords[cell.inputs[0]])
+                    | (~en & netWords[cell.outputs[0]]);
+            }
+            break;
+          case StateElemKind::BehavInput:
+            value = netWords[cell.inputs[elem.pin]];
+            break;
+          case StateElemKind::OutputPort:
+            value = netWords[cell.inputs[0]];
+            break;
+        }
+        sampledWords[id] = value;
+    }
+
+    // Phase 2: per-lane forced sampled values (fault injection).
+    for (const LaneForce &force : forces) {
+        const uint64_t bit = uint64_t{1} << force.lane;
+        if (force.value)
+            sampledWords[force.elem] |= bit;
+        else
+            sampledWords[force.elem] &= ~bit;
+    }
+
+    // Phase 3: commit. Flops take their sampled words; behavioral
+    // blocks are clocked lane by lane — but only live lanes: retired
+    // lanes' models (and their output-net bits) stay frozen.
+    for (CellId id : netlist.seqCells()) {
+        const Cell &cell = netlist.cell(id);
+        if (cell.type == CellType::Behav) {
+            std::vector<BehavioralModelPtr> &clones = models.at(id);
+            for (unsigned lane = 0; lane < laneCount; ++lane) {
+                const uint64_t bit = uint64_t{1} << lane;
+                if (!(behav_lanes & bit))
+                    continue;
+                behavIn.assign(cell.inputs.size(), false);
+                for (uint16_t pin = 0; pin < cell.inputs.size(); ++pin) {
+                    behavIn[pin] =
+                        (sampledWords[netlist.pinStateElem(id, pin)]
+                         & bit)
+                        != 0;
+                }
+                behavOut.assign(cell.outputs.size(), false);
+                clones[lane]->clockEdge(behavIn, behavOut);
+                for (size_t pin = 0; pin < cell.outputs.size(); ++pin) {
+                    if (behavOut[pin])
+                        netWords[cell.outputs[pin]] |= bit;
+                    else
+                        netWords[cell.outputs[pin]] &= ~bit;
+                }
+            }
+        } else {
+            netWords[cell.outputs[0]] =
+                sampledWords[netlist.flopStateElem(id)];
+        }
+    }
+
+    evalComb();
+    ++cycleCount;
+}
+
+void
+VecSimulator::flipFlop(StateElemId id, LaneMask lanes_bits)
+{
+    const Netlist &netlist = *nl;
+    const StateElem &elem = netlist.stateElem(id);
+    davf_assert(elem.kind == StateElemKind::Flop,
+                "flipFlop on non-flop state element");
+    const NetId q = netlist.cell(elem.cell).outputs[0];
+    netWords[q] ^= lanes_bits;
+    evalComb();
+}
+
+VecSimulator::LaneMask
+VecSimulator::divergedLanes(std::span<const NetId> nets,
+                            std::span<const uint8_t> golden) const
+{
+    davf_assert(nets.size() == golden.size(),
+                "divergedLanes: nets/golden size mismatch");
+    uint64_t diff = 0;
+    for (size_t i = 0; i < nets.size(); ++i)
+        diff |= netWords[nets[i]] ^ broadcast(golden[i]);
+    return diff;
+}
+
+BehavioralModel &
+VecSimulator::behavModel(CellId id, unsigned lane) const
+{
+    davf_assert(lane < laneCap, "lane ", lane, " out of range");
+    return *models.at(id)[lane];
+}
+
+void
+VecSimulator::evalComb()
+{
+    uint64_t *values = netWords.data();
+    for (const CombOp &op : combProgram) {
+        uint64_t result;
+        switch (op.type) {
+          case CellType::Buf:
+            result = values[op.in0];
+            break;
+          case CellType::Inv:
+            result = ~values[op.in0];
+            break;
+          case CellType::And2:
+            result = values[op.in0] & values[op.in1];
+            break;
+          case CellType::Or2:
+            result = values[op.in0] | values[op.in1];
+            break;
+          case CellType::Nand2:
+            result = ~(values[op.in0] & values[op.in1]);
+            break;
+          case CellType::Nor2:
+            result = ~(values[op.in0] | values[op.in1]);
+            break;
+          case CellType::Xor2:
+            result = values[op.in0] ^ values[op.in1];
+            break;
+          case CellType::Xnor2:
+            result = ~(values[op.in0] ^ values[op.in1]);
+            break;
+          case CellType::Mux2: {
+            const uint64_t sel = values[op.in2];
+            result = (sel & values[op.in1]) | (~sel & values[op.in0]);
+            break;
+          }
+          default:
+            result = 0;
+            davf_panic("non-combinational cell in topo order");
+        }
+        values[op.out] = result;
+    }
+}
+
+} // namespace davf

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Bit-parallel (64-lane) two-valued gate-level simulator.
+ *
+ * The timing-agnostic GroupACE step dominates DelayAVF runtime (the
+ * paper's Fig. 8 cost breakdown): every dynamically reachable error set
+ * must be re-simulated to program completion. Those continuations all
+ * start from the *same* golden snapshot and differ only in the values
+ * forced at one clock edge (or in one flipped flop), which makes them a
+ * textbook fit for word-level boolean evaluation: pack one scenario per
+ * bit of a `uint64_t`, store one word per net, and evaluate the netlist
+ * once for all 64 scenarios.
+ *
+ * Conventions used by the vulnerability engine:
+ *
+ *  - **lane 0 carries the golden execution** (no fault). It re-converges
+ *    with the recorded golden trajectory immediately, so it costs
+ *    nothing and doubles as an in-batch sanity invariant (its verdict
+ *    must always be "no failure").
+ *  - **lanes 1..N-1 carry faulty continuations**, seeded by per-lane
+ *    sampled-value forces at the injection edge (GroupACE) or per-lane
+ *    flop flips (sAVF).
+ *  - **lane retirement**: a lane whose verdict is settled is dropped
+ *    from the behavioral-clock mask. Gate evaluation is bitwise and
+ *    costs the same for 1 or 64 lanes, so retired lanes are simply left
+ *    to compute garbage that nobody observes; per-lane costs (the
+ *    behavioral models, workload observation) stop immediately.
+ *
+ * Lane semantics are exactly those of CycleSimulator: a VecSimulator
+ * lane stepped with the same forces as a scalar CycleSimulator holds
+ * bit-identical net values and behavioral state every cycle (asserted
+ * by tests/test_vec_sim.cc property tests).
+ *
+ * Behavioral blocks are inherently scalar (clockEdge over bool
+ * vectors), so each lane owns its own clone; their cost is the one
+ * per-lane component of a step. Gate-dominated designs — the ones worth
+ * vectorizing — amortize it away.
+ */
+
+#ifndef DAVF_SIM_VEC_SIM_HH
+#define DAVF_SIM_VEC_SIM_HH
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/netlist.hh"
+#include "sim/cycle_sim.hh"
+
+namespace davf {
+
+/** 64-lane bit-parallel simulator over a finalized netlist. */
+class VecSimulator
+{
+  public:
+    /** Hard lane cap: one scenario per bit of the word type. */
+    static constexpr unsigned kMaxLanes = 64;
+
+    /** One bit per lane; bit l set = lane l selected. */
+    using LaneMask = uint64_t;
+
+    /** A forced sampled value for one lane at the next step(). */
+    struct LaneForce
+    {
+        uint8_t lane;
+        StateElemId elem;
+        bool value;
+    };
+
+    /**
+     * @param max_lanes lanes to provision behavioral clones for
+     *                  (2..kMaxLanes). Gate evaluation always runs full
+     *                  words; this only bounds the per-lane state.
+     */
+    explicit VecSimulator(const Netlist &netlist,
+                          unsigned max_lanes = kMaxLanes);
+
+    /** Provisioned lane count. */
+    unsigned maxLanes() const { return laneCap; }
+
+    /** Lanes seeded by the last seed() (kMaxLanes after reset()). */
+    unsigned lanes() const { return laneCount; }
+
+    /** All-lanes mask for the seeded lane count. */
+    LaneMask allLanes() const
+    {
+        return laneCount >= 64 ? ~uint64_t{0}
+                               : (uint64_t{1} << laneCount) - 1;
+    }
+
+    /** Reset every lane to the deterministic power-on state. */
+    void reset();
+
+    /**
+     * Broadcast a scalar snapshot into lanes [0, @p num_lanes): every
+     * lane starts from the identical complete state (net values,
+     * behavioral internals, cycle count) — the fan-out point of a
+     * fault-injection batch.
+     */
+    void seed(const CycleSimulator::Snapshot &snap, unsigned num_lanes);
+
+    /** Drive a primary-input net with a per-lane bit pattern. */
+    void setInput(NetId id, LaneMask value_bits);
+
+    /**
+     * Advance one clock edge on every lane: sample every state element,
+     * apply the per-lane @p forces overrides, commit, and settle
+     * combinational logic. Only lanes in @p behav_lanes clock their
+     * behavioral models — retired lanes' models stay frozen (their net
+     * values keep evolving, unobserved).
+     */
+    void step(std::span<const LaneForce> forces = {},
+              LaneMask behav_lanes = ~uint64_t{0});
+
+    /** Invert a flop's stored value in the selected lanes only. */
+    void flipFlop(StateElemId id, LaneMask lanes_bits);
+
+    /** Value of a net in one lane. */
+    bool value(NetId id, unsigned lane) const
+    {
+        return ((netWords[id] >> lane) & 1) != 0;
+    }
+
+    /** All 64 lanes of one net. */
+    uint64_t word(NetId id) const { return netWords[id]; }
+
+    /** Cycles executed since reset()/seed() (shared by all lanes). */
+    uint64_t cycle() const { return cycleCount; }
+
+    /**
+     * Lanes whose values on @p nets differ from the per-net reference
+     * bytes @p golden (0/1, indexed like @p nets): bit l of the result
+     * is set iff lane l mismatches on at least one net. One pass over
+     * the nets answers the convergence question for all lanes at once —
+     * the engine's convergence early-exit runs on this.
+     */
+    LaneMask divergedLanes(std::span<const NetId> nets,
+                           std::span<const uint8_t> golden) const;
+
+    /** Lane @p lane's private clone of a behavioral model. */
+    BehavioralModel &behavModel(CellId id, unsigned lane) const;
+
+    const Netlist &netlist() const { return *nl; }
+
+  private:
+    void evalComb();
+
+    /** Same compiled program as CycleSimulator, over words. */
+    struct CombOp
+    {
+        CellType type;
+        NetId in0;
+        NetId in1;
+        NetId in2;
+        NetId out;
+    };
+
+    const Netlist *nl;
+    unsigned laneCap;
+    unsigned laneCount;
+    std::vector<CombOp> combProgram;
+    std::vector<uint64_t> netWords; ///< One word per net, 1 bit/lane.
+    uint64_t cycleCount = 0;
+
+    /** Per-lane private behavioral clones, keyed by cell. */
+    std::unordered_map<CellId, std::vector<BehavioralModelPtr>> models;
+
+    /** Scratch: per-state-element sampled words during step(). */
+    std::vector<uint64_t> sampledWords;
+    std::vector<bool> behavIn;
+    std::vector<bool> behavOut;
+};
+
+} // namespace davf
+
+#endif // DAVF_SIM_VEC_SIM_HH

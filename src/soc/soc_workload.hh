@@ -44,11 +44,39 @@ class SocWorkload : public Workload
 
     uint64_t maxGoldenCycles() const override { return maxCycles; }
 
+    bool vectorizable() const override { return true; }
+
+    bool
+    done(const VecSimulator &sim, unsigned lane) const override
+    {
+        return memory(sim, lane).halted();
+    }
+
+    std::vector<uint32_t>
+    outputTrace(const VecSimulator &sim, unsigned lane) const override
+    {
+        return memory(sim, lane).outputTrace();
+    }
+
+    uint64_t
+    archHash(const VecSimulator &sim, unsigned lane) const override
+    {
+        return memory(sim, lane).contentHash();
+    }
+
     /** The simulator-private memory instance. */
     const MemoryModel &
     memory(const CycleSimulator &sim) const
     {
         return static_cast<const MemoryModel &>(sim.behavModel(memCell));
+    }
+
+    /** One lane's private memory instance. */
+    const MemoryModel &
+    memory(const VecSimulator &sim, unsigned lane) const
+    {
+        return static_cast<const MemoryModel &>(
+            sim.behavModel(memCell, lane));
     }
 
   private:

@@ -25,6 +25,12 @@ struct RandomCircuit
     CellId sinkCell = kInvalidId;
     uint64_t numCycles = 0;
 
+    /** Primary inputs, when requested (stimulus hooks for sim tests). */
+    std::vector<NetId> inputs;
+
+    /** Every flop state element, in netlist order (flip targets). */
+    std::vector<StateElemId> flops;
+
     std::unique_ptr<TraceWorkload> workload;
 };
 
@@ -34,10 +40,13 @@ struct RandomCircuit
  * gates (acyclic by construction), random flop feedback, and a trace
  * sink observing a random subset of nets every cycle. All cells carry the
  * prefix "rnd/" so the whole circuit can be treated as one structure.
+ * With @p num_inputs > 0, that many primary inputs join the net pool the
+ * gate cloud draws from, so tests can drive external stimulus.
  */
 inline RandomCircuit
 makeRandomCircuit(uint64_t seed, unsigned num_flops = 12,
-                  unsigned num_gates = 60, uint64_t num_cycles = 24)
+                  unsigned num_gates = 60, uint64_t num_cycles = 24,
+                  unsigned num_inputs = 0)
 {
     Rng rng(seed);
     RandomCircuit circuit;
@@ -55,6 +64,12 @@ makeRandomCircuit(uint64_t seed, unsigned num_flops = 12,
                               "ff" + std::to_string(i));
         flop_d.push_back(d);
         nets.push_back(q);
+    }
+
+    for (unsigned i = 0; i < num_inputs; ++i) {
+        const NetId in = b.input("in" + std::to_string(i));
+        circuit.inputs.push_back(in);
+        nets.push_back(in);
     }
 
     // Random acyclic combinational cloud.
@@ -108,6 +123,7 @@ makeRandomCircuit(uint64_t seed, unsigned num_flops = 12,
     b.popScope();
     nl.finalize();
 
+    circuit.flops = nl.flopsByPrefix("rnd/");
     circuit.numCycles = num_cycles;
     circuit.workload = std::make_unique<TraceWorkload>(circuit.sinkCell,
                                                        num_cycles);

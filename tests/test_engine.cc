@@ -16,6 +16,7 @@
 #include <gtest/gtest.h>
 
 #include "src/builder/ecc.hh"
+#include "src/core/report.hh"
 #include "src/core/vulnerability.hh"
 #include "src/soc/ibex_mini.hh"
 #include "src/soc/soc_workload.hh"
@@ -552,6 +553,405 @@ TEST(Engine, SavfDeterministicAcrossThreads)
     EXPECT_EQ(serial.sdc, parallel.sdc);
     EXPECT_EQ(serial.due, parallel.due);
 }
+
+/**
+ * @name Vector-vs-scalar differential suite
+ *
+ * The engine's bit-parallel path (EngineOptions::vectorize) must be a
+ * pure speed knob: byte-identical InjectionCycleOutcomes, aggregates,
+ * and JSON reports against the scalar reference, at any lane width,
+ * thread count, shard range, and across checkpoint/resume — that is
+ * what keeps davf_serve's persistent store valid regardless of which
+ * path computed a record.
+ */
+/// @{
+
+class VectorDifferential : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(VectorDifferential, DelayAvfCycleOutcomesBitIdentical)
+{
+    const auto circuit = test::makeRandomCircuit(GetParam() + 300, 10,
+                                                 70, 16);
+    VulnerabilityEngine engine(*circuit.netlist,
+                               CellLibrary::defaultLibrary(),
+                               *circuit.workload);
+    StructureRegistry registry(*circuit.netlist);
+    const Structure &structure = registry.add("Rnd", "rnd/");
+
+    SamplingConfig config;
+    config.cycleFraction = 0.3;
+    config.maxInjectionCycles = 3;
+    config.threads = 1;
+    for (uint64_t cycle : engine.injectionCycles(config)) {
+        engine.setVectorMode(false);
+        const InjectionCycleOutcome scalar =
+            engine.delayAvfCycle(structure, 0.6, cycle, config);
+        // A narrow lane width exercises multi-batch resolution; the
+        // full width exercises the common case.
+        engine.setVectorMode(true, 4);
+        const InjectionCycleOutcome vec4 =
+            engine.delayAvfCycle(structure, 0.6, cycle, config);
+        engine.setVectorMode(true, 64);
+        const InjectionCycleOutcome vec64 =
+            engine.delayAvfCycle(structure, 0.6, cycle, config);
+        EXPECT_TRUE(scalar == vec4) << "cycle " << cycle;
+        EXPECT_TRUE(scalar == vec64) << "cycle " << cycle;
+        EXPECT_GT(scalar.injections, 0u);
+    }
+}
+
+TEST_P(VectorDifferential, ShardRangesAndQuarantineBitIdentical)
+{
+    // The process-isolation worker primitive: partial wire ranges and
+    // quarantined injection indices must not disturb bit-identity, so a
+    // supervised campaign may mix vector and scalar workers freely.
+    const auto circuit = test::makeRandomCircuit(GetParam() + 320, 10,
+                                                 60, 16);
+    VulnerabilityEngine engine(*circuit.netlist,
+                               CellLibrary::defaultLibrary(),
+                               *circuit.workload);
+    StructureRegistry registry(*circuit.netlist);
+    const Structure &structure = registry.add("Rnd", "rnd/");
+
+    SamplingConfig config;
+    config.cycleFraction = 0.2;
+    config.maxInjectionCycles = 2;
+    config.threads = 1;
+    const std::vector<WireId> wires =
+        engine.sampledWires(structure, config);
+    ASSERT_GT(wires.size(), 4u);
+    const size_t mid = wires.size() / 2;
+    const std::vector<size_t> quarantined = {1, mid, wires.size() - 1};
+
+    for (uint64_t cycle : engine.injectionCycles(config)) {
+        engine.setVectorMode(false);
+        const InjectionCycleOutcome lo_s = engine.delayAvfCycle(
+            structure, 0.7, cycle, config, 0, mid, quarantined);
+        const InjectionCycleOutcome hi_s = engine.delayAvfCycle(
+            structure, 0.7, cycle, config, mid, SIZE_MAX, quarantined);
+        engine.setVectorMode(true, 64);
+        const InjectionCycleOutcome lo_v = engine.delayAvfCycle(
+            structure, 0.7, cycle, config, 0, mid, quarantined);
+        const InjectionCycleOutcome hi_v = engine.delayAvfCycle(
+            structure, 0.7, cycle, config, mid, SIZE_MAX, quarantined);
+        EXPECT_TRUE(lo_s == lo_v) << "low shard, cycle " << cycle;
+        EXPECT_TRUE(hi_s == hi_v) << "high shard, cycle " << cycle;
+        EXPECT_GT(lo_s.skipReasons.count("quarantined"), 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VectorDifferential,
+                         ::testing::Range<uint64_t>(1, 6));
+
+TEST(VectorDifferential, DelayAvfJsonBitIdenticalAcrossThreads)
+{
+    const auto circuit = test::makeRandomCircuit(330, 12, 90, 20);
+    VulnerabilityEngine engine(*circuit.netlist,
+                               CellLibrary::defaultLibrary(),
+                               *circuit.workload);
+    StructureRegistry registry(*circuit.netlist);
+    const Structure &structure = registry.add("Rnd", "rnd/");
+
+    SamplingConfig config;
+    config.cycleFraction = 0.25;
+    config.maxInjectionCycles = 4;
+    config.recordPerWire = true;
+
+    auto report = [&](bool vectorize, unsigned threads) {
+        engine.setVectorMode(vectorize);
+        config.threads = threads;
+        ReportRow row;
+        row.benchmark = "rnd";
+        row.structure = "Rnd";
+        row.delayFraction = 0.6;
+        row.davf = engine.delayAvf(structure, 0.6, config);
+        return reportJson({row});
+    };
+
+    const std::string scalar1 = report(false, 1);
+    const std::string scalar4 = report(false, 4);
+    const std::string vector1 = report(true, 1);
+    const std::string vector4 = report(true, 4);
+    EXPECT_EQ(scalar1, scalar4);
+    EXPECT_EQ(scalar1, vector1);
+    EXPECT_EQ(scalar1, vector4);
+}
+
+TEST(VectorDifferential, SavfJsonBitIdenticalAcrossThreads)
+{
+    const auto circuit = test::makeRandomCircuit(331, 12, 70, 16);
+    VulnerabilityEngine engine(*circuit.netlist,
+                               CellLibrary::defaultLibrary(),
+                               *circuit.workload);
+    StructureRegistry registry(*circuit.netlist);
+    const Structure &structure = registry.add("Rnd", "rnd/");
+
+    SamplingConfig config;
+    config.maxInjectionCycles = 4;
+
+    auto report = [&](bool vectorize, unsigned threads) {
+        engine.setVectorMode(vectorize);
+        config.threads = threads;
+        ReportRow row;
+        row.kind = "savf";
+        row.benchmark = "rnd";
+        row.structure = "Rnd";
+        row.savf = engine.savf(structure, config);
+        return reportJson({row});
+    };
+
+    const std::string scalar1 = report(false, 1);
+    const std::string scalar4 = report(false, 4);
+    const std::string vector1 = report(true, 1);
+    const std::string vector4 = report(true, 4);
+    EXPECT_EQ(scalar1, scalar4);
+    EXPECT_EQ(scalar1, vector1);
+    EXPECT_EQ(scalar1, vector4);
+
+    // A narrow lane width forces several batches per task.
+    engine.setVectorMode(true, 3);
+    config.threads = 2;
+    ReportRow row;
+    row.kind = "savf";
+    row.benchmark = "rnd";
+    row.structure = "Rnd";
+    row.savf = engine.savf(structure, config);
+    EXPECT_EQ(scalar1, reportJson({row}));
+}
+
+TEST(VectorDifferential, ResumeMidCellCrossesPaths)
+{
+    // Half the injection cycles computed (and checkpointed) by the
+    // scalar path, the rest by the vector path after a "resume" — the
+    // aggregate must equal an uninterrupted run of either path.
+    const auto circuit = test::makeRandomCircuit(332, 10, 70, 16);
+    VulnerabilityEngine engine(*circuit.netlist,
+                               CellLibrary::defaultLibrary(),
+                               *circuit.workload);
+    StructureRegistry registry(*circuit.netlist);
+    const Structure &structure = registry.add("Rnd", "rnd/");
+
+    SamplingConfig config;
+    config.cycleFraction = 0.3;
+    config.maxInjectionCycles = 4;
+    config.threads = 2;
+    const std::vector<uint64_t> cycles = engine.injectionCycles(config);
+    ASSERT_GE(cycles.size(), 2u);
+
+    engine.setVectorMode(false);
+    DelayAvfProgress capture;
+    std::vector<InjectionCycleOutcome> outcomes;
+    capture.onCycleDone = [&](const InjectionCycleOutcome &outcome) {
+        outcomes.push_back(outcome);
+    };
+    const DelayAvfResult scalar_full =
+        engine.delayAvf(structure, 0.6, config, &capture);
+    ASSERT_EQ(outcomes.size(), cycles.size());
+
+    // Adopt outcomes for the first half of the schedule, as a resumed
+    // campaign would from its journal's partial-cell records.
+    DelayAvfProgress resume;
+    for (const InjectionCycleOutcome &outcome : outcomes) {
+        for (size_t i = 0; i < cycles.size() / 2; ++i) {
+            if (outcome.cycle == cycles[i])
+                resume.completed.push_back(outcome);
+        }
+    }
+    ASSERT_FALSE(resume.completed.empty());
+
+    engine.setVectorMode(true);
+    const DelayAvfResult resumed =
+        engine.delayAvf(structure, 0.6, config, &resume);
+
+    auto json = [](const DelayAvfResult &result) {
+        ReportRow row;
+        row.benchmark = "rnd";
+        row.structure = "Rnd";
+        row.delayFraction = 0.6;
+        row.davf = result;
+        return reportJson({row});
+    };
+    EXPECT_EQ(json(scalar_full), json(resumed));
+
+    // And the mirror image: vector-computed outcomes adopted by a
+    // scalar resume.
+    engine.setVectorMode(true);
+    outcomes.clear();
+    const DelayAvfResult vector_full =
+        engine.delayAvf(structure, 0.6, config, &capture);
+    EXPECT_EQ(json(scalar_full), json(vector_full));
+
+    DelayAvfProgress resume_back;
+    for (const InjectionCycleOutcome &outcome : outcomes) {
+        for (size_t i = cycles.size() / 2; i < cycles.size(); ++i) {
+            if (outcome.cycle == cycles[i])
+                resume_back.completed.push_back(outcome);
+        }
+    }
+    engine.setVectorMode(false);
+    const DelayAvfResult resumed_back =
+        engine.delayAvf(structure, 0.6, config, &resume_back);
+    EXPECT_EQ(json(scalar_full), json(resumed_back));
+}
+
+/// @}
+/**
+ * @name Convergence-pruning correctness
+ *
+ * The early-exit (a continuation whose full state re-converges with
+ * the golden trajectory is settled non-ACE immediately) is exact; these
+ * tests pin both directions — a fault that provably re-converges, one
+ * that stays architecturally latent for many cycles before corrupting
+ * late output — and fuzz the pruned verdict against an unpruned
+ * reference continuation.
+ */
+/// @{
+
+TEST(VectorConvergence, SelfClearingFaultIsNeverAce)
+{
+    // Flop A reloads constant 0 every edge and its cone is squashed by
+    // an AND-0 before reaching anything observable: any flip of A is
+    // gone from the full sequential state one edge later, so the
+    // convergence early-exit settles it as None — in both paths.
+    Netlist nl;
+    ModuleBuilder b(nl);
+    b.pushScope("sc");
+    const NetId zero = b.constant(false);
+    const NetId one = b.constant(true);
+    const NetId qa = b.dff(zero, false, "a");
+    const NetId masked = b.and2(qa, zero);
+    const NetId qb = b.dff(masked, false, "b");
+    const CellId sink = nl.addBehavioral(
+        "sc/sink", std::make_shared<TraceSinkModel>(1), {{qb, one}}, {});
+    b.popScope();
+    nl.finalize();
+    TraceWorkload workload(sink, 12);
+
+    VulnerabilityEngine engine(nl, CellLibrary::defaultLibrary(),
+                               workload);
+    Structure structure;
+    structure.name = "a";
+    structure.flops = {nl.flopStateElem(nl.net(qa).driver)};
+
+    SamplingConfig config;
+    config.maxInjectionCycles = 4;
+    config.threads = 1;
+
+    engine.setVectorMode(false);
+    const SavfResult scalar = engine.savf(structure, config);
+    engine.setVectorMode(true);
+    const SavfResult vec = engine.savf(structure, config);
+
+    EXPECT_GT(scalar.injections, 0u);
+    EXPECT_EQ(scalar.aceInjections, 0u);
+    EXPECT_DOUBLE_EQ(scalar.savf, 0.0);
+    EXPECT_EQ(savfJson("sc", "a", scalar), savfJson("sc", "a", vec));
+
+    // Same through the edge-forcing mechanism.
+    const CycleSimulator::Force wrong[] = {
+        {nl.flopStateElem(nl.net(qa).driver), true}};
+    EXPECT_EQ(engine.groupVerdict(wrong, 3), FailureKind::None);
+}
+
+TEST(VectorConvergence, LatentFaultCorruptingLateOutputIsSdc)
+{
+    // A 4-deep shift register fed constant 0, observed only at the
+    // tail: a head flip stays architecturally latent for 4 cycles (the
+    // state never re-converges, so early-exit must not fire) and then
+    // corrupts the output — silent late SDC, identical in both paths.
+    Netlist nl;
+    ModuleBuilder b(nl);
+    b.pushScope("sh");
+    const NetId zero = b.constant(false);
+    const NetId one = b.constant(true);
+    NetId stage = b.dff(zero, false, "s0");
+    const NetId head = stage;
+    for (int i = 1; i < 4; ++i)
+        stage = b.dff(stage, false, "s" + std::to_string(i));
+    const CellId sink = nl.addBehavioral(
+        "sh/sink", std::make_shared<TraceSinkModel>(1), {{stage, one}},
+        {});
+    b.popScope();
+    nl.finalize();
+    TraceWorkload workload(sink, 16);
+
+    VulnerabilityEngine engine(nl, CellLibrary::defaultLibrary(),
+                               workload);
+    const StateElemId head_elem = nl.flopStateElem(nl.net(head).driver);
+    Structure structure;
+    structure.name = "head";
+    structure.flops = {head_elem};
+
+    SamplingConfig config;
+    config.maxInjectionCycles = 3;
+    config.threads = 1;
+
+    engine.setVectorMode(false);
+    const SavfResult scalar = engine.savf(structure, config);
+    engine.setVectorMode(true);
+    const SavfResult vec = engine.savf(structure, config);
+
+    EXPECT_GT(scalar.aceInjections, 0u);
+    EXPECT_EQ(scalar.sdc, scalar.aceInjections);
+    EXPECT_EQ(savfJson("sh", "head", scalar),
+              savfJson("sh", "head", vec));
+
+    // A forced wrong head value early in the run is a guaranteed
+    // (delayed) SDC: the trace prefix matches for 4 more cycles first.
+    const CycleSimulator::Force wrong[] = {{head_elem, true}};
+    EXPECT_EQ(engine.groupVerdict(wrong, 2), FailureKind::Sdc);
+}
+
+class ConvergenceFuzz : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(ConvergenceFuzz, EarlyExitNeverFlipsAVerdict)
+{
+    // Unpruned reference: run the faulty continuation to workload
+    // completion with no convergence check and classify by comparing
+    // the final trace — the definitionally correct verdict. The
+    // engine's pruned continuation must always agree.
+    const auto circuit = test::makeRandomCircuit(GetParam() + 600, 8,
+                                                 50, 12);
+    const Netlist &nl = *circuit.netlist;
+    VulnerabilityEngine engine(nl, CellLibrary::defaultLibrary(),
+                               *circuit.workload);
+    const uint64_t golden_cycles = engine.goldenCycles();
+    const std::vector<uint32_t> &golden_out = engine.goldenOutput();
+    const auto &flops = circuit.flops;
+
+    Rng rng(GetParam() * 65537 + 11);
+    for (int trial = 0; trial < 16; ++trial) {
+        const uint64_t cycle = 1 + rng.below(golden_cycles - 1);
+        std::vector<CycleSimulator::Force> forces;
+        forces.push_back(
+            {flops[rng.below(flops.size())], rng.chance(0.5)});
+        if (rng.chance(0.5)) {
+            forces.push_back(
+                {flops[rng.below(flops.size())], rng.chance(0.5)});
+        }
+
+        CycleSimulator sim(nl);
+        for (uint64_t i = 0; i < cycle; ++i)
+            sim.step();
+        sim.step(forces);
+        while (!circuit.workload->done(sim))
+            sim.step();
+        const FailureKind reference =
+            circuit.workload->outputTrace(sim) == golden_out
+                ? FailureKind::None
+                : FailureKind::Sdc;
+
+        EXPECT_EQ(engine.groupVerdict(forces, cycle), reference)
+            << "seed " << GetParam() << " cycle " << cycle;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConvergenceFuzz,
+                         ::testing::Range<uint64_t>(1, 7));
+
+/// @}
 
 TEST(Engine, GoldenFactsOnIbexMini)
 {

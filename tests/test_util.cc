@@ -7,9 +7,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <set>
 #include <stdexcept>
+#include <thread>
 
 #include "src/util/bits.hh"
 #include "src/util/bitvector.hh"
@@ -273,6 +275,37 @@ TEST(ThreadPool, RethrowsFirstExceptionAndStopsScheduling)
     EXPECT_TRUE(caught);
     for (const auto &hit : hits)
         EXPECT_LE(hit.load(), 1);
+}
+
+TEST(ThreadPool, FirstIndexThrowsWhileLaterWorkIsQueued)
+{
+    // Index 0 is the first index handed out, so its exception is the
+    // chronologically first failure; it must be the one rethrown, and
+    // scheduling must stop long before the queue drains — the workers
+    // still in flight only finish their current body.
+    const size_t count = 100000;
+    std::atomic<size_t> executed{0};
+    bool caught = false;
+    try {
+        parallelFor(count,
+                    [&](size_t i) {
+                        executed.fetch_add(1);
+                        if (i == 0)
+                            throw std::runtime_error("index zero");
+                        // Keep later bodies slow enough that the
+                        // failure flag is observed mid-queue.
+                        std::this_thread::sleep_for(
+                            std::chrono::microseconds(50));
+                    },
+                    4);
+    } catch (const std::runtime_error &error) {
+        caught = true;
+        EXPECT_STREQ(error.what(), "index zero");
+    }
+    EXPECT_TRUE(caught);
+    EXPECT_GE(executed.load(), 1u);
+    EXPECT_LT(executed.load(), count / 2)
+        << "scheduling did not stop after the first failure";
 }
 
 TEST(ThreadPool, RethrowsOnSingleThread)

@@ -1,0 +1,442 @@
+/**
+ * @file
+ * Tests for the bit-parallel 64-lane simulator (src/sim/vec_sim.hh).
+ *
+ * The load-bearing property is lane equivalence: a VecSimulator lane
+ * stepped with the same stimulus, forces, and flop flips as a scalar
+ * CycleSimulator must hold bit-identical net values and behavioral
+ * state every cycle — that is what makes the engine's vector path a
+ * pure speed knob. The suite checks it directly (per-gate truth tables,
+ * snapshot fan-out, per-lane faults) and by randomized property test,
+ * and fuzzes the lane-retirement mask bookkeeping the engine's batch
+ * loop relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/builder/builder.hh"
+#include "src/core/workload.hh"
+#include "src/sim/cycle_sim.hh"
+#include "src/sim/vec_sim.hh"
+#include "src/util/rng.hh"
+#include "tests/helpers.hh"
+
+namespace davf {
+namespace {
+
+/** Compare one lane of @p vec against @p scalar on every net. */
+void
+expectLaneMatches(const VecSimulator &vec, unsigned lane,
+                  const CycleSimulator &scalar, const std::string &what)
+{
+    const Netlist &nl = vec.netlist();
+    for (NetId id = 0; id < nl.numNets(); ++id) {
+        ASSERT_EQ(vec.value(id, lane), scalar.value(id))
+            << what << ": lane " << lane << " net " << nl.net(id).name;
+    }
+}
+
+TEST(VecSim, GateTruthTablesAcrossLanes)
+{
+    Netlist nl;
+    ModuleBuilder b(nl);
+    const NetId a = b.input("a");
+    const NetId c = b.input("c");
+    const NetId s = b.input("s");
+    const NetId g_buf = b.buf(a);
+    const NetId g_inv = b.inv(a);
+    const NetId g_and = b.and2(a, c);
+    const NetId g_or = b.or2(a, c);
+    const NetId g_nand = b.nand2(a, c);
+    const NetId g_nor = b.nor2(a, c);
+    const NetId g_xor = b.xor2(a, c);
+    const NetId g_xnor = b.xnor2(a, c);
+    const NetId g_mux = b.mux(s, a, c);
+    const NetId g_one = b.constant(true);
+    const NetId g_zero = b.constant(false);
+    nl.finalize();
+
+    // Lane l drives a = l&1, c = l&2, s = l&4: all eight input
+    // combinations live simultaneously, repeated over the 64 lanes.
+    uint64_t a_bits = 0;
+    uint64_t c_bits = 0;
+    uint64_t s_bits = 0;
+    for (unsigned l = 0; l < 64; ++l) {
+        a_bits |= uint64_t{(l >> 0) & 1} << l;
+        c_bits |= uint64_t{(l >> 1) & 1} << l;
+        s_bits |= uint64_t{(l >> 2) & 1} << l;
+    }
+    VecSimulator vec(nl);
+    vec.setInput(a, a_bits);
+    vec.setInput(c, c_bits);
+    vec.setInput(s, s_bits);
+
+    for (unsigned l = 0; l < 64; ++l) {
+        const bool av = (l >> 0) & 1;
+        const bool cv = (l >> 1) & 1;
+        const bool sv = (l >> 2) & 1;
+        EXPECT_EQ(vec.value(g_buf, l), av) << "lane " << l;
+        EXPECT_EQ(vec.value(g_inv, l), !av) << "lane " << l;
+        EXPECT_EQ(vec.value(g_and, l), av && cv) << "lane " << l;
+        EXPECT_EQ(vec.value(g_or, l), av || cv) << "lane " << l;
+        EXPECT_EQ(vec.value(g_nand, l), !(av && cv)) << "lane " << l;
+        EXPECT_EQ(vec.value(g_nor, l), !(av || cv)) << "lane " << l;
+        EXPECT_EQ(vec.value(g_xor, l), av != cv) << "lane " << l;
+        EXPECT_EQ(vec.value(g_xnor, l), av == cv) << "lane " << l;
+        EXPECT_EQ(vec.value(g_mux, l), sv ? cv : av) << "lane " << l;
+        EXPECT_TRUE(vec.value(g_one, l)) << "lane " << l;
+        EXPECT_FALSE(vec.value(g_zero, l)) << "lane " << l;
+    }
+
+    // The scalar simulator agrees on every combination.
+    CycleSimulator scalar(nl);
+    for (unsigned l = 0; l < 8; ++l) {
+        scalar.setInput(a, (l >> 0) & 1);
+        scalar.setInput(c, (l >> 1) & 1);
+        scalar.setInput(s, (l >> 2) & 1);
+        expectLaneMatches(vec, l, scalar, "truth table");
+    }
+}
+
+TEST(VecSim, ResetMatchesScalarReset)
+{
+    const auto circuit = test::makeRandomCircuit(11, 10, 60, 16);
+    VecSimulator vec(*circuit.netlist);
+    CycleSimulator scalar(*circuit.netlist);
+    EXPECT_EQ(vec.cycle(), 0u);
+    EXPECT_EQ(vec.lanes(), VecSimulator::kMaxLanes);
+    for (unsigned l = 0; l < vec.lanes(); ++l)
+        expectLaneMatches(vec, l, scalar, "reset");
+}
+
+TEST(VecSim, SnapshotFanOutSeedsEveryLane)
+{
+    const auto circuit = test::makeRandomCircuit(12, 10, 60, 16);
+    CycleSimulator scalar(*circuit.netlist);
+    for (int i = 0; i < 5; ++i)
+        scalar.step();
+    const CycleSimulator::Snapshot snap = scalar.snapshot();
+
+    VecSimulator vec(*circuit.netlist);
+    vec.seed(snap, 64);
+    EXPECT_EQ(vec.cycle(), snap.cycle);
+    EXPECT_EQ(vec.lanes(), 64u);
+    EXPECT_EQ(vec.allLanes(), ~uint64_t{0});
+    for (unsigned l = 0; l < 64; ++l)
+        expectLaneMatches(vec, l, scalar, "seed");
+
+    // Unfaulted lanes keep tracking the scalar run, including the
+    // behavioral trace sink.
+    for (int i = 0; i < 4; ++i) {
+        vec.step();
+        scalar.step();
+        for (unsigned l = 0; l < 64; ++l)
+            expectLaneMatches(vec, l, scalar, "post-seed step");
+    }
+    const auto &scalar_sink = static_cast<const TraceSinkModel &>(
+        scalar.behavModel(circuit.sinkCell));
+    for (unsigned l = 0; l < 64; ++l) {
+        const auto &lane_sink = static_cast<const TraceSinkModel &>(
+            vec.behavModel(circuit.sinkCell, l));
+        EXPECT_EQ(lane_sink.trace(), scalar_sink.trace())
+            << "lane " << l;
+    }
+}
+
+TEST(VecSim, PartialSeedUsesNarrowMask)
+{
+    const auto circuit = test::makeRandomCircuit(13, 8, 40, 12);
+    CycleSimulator scalar(*circuit.netlist);
+    scalar.step();
+    VecSimulator vec(*circuit.netlist);
+    vec.seed(scalar.snapshot(), 5);
+    EXPECT_EQ(vec.lanes(), 5u);
+    EXPECT_EQ(vec.allLanes(), uint64_t{0x1f});
+}
+
+TEST(VecSim, PerLaneForcesMatchIndependentScalarRuns)
+{
+    const auto circuit = test::makeRandomCircuit(14, 10, 60, 16);
+    const auto &flops = circuit.flops;
+    ASSERT_GE(flops.size(), 4u);
+
+    CycleSimulator golden(*circuit.netlist);
+    for (int i = 0; i < 3; ++i)
+        golden.step();
+    const CycleSimulator::Snapshot snap = golden.snapshot();
+
+    // Lane 0 unfaulted; lanes 1..7 each force a distinct (flop, value)
+    // at the same edge.
+    const unsigned lanes = 8;
+    std::vector<VecSimulator::LaneForce> lane_forces;
+    std::vector<std::vector<CycleSimulator::Force>> scalar_forces(lanes);
+    Rng rng(77);
+    for (unsigned l = 1; l < lanes; ++l) {
+        const StateElemId elem = flops[rng.below(flops.size())];
+        const bool value = rng.chance(0.5);
+        lane_forces.push_back(
+            {static_cast<uint8_t>(l), elem, value});
+        scalar_forces[l].push_back({elem, value});
+        if (rng.chance(0.5)) { // Sometimes a two-element error set.
+            const StateElemId extra = flops[rng.below(flops.size())];
+            lane_forces.push_back(
+                {static_cast<uint8_t>(l), extra, !value});
+            scalar_forces[l].push_back({extra, !value});
+        }
+    }
+
+    VecSimulator vec(*circuit.netlist);
+    vec.seed(snap, lanes);
+    vec.step(lane_forces);
+
+    for (unsigned l = 0; l < lanes; ++l) {
+        CycleSimulator scalar(*circuit.netlist);
+        scalar.restore(snap);
+        scalar.step(scalar_forces[l]);
+        expectLaneMatches(vec, l, scalar, "forced edge");
+
+        // Divergent continuations stay lane-exact afterwards.
+        CycleSimulator cont(*circuit.netlist);
+        cont.restore(snap);
+        cont.step(scalar_forces[l]);
+        VecSimulator vec_cont(*circuit.netlist);
+        vec_cont.seed(snap, lanes);
+        vec_cont.step(lane_forces);
+        for (int i = 0; i < 5; ++i) {
+            vec_cont.step();
+            cont.step();
+        }
+        expectLaneMatches(vec_cont, l, cont, "forced continuation");
+    }
+}
+
+TEST(VecSim, FlipFlopTouchesSelectedLanesOnly)
+{
+    const auto circuit = test::makeRandomCircuit(15, 10, 60, 16);
+    const auto &flops = circuit.flops;
+    ASSERT_FALSE(flops.empty());
+
+    CycleSimulator golden(*circuit.netlist);
+    for (int i = 0; i < 4; ++i)
+        golden.step();
+    const CycleSimulator::Snapshot snap = golden.snapshot();
+
+    const StateElemId victim = flops[flops.size() / 2];
+    const VecSimulator::LaneMask mask = (uint64_t{1} << 2)
+        | (uint64_t{1} << 5);
+
+    VecSimulator vec(*circuit.netlist);
+    vec.seed(snap, 8);
+    vec.flipFlop(victim, mask);
+
+    CycleSimulator flipped(*circuit.netlist);
+    flipped.restore(snap);
+    flipped.flipFlop(victim);
+    CycleSimulator untouched(*circuit.netlist);
+    untouched.restore(snap);
+
+    for (unsigned l = 0; l < 8; ++l) {
+        const CycleSimulator &want =
+            (mask >> l) & 1 ? flipped : untouched;
+        expectLaneMatches(vec, l, want, "flip");
+    }
+
+    // And the difference propagates correctly through later cycles.
+    for (int i = 0; i < 4; ++i) {
+        vec.step();
+        flipped.step();
+        untouched.step();
+    }
+    for (unsigned l = 0; l < 8; ++l) {
+        const CycleSimulator &want =
+            (mask >> l) & 1 ? flipped : untouched;
+        expectLaneMatches(vec, l, want, "flip continuation");
+    }
+}
+
+TEST(VecSim, BehavLaneMaskFreezesRetiredModels)
+{
+    const auto circuit = test::makeRandomCircuit(16, 8, 50, 16);
+    CycleSimulator golden(*circuit.netlist);
+    golden.step();
+    const CycleSimulator::Snapshot snap = golden.snapshot();
+
+    VecSimulator vec(*circuit.netlist);
+    vec.seed(snap, 4);
+
+    auto trace_of = [&](unsigned lane) {
+        return static_cast<const TraceSinkModel &>(
+                   vec.behavModel(circuit.sinkCell, lane))
+            .trace();
+    };
+    const size_t seeded_len = trace_of(2).size();
+
+    // Retire lane 2: its sink must stop recording while the live lanes
+    // keep matching the scalar run.
+    const VecSimulator::LaneMask live = 0b1011;
+    CycleSimulator scalar(*circuit.netlist);
+    scalar.restore(snap);
+    for (int i = 0; i < 3; ++i) {
+        vec.step({}, live);
+        scalar.step();
+        EXPECT_EQ(trace_of(2).size(), seeded_len) << "step " << i;
+        for (unsigned l : {0u, 1u, 3u})
+            EXPECT_EQ(trace_of(l), static_cast<const TraceSinkModel &>(
+                                       scalar.behavModel(circuit.sinkCell))
+                                       .trace())
+                << "lane " << l;
+    }
+}
+
+class VecSimRandom : public ::testing::TestWithParam<uint64_t>
+{};
+
+/**
+ * The headline property: under fully random stimulus — per-lane input
+ * bits, per-lane edge forces, per-lane flop flips — every lane of one
+ * VecSimulator matches an independent scalar CycleSimulator fed the
+ * same per-lane history, on every net, every cycle.
+ */
+TEST_P(VecSimRandom, EveryLaneMatchesScalar)
+{
+    const uint64_t seed = GetParam();
+    const auto circuit = test::makeRandomCircuit(seed, 8, 50, 16, 3);
+    const Netlist &nl = *circuit.netlist;
+    const auto &flops = circuit.flops;
+    Rng rng(seed * 31337);
+
+    const unsigned lanes = 2 + rng.below(VecSimulator::kMaxLanes - 1);
+    VecSimulator vec(nl, lanes);
+    std::vector<std::unique_ptr<CycleSimulator>> scalars;
+    for (unsigned l = 0; l < lanes; ++l)
+        scalars.push_back(std::make_unique<CycleSimulator>(nl));
+
+    for (int t = 0; t < 12; ++t) {
+        // Random per-lane stimulus on each primary input.
+        for (NetId in : circuit.inputs) {
+            const uint64_t bits = rng.next();
+            vec.setInput(in, bits);
+            for (unsigned l = 0; l < lanes; ++l)
+                scalars[l]->setInput(in, (bits >> l) & 1);
+        }
+
+        // Occasional per-lane flop flips.
+        if (rng.chance(0.3)) {
+            const StateElemId victim = flops[rng.below(flops.size())];
+            const uint64_t mask = rng.next();
+            vec.flipFlop(victim, mask);
+            for (unsigned l = 0; l < lanes; ++l) {
+                if ((mask >> l) & 1)
+                    scalars[l]->flipFlop(victim);
+            }
+        }
+
+        // Random per-lane forces at this edge.
+        std::vector<VecSimulator::LaneForce> lane_forces;
+        std::vector<std::vector<CycleSimulator::Force>> forces(lanes);
+        for (unsigned l = 0; l < lanes; ++l) {
+            while (rng.chance(0.2)) {
+                const StateElemId elem = flops[rng.below(flops.size())];
+                const bool value = rng.chance(0.5);
+                lane_forces.push_back(
+                    {static_cast<uint8_t>(l), elem, value});
+                forces[l].push_back({elem, value});
+            }
+        }
+
+        vec.step(lane_forces);
+        for (unsigned l = 0; l < lanes; ++l)
+            scalars[l]->step(forces[l]);
+
+        for (unsigned l = 0; l < lanes; ++l)
+            expectLaneMatches(vec, l, *scalars[l], "random step");
+    }
+
+    for (unsigned l = 0; l < lanes; ++l) {
+        EXPECT_EQ(static_cast<const TraceSinkModel &>(
+                      vec.behavModel(circuit.sinkCell, l))
+                      .trace(),
+                  static_cast<const TraceSinkModel &>(
+                      scalars[l]->behavModel(circuit.sinkCell))
+                      .trace())
+            << "lane " << l;
+    }
+}
+
+/**
+ * Lane-retirement fuzz: retire lanes in random monotonic order (the
+ * only order the engine's batch loop produces) and assert a retired
+ * lane's behavioral state is frozen at its retirement point forever,
+ * while live lanes keep matching their scalar references exactly.
+ */
+TEST_P(VecSimRandom, MonotonicRetirementFreezesLanes)
+{
+    const uint64_t seed = GetParam();
+    const auto circuit = test::makeRandomCircuit(seed + 500, 8, 50, 16);
+    const Netlist &nl = *circuit.netlist;
+    const auto &flops = circuit.flops;
+    Rng rng(seed * 7919 + 3);
+
+    const unsigned lanes = 4 + rng.below(13); // 4..16.
+    CycleSimulator golden(nl);
+    golden.step();
+    const CycleSimulator::Snapshot snap = golden.snapshot();
+
+    VecSimulator vec(nl, VecSimulator::kMaxLanes);
+    vec.seed(snap, lanes);
+    // Distinct fault per lane so the lanes actually diverge.
+    for (unsigned l = 1; l < lanes; ++l)
+        vec.flipFlop(flops[l % flops.size()], uint64_t{1} << l);
+
+    std::vector<std::unique_ptr<CycleSimulator>> scalars;
+    for (unsigned l = 0; l < lanes; ++l) {
+        scalars.push_back(std::make_unique<CycleSimulator>(nl));
+        scalars[l]->restore(snap);
+        if (l > 0)
+            scalars[l]->flipFlop(flops[l % flops.size()]);
+    }
+
+    auto trace_of = [&](unsigned lane) {
+        return static_cast<const TraceSinkModel &>(
+                   vec.behavModel(circuit.sinkCell, lane))
+            .trace();
+    };
+
+    VecSimulator::LaneMask live =
+        lanes >= 64 ? ~uint64_t{0} : (uint64_t{1} << lanes) - 1;
+    std::vector<std::vector<uint32_t>> frozen(lanes);
+    for (int t = 0; t < 20 && live != 0; ++t) {
+        // Maybe retire one random live lane (mask shrinks, never grows).
+        if (rng.chance(0.4)) {
+            std::vector<unsigned> live_lanes;
+            for (unsigned l = 0; l < lanes; ++l) {
+                if ((live >> l) & 1)
+                    live_lanes.push_back(l);
+            }
+            const unsigned victim =
+                live_lanes[rng.below(live_lanes.size())];
+            live &= ~(uint64_t{1} << victim);
+            frozen[victim] = trace_of(victim);
+        }
+
+        vec.step({}, live);
+        for (unsigned l = 0; l < lanes; ++l) {
+            if ((live >> l) & 1) {
+                scalars[l]->step();
+                expectLaneMatches(vec, l, *scalars[l], "live lane");
+            } else {
+                EXPECT_EQ(trace_of(l), frozen[l])
+                    << "retired lane " << l << " trace moved";
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VecSimRandom,
+                         ::testing::Range<uint64_t>(1, 9));
+
+} // namespace
+} // namespace davf

@@ -56,6 +56,55 @@ isolation_smoke() {
     echo "=== isolation smoke ok ($quarantined quarantined)" >&2
 }
 
+# Vector smoke: the bit-parallel GroupACE path must be invisible in
+# the output — run the same cheap sweep with the vectorized engine
+# (the default) and with --no-vector, in-process and with worker
+# processes, and require every `davf_run --json` report byte-identical
+# (docs/PERFORMANCE.md). Runs under both configs so the lane batching
+# gets ASan/UBSan coverage on every CI run.
+vector_smoke() {
+    build_dir="$1"
+    smoke_dir="$build_dir/vector-smoke"
+    rm -rf "$smoke_dir"
+    mkdir -p "$smoke_dir"
+    echo "=== vector smoke $build_dir" >&2
+    sweep() {
+        "$build_dir/tools/davf_run" --json \
+            --benchmark popcount --structure ALU --delays 0.5:0.9:0.2 \
+            --cycles 3 --wires 24 "$@"
+    }
+    sweep > "$smoke_dir/vector.json"
+    sweep --no-vector > "$smoke_dir/scalar.json"
+    sweep --isolate process --workers 2 \
+        > "$smoke_dir/vector-isolated.json"
+    sweep --no-vector --isolate process --workers 2 \
+        > "$smoke_dir/scalar-isolated.json"
+    for f in scalar.json vector-isolated.json scalar-isolated.json; do
+        if ! cmp -s "$smoke_dir/vector.json" "$smoke_dir/$f"; then
+            echo "vector smoke: $f differs from vector.json" >&2
+            exit 1
+        fi
+    done
+    echo "=== vector smoke ok (reports bit-identical)" >&2
+}
+
+# GroupACE speedup artifact: run the end-to-end ALU sweep benchmark in
+# the Release config only (sanitizer timings are meaningless) and keep
+# the measured scalar-vs-vector speedup at the repo root. perf_engine
+# exits non-zero if the two sweeps' reports are not byte-identical.
+groupace_bench() {
+    build_dir="$1"
+    echo "=== groupace bench $build_dir" >&2
+    DAVF_BENCH_JSON="$root/BENCH_groupace.json" \
+        "$build_dir/bench/perf_engine" \
+        --benchmark_filter=GroupAceAluSweep
+    if [ ! -s "$root/BENCH_groupace.json" ]; then
+        echo "groupace bench: BENCH_groupace.json not written" >&2
+        exit 1
+    fi
+    echo "=== groupace bench ok" >&2
+}
+
 # Serve smoke: start davf_serve with a persistent store, issue the
 # same query twice and then from two concurrent clients, and require
 # (a) every reply byte-identical, (b) the reply byte-identical to a
@@ -135,10 +184,13 @@ serve_smoke() {
 
 run_config "$root/build-ci-release" -DCMAKE_BUILD_TYPE=Release
 isolation_smoke "$root/build-ci-release"
+vector_smoke "$root/build-ci-release"
 serve_smoke "$root/build-ci-release"
+groupace_bench "$root/build-ci-release"
 run_config "$root/build-ci-asan" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DDAVF_SANITIZE=address,undefined
 isolation_smoke "$root/build-ci-asan"
+vector_smoke "$root/build-ci-asan"
 serve_smoke "$root/build-ci-asan"
 
 echo "=== ci_check: all configurations passed" >&2

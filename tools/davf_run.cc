@@ -25,6 +25,11 @@
  *     --flops N            flop sample for sAVF, 0 = all (default 96)
  *     --seed N             sampling seed (default 1)
  *     --threads N          worker threads, 0 = all cores (default 0)
+ *     --no-vector          run faulty continuations one at a time on the
+ *                          scalar simulator instead of the 64-lane
+ *                          bit-parallel path (results are bit-identical;
+ *                          see docs/PERFORMANCE.md)
+ *     --vector-lanes N     lanes per vector batch, 2..64 (default 64)
  *     --savf               also run particle-strike sAVF on the structure
  *     --sta-period         use the STA longest path as the clock (default:
  *                          observed-max timing-closure emulation)
@@ -94,6 +99,8 @@ struct Options
     bool sta_period = false;
     bool json = false;
     SamplingConfig sampling;
+    bool no_vector = false;
+    unsigned vector_lanes = 64;
     double timeout_ms = 0.0;
     double max_failure_rate = 0.05;
     std::string csv_path;
@@ -119,7 +126,9 @@ printUsage(const char *argv0)
                  "[--delays LO:HI:STEP]\n"
                  "          [--ecc] [--cycles N] [--wires N] [--flops N]"
                  " [--seed N]\n"
-                 "          [--threads N] [--savf] [--sta-period] "
+                 "          [--threads N] [--no-vector] "
+                 "[--vector-lanes N] [--savf]\n"
+                 "          [--sta-period] "
                  "[--json] [--csv FILE]\n"
                  "          [--checkpoint FILE] [--resume FILE] "
                  "[--timeout-ms X]\n"
@@ -260,6 +269,13 @@ parse(int argc, char **argv)
         } else if (arg == "--threads") {
             opts.sampling.threads =
                 static_cast<unsigned>(parseU64(argv[0], arg, need(i)));
+        } else if (arg == "--no-vector") {
+            opts.no_vector = true;
+        } else if (arg == "--vector-lanes") {
+            opts.vector_lanes =
+                static_cast<unsigned>(parseU64(argv[0], arg, need(i)));
+            if (opts.vector_lanes < 2 || opts.vector_lanes > 64)
+                usageError(argv[0], "--vector-lanes must lie in [2, 64]");
         } else if (arg == "--csv") {
             opts.csv_path = need(i);
         } else if (arg == "--checkpoint") {
@@ -362,6 +378,11 @@ runTool(int argc, char **argv)
                  static_cast<unsigned long long>(engine.goldenCycles()),
                  engine.clockPeriod());
 
+    // The vector/scalar switch applies to every execution mode,
+    // including worker shards (the supervisor forwards our argv, so
+    // workers parse the same flags).
+    engine.setVectorMode(!opts.no_vector, opts.vector_lanes);
+
     // Hidden worker mode: same engine build as above, then serve shard
     // requests from the supervising campaign over stdin/stdout.
     if (opts.worker_shard)
@@ -376,6 +397,8 @@ runTool(int argc, char **argv)
     }
     campaign_options.runSavf = opts.run_savf;
     campaign_options.sampling = opts.sampling;
+    campaign_options.vectorize = !opts.no_vector;
+    campaign_options.vectorLanes = opts.vector_lanes;
     campaign_options.injectionTimeoutMs = opts.timeout_ms;
     campaign_options.maxFailureRate = opts.max_failure_rate;
     campaign_options.checkpointPath = opts.checkpoint_path;
