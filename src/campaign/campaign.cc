@@ -4,12 +4,33 @@
 #include <sstream>
 
 #include "core/report.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "util/atomic_file.hh"
 #include "util/logging.hh"
 
 namespace davf {
 
 namespace {
+
+/** Campaign metric handles (docs/OBSERVABILITY.md). */
+struct CampaignMetrics
+{
+    obs::Counter cellsComputed{"campaign.cells_computed"};
+    obs::Counter cellsFromCheckpoint{"campaign.cells_from_checkpoint"};
+    obs::Counter cellsFailed{"campaign.cells_failed"};
+    obs::Counter checkpointSaves{"campaign.checkpoint_saves"};
+    obs::Counter csvFlushes{"campaign.csv_flushes"};
+    obs::Counter cellNs{"campaign.time.cell_ns"};
+    obs::Counter checkpointNs{"campaign.time.checkpoint_ns"};
+};
+
+CampaignMetrics &
+campaignMetrics()
+{
+    static CampaignMetrics *const metrics = new CampaignMetrics();
+    return *metrics;
+}
 
 /** FNV-1a 64, printed as hex: the journal's config fingerprint. */
 std::string
@@ -67,7 +88,10 @@ Campaign::save() const
 {
     if (options.checkpointPath.empty())
         return;
+    const obs::Span span("campaign.checkpoint",
+                         &campaignMetrics().checkpointNs);
     saveCheckpoint(options.checkpointPath, journal);
+    campaignMetrics().checkpointSaves.add(1);
     if (options.onCheckpointSaved)
         options.onCheckpointSaved();
 }
@@ -77,6 +101,7 @@ Campaign::flushCsv(const CampaignSummary &summary) const
 {
     if (options.csvPath.empty())
         return;
+    campaignMetrics().csvFlushes.add(1);
     std::ostringstream os;
     os << delayAvfCsvHeader() << '\n';
     for (const CampaignCellResult &cell : summary.cells) {
@@ -210,6 +235,7 @@ Campaign::run()
             cell.savf = cached->savf;
             summary.cells.push_back(std::move(cell));
             ++summary.cellsFromCheckpoint;
+            campaignMetrics().cellsFromCheckpoint.add(1);
             if (cached->failed)
                 ++summary.cellsFailed;
             continue;
@@ -220,6 +246,9 @@ Campaign::run()
             save();
             break;
         }
+
+        const obs::Span cell_span("campaign.cell",
+                                  &campaignMetrics().cellNs);
 
         SamplingConfig config = options.sampling;
         config.stopFlag = options.stopFlag;
@@ -378,9 +407,12 @@ Campaign::run()
             journal.partialCycles.clear();
         }
 
-        if (cell.failed)
+        if (cell.failed) {
             ++summary.cellsFailed;
+            campaignMetrics().cellsFailed.add(1);
+        }
         ++summary.cellsComputed;
+        campaignMetrics().cellsComputed.add(1);
         summary.cells.push_back(std::move(cell));
 
         save();

@@ -10,10 +10,14 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <map>
+#include <mutex>
 #include <sstream>
 #include <thread>
 
 #include "campaign/checkpoint.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "util/atomic_file.hh"
 #include "util/logging.hh"
 
@@ -58,6 +62,52 @@ fnv1a(const std::string &text, uint64_t hash = 0xcbf29ce484222325ull)
         hash *= 0x100000001b3ull;
     }
     return hash;
+}
+
+/**
+ * Supervisor metric handles (docs/OBSERVABILITY.md). In `--isolate
+ * process` mode the engine's own counters live in the worker processes;
+ * these cover the parent's view of shard lifecycle, retries, and
+ * recovery churn.
+ */
+struct SupervisorMetrics
+{
+    obs::Counter workersSpawned{"supervisor.workers_spawned"};
+    obs::Counter workersRetired{"supervisor.workers_retired"};
+    obs::Counter dispatches{"supervisor.dispatches"};
+    obs::Counter retries{"supervisor.retries"};
+    obs::Counter heartbeats{"supervisor.heartbeats"};
+    obs::Counter backoffWaits{"supervisor.backoff_waits"};
+    obs::Counter bisectProbes{"supervisor.bisect_probes"};
+    obs::Counter quarantines{"supervisor.quarantines"};
+    obs::Counter dispatchNs{"supervisor.time.dispatch_ns"};
+    obs::Counter backoffNs{"supervisor.time.backoff_ns"};
+    obs::ValueHistogram shardWallUs{"supervisor.shard_wall_us"};
+};
+
+SupervisorMetrics &
+supervisorMetrics()
+{
+    static SupervisorMetrics *const metrics = new SupervisorMetrics();
+    return *metrics;
+}
+
+/** Per-outcome attempt tallies, registered once each. */
+obs::Counter &
+outcomeCounter(std::string_view name)
+{
+    static std::mutex mutex;
+    static std::map<std::string, obs::Counter, std::less<>> counters;
+    const std::lock_guard<std::mutex> lock(mutex);
+    auto it = counters.find(name);
+    if (it == counters.end()) {
+        it = counters
+                 .emplace(std::string(name),
+                          obs::Counter("supervisor.outcome."
+                                       + std::string(name)))
+                 .first;
+    }
+    return it->second;
 }
 
 } // namespace
@@ -254,6 +304,7 @@ Supervisor::retireWorker(Slot &slot, double grace_ms)
 {
     if (!slot.proc)
         return;
+    supervisorMetrics().workersRetired.add(1);
     if (slot.proc->running())
         slot.proc->terminate(grace_ms);
     slot.proc.reset();
@@ -271,6 +322,7 @@ Supervisor::ensureWorker(Slot &slot)
     SpawnOptions spawn;
     spawn.memLimitMb = options.workerMemMb;
     slot.proc->spawn(options.workerArgv, spawn);
+    supervisorMetrics().workersSpawned.add(1);
 
     // The hello covers the worker's whole engine build (golden run
     // included), so it gets its own generous budget.
@@ -299,12 +351,19 @@ Supervisor::ensureWorker(Slot &slot)
 Supervisor::Attempt
 Supervisor::dispatchOnce(Slot &slot, const ShardSpec &spec)
 {
+    const obs::Span span("supervisor.dispatch",
+                         &supervisorMetrics().dispatchNs);
+    supervisorMetrics().dispatches.add(1);
+
     Attempt attempt;
     const double started = nowMs();
     auto finish = [&](Attempt::Outcome outcome, std::string detail) {
         attempt.outcome = outcome;
         attempt.detail = std::move(detail);
         attempt.wallMs = nowMs() - started;
+        outcomeCounter(attempt.outcomeName()).add(1);
+        supervisorMetrics().shardWallUs.observe(
+            static_cast<uint64_t>(attempt.wallMs * 1000.0));
         return attempt;
     };
     auto absorbStatus = [&](const ExitStatus &status) {
@@ -394,8 +453,10 @@ Supervisor::dispatchOnce(Slot &slot, const ShardSpec &spec)
                                   + " ms");
         }
 
-        if (frame == "hb")
+        if (frame == "hb") {
+            supervisorMetrics().heartbeats.add(1);
             continue;
+        }
 
         std::istringstream is(frame);
         std::string tag;
@@ -448,6 +509,9 @@ Supervisor::backoff(const ShardSpec &spec, unsigned attempt) const
     delay_ms +=
         static_cast<double>(jitter_seed % 1000) / 1000.0
         * options.backoffBaseMs;
+    SupervisorMetrics &sm = supervisorMetrics();
+    sm.backoffWaits.add(1);
+    const obs::Span span("supervisor.backoff", &sm.backoffNs);
     std::this_thread::sleep_for(
         std::chrono::duration<double, std::milli>(delay_ms));
 }
@@ -495,6 +559,7 @@ Supervisor::dispatchWithRetries(Slot &slot, const ShardSpec &spec)
         recordMetrics(spec, n, attempt);
         if (!attempt.retryable() || n >= options.maxRetries)
             return attempt;
+        supervisorMetrics().retries.add(1);
         davf_warn("shard ", spec.structure, " cycle ", spec.cycle,
                   " attempt ", n, " failed (", attempt.detail,
                   "); retrying");
@@ -516,6 +581,7 @@ Supervisor::bisectAndQuarantine(Slot &slot, ShardSpec spec,
         ShardSpec probe = spec;
         probe.wireBegin = begin;
         probe.wireEnd = end;
+        supervisorMetrics().bisectProbes.add(1);
         last = dispatchOnce(slot, probe);
         recordMetrics(probe, 0, last);
         return last.retryable();
@@ -577,6 +643,7 @@ Supervisor::bisectAndQuarantine(Slot &slot, ShardSpec spec,
         record.reason = last.detail;
         if (!options.quarantineDir.empty())
             saveQuarantineRecord(options.quarantineDir, record);
+        supervisorMetrics().quarantines.add(1);
         {
             const std::lock_guard<std::mutex> lock(cell.mutex);
             cell.quarantined.push_back(record);

@@ -1,5 +1,6 @@
 #include "report.hh"
 
+#include <cmath>
 #include <sstream>
 
 namespace davf {
@@ -20,6 +21,22 @@ escape(const std::string &text)
             continue;
         out += c;
     }
+    return out;
+}
+
+/**
+ * Append @p value as a JSON number. JSON has no NaN/Infinity tokens —
+ * streaming them raw would make the whole report unparseable — so
+ * non-finite values degrade to `null`. Finite values go through the
+ * stream's default formatting, byte-identical to a plain `out << value`.
+ */
+std::ostream &
+jsonDouble(std::ostream &out, double value)
+{
+    if (std::isfinite(value))
+        out << value;
+    else
+        out << "null";
     return out;
 }
 
@@ -75,13 +92,13 @@ delayAvfJson(const std::string &benchmark, const std::string &structure,
 {
     std::ostringstream out;
     out << "{\"benchmark\":\"" << escape(benchmark)
-        << "\",\"structure\":\"" << escape(structure)
-        << "\",\"d\":" << delay_fraction
-        << ",\"delayavf\":" << result.delayAvf
-        << ",\"ordelayavf\":" << result.orDelayAvf
-        << ",\"static_frac\":" << result.staticWireFraction
-        << ",\"dynamic_frac\":" << result.dynamicWireFraction
-        << ",\"groupace_frac\":" << result.groupAceWireFraction
+        << "\",\"structure\":\"" << escape(structure) << "\",\"d\":";
+    jsonDouble(out, delay_fraction) << ",\"delayavf\":";
+    jsonDouble(out, result.delayAvf) << ",\"ordelayavf\":";
+    jsonDouble(out, result.orDelayAvf) << ",\"static_frac\":";
+    jsonDouble(out, result.staticWireFraction) << ",\"dynamic_frac\":";
+    jsonDouble(out, result.dynamicWireFraction) << ",\"groupace_frac\":";
+    jsonDouble(out, result.groupAceWireFraction)
         << ",\"injections\":" << result.injections
         << ",\"error_injections\":" << result.errorInjections
         << ",\"multibit\":" << result.multiBitInjections
@@ -122,8 +139,8 @@ savfJson(const std::string &benchmark, const std::string &structure,
 {
     std::ostringstream out;
     out << "{\"benchmark\":\"" << escape(benchmark)
-        << "\",\"structure\":\"" << escape(structure)
-        << "\",\"savf\":" << result.savf
+        << "\",\"structure\":\"" << escape(structure) << "\",\"savf\":";
+    jsonDouble(out, result.savf)
         << ",\"injections\":" << result.injections
         << ",\"ace\":" << result.aceInjections << ",\"sdc\":"
         << result.sdc << ",\"due\":" << result.due << "}";

@@ -1,0 +1,216 @@
+#include "metrics.hh"
+
+#include <chrono>
+#include <mutex>
+#include <sstream>
+
+namespace davf::obs {
+
+namespace detail {
+
+size_t
+threadStripe()
+{
+    // Hand out stripes round-robin at first use; a thread keeps its
+    // stripe for life, so its adds never migrate between cache lines.
+    static std::atomic<size_t> next{0};
+    thread_local const size_t stripe =
+        next.fetch_add(1, std::memory_order_relaxed) % kStripes;
+    return stripe;
+}
+
+uint64_t
+CounterState::total() const
+{
+    uint64_t sum = 0;
+    for (const Stripe &stripe : stripes)
+        sum += stripe.value.load(std::memory_order_relaxed);
+    return sum;
+}
+
+void
+CounterState::reset()
+{
+    for (Stripe &stripe : stripes)
+        stripe.value.store(0, std::memory_order_relaxed);
+}
+
+void
+HistogramState::observe(uint64_t sample)
+{
+    // Bucket by bit width: bucket 0 holds exact zeros, bucket b >= 1
+    // holds samples in [2^(b-1), 2^b).
+    size_t bucket = 0;
+    for (uint64_t v = sample; v; v >>= 1)
+        ++bucket;
+    buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+    count.fetch_add(1, std::memory_order_relaxed);
+    sum.fetch_add(sample, std::memory_order_relaxed);
+}
+
+void
+HistogramState::reset()
+{
+    for (auto &bucket : buckets)
+        bucket.store(0, std::memory_order_relaxed);
+    count.store(0, std::memory_order_relaxed);
+    sum.store(0, std::memory_order_relaxed);
+}
+
+} // namespace detail
+
+std::atomic<bool> MetricsRegistry::collecting{false};
+
+/**
+ * Name -> state maps. std::map nodes never move, so handles can cache
+ * raw state pointers for the process lifetime; the transparent
+ * comparator lets registration look up by string_view without an
+ * allocation on the hit path.
+ */
+struct MetricsRegistry::Impl {
+    mutable std::mutex mutex;
+    std::map<std::string, detail::CounterState, std::less<>> counters;
+    std::map<std::string, detail::GaugeState, std::less<>> gauges;
+    std::map<std::string, detail::HistogramState, std::less<>> histograms;
+};
+
+MetricsRegistry &
+MetricsRegistry::instance()
+{
+    // Leaked on purpose: metric handles are function-local statics whose
+    // destruction order relative to the registry is otherwise unsequenced.
+    static MetricsRegistry *const registry = new MetricsRegistry();
+    return *registry;
+}
+
+MetricsRegistry::Impl &
+MetricsRegistry::impl() const
+{
+    static Impl *const state = new Impl();
+    return *state;
+}
+
+void
+MetricsRegistry::setEnabled(bool on)
+{
+    collecting.store(on, std::memory_order_relaxed);
+}
+
+detail::CounterState *
+MetricsRegistry::counter(std::string_view name)
+{
+    Impl &state = impl();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    auto it = state.counters.find(name);
+    if (it == state.counters.end())
+        it = state.counters.try_emplace(std::string(name)).first;
+    return &it->second;
+}
+
+detail::GaugeState *
+MetricsRegistry::gauge(std::string_view name)
+{
+    Impl &state = impl();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    auto it = state.gauges.find(name);
+    if (it == state.gauges.end())
+        it = state.gauges.try_emplace(std::string(name)).first;
+    return &it->second;
+}
+
+detail::HistogramState *
+MetricsRegistry::histogram(std::string_view name)
+{
+    Impl &state = impl();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    auto it = state.histograms.find(name);
+    if (it == state.histograms.end())
+        it = state.histograms.try_emplace(std::string(name)).first;
+    return &it->second;
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    const Impl &state = impl();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    MetricsSnapshot snap;
+    for (const auto &[name, counter] : state.counters)
+        snap.counters.emplace(name, counter.total());
+    for (const auto &[name, gauge] : state.gauges)
+        snap.gauges.emplace(name,
+                            gauge.value.load(std::memory_order_relaxed));
+    for (const auto &[name, hist] : state.histograms) {
+        HistogramSnapshot h;
+        h.count = hist.count.load(std::memory_order_relaxed);
+        h.sum = hist.sum.load(std::memory_order_relaxed);
+        for (size_t i = 0; i < kHistBuckets; ++i)
+            h.buckets[i] = hist.buckets[i].load(std::memory_order_relaxed);
+        snap.histograms.emplace(name, h);
+    }
+    return snap;
+}
+
+void
+MetricsRegistry::reset()
+{
+    Impl &state = impl();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    for (auto &[name, counter] : state.counters)
+        counter.reset();
+    for (auto &[name, gauge] : state.gauges)
+        gauge.value.store(0, std::memory_order_relaxed);
+    for (auto &[name, hist] : state.histograms)
+        hist.reset();
+}
+
+std::string
+MetricsSnapshot::toJson() const
+{
+    std::ostringstream os;
+    os << "{\"schema\":\"davf-metrics v1\"";
+    os << ",\"counters\":{";
+    bool first = true;
+    for (const auto &[name, value] : counters) {
+        os << (first ? "" : ",") << "\"" << name << "\":" << value;
+        first = false;
+    }
+    os << "},\"gauges\":{";
+    first = true;
+    for (const auto &[name, value] : gauges) {
+        os << (first ? "" : ",") << "\"" << name << "\":" << value;
+        first = false;
+    }
+    os << "},\"histograms\":{";
+    first = true;
+    for (const auto &[name, hist] : histograms) {
+        os << (first ? "" : ",") << "\"" << name << "\":{\"count\":"
+           << hist.count << ",\"sum\":" << hist.sum << ",\"buckets\":[";
+        bool first_bucket = true;
+        for (size_t b = 0; b < kHistBuckets; ++b) {
+            if (!hist.buckets[b])
+                continue; // Sparse: most of the 65 buckets are empty.
+            const uint64_t bucket_lo = b == 0 ? 0 : uint64_t(1) << (b - 1);
+            const uint64_t bucket_hi =
+                b == 0 ? 0 : b == 64 ? ~uint64_t(0) : (uint64_t(1) << b) - 1;
+            os << (first_bucket ? "" : ",") << "[" << bucket_lo << ","
+               << bucket_hi << "," << hist.buckets[b] << "]";
+            first_bucket = false;
+        }
+        os << "]}";
+        first = false;
+    }
+    os << "}}";
+    return os.str();
+}
+
+uint64_t
+ScopedTimeNs::nowNs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace davf::obs

@@ -1,0 +1,140 @@
+#include "trace.hh"
+
+#include <cstdio>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace davf::obs {
+
+namespace {
+
+/** Total event cap across all threads; excess spans count as dropped. */
+constexpr size_t kMaxEvents = size_t(1) << 20;
+
+/**
+ * One thread's event buffer. Buffers live in a process-lifetime deque
+ * (stable addresses) and are never destroyed, so events survive worker
+ * threads that exit before export (parallelFor tears its pool down).
+ */
+struct ThreadBuffer {
+    explicit ThreadBuffer(uint32_t tid) : tid(tid) {}
+
+    uint32_t tid;
+    std::mutex mutex; // Uncontended except against export/clear.
+    std::vector<TraceEvent> events;
+};
+
+struct TraceState {
+    std::mutex mutex;
+    std::deque<ThreadBuffer> buffers;
+    std::atomic<size_t> event_count{0};
+    std::atomic<uint64_t> dropped_count{0};
+    std::atomic<uint64_t> origin_ns{0};
+};
+
+TraceState &
+state()
+{
+    static TraceState *const trace_state = new TraceState();
+    return *trace_state;
+}
+
+ThreadBuffer &
+threadBuffer()
+{
+    thread_local ThreadBuffer *buffer = [] {
+        TraceState &ts = state();
+        std::lock_guard<std::mutex> lock(ts.mutex);
+        return &ts.buffers.emplace_back(
+            static_cast<uint32_t>(ts.buffers.size()));
+    }();
+    return *buffer;
+}
+
+} // namespace
+
+std::atomic<bool> Trace::tracing{false};
+
+void
+Trace::setEnabled(bool on)
+{
+    if (on && !tracing.load(std::memory_order_relaxed))
+        state().origin_ns.store(ScopedTimeNs::nowNs(),
+                                std::memory_order_relaxed);
+    tracing.store(on, std::memory_order_relaxed);
+}
+
+void
+Trace::record(const char *name, uint64_t start_ns, uint64_t dur_ns)
+{
+    TraceState &ts = state();
+    if (ts.event_count.fetch_add(1, std::memory_order_relaxed)
+        >= kMaxEvents) {
+        ts.dropped_count.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    ThreadBuffer &buffer = threadBuffer();
+    std::lock_guard<std::mutex> lock(buffer.mutex);
+    buffer.events.push_back({name, start_ns, dur_ns, buffer.tid});
+}
+
+std::string
+Trace::toChromeJson()
+{
+    TraceState &ts = state();
+    std::vector<TraceEvent> events;
+    {
+        std::lock_guard<std::mutex> lock(ts.mutex);
+        for (ThreadBuffer &buffer : ts.buffers) {
+            std::lock_guard<std::mutex> buffer_lock(buffer.mutex);
+            events.insert(events.end(), buffer.events.begin(),
+                          buffer.events.end());
+        }
+    }
+    const uint64_t origin = ts.origin_ns.load(std::memory_order_relaxed);
+
+    std::string out = "{\"traceEvents\":[";
+    char line[256];
+    bool first = true;
+    for (const TraceEvent &event : events) {
+        // Chrome expects microseconds; keep nanosecond precision with a
+        // fixed-point fraction (locale-independent, always valid JSON).
+        const uint64_t ts_ns =
+            event.start_ns >= origin ? event.start_ns - origin : 0;
+        std::snprintf(line, sizeof(line),
+                      "%s{\"name\":\"%s\",\"cat\":\"davf\",\"ph\":\"X\","
+                      "\"pid\":1,\"tid\":%u,\"ts\":%llu.%03llu,"
+                      "\"dur\":%llu.%03llu}",
+                      first ? "" : ",", event.name, event.tid,
+                      static_cast<unsigned long long>(ts_ns / 1000),
+                      static_cast<unsigned long long>(ts_ns % 1000),
+                      static_cast<unsigned long long>(event.dur_ns / 1000),
+                      static_cast<unsigned long long>(event.dur_ns % 1000));
+        out += line;
+        first = false;
+    }
+    out += "],\"displayTimeUnit\":\"ms\"}";
+    return out;
+}
+
+void
+Trace::clear()
+{
+    TraceState &ts = state();
+    std::lock_guard<std::mutex> lock(ts.mutex);
+    for (ThreadBuffer &buffer : ts.buffers) {
+        std::lock_guard<std::mutex> buffer_lock(buffer.mutex);
+        buffer.events.clear();
+    }
+    ts.event_count.store(0, std::memory_order_relaxed);
+    ts.dropped_count.store(0, std::memory_order_relaxed);
+}
+
+uint64_t
+Trace::dropped()
+{
+    return state().dropped_count.load(std::memory_order_relaxed);
+}
+
+} // namespace davf::obs

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Phase tracing: RAII Span scopes that record wall-time intervals into
+ * per-thread buffers, exportable as Chrome `trace_event` JSON
+ * (docs/OBSERVABILITY.md). Load the export at chrome://tracing or
+ * https://ui.perfetto.dev to see the per-phase timeline.
+ *
+ * Tracing is independent of metric collection: a Span can both feed a
+ * `*_ns` phase counter (when metrics are enabled) and emit a trace
+ * event (when tracing is enabled). With both off a Span costs two
+ * relaxed atomic loads and no clock reads.
+ *
+ * Span names must be string literals (or otherwise outlive the trace):
+ * buffers store the pointer, not a copy.
+ */
+
+#ifndef DAVF_OBS_TRACE_HH
+#define DAVF_OBS_TRACE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "metrics.hh"
+
+namespace davf::obs {
+
+/** One completed span: a half-open wall-time interval on one thread. */
+struct TraceEvent {
+    const char *name;
+    uint64_t start_ns; ///< ScopedTimeNs::nowNs() timebase.
+    uint64_t dur_ns;
+    uint32_t tid; ///< Small stable per-thread id (0 = first thread seen).
+};
+
+/** Process-wide trace buffer control. All methods are thread-safe. */
+class Trace
+{
+  public:
+    /** Whether span recording is on. One relaxed load. */
+    static bool
+    enabled()
+    {
+        return tracing.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Turn recording on or off. Enabling captures the timeline origin;
+     * events recorded while disabled are dropped silently.
+     */
+    static void setEnabled(bool on);
+
+    /** Append one completed event for the calling thread. */
+    static void record(const char *name, uint64_t start_ns, uint64_t dur_ns);
+
+    /**
+     * Serialise every buffered event as Chrome trace JSON:
+     * `{"traceEvents":[{"name",...,"ph":"X","ts":...,"dur":...},...]}`.
+     * Timestamps are microseconds since the last setEnabled(true).
+     */
+    static std::string toChromeJson();
+
+    /** Drop all buffered events (dropped-event tally included). */
+    static void clear();
+
+    /** Events discarded because the buffer cap was reached. */
+    static uint64_t dropped();
+
+  private:
+    static std::atomic<bool> tracing;
+};
+
+/**
+ * RAII span: times its scope, optionally accumulating into a `_ns`
+ * phase counter (metrics) and always recording a trace event when
+ * tracing is enabled. Keep spans coarse — per cycle, per shard, per
+ * query — not per wire.
+ */
+class Span
+{
+  public:
+    explicit Span(const char *name, const Counter *phase_ns = nullptr)
+        : name(name), phase_ns(phase_ns),
+          metering(phase_ns && MetricsRegistry::enabled()),
+          tracing(Trace::enabled()),
+          start_ns(metering || tracing ? ScopedTimeNs::nowNs() : 0)
+    {}
+
+    ~Span()
+    {
+        if (!metering && !tracing)
+            return;
+        const uint64_t dur_ns = ScopedTimeNs::nowNs() - start_ns;
+        if (metering)
+            phase_ns->add(dur_ns);
+        if (tracing)
+            Trace::record(name, start_ns, dur_ns);
+    }
+
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+  private:
+    const char *name;
+    const Counter *phase_ns;
+    bool metering;
+    bool tracing;
+    uint64_t start_ns;
+};
+
+} // namespace davf::obs
+
+#endif // DAVF_OBS_TRACE_HH

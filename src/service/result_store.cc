@@ -4,10 +4,33 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/metrics.hh"
 #include "util/atomic_file.hh"
 #include "util/logging.hh"
 
 namespace davf::service {
+
+namespace {
+
+/** Store metric handles, mirroring StoreStats (docs/OBSERVABILITY.md). */
+struct StoreMetrics
+{
+    obs::Counter memoryHits{"store.memory_hits"};
+    obs::Counter diskHits{"store.disk_hits"};
+    obs::Counter misses{"store.misses"};
+    obs::Counter evictions{"store.evictions"};
+    obs::Counter corruptRecords{"store.corrupt_records"};
+    obs::Counter writes{"store.writes"};
+};
+
+StoreMetrics &
+storeMetrics()
+{
+    static StoreMetrics *const metrics = new StoreMetrics();
+    return *metrics;
+}
+
+} // namespace
 
 namespace {
 
@@ -114,6 +137,7 @@ ResultStore::remember(const std::string &key, const std::string &payload)
         lruIndex.erase(lru.back().first);
         lru.pop_back();
         ++counters.evictions;
+        storeMetrics().evictions.add(1);
     }
 }
 
@@ -124,6 +148,7 @@ ResultStore::lookup(const std::string &key)
 
     if (auto it = lruIndex.find(key); it != lruIndex.end()) {
         ++counters.memoryHits;
+        storeMetrics().memoryHits.add(1);
         lru.splice(lru.begin(), lru, it->second);
         return it->second->second;
     }
@@ -139,12 +164,15 @@ ResultStore::lookup(const std::string &key)
                 // Truncated / wrong-version / damaged record: a miss
                 // the caller's recompute-and-store will repair.
                 ++counters.corruptRecords;
+                storeMetrics().corruptRecords.add(1);
             } else if (parsed.value().first != key) {
                 // A filename-hash collision stores someone else's
                 // result here; serving it would poison the cache.
                 ++counters.corruptRecords;
+                storeMetrics().corruptRecords.add(1);
             } else {
                 ++counters.diskHits;
+                storeMetrics().diskHits.add(1);
                 remember(key, parsed.value().second);
                 return std::move(parsed.value().second);
             }
@@ -152,6 +180,7 @@ ResultStore::lookup(const std::string &key)
     }
 
     ++counters.misses;
+    storeMetrics().misses.add(1);
     return std::nullopt;
 }
 
@@ -169,6 +198,7 @@ ResultStore::store(const std::string &key, const std::string &payload)
         writeFileAtomic(path, serializeRecord(key, payload));
     }
     ++counters.writes;
+    storeMetrics().writes.add(1);
 }
 
 StoreStats

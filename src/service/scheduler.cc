@@ -5,6 +5,8 @@
 
 #include "campaign/checkpoint.hh"
 #include "campaign/supervisor.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "util/logging.hh"
 
 namespace davf::service {
@@ -12,6 +14,24 @@ namespace davf::service {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+/** Scheduler metric handles, mirroring SchedulerStats. */
+struct SchedulerMetrics
+{
+    obs::Counter queries{"service.queries"};
+    obs::Counter shardHits{"service.shard_hits"};
+    obs::Counter inFlightHits{"service.in_flight_hits"};
+    obs::Counter shardsComputed{"service.shards_computed"};
+    obs::Counter cancelled{"service.cancelled"};
+    obs::Counter queryNs{"service.time.query_ns"};
+};
+
+SchedulerMetrics &
+schedulerMetrics()
+{
+    static SchedulerMetrics *const metrics = new SchedulerMetrics();
+    return *metrics;
+}
 
 double
 elapsedMs(Clock::time_point since)
@@ -142,6 +162,7 @@ QueryScheduler::runDavfCell(const Structure &structure,
         }
         if (hit) {
             ++reply.storeHits;
+            schedulerMetrics().shardHits.add(1);
             const std::lock_guard<std::mutex> stats_lock(statsMutex);
             ++counters.shardHits;
         } else {
@@ -168,6 +189,8 @@ QueryScheduler::runDavfCell(const Structure &structure,
                 payload && parseOutcomePayload(*payload, outcome)) {
                 progress.completed.push_back(std::move(outcome));
                 ++reply.storeHits;
+                schedulerMetrics().shardHits.add(1);
+                schedulerMetrics().inFlightHits.add(1);
                 const std::lock_guard<std::mutex> stats_lock(statsMutex);
                 ++counters.shardHits;
                 ++counters.inFlightHits;
@@ -191,6 +214,7 @@ QueryScheduler::runDavfCell(const Structure &structure,
                 storeOutcome(spec, outcome);
                 progress.completed.push_back(outcome);
                 ++reply.storeMisses;
+                schedulerMetrics().shardsComputed.add(1);
                 const std::lock_guard<std::mutex> stats_lock(statsMutex);
                 ++counters.shardsComputed;
             });
@@ -215,6 +239,7 @@ QueryScheduler::runDavfCell(const Structure &structure,
         progress.onCycleDone = [&](const InjectionCycleOutcome &outcome) {
             storeOutcome(spec, outcome);
             ++reply.storeMisses;
+            schedulerMetrics().shardsComputed.add(1);
             const std::lock_guard<std::mutex> stats_lock(statsMutex);
             ++counters.shardsComputed;
         };
@@ -275,6 +300,7 @@ QueryScheduler::runSavfCell(const Structure &structure,
     }
     if (hit) {
         ++reply.storeHits;
+        schedulerMetrics().shardHits.add(1);
         const std::lock_guard<std::mutex> stats_lock(statsMutex);
         ++counters.shardHits;
         return R::Ok(std::move(*hit));
@@ -283,6 +309,8 @@ QueryScheduler::runSavfCell(const Structure &structure,
     const std::lock_guard<std::mutex> engine_lock(engineMutex);
     if ((hit = tryLookup())) {
         ++reply.storeHits;
+        schedulerMetrics().shardHits.add(1);
+        schedulerMetrics().inFlightHits.add(1);
         const std::lock_guard<std::mutex> stats_lock(statsMutex);
         ++counters.shardHits;
         ++counters.inFlightHits;
@@ -305,6 +333,7 @@ QueryScheduler::runSavfCell(const Structure &structure,
         sampling.stopFlag = cancel;
         result = engine->savf(structure, sampling);
     }
+    schedulerMetrics().shardsComputed.add(1);
     {
         const std::lock_guard<std::mutex> stats_lock(statsMutex);
         computeMs.add(elapsedMs(compute_start));
@@ -322,6 +351,8 @@ QueryScheduler::run(const QuerySpec &query,
                     const std::atomic<bool> *cancel)
 {
     using R = Result<QueryReply>;
+    const obs::Span query_span("service.query",
+                               &schedulerMetrics().queryNs);
     try {
         const Structure *structure = registry->find(query.structure);
         if (!structure) {
@@ -337,6 +368,7 @@ QueryScheduler::run(const QuerySpec &query,
                 runDavfCell(*structure, query, d, cancel, reply);
             if (!cell) {
                 if (cell.error().kind() == ErrorKind::Timeout) {
+                    schedulerMetrics().cancelled.add(1);
                     const std::lock_guard<std::mutex> lock(statsMutex);
                     ++counters.cancelled;
                 }
@@ -356,6 +388,7 @@ QueryScheduler::run(const QuerySpec &query,
                 runSavfCell(*structure, query, cancel, reply);
             if (!cell) {
                 if (cell.error().kind() == ErrorKind::Timeout) {
+                    schedulerMetrics().cancelled.add(1);
                     const std::lock_guard<std::mutex> lock(statsMutex);
                     ++counters.cancelled;
                 }
@@ -370,6 +403,7 @@ QueryScheduler::run(const QuerySpec &query,
         }
 
         reply.reportJson = reportJson(rows);
+        schedulerMetrics().queries.add(1);
         {
             const std::lock_guard<std::mutex> lock(statsMutex);
             ++counters.queries;
@@ -406,7 +440,9 @@ QueryScheduler::statsJson() const
        << ",\"writes\":" << store_stats.writes
        << "},\"latency_ms\":{\"lookup\":" << histogramJson(lookupMs)
        << ",\"compute\":" << histogramJson(computeMs)
-       << ",\"aggregate\":" << histogramJson(aggregateMs) << "}}";
+       << ",\"aggregate\":" << histogramJson(aggregateMs)
+       << "},\"registry\":"
+       << obs::MetricsRegistry::instance().snapshot().toJson() << '}';
     return os.str();
 }
 

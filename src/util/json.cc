@@ -1,0 +1,255 @@
+#include "json.hh"
+
+#include <cctype>
+
+namespace davf {
+
+namespace {
+
+/** Recursive-descent state over the input text. */
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text) : text(text) {}
+
+    JsonCheck
+    run()
+    {
+        skipWs();
+        if (!value())
+            return fail();
+        skipWs();
+        if (pos != text.size()) {
+            error("trailing characters after JSON value");
+            return fail();
+        }
+        JsonCheck check;
+        check.valid = true;
+        return check;
+    }
+
+  private:
+    static constexpr size_t kMaxDepth = 256;
+
+    std::string_view text;
+    size_t pos = 0;
+    size_t depth = 0;
+    size_t err_pos = 0;
+    std::string err_msg;
+
+    bool
+    error(const std::string &message)
+    {
+        // Keep the first (deepest-progress) error.
+        if (err_msg.empty()) {
+            err_pos = pos;
+            err_msg = message;
+        }
+        return false;
+    }
+
+    JsonCheck
+    fail() const
+    {
+        JsonCheck check;
+        check.offset = err_pos;
+        check.message = err_msg.empty() ? "malformed JSON" : err_msg;
+        return check;
+    }
+
+    bool atEnd() const { return pos >= text.size(); }
+    char peek() const { return text[pos]; }
+
+    void
+    skipWs()
+    {
+        while (!atEnd() && (peek() == ' ' || peek() == '\t'
+                            || peek() == '\n' || peek() == '\r'))
+            ++pos;
+    }
+
+    bool
+    literal(std::string_view word)
+    {
+        if (text.substr(pos, word.size()) != word)
+            return error("unrecognised token");
+        pos += word.size();
+        return true;
+    }
+
+    bool
+    value()
+    {
+        if (atEnd())
+            return error("unexpected end of input");
+        if (++depth > kMaxDepth) {
+            --depth;
+            return error("nesting too deep");
+        }
+        bool ok = false;
+        switch (peek()) {
+          case '{': ok = object(); break;
+          case '[': ok = array(); break;
+          case '"': ok = string(); break;
+          case 't': ok = literal("true"); break;
+          case 'f': ok = literal("false"); break;
+          case 'n': ok = literal("null"); break;
+          default:  ok = number(); break;
+        }
+        --depth;
+        return ok;
+    }
+
+    bool
+    object()
+    {
+        ++pos; // '{'
+        skipWs();
+        if (!atEnd() && peek() == '}') {
+            ++pos;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (atEnd() || peek() != '"')
+                return error("expected object key string");
+            if (!string())
+                return false;
+            skipWs();
+            if (atEnd() || peek() != ':')
+                return error("expected ':' after object key");
+            ++pos;
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (atEnd())
+                return error("unterminated object");
+            if (peek() == ',') {
+                ++pos;
+                continue;
+            }
+            if (peek() == '}') {
+                ++pos;
+                return true;
+            }
+            return error("expected ',' or '}' in object");
+        }
+    }
+
+    bool
+    array()
+    {
+        ++pos; // '['
+        skipWs();
+        if (!atEnd() && peek() == ']') {
+            ++pos;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (atEnd())
+                return error("unterminated array");
+            if (peek() == ',') {
+                ++pos;
+                continue;
+            }
+            if (peek() == ']') {
+                ++pos;
+                return true;
+            }
+            return error("expected ',' or ']' in array");
+        }
+    }
+
+    bool
+    string()
+    {
+        ++pos; // '"'
+        while (!atEnd()) {
+            const unsigned char c = static_cast<unsigned char>(text[pos]);
+            if (c == '"') {
+                ++pos;
+                return true;
+            }
+            if (c == '\\') {
+                ++pos;
+                if (atEnd())
+                    return error("unterminated escape");
+                const char esc = text[pos];
+                if (esc == 'u') {
+                    for (int i = 1; i <= 4; ++i) {
+                        if (pos + i >= text.size()
+                            || !std::isxdigit(static_cast<unsigned char>(
+                                text[pos + i])))
+                            return error("bad \\u escape");
+                    }
+                    pos += 4;
+                } else if (esc != '"' && esc != '\\' && esc != '/'
+                           && esc != 'b' && esc != 'f' && esc != 'n'
+                           && esc != 'r' && esc != 't') {
+                    return error("bad escape character");
+                }
+                ++pos;
+                continue;
+            }
+            if (c < 0x20)
+                return error("unescaped control character in string");
+            ++pos;
+        }
+        return error("unterminated string");
+    }
+
+    bool
+    number()
+    {
+        const size_t start = pos;
+        if (!atEnd() && peek() == '-')
+            ++pos;
+        if (atEnd() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+            pos = start;
+            // `NaN`, `inf`, `-inf` land here: minus sign (or nothing)
+            // followed by a non-digit is not a JSON number.
+            return error("invalid number (NaN/inf are not JSON)");
+        }
+        if (peek() == '0') {
+            ++pos;
+        } else {
+            while (!atEnd()
+                   && std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos;
+        }
+        if (!atEnd() && peek() == '.') {
+            ++pos;
+            if (atEnd() || !std::isdigit(static_cast<unsigned char>(peek())))
+                return error("expected digits after decimal point");
+            while (!atEnd()
+                   && std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos;
+        }
+        if (!atEnd() && (peek() == 'e' || peek() == 'E')) {
+            ++pos;
+            if (!atEnd() && (peek() == '+' || peek() == '-'))
+                ++pos;
+            if (atEnd() || !std::isdigit(static_cast<unsigned char>(peek())))
+                return error("expected digits in exponent");
+            while (!atEnd()
+                   && std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos;
+        }
+        return true;
+    }
+};
+
+} // namespace
+
+JsonCheck
+jsonValidate(std::string_view text)
+{
+    return Parser(text).run();
+}
+
+} // namespace davf

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * A minimal RFC 8259 JSON validator. The library *emits* JSON in several
+ * places (reports, metrics snapshots, traces, service stats) but never
+ * needs to build a DOM from it — tests and the `davf_jsonlint` CI helper
+ * only need to know "is this well-formed?", and an error position when
+ * it is not. No third-party dependency, by design (ROADMAP.md).
+ */
+
+#ifndef DAVF_UTIL_JSON_HH
+#define DAVF_UTIL_JSON_HH
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace davf {
+
+/** Outcome of jsonValidate(): ok(), or a message with a byte offset. */
+struct JsonCheck {
+    bool valid = false;
+    size_t offset = 0;   ///< Byte position of the first error.
+    std::string message; ///< Empty when valid.
+
+    explicit operator bool() const { return valid; }
+};
+
+/**
+ * Validate that @p text is exactly one well-formed JSON value (object,
+ * array, string, number, true/false/null) with nothing but whitespace
+ * after it. Rejects the non-standard NaN/Infinity tokens some printf
+ * paths can produce — that is the bug class this guards against.
+ */
+JsonCheck jsonValidate(std::string_view text);
+
+} // namespace davf
+
+#endif // DAVF_UTIL_JSON_HH

@@ -33,7 +33,9 @@ geomean(const std::vector<double> &values, double floor)
 double
 maxOf(const std::vector<double> &values)
 {
-    double result = 0.0;
+    if (values.empty())
+        return 0.0;
+    double result = values.front();
     for (double value : values)
         result = std::max(result, value);
     return result;
@@ -48,10 +50,21 @@ Histogram::Histogram(double lo, double hi, size_t num_bins)
 void
 Histogram::add(double sample)
 {
+    if (std::isnan(sample)) {
+        // NaN has no position on the axis; counting it into an edge bin
+        // would silently skew the distribution.
+        ++invalid;
+        return;
+    }
+    // Clamp in the double domain: casting an out-of-range double (huge
+    // samples, +/-inf, or anything past LONG_MAX after scaling) to an
+    // integer type is undefined behaviour.
     const double unit = (sample - lo) / (hi - lo);
-    auto index = static_cast<long>(unit * static_cast<double>(counts.size()));
-    index = std::clamp<long>(index, 0, static_cast<long>(counts.size()) - 1);
-    ++counts[static_cast<size_t>(index)];
+    const double scaled =
+        std::clamp(unit * static_cast<double>(counts.size()), 0.0,
+                   static_cast<double>(counts.size() - 1));
+    const auto index = static_cast<size_t>(scaled);
+    ++counts[index];
     ++total;
 }
 

@@ -26,7 +26,12 @@ double mean(const std::vector<double> &values);
  */
 double geomean(const std::vector<double> &values, double floor = 1e-9);
 
-/** Maximum; 0 for an empty range. */
+/**
+ * Maximum; 0 for an empty range.
+ *
+ * Unlike a fold from zero, an all-negative range returns its (negative)
+ * maximum — slack margins can legitimately be below zero.
+ */
 double maxOf(const std::vector<double> &values);
 
 /** A fixed-width-bin histogram over [lo, hi). */
@@ -36,11 +41,18 @@ class Histogram
     /** Create @p num_bins equal bins spanning [lo, hi). */
     Histogram(double lo, double hi, size_t num_bins);
 
-    /** Record one sample (clamped into the outermost bins). */
+    /**
+     * Record one sample (clamped into the outermost bins). NaN samples
+     * carry no position information and are tallied separately; see
+     * invalidCount().
+     */
     void add(double sample);
 
-    /** Number of samples recorded. */
+    /** Number of samples recorded into bins (excludes NaN samples). */
     size_t count() const { return total; }
+
+    /** Number of NaN samples rejected by add(). */
+    size_t invalidCount() const { return invalid; }
 
     /** Raw per-bin counts. */
     const std::vector<size_t> &bins() const { return counts; }
@@ -62,6 +74,7 @@ class Histogram
     double hi;
     std::vector<size_t> counts;
     size_t total = 0;
+    size_t invalid = 0;
 };
 
 } // namespace davf

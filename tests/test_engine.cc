@@ -15,9 +15,14 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+
 #include "src/builder/ecc.hh"
+#include "src/campaign/checkpoint.hh"
 #include "src/core/report.hh"
 #include "src/core/vulnerability.hh"
+#include "src/obs/metrics.hh"
+#include "src/obs/trace.hh"
 #include "src/soc/ibex_mini.hh"
 #include "src/soc/soc_workload.hh"
 #include "src/isa/assembler.hh"
@@ -793,6 +798,122 @@ TEST(VectorDifferential, ResumeMidCellCrossesPaths)
     const DelayAvfResult resumed_back =
         engine.delayAvf(structure, 0.6, config, &resume_back);
     EXPECT_EQ(json(scalar_full), json(resumed_back));
+}
+
+TEST(Observability, MetricsAndTracingNeverPerturbResults)
+{
+    // The observability layer's contract: with collection and tracing
+    // on, every result byte — report JSON, per-cycle checkpoint/store
+    // records — is identical to a run with them off, across thread
+    // counts and the vector/scalar switch. Metrics may only *observe*.
+    const auto circuit = test::makeRandomCircuit(333, 10, 70, 16);
+    VulnerabilityEngine engine(*circuit.netlist,
+                               CellLibrary::defaultLibrary(),
+                               *circuit.workload);
+    StructureRegistry registry(*circuit.netlist);
+    const Structure &structure = registry.add("Rnd", "rnd/");
+
+    SamplingConfig config;
+    config.cycleFraction = 0.3;
+    config.maxInjectionCycles = 4;
+    config.recordPerWire = true;
+
+    // One run's complete byte surface: the report JSON plus every
+    // serialized per-cycle outcome (the checkpoint-journal / result-
+    // store payload), in cycle order.
+    auto resultBytes = [&](bool observe, bool vectorize,
+                           unsigned threads) {
+        obs::MetricsRegistry::instance().reset();
+        obs::Trace::clear();
+        obs::MetricsRegistry::setEnabled(observe);
+        obs::Trace::setEnabled(observe);
+
+        engine.setVectorMode(vectorize);
+        config.threads = threads;
+        DelayAvfProgress capture;
+        std::map<uint64_t, std::string> records;
+        capture.onCycleDone = [&](const InjectionCycleOutcome &out) {
+            records[out.cycle] = serializeOutcomeFields(out);
+        };
+        ReportRow row;
+        row.benchmark = "rnd";
+        row.structure = "Rnd";
+        row.delayFraction = 0.6;
+        row.davf = engine.delayAvf(structure, 0.6, config, &capture);
+
+        obs::MetricsRegistry::setEnabled(false);
+        obs::Trace::setEnabled(false);
+        obs::MetricsRegistry::instance().reset();
+        obs::Trace::clear();
+
+        std::string bytes = reportJson({row});
+        for (const auto &[cycle, record] : records) {
+            bytes += '\n';
+            bytes += record;
+        }
+        return bytes;
+    };
+
+    const std::string baseline = resultBytes(false, true, 1);
+    EXPECT_EQ(baseline, resultBytes(false, false, 4));
+    EXPECT_EQ(baseline, resultBytes(true, true, 1));
+    EXPECT_EQ(baseline, resultBytes(true, true, 4));
+    EXPECT_EQ(baseline, resultBytes(true, false, 1));
+    EXPECT_EQ(baseline, resultBytes(true, false, 4));
+}
+
+TEST(Observability, EngineCountersAreDeterministicAcrossSchedules)
+{
+    // The non-timing counters derive from per-cycle outcomes, so the
+    // snapshot (with `_ns` entries masked out) must not depend on the
+    // thread count or the vector/scalar switch's batching.
+    const auto circuit = test::makeRandomCircuit(334, 10, 70, 16);
+    VulnerabilityEngine engine(*circuit.netlist,
+                               CellLibrary::defaultLibrary(),
+                               *circuit.workload);
+    StructureRegistry registry(*circuit.netlist);
+    const Structure &structure = registry.add("Rnd", "rnd/");
+
+    SamplingConfig config;
+    config.cycleFraction = 0.3;
+    config.maxInjectionCycles = 4;
+
+    auto countersOf = [&](bool vectorize, unsigned threads) {
+        obs::MetricsRegistry::instance().reset();
+        obs::MetricsRegistry::setEnabled(true);
+        engine.setVectorMode(vectorize, vectorize ? 4 : 64);
+        config.threads = threads;
+        engine.delayAvf(structure, 0.6, config);
+        obs::MetricsRegistry::setEnabled(false);
+        std::map<std::string, uint64_t> counters =
+            obs::MetricsRegistry::instance().snapshot().counters;
+        obs::MetricsRegistry::instance().reset();
+        for (auto it = counters.begin(); it != counters.end();) {
+            const std::string &name = it->first;
+            if (name.size() > 3
+                && name.compare(name.size() - 3, 3, "_ns") == 0)
+                it = counters.erase(it);
+            else
+                ++it;
+        }
+        return counters;
+    };
+
+    const auto vector1 = countersOf(true, 1);
+    EXPECT_EQ(vector1, countersOf(true, 4));
+    EXPECT_GT(vector1.at("engine.cycles_computed"), 0u);
+    EXPECT_GT(vector1.at("engine.vector.batches"), 0u);
+
+    const auto scalar1 = countersOf(false, 1);
+    EXPECT_EQ(scalar1, countersOf(false, 4));
+    EXPECT_EQ(scalar1.at("engine.injections"),
+              vector1.at("engine.injections"));
+    // The vector path's memo-hit accounting replays the scalar demand
+    // order, so the hit counters agree exactly across paths.
+    EXPECT_EQ(scalar1.at("engine.memo_hits_group"),
+              vector1.at("engine.memo_hits_group"));
+    EXPECT_EQ(scalar1.at("engine.memo_hits_orace"),
+              vector1.at("engine.memo_hits_orace"));
 }
 
 /// @}

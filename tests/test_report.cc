@@ -5,9 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
 
 #include "src/core/report.hh"
+#include "src/util/json.hh"
 
 namespace davf {
 namespace {
@@ -81,6 +83,64 @@ TEST(Report, JsonIsWellFormedEnough)
     savf.sdc = 4;
     const std::string savf_json = savfJson("x", "y", savf);
     EXPECT_NE(savf_json.find("\"savf\":1"), std::string::npos);
+}
+
+TEST(Report, NonFiniteDoublesBecomeJsonNull)
+{
+    // Regression: ostream << NaN prints `nan` (or `-nan(ind)`), which
+    // is not a JSON token and breaks every downstream consumer. The
+    // JSON emitters now map any non-finite double to `null`.
+    DelayAvfResult result = sampleResult();
+    result.delayAvf = std::numeric_limits<double>::quiet_NaN();
+    result.orDelayAvf = std::numeric_limits<double>::infinity();
+    result.staticWireFraction = -std::numeric_limits<double>::infinity();
+
+    const std::string json = delayAvfJson(
+        "md5", "ALU", std::numeric_limits<double>::quiet_NaN(), result);
+    EXPECT_NE(json.find("\"delayavf\":null"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"ordelayavf\":null"), std::string::npos);
+    EXPECT_NE(json.find("\"static_frac\":null"), std::string::npos);
+    EXPECT_NE(json.find("\"d\":null"), std::string::npos);
+    EXPECT_EQ(json.find("nan"), std::string::npos);
+    EXPECT_EQ(json.find("inf"), std::string::npos);
+
+    SavfResult savf;
+    savf.savf = std::numeric_limits<double>::quiet_NaN();
+    const std::string savf_json = savfJson("x", "y", savf);
+    EXPECT_NE(savf_json.find("\"savf\":null"), std::string::npos);
+}
+
+TEST(Report, JsonWithNonFiniteFieldsStillParses)
+{
+    // Round trip through the strict validator: a report row poisoned
+    // with every kind of non-finite value must still be valid JSON.
+    ReportRow davf_row;
+    davf_row.kind = "davf";
+    davf_row.benchmark = "md5";
+    davf_row.structure = "ALU";
+    davf_row.delayFraction = std::numeric_limits<double>::infinity();
+    davf_row.davf = sampleResult();
+    davf_row.davf.delayAvf = std::numeric_limits<double>::quiet_NaN();
+    davf_row.davf.dynamicWireFraction =
+        -std::numeric_limits<double>::infinity();
+
+    ReportRow savf_row;
+    savf_row.kind = "savf";
+    savf_row.benchmark = "md5";
+    savf_row.structure = "ALU";
+    savf_row.savf.savf = std::numeric_limits<double>::quiet_NaN();
+
+    const std::string json = reportJson({davf_row, savf_row});
+    const JsonCheck check = jsonValidate(json);
+    EXPECT_TRUE(check.valid) << check.message << " at offset "
+                             << check.offset << " in: " << json;
+
+    // A well-formed report stays well-formed too (the guard must not
+    // perturb finite values).
+    const std::string clean =
+        delayAvfJson("md5", "ALU", 0.5, sampleResult());
+    EXPECT_TRUE(jsonValidate(clean));
+    EXPECT_NE(clean.find("\"delayavf\":0.125"), std::string::npos);
 }
 
 TEST(Report, LabelsAreSanitized)

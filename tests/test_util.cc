@@ -9,6 +9,7 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <limits>
 #include <set>
 #include <stdexcept>
 #include <thread>
@@ -217,6 +218,37 @@ TEST(Stats, Histogram)
     EXPECT_EQ(h.bins()[0], 2u);
     EXPECT_EQ(h.bins()[9], 2u);
     EXPECT_FALSE(h.render("label").empty());
+}
+
+TEST(Stats, HistogramNonFiniteAndHugeSamples)
+{
+    // Regression: the bin index used to be computed by casting an
+    // unclamped double to size_t — UB for NaN and for values far
+    // outside the range. Now the clamp happens in the double domain
+    // and NaN is routed to a dedicated invalid count.
+    Histogram h(0.0, 10.0, 10);
+    h.add(std::numeric_limits<double>::quiet_NaN());
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.invalidCount(), 1u);
+
+    h.add(std::numeric_limits<double>::infinity());
+    h.add(-std::numeric_limits<double>::infinity());
+    h.add(1e300);
+    h.add(-1e300);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.invalidCount(), 1u);
+    EXPECT_EQ(h.bins()[0], 2u);
+    EXPECT_EQ(h.bins()[9], 2u);
+}
+
+TEST(Stats, MaxOfAllNegativeInputs)
+{
+    // Regression: maxOf folded from 0.0, so any all-negative input
+    // reported a spurious maximum of zero.
+    EXPECT_DOUBLE_EQ(maxOf({-3.0, -1.0, -2.0}), -1.0);
+    EXPECT_DOUBLE_EQ(maxOf({-7.5}), -7.5);
+    EXPECT_DOUBLE_EQ(maxOf({}), 0.0);
+    EXPECT_DOUBLE_EQ(maxOf({-1.0, 0.0, -2.0}), 0.0);
 }
 
 TEST(ThreadPool, CoversAllIndices)

@@ -88,6 +88,48 @@ vector_smoke() {
     echo "=== vector smoke ok (reports bit-identical)" >&2
 }
 
+# Observability smoke: metrics and tracing must never perturb results
+# (docs/OBSERVABILITY.md). Run the same cheap sweep with and without
+# --metrics-json/--trace-json, require the two --json reports
+# byte-identical, and require every emitted JSON artifact — report,
+# metric snapshot, Chrome trace — to pass the strict davf_jsonlint
+# validator. Runs under both configs so the striped counters and span
+# buffers get ASan/UBSan coverage on every CI run.
+obs_smoke() {
+    build_dir="$1"
+    smoke_dir="$build_dir/obs-smoke"
+    rm -rf "$smoke_dir"
+    mkdir -p "$smoke_dir"
+    echo "=== obs smoke $build_dir" >&2
+    sweep() {
+        "$build_dir/tools/davf_run" --json \
+            --benchmark popcount --structure ALU --delays 0.5:0.9:0.2 \
+            --cycles 3 --wires 24 "$@"
+    }
+    sweep > "$smoke_dir/plain.json"
+    sweep --metrics-json "$smoke_dir/metrics.json" \
+        --trace-json "$smoke_dir/trace.json" \
+        > "$smoke_dir/observed.json"
+    if ! cmp -s "$smoke_dir/plain.json" "$smoke_dir/observed.json"; then
+        echo "obs smoke: report differs with metrics enabled" >&2
+        exit 1
+    fi
+    "$build_dir/tools/davf_jsonlint" \
+        "$smoke_dir/plain.json" "$smoke_dir/metrics.json" \
+        "$smoke_dir/trace.json"
+    if ! grep -q '"engine.cycles_computed":[1-9]' \
+        "$smoke_dir/metrics.json"; then
+        echo "obs smoke: no engine phase counters in snapshot:" >&2
+        cat "$smoke_dir/metrics.json" >&2
+        exit 1
+    fi
+    if ! grep -q '"name":"engine.cycle"' "$smoke_dir/trace.json"; then
+        echo "obs smoke: no engine.cycle spans in trace" >&2
+        exit 1
+    fi
+    echo "=== obs smoke ok (report bit-identical, JSON valid)" >&2
+}
+
 # GroupACE speedup artifact: run the end-to-end ALU sweep benchmark in
 # the Release config only (sanitizer timings are meaningless) and keep
 # the measured scalar-vs-vector speedup at the repo root. perf_engine
@@ -185,12 +227,14 @@ serve_smoke() {
 run_config "$root/build-ci-release" -DCMAKE_BUILD_TYPE=Release
 isolation_smoke "$root/build-ci-release"
 vector_smoke "$root/build-ci-release"
+obs_smoke "$root/build-ci-release"
 serve_smoke "$root/build-ci-release"
 groupace_bench "$root/build-ci-release"
 run_config "$root/build-ci-asan" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DDAVF_SANITIZE=address,undefined
 isolation_smoke "$root/build-ci-asan"
 vector_smoke "$root/build-ci-asan"
+obs_smoke "$root/build-ci-asan"
 serve_smoke "$root/build-ci-asan"
 
 echo "=== ci_check: all configurations passed" >&2

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Strict JSON well-formedness checker for the repo's emitters — report
+ * JSON from davf_run/davf_serve, metric snapshots, Chrome traces, and
+ * the scheduler's stats verb. Exists for CI: the bug class it catches
+ * is printf-style emitters leaking `nan`/`inf` tokens (not JSON) into
+ * reports, which jq and browsers reject.
+ *
+ * Usage:
+ *   davf_jsonlint [FILE...]
+ *
+ * With no arguments, validates stdin. Exit 0 if every input is exactly
+ * one well-formed JSON value (plus trailing whitespace), 1 otherwise;
+ * each failure is reported with its byte offset.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "util/json.hh"
+
+using namespace davf;
+
+namespace {
+
+bool
+checkOne(const std::string &label, const std::string &text)
+{
+    const JsonCheck check = jsonValidate(text);
+    if (check) {
+        return true;
+    }
+    std::fprintf(stderr, "%s: %s at byte offset %zu\n", label.c_str(),
+                 check.message.c_str(), check.offset);
+    return false;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool ok = true;
+    if (argc < 2) {
+        std::ostringstream contents;
+        contents << std::cin.rdbuf();
+        ok = checkOne("<stdin>", contents.str());
+    } else {
+        for (int i = 1; i < argc; ++i) {
+            std::ifstream file(argv[i], std::ios::binary);
+            if (!file) {
+                std::fprintf(stderr, "%s: cannot open\n", argv[i]);
+                ok = false;
+                continue;
+            }
+            std::ostringstream contents;
+            contents << file.rdbuf();
+            ok = checkOne(argv[i], contents.str()) && ok;
+        }
+    }
+    return ok ? 0 : 1;
+}

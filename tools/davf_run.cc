@@ -60,6 +60,12 @@
  *     --quarantine-dir D   persist quarantine records (one file per
  *                          isolated injection) under D
  *     --shard-metrics-csv F  append per-attempt wall/RSS/CPU metrics
+ *     --metrics-json FILE  enable metric collection and write the
+ *                          registry snapshot (davf-metrics v1 JSON) to
+ *                          FILE after the run (see docs/OBSERVABILITY.md)
+ *     --trace-json FILE    enable span tracing and write a Chrome
+ *                          trace_event JSON to FILE after the run (open
+ *                          in chrome://tracing or ui.perfetto.dev)
  *     --list               list benchmarks and structures, then exit
  *
  * The hidden --worker-shard flag turns the process into a campaign
@@ -80,7 +86,10 @@
 #include "core/report.hh"
 #include "core/vulnerability.hh"
 #include "isa/benchmarks.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "service/workspace.hh"
+#include "util/atomic_file.hh"
 #include "util/logging.hh"
 
 using namespace davf;
@@ -115,6 +124,8 @@ struct Options
     double shard_timeout_ms = 0.0;
     std::string quarantine_dir;
     std::string shard_metrics_csv;
+    std::string metrics_json_path;
+    std::string trace_json_path;
     bool worker_shard = false; ///< Hidden: serve shards over stdio.
 };
 
@@ -137,7 +148,9 @@ printUsage(const char *argv0)
                  "          [--max-retries N] [--backoff-ms X] "
                  "[--worker-mem-mb N]\n"
                  "          [--shard-timeout-ms X] [--quarantine-dir D]\n"
-                 "          [--shard-metrics-csv FILE] [--list]\n",
+                 "          [--shard-metrics-csv FILE]\n"
+                 "          [--metrics-json FILE] [--trace-json FILE] "
+                 "[--list]\n",
                  argv0);
 }
 
@@ -326,6 +339,10 @@ parse(int argc, char **argv)
             opts.quarantine_dir = need(i);
         } else if (arg == "--shard-metrics-csv") {
             opts.shard_metrics_csv = need(i);
+        } else if (arg == "--metrics-json") {
+            opts.metrics_json_path = need(i);
+        } else if (arg == "--trace-json") {
+            opts.trace_json_path = need(i);
         } else if (arg == "--worker-shard") {
             opts.worker_shard = true;
         } else if (arg == "--list") {
@@ -350,10 +367,46 @@ parse(int argc, char **argv)
     return opts;
 }
 
+/**
+ * Export the metric snapshot / Chrome trace requested on the command
+ * line. Called once, after the campaign completes (on every exit path,
+ * including interrupted and partially-failed runs — a cancelled sweep's
+ * phase profile is exactly when you want the numbers).
+ */
+void
+exportObservability(const Options &opts)
+{
+    if (!opts.metrics_json_path.empty()) {
+        writeFileAtomic(opts.metrics_json_path,
+                        obs::MetricsRegistry::instance().snapshot()
+                                .toJson()
+                            + "\n");
+        std::fprintf(stderr, "metrics snapshot written to '%s'\n",
+                     opts.metrics_json_path.c_str());
+    }
+    if (!opts.trace_json_path.empty()) {
+        writeFileAtomic(opts.trace_json_path,
+                        obs::Trace::toChromeJson() + "\n");
+        std::fprintf(stderr, "chrome trace written to '%s'\n",
+                     opts.trace_json_path.c_str());
+    }
+}
+
 int
 runTool(int argc, char **argv)
 {
     const Options opts = parse(argc, argv);
+
+    // Observability is opt-in per run: metric collection (cheap striped
+    // counters) whenever either export is requested, span tracing only
+    // when a trace file is. Worker-shard processes inherit the flags
+    // via the forwarded argv but exit before the export — under
+    // --isolate process the engine-phase counters live in the workers
+    // (docs/OBSERVABILITY.md).
+    if (!opts.metrics_json_path.empty() || !opts.trace_json_path.empty())
+        obs::MetricsRegistry::setEnabled(true);
+    if (!opts.trace_json_path.empty())
+        obs::Trace::setEnabled(true);
 
     // The shared Workspace loader performs the whole expensive setup —
     // assemble, SoC build, golden capture — identically to davf_serve
@@ -427,6 +480,8 @@ runTool(int argc, char **argv)
 
     Campaign campaign(engine, workspace.structures(), campaign_options);
     const CampaignSummary summary = campaign.run();
+
+    exportObservability(opts);
 
     if (opts.json) {
         // The structured report: the same rows, in the same order, as a

@@ -51,6 +51,7 @@
 #include <vector>
 
 #include "campaign/supervisor.hh"
+#include "obs/metrics.hh"
 #include "service/protocol.hh"
 #include "service/result_store.hh"
 #include "service/scheduler.hh"
@@ -303,6 +304,11 @@ int
 runTool(int argc, char **argv)
 {
     const Options opts = parse(argc, argv);
+
+    // The server always collects metrics: a long-lived process wants
+    // its registry live so the `stats` verb can report it, and the
+    // striped counters are too cheap to merit a knob here.
+    obs::MetricsRegistry::setEnabled(true);
 
     std::fprintf(stderr,
                  "building workspace (%s, %s regfile, %s clock)...\n",
