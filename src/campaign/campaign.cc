@@ -201,6 +201,11 @@ Campaign::run()
     // re-crashing on the same cell. Records from other configurations
     // are ignored (their sampled-wire indices mean something else).
     const bool process_mode = options.isolate == IsolationMode::Process;
+    const bool net_mode = options.isolate == IsolationMode::Net;
+    if (net_mode) {
+        davf_assert(options.dispatcher != nullptr,
+                    "IsolationMode::Net needs a ShardDispatcher");
+    }
     std::vector<QuarantineRecord> knownQuarantine;
     if (process_mode && !options.supervisor.quarantineDir.empty()) {
         for (QuarantineRecord &record :
@@ -260,7 +265,18 @@ Campaign::run()
         cell.delay = planned.delay;
 
         if (planned.key.kind == "savf") {
-            if (process_mode) {
+            if (net_mode) {
+                ShardDispatcher::CellResult shard =
+                    options.dispatcher->runSavfCell(
+                        planned.key.structure, config, cell.savf);
+                if (shard.stopped) {
+                    summary.interrupted = true;
+                    save();
+                    break;
+                }
+                cell.failed = shard.failed;
+                cell.failReason = shard.failReason;
+            } else if (process_mode) {
                 ensure_supervisor();
                 Supervisor::SavfCellResult shard =
                     supervisor->runSavfCell(planned.key.structure,
@@ -323,13 +339,11 @@ Campaign::run()
                 }
             };
 
-            if (process_mode) {
-                ensure_supervisor();
-
+            if (process_mode || net_mode) {
                 // Dispatch only the cycles the journal does not already
-                // have; workers compute, the supervisor retries /
-                // bisects / quarantines, and every completed outcome is
-                // journaled through the same onCycleDone as thread
+                // have; workers compute, the supervisor/coordinator
+                // retries and quarantines, and every completed outcome
+                // is journaled through the same onCycleDone as thread
                 // mode.
                 std::vector<uint64_t> todo;
                 for (uint64_t cycle : engine->injectionCycles(config)) {
@@ -344,28 +358,46 @@ Campaign::run()
                     if (!have)
                         todo.push_back(cycle);
                 }
-                const std::vector<WireId> wires =
-                    engine->sampledWires(*planned.structure, config);
 
-                Supervisor::DavfCellResult shard =
-                    supervisor->runDavfCell(
-                        planned.key.structure, planned.delay, todo,
-                        wires, config, knownQuarantine,
-                        progress.onCycleDone);
-                for (QuarantineRecord &record : shard.quarantined) {
-                    knownQuarantine.push_back(record);
-                    summary.quarantined.push_back(std::move(record));
+                bool shard_failed = false;
+                std::string shard_fail_reason;
+                bool shard_stopped = false;
+                if (net_mode) {
+                    ShardDispatcher::CellResult shard =
+                        options.dispatcher->runDavfCell(
+                            planned.key.structure, planned.delay, todo,
+                            config, progress.onCycleDone);
+                    shard_failed = shard.failed;
+                    shard_fail_reason = std::move(shard.failReason);
+                    shard_stopped = shard.stopped;
+                } else {
+                    ensure_supervisor();
+                    const std::vector<WireId> wires =
+                        engine->sampledWires(*planned.structure, config);
+
+                    Supervisor::DavfCellResult shard =
+                        supervisor->runDavfCell(
+                            planned.key.structure, planned.delay, todo,
+                            wires, config, knownQuarantine,
+                            progress.onCycleDone);
+                    for (QuarantineRecord &record : shard.quarantined) {
+                        knownQuarantine.push_back(record);
+                        summary.quarantined.push_back(std::move(record));
+                    }
+                    shard_failed = shard.failed;
+                    shard_fail_reason = std::move(shard.failReason);
+                    shard_stopped = shard.stopped;
                 }
 
-                if (shard.stopped) {
+                if (shard_stopped) {
                     summary.interrupted = true;
                     save();
                     flushCsv(summary);
                     break;
                 }
-                if (shard.failed) {
+                if (shard_failed) {
                     cell.failed = true;
-                    cell.failReason = shard.failReason;
+                    cell.failReason = shard_fail_reason;
                 } else {
                     // Every outcome is in the journal now; the engine
                     // call only aggregates (no cycle is re-simulated),

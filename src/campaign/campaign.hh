@@ -52,6 +52,53 @@ enum class IsolationMode : uint8_t {
      * injections are bit-identical to Thread mode at any worker count.
      */
     Process,
+
+    /**
+     * On remote worker nodes through a CampaignOptions::dispatcher
+     * (the src/net coordinator): shards travel over TCP with
+     * heartbeats, retry, node quarantine, and local fallback, and
+     * every completed outcome flows through the same journal grammar,
+     * so aggregates stay bit-identical to Thread mode at any node
+     * count (docs/DISTRIBUTED.md).
+     */
+    Net,
+};
+
+/**
+ * Remote-execution hook for IsolationMode::Net. The campaign stays
+ * transport-agnostic: it hands whole cells to this interface and
+ * journals the per-cycle outcomes it gets back exactly as in the other
+ * modes. Implemented by net::Coordinator.
+ */
+class ShardDispatcher
+{
+  public:
+    /** One dispatched cell's outcome (mirrors the supervisor's). */
+    struct CellResult
+    {
+        bool failed = false; ///< A shard failed beyond repair.
+        std::string failReason;
+        bool stopped = false; ///< The stop flag interrupted the cell.
+    };
+
+    virtual ~ShardDispatcher() = default;
+
+    /**
+     * Compute the given injection cycles of one (structure, delay)
+     * cell across the fleet. Every completed outcome is delivered
+     * through @p on_cycle_done (serialized; any thread).
+     */
+    virtual CellResult runDavfCell(
+        const std::string &structure, double delay_fraction,
+        const std::vector<uint64_t> &cycles,
+        const SamplingConfig &sampling,
+        const std::function<void(const InjectionCycleOutcome &)>
+            &on_cycle_done) = 0;
+
+    /** Compute one sAVF cell on the fleet; @p out on success. */
+    virtual CellResult runSavfCell(const std::string &structure,
+                                   const SamplingConfig &sampling,
+                                   SavfResult &out) = 0;
 };
 
 /** What to run and how to survive it. */
@@ -118,6 +165,12 @@ struct CampaignOptions
      * ...) comes from the caller.
      */
     SupervisorOptions supervisor;
+
+    /**
+     * Remote dispatch hook, required for IsolationMode::Net; the
+     * caller owns it (and its node fleet) and it must outlive run().
+     */
+    ShardDispatcher *dispatcher = nullptr;
 };
 
 /** One cell's outcome as the campaign saw it. */

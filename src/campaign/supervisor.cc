@@ -789,6 +789,29 @@ Supervisor::shutdown()
             // Already dead; terminate() below reaps it.
         }
     }
+    // Drain each worker's stream until its EOF (within the quit
+    // grace) before terminating: a reply frame racing the quit is
+    // consumed here instead of being misread as a failure, and a
+    // worker blocked flushing that reply into a full pipe can finish
+    // writing and exit cleanly instead of being killed mid-write.
+    const double deadline = nowMs() + kQuitGraceMs;
+    for (const std::unique_ptr<Slot> &slot : slots) {
+        if (!slot->proc || !slot->proc->running())
+            continue;
+        try {
+            std::string frame;
+            for (;;) {
+                const double remaining = deadline - nowMs();
+                if (remaining <= 0.0)
+                    break;
+                if (slot->proc->readFrame(frame, remaining)
+                    != Subprocess::ReadStatus::Frame)
+                    break; // EOF (clean exit) or a hung worker.
+            }
+        } catch (const DavfError &) {
+            // A torn tail at shutdown is not worth reporting.
+        }
+    }
     for (const std::unique_ptr<Slot> &slot : slots) {
         if (slot->proc && slot->proc->running())
             slot->proc->terminate(kQuitGraceMs);

@@ -1,0 +1,714 @@
+#include "coordinator.hh"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <set>
+#include <sstream>
+
+#include "campaign/checkpoint.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+#include "util/logging.hh"
+
+namespace davf::net {
+
+namespace {
+
+/** Grace window for draining a node's stream at shutdown. */
+constexpr double kQuitGraceMs = 2000.0;
+
+/** Handshake read budget per connecting node. */
+constexpr double kHelloTimeoutMs = 5000.0;
+
+double
+nowMs()
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+uint64_t
+fnv1a(const std::string &text, uint64_t hash = 0xcbf29ce484222325ull)
+{
+    for (unsigned char c : text) {
+        hash ^= c;
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+/**
+ * Coordinator metric handles (docs/OBSERVABILITY.md). The compute
+ * counters live in the worker processes; these cover the fleet's view
+ * of node lifecycle, dispatch churn, and recovery.
+ */
+struct NetMetrics
+{
+    obs::Counter nodesConnected{"net.nodes_connected"};
+    obs::Counter nodesRejected{"net.nodes_rejected"};
+    obs::Counter nodesLost{"net.nodes_lost"};
+    obs::Counter nodesQuarantined{"net.nodes_quarantined"};
+    obs::Counter dispatches{"net.dispatches"};
+    obs::Counter redispatches{"net.redispatches"};
+    obs::Counter heartbeats{"net.heartbeats"};
+    obs::Counter backoffWaits{"net.backoff_waits"};
+    obs::Counter localFallbacks{"net.local_fallbacks"};
+    obs::Counter storeHits{"net.store_hits"};
+    obs::Counter storeWrites{"net.store_writes"};
+    obs::Counter dispatchNs{"net.time.dispatch_ns"};
+    obs::Counter backoffNs{"net.time.backoff_ns"};
+    obs::ValueHistogram shardWallUs{"net.shard_wall_us"};
+};
+
+NetMetrics &
+netMetrics()
+{
+    static NetMetrics *const metrics = new NetMetrics();
+    return *metrics;
+}
+
+/** One dispatch attempt's outcome, in the coordinator's taxonomy. */
+struct Attempt
+{
+    enum class Outcome : uint8_t {
+        Ok,        ///< Parsed result in cycleOutcome/savfOutcome.
+        NodeLost,  ///< Connection died (EOF, send failure, torn frame).
+        Timeout,   ///< Heartbeat silence or shard budget exceeded.
+        BadOutput, ///< Intact frame, unparseable reply.
+        Error,     ///< Deterministic worker-reported "err".
+    };
+
+    Outcome outcome = Outcome::NodeLost;
+    std::string detail;
+    InjectionCycleOutcome cycleOutcome;
+    SavfResult savfOutcome;
+
+    /** The connection is unusable after this attempt. */
+    bool
+    lostNode() const
+    {
+        return outcome == Outcome::NodeLost
+            || outcome == Outcome::Timeout;
+    }
+};
+
+} // namespace
+
+/** One connected worker node. */
+struct Coordinator::Node
+{
+    uint64_t id = 0;
+    std::string name;
+    FrameConn conn;
+    unsigned failures = 0; ///< Retryable failures, toward quarantine.
+    std::atomic<bool> dead{false};
+};
+
+/** One shard of a cell in flight. */
+struct Coordinator::Job
+{
+    ShardSpec spec;
+    unsigned attempts = 0;
+    bool fromCache = false;
+    InjectionCycleOutcome cycleOutcome;
+    SavfResult savfOutcome;
+};
+
+/** Shared state of one cell's dispatch. */
+struct Coordinator::CellCtx
+{
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::vector<Job> jobs;
+    std::deque<size_t> queue;      ///< Dispatchable job indices.
+    std::deque<size_t> localQueue; ///< Jobs demoted to local compute.
+    size_t outstanding = 0;        ///< Jobs not yet delivered.
+    size_t activeDispatchers = 0;
+    bool failed = false;
+    std::string failReason;
+    bool stopped = false;
+
+    /** Serializes delivery (on_cycle_done journals). */
+    std::mutex deliverMutex;
+    std::function<void(Job &)> deliver;
+
+    bool
+    finished() const
+    {
+        return outstanding == 0 || failed || stopped;
+    }
+};
+
+Coordinator::Coordinator(ListenSocket listener,
+                         CoordinatorOptions the_options)
+    : options(std::move(the_options)), listenFd(listener.fd),
+      listenPort(listener.port)
+{
+    acceptor = std::thread([this] { acceptLoop(); });
+}
+
+Coordinator::~Coordinator()
+{
+    shutdown();
+}
+
+bool
+Coordinator::stopRequested() const
+{
+    return options.stopFlag
+        && options.stopFlag->load(std::memory_order_relaxed);
+}
+
+void
+Coordinator::acceptLoop()
+{
+    while (!shuttingDown.load(std::memory_order_relaxed)) {
+        struct pollfd pfd = {};
+        pfd.fd = listenFd;
+        pfd.events = POLLIN;
+        const int ready = ::poll(&pfd, 1, 200);
+        if (ready <= 0)
+            continue;
+
+        int fd = -1;
+        try {
+            fd = acceptTcp(listenFd);
+        } catch (const DavfError &) {
+            if (shuttingDown.load(std::memory_order_relaxed))
+                return;
+            continue;
+        }
+
+        // Handshake inline: hellos are tiny and the accept rate is a
+        // handful of nodes, not a request stream.
+        FrameConn conn(fd);
+        try {
+            std::string payload;
+            const FrameConn::ReadStatus st =
+                conn.read(payload, kHelloTimeoutMs);
+            if (st != FrameConn::ReadStatus::Frame)
+                continue; // Dropped or silent dialer; conn closes.
+            Result<Hello> hello = parseHello(payload);
+            if (!hello) {
+                netMetrics().nodesRejected.add(1);
+                conn.send(makeReject(hello.error().what()));
+                continue;
+            }
+            if (!options.fingerprint.empty()
+                && hello.value().fingerprint != options.fingerprint) {
+                netMetrics().nodesRejected.add(1);
+                conn.send(makeReject(
+                    "workspace fingerprint mismatch: coordinator has "
+                    + options.fingerprint + ", node sent "
+                    + hello.value().fingerprint));
+                continue;
+            }
+            conn.send(makeWelcome());
+
+            auto node = std::make_shared<Node>();
+            node->name = hello.value().node;
+            node->conn = std::move(conn);
+            {
+                const std::lock_guard<std::mutex> lock(fleetMutex);
+                node->id = nextNodeId++;
+                fleet.push_back(node);
+            }
+            netMetrics().nodesConnected.add(1);
+            fleetCv.notify_all();
+        } catch (const DavfError &) {
+            // A peer that garbles or tears its hello is not a node.
+            netMetrics().nodesRejected.add(1);
+        }
+    }
+}
+
+size_t
+Coordinator::waitForNodes(size_t count, double timeout_ms)
+{
+    std::unique_lock<std::mutex> lock(fleetMutex);
+    fleetCv.wait_for(
+        lock, std::chrono::duration<double, std::milli>(timeout_ms),
+        [&] { return fleet.size() >= count || stopRequested(); });
+    return fleet.size();
+}
+
+size_t
+Coordinator::nodeCount() const
+{
+    const std::lock_guard<std::mutex> lock(fleetMutex);
+    return fleet.size();
+}
+
+std::vector<std::shared_ptr<Coordinator::Node>>
+Coordinator::fleetSnapshot() const
+{
+    const std::lock_guard<std::mutex> lock(fleetMutex);
+    return fleet;
+}
+
+void
+Coordinator::backoff(const ShardSpec &spec, unsigned attempt) const
+{
+    if (options.backoffBaseMs <= 0.0)
+        return;
+    double delay_ms = options.backoffBaseMs
+        * static_cast<double>(1u << std::min(attempt, 10u));
+    // Deterministic jitter, as in the supervisor: no shared RNG state,
+    // yet distinct shards desynchronize their retries.
+    const uint64_t jitter_seed = fnv1a(
+        spec.structure + ':' + std::to_string(spec.cycle) + ':'
+        + std::to_string(attempt) + ':' + std::to_string(options.seed));
+    delay_ms += static_cast<double>(jitter_seed % 1000) / 1000.0
+        * options.backoffBaseMs;
+    NetMetrics &nm = netMetrics();
+    nm.backoffWaits.add(1);
+    const obs::Span span("net.backoff", &nm.backoffNs);
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(delay_ms));
+}
+
+namespace {
+
+/**
+ * Ship one shard to one node and wait out the reply, translating every
+ * way the exchange can die into the coordinator's taxonomy. Mirrors
+ * the supervisor's dispatchOnce, with a connection where the child
+ * process used to be.
+ */
+Attempt
+dispatchOnce(FrameConn &conn, const ShardSpec &spec,
+             const CoordinatorOptions &options)
+{
+    const obs::Span span("net.dispatch", &netMetrics().dispatchNs);
+    netMetrics().dispatches.add(1);
+
+    Attempt attempt;
+    const double started = nowMs();
+    auto finish = [&](Attempt::Outcome outcome, std::string detail) {
+        attempt.outcome = outcome;
+        attempt.detail = std::move(detail);
+        netMetrics().shardWallUs.observe(
+            static_cast<uint64_t>((nowMs() - started) * 1000.0));
+        return attempt;
+    };
+
+    try {
+        conn.send("shard " + serializeShardSpec(spec));
+    } catch (const DavfError &error) {
+        return finish(Attempt::Outcome::NodeLost,
+                      std::string("send failed: ") + error.what());
+    }
+
+    const double shard_deadline = options.shardTimeoutMs > 0.0
+        ? started + options.shardTimeoutMs
+        : 0.0;
+    std::string frame;
+    for (;;) {
+        double budget = options.heartbeatTimeoutMs;
+        if (shard_deadline > 0.0) {
+            const double remaining = shard_deadline - nowMs();
+            if (remaining <= 0.0)
+                return finish(Attempt::Outcome::Timeout,
+                              "shard exceeded its "
+                                  + std::to_string(options.shardTimeoutMs)
+                                  + " ms budget");
+            budget = std::min(budget, remaining);
+        }
+
+        FrameConn::ReadStatus st;
+        try {
+            st = conn.read(frame, budget);
+        } catch (const DavfError &error) {
+            // Torn or hostile stream: no frame boundary to recover to.
+            return finish(Attempt::Outcome::NodeLost, error.what());
+        }
+
+        if (st == FrameConn::ReadStatus::Eof)
+            return finish(Attempt::Outcome::NodeLost,
+                          "node closed the connection mid-shard");
+        if (st == FrameConn::ReadStatus::Timeout) {
+            if (shard_deadline > 0.0 && nowMs() < shard_deadline)
+                continue; // Heartbeat window rearmed per frame.
+            return finish(
+                Attempt::Outcome::Timeout,
+                shard_deadline > 0.0
+                    ? "shard exceeded its "
+                        + std::to_string(options.shardTimeoutMs)
+                        + " ms budget"
+                    : "no heartbeat within "
+                        + std::to_string(options.heartbeatTimeoutMs)
+                        + " ms");
+        }
+
+        if (frame == "hb") {
+            netMetrics().heartbeats.add(1);
+            continue;
+        }
+
+        std::istringstream is(frame);
+        std::string tag;
+        is >> tag;
+        if (tag == "err") {
+            std::string kind;
+            is >> kind;
+            std::string message;
+            std::getline(is, message);
+            if (!message.empty() && message.front() == ' ')
+                message.erase(0, 1);
+            return finish(Attempt::Outcome::Error, kind + ": " + message);
+        }
+        if (tag == "ok") {
+            std::string what;
+            is >> what;
+            bool ok = false;
+            if (what == "davf" && spec.kind == ShardSpec::Kind::Cycle)
+                ok = parseOutcomeFields(is, attempt.cycleOutcome);
+            else if (what == "savf" && spec.kind == ShardSpec::Kind::Savf)
+                ok = parseSavfFields(is, attempt.savfOutcome);
+            if (ok)
+                return finish(Attempt::Outcome::Ok, "");
+        }
+        // The frame arrived intact, so the stream is still in sync;
+        // the payload is garbage (e.g. an injected garble fault).
+        return finish(Attempt::Outcome::BadOutput,
+                      "unparseable reply: " + frame.substr(0, 120));
+    }
+}
+
+} // namespace
+
+void
+Coordinator::finishJob(CellCtx &ctx, Job &job)
+{
+    {
+        const std::lock_guard<std::mutex> lock(ctx.deliverMutex);
+        ctx.deliver(job);
+        if (options.cacheStore && !job.fromCache) {
+            const std::string payload =
+                job.spec.kind == ShardSpec::Kind::Cycle
+                ? serializeOutcomeFields(job.cycleOutcome)
+                : serializeSavfFields(job.savfOutcome);
+            options.cacheStore(job.spec, payload);
+            netMetrics().storeWrites.add(1);
+        }
+    }
+    const std::lock_guard<std::mutex> lock(ctx.mutex);
+    --ctx.outstanding;
+    ctx.cv.notify_all();
+}
+
+void
+Coordinator::computeLocally(CellCtx &ctx, Job &job)
+{
+    try {
+        const std::lock_guard<std::mutex> lock(localMutex);
+        if (job.spec.kind == ShardSpec::Kind::Cycle) {
+            davf_assert(static_cast<bool>(options.localCycle),
+                        "net coordinator has no local cycle fallback");
+            job.cycleOutcome = options.localCycle(job.spec);
+        } else {
+            davf_assert(static_cast<bool>(options.localSavf),
+                        "net coordinator has no local savf fallback");
+            job.savfOutcome = options.localSavf(job.spec);
+        }
+    } catch (const DavfError &error) {
+        // Local compute is the path of last resort; its failure is
+        // deterministic for the cell, exactly as in thread mode.
+        const std::lock_guard<std::mutex> lock(ctx.mutex);
+        if (!ctx.failed) {
+            ctx.failed = true;
+            ctx.failReason = std::string("local fallback: ")
+                + error.what();
+        }
+        ctx.cv.notify_all();
+        return;
+    }
+    finishJob(ctx, job);
+}
+
+void
+Coordinator::drainNode(const std::shared_ptr<Node> &node, CellCtx &ctx)
+{
+    auto retire = [&](const std::string &why, bool quarantine) {
+        node->dead.store(true, std::memory_order_relaxed);
+        node->conn.close();
+        {
+            const std::lock_guard<std::mutex> lock(fleetMutex);
+            fleet.erase(std::remove(fleet.begin(), fleet.end(), node),
+                        fleet.end());
+        }
+        if (quarantine)
+            netMetrics().nodesQuarantined.add(1);
+        else
+            netMetrics().nodesLost.add(1);
+        davf_warn("net: node '", node->name, "' ",
+                  quarantine ? "quarantined" : "lost", " (", why, ")");
+    };
+
+    for (;;) {
+        size_t index = 0;
+        {
+            std::unique_lock<std::mutex> lock(ctx.mutex);
+            ctx.cv.wait(lock, [&] {
+                return !ctx.queue.empty() || ctx.finished()
+                    || node->dead.load(std::memory_order_relaxed);
+            });
+            if (ctx.finished()
+                || node->dead.load(std::memory_order_relaxed))
+                break;
+            index = ctx.queue.front();
+            ctx.queue.pop_front();
+        }
+        Job &job = ctx.jobs[index];
+        ++job.attempts;
+
+        const Attempt attempt =
+            dispatchOnce(node->conn, job.spec, options);
+
+        if (attempt.outcome == Attempt::Outcome::Ok) {
+            node->failures = 0;
+            job.cycleOutcome = attempt.cycleOutcome;
+            job.savfOutcome = attempt.savfOutcome;
+            finishJob(ctx, job);
+            continue;
+        }
+
+        if (attempt.outcome == Attempt::Outcome::Error) {
+            // Deterministic worker error: re-dispatching cannot fix
+            // it, so the cell fails (same policy as the supervisor).
+            const std::lock_guard<std::mutex> lock(ctx.mutex);
+            if (!ctx.failed) {
+                ctx.failed = true;
+                ctx.failReason = "node '" + node->name
+                    + "': " + attempt.detail;
+            }
+            ctx.cv.notify_all();
+            break;
+        }
+
+        // Retryable: lost node, timeout, or garbled reply.
+        ++node->failures;
+        const bool lost = attempt.lostNode();
+        const bool quarantined =
+            !lost && node->failures > options.maxNodeFailures;
+        if (lost || quarantined)
+            retire(attempt.detail, quarantined);
+
+        const bool fallback = job.attempts
+            > options.maxRetries + 1; // First try + maxRetries more.
+        {
+            const std::lock_guard<std::mutex> lock(ctx.mutex);
+            if (ctx.finished()) {
+                // Stopped/failed while we were dispatching; the job's
+                // outcome no longer matters.
+                ctx.cv.notify_all();
+                break;
+            }
+            if (fallback) {
+                netMetrics().localFallbacks.add(1);
+                ctx.localQueue.push_back(index);
+            } else {
+                netMetrics().redispatches.add(1);
+                ctx.queue.push_back(index);
+            }
+            ctx.cv.notify_all();
+        }
+        davf_warn("net: shard (", job.spec.structure, ", cycle ",
+                  job.spec.cycle, ") attempt ", job.attempts,
+                  " failed on node '", node->name, "': ",
+                  attempt.detail,
+                  fallback ? "; falling back to local compute"
+                           : "; re-dispatching");
+
+        if (node->dead.load(std::memory_order_relaxed))
+            break;
+        if (!fallback)
+            backoff(job.spec, job.attempts);
+    }
+
+    const std::lock_guard<std::mutex> lock(ctx.mutex);
+    --ctx.activeDispatchers;
+    ctx.cv.notify_all();
+}
+
+Coordinator::CellResult
+Coordinator::runCell(std::vector<Job> jobs,
+                     const std::function<void(Job &)> &deliver)
+{
+    CellCtx ctx;
+    ctx.jobs = std::move(jobs);
+    ctx.deliver = deliver;
+    ctx.outstanding = ctx.jobs.size();
+
+    // Resolve shards against the shared store tier first: a shard any
+    // node (or any earlier run) already computed is a hit, not work.
+    if (options.cacheLookup) {
+        for (Job &job : ctx.jobs) {
+            const std::optional<std::string> hit =
+                options.cacheLookup(job.spec);
+            if (!hit)
+                continue;
+            std::istringstream is(*hit);
+            const bool ok = job.spec.kind == ShardSpec::Kind::Cycle
+                ? parseOutcomeFields(is, job.cycleOutcome)
+                : parseSavfFields(is, job.savfOutcome);
+            if (!ok)
+                continue; // Corrupt payload is a miss, not an error.
+            job.fromCache = true;
+            netMetrics().storeHits.add(1);
+            finishJob(ctx, job);
+        }
+    }
+    for (size_t i = 0; i < ctx.jobs.size(); ++i) {
+        if (!ctx.jobs[i].fromCache)
+            ctx.queue.push_back(i);
+    }
+
+    std::vector<std::thread> dispatchers;
+    std::set<uint64_t> seen;
+
+    std::unique_lock<std::mutex> lock(ctx.mutex);
+    for (;;) {
+        // Late joiners get a dispatcher mid-cell; lock order is
+        // ctx.mutex -> fleetMutex throughout.
+        for (const std::shared_ptr<Node> &node : fleetSnapshot()) {
+            if (node->dead.load(std::memory_order_relaxed)
+                || !seen.insert(node->id).second)
+                continue;
+            ++ctx.activeDispatchers;
+            dispatchers.emplace_back(
+                [this, node, &ctx] { drainNode(node, ctx); });
+        }
+
+        if (ctx.finished())
+            break;
+        if (stopRequested()) {
+            ctx.stopped = true;
+            ctx.cv.notify_all();
+            break;
+        }
+
+        if (!ctx.localQueue.empty()) {
+            const size_t index = ctx.localQueue.front();
+            ctx.localQueue.pop_front();
+            lock.unlock();
+            computeLocally(ctx, ctx.jobs[index]);
+            lock.lock();
+            continue;
+        }
+        if (ctx.activeDispatchers == 0 && !ctx.queue.empty()
+            && nodeCount() == 0) {
+            // The fleet drained to zero: degrade gracefully to local
+            // in-process execution for everything still queued.
+            davf_warn("net: no nodes left; computing ",
+                      ctx.queue.size(), " remaining shard(s) locally");
+            while (!ctx.queue.empty()) {
+                netMetrics().localFallbacks.add(1);
+                ctx.localQueue.push_back(ctx.queue.front());
+                ctx.queue.pop_front();
+            }
+            continue;
+        }
+
+        ctx.cv.wait_for(lock, std::chrono::milliseconds(200));
+    }
+    lock.unlock();
+
+    ctx.cv.notify_all();
+    for (std::thread &thread : dispatchers)
+        thread.join();
+
+    CellResult result;
+    result.failed = ctx.failed;
+    result.failReason = ctx.failReason;
+    result.stopped = ctx.stopped;
+    return result;
+}
+
+Coordinator::CellResult
+Coordinator::runDavfCell(
+    const std::string &structure, double delay_fraction,
+    const std::vector<uint64_t> &cycles, const SamplingConfig &sampling,
+    const std::function<void(const InjectionCycleOutcome &)>
+        &on_cycle_done)
+{
+    std::vector<Job> jobs;
+    jobs.reserve(cycles.size());
+    for (uint64_t cycle : cycles) {
+        Job job;
+        job.spec.kind = ShardSpec::Kind::Cycle;
+        job.spec.structure = structure;
+        job.spec.delayFraction = delay_fraction;
+        job.spec.cycle = cycle;
+        job.spec.sampling = sampling;
+        jobs.push_back(std::move(job));
+    }
+    return runCell(std::move(jobs),
+                   [&](Job &job) { on_cycle_done(job.cycleOutcome); });
+}
+
+Coordinator::CellResult
+Coordinator::runSavfCell(const std::string &structure,
+                         const SamplingConfig &sampling, SavfResult &out)
+{
+    Job job;
+    job.spec.kind = ShardSpec::Kind::Savf;
+    job.spec.structure = structure;
+    job.spec.sampling = sampling;
+    return runCell({std::move(job)},
+                   [&](Job &done) { out = done.savfOutcome; });
+}
+
+void
+Coordinator::shutdown()
+{
+    if (shuttingDown.exchange(true))
+        return;
+    if (acceptor.joinable())
+        acceptor.join();
+    if (listenFd >= 0) {
+        ::close(listenFd);
+        listenFd = -1;
+    }
+
+    std::vector<std::shared_ptr<Node>> nodes;
+    {
+        const std::lock_guard<std::mutex> lock(fleetMutex);
+        nodes.swap(fleet);
+    }
+    for (const std::shared_ptr<Node> &node : nodes) {
+        if (!node->conn.open())
+            continue;
+        try {
+            node->conn.send("quit");
+        } catch (const DavfError &) {
+            continue; // Already gone; nothing to drain.
+        }
+        // Drain until the worker's EOF (within a grace window) before
+        // closing: a result frame racing the quit is consumed here,
+        // not misread as a node failure — and the worker only exits
+        // after its last reply is on the wire.
+        const double deadline = nowMs() + kQuitGraceMs;
+        try {
+            for (;;) {
+                const double remaining = deadline - nowMs();
+                if (remaining <= 0.0)
+                    break;
+                std::string frame;
+                if (node->conn.read(frame, remaining)
+                    == FrameConn::ReadStatus::Eof)
+                    break;
+            }
+        } catch (const DavfError &) {
+            // A torn tail at shutdown is not worth reporting.
+        }
+        node->conn.close();
+    }
+}
+
+} // namespace davf::net

@@ -1,0 +1,363 @@
+#include "frame.hh"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <sstream>
+#include <thread>
+
+#include "util/logging.hh"
+#include "util/subprocess.hh"
+
+namespace davf::net {
+
+namespace {
+
+double
+nowMs()
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** Resolve a numeric-or-name IPv4 host (throws DavfError{Io}). */
+sockaddr_in
+tcpAddress(const std::string &host, uint16_t port)
+{
+    addrinfo hints = {};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo *info = nullptr;
+    const int rc = ::getaddrinfo(host.c_str(), nullptr, &hints, &info);
+    if (rc != 0 || info == nullptr) {
+        davf_throw(ErrorKind::Io, "cannot resolve host '", host,
+                   "': ", ::gai_strerror(rc));
+    }
+    sockaddr_in addr = {};
+    std::memcpy(&addr, info->ai_addr,
+                std::min(sizeof addr, size_t(info->ai_addrlen)));
+    ::freeaddrinfo(info);
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    return addr;
+}
+
+} // namespace
+
+void
+parseHostPort(const std::string &text, std::string &host, uint16_t &port)
+{
+    const size_t colon = text.rfind(':');
+    if (colon == std::string::npos || colon == 0
+        || colon + 1 >= text.size()) {
+        davf_throw(ErrorKind::BadArgument, "expected HOST:PORT, got '",
+                   text, "'");
+    }
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long value =
+        std::strtoul(text.c_str() + colon + 1, &end, 10);
+    if (errno != 0 || *end != '\0' || value > 65535) {
+        davf_throw(ErrorKind::BadArgument, "bad port in '", text, "'");
+    }
+    host = text.substr(0, colon);
+    port = static_cast<uint16_t>(value);
+}
+
+ListenSocket
+listenTcp(const std::string &host, uint16_t port)
+{
+    const sockaddr_in addr = tcpAddress(host, port);
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        davf_throw(ErrorKind::Io, "socket: ", std::strerror(errno));
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr), sizeof addr)
+        != 0) {
+        const int saved = errno;
+        ::close(fd);
+        davf_throw(ErrorKind::Io, "bind('", host, ":", port,
+                   "'): ", std::strerror(saved));
+    }
+    if (::listen(fd, 64) != 0) {
+        const int saved = errno;
+        ::close(fd);
+        davf_throw(ErrorKind::Io, "listen('", host, ":", port,
+                   "'): ", std::strerror(saved));
+    }
+    ListenSocket sock;
+    sock.fd = fd;
+    sockaddr_in bound = {};
+    socklen_t len = sizeof bound;
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&bound), &len)
+        == 0) {
+        sock.port = ntohs(bound.sin_port);
+    } else {
+        sock.port = port;
+    }
+    return sock;
+}
+
+int
+acceptTcp(int listen_fd)
+{
+    for (;;) {
+        const int fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd >= 0)
+            return fd;
+        if (errno == EINTR || errno == ECONNABORTED)
+            continue;
+        davf_throw(ErrorKind::Io, "accept: ", std::strerror(errno));
+    }
+}
+
+int
+connectTcp(const std::string &host, uint16_t port, double timeout_ms)
+{
+    const sockaddr_in addr = tcpAddress(host, port);
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        davf_throw(ErrorKind::Io, "socket: ", std::strerror(errno));
+
+    auto fail = [&](const std::string &detail) {
+        const int saved = errno;
+        ::close(fd);
+        davf_throw(ErrorKind::Io, "connect('", host, ":", port, "'): ",
+                   detail.empty() ? std::strerror(saved) : detail);
+    };
+
+    if (timeout_ms <= 0.0) {
+        if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                      sizeof addr)
+            != 0) {
+            fail("");
+        }
+        return fd;
+    }
+
+    // Deadline connect: non-blocking connect(2), poll for writability,
+    // then read the final verdict out of SO_ERROR.
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof addr)
+        != 0) {
+        if (errno != EINPROGRESS)
+            fail("");
+        pollfd pfd = {fd, POLLOUT, 0};
+        const int rc =
+            ::poll(&pfd, 1, static_cast<int>(timeout_ms + 0.5));
+        if (rc == 0) {
+            errno = ETIMEDOUT;
+            fail("no connection within "
+                 + std::to_string(static_cast<long>(timeout_ms))
+                 + " ms");
+        }
+        if (rc < 0)
+            fail("");
+        int soerr = 0;
+        socklen_t len = sizeof soerr;
+        ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len);
+        if (soerr != 0) {
+            errno = soerr;
+            fail("");
+        }
+    }
+    ::fcntl(fd, F_SETFL, flags);
+    return fd;
+}
+
+int
+connectTcpRetry(const std::string &host, uint16_t port, double timeout_ms,
+                unsigned retries, double backoff_base_ms)
+{
+    for (unsigned attempt = 0;; ++attempt) {
+        try {
+            return connectTcp(host, port, timeout_ms);
+        } catch (const DavfError &error) {
+            if (attempt >= retries)
+                throw;
+            const double delay_ms = backoff_base_ms
+                * static_cast<double>(1u << std::min(attempt, 10u));
+            davf_warn("connect to ", host, ":", port, " failed (",
+                      error.what(), "); retry ", attempt + 1, "/",
+                      retries, " in ", static_cast<long>(delay_ms),
+                      " ms");
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(delay_ms));
+        }
+    }
+}
+
+void
+FrameConn::send(std::string_view payload)
+{
+    if (fd < 0)
+        davf_throw(ErrorKind::Io, "send on a closed connection");
+    writeFrameFd(fd, payload);
+}
+
+FrameConn::ReadStatus
+FrameConn::read(std::string &out, double timeout_ms)
+{
+    if (fd < 0)
+        davf_throw(ErrorKind::Io, "read on a closed connection");
+
+    const double deadline = nowMs() + std::max(timeout_ms, 0.0);
+    for (;;) {
+        // Frame the buffered bytes first: the length prefix is checked
+        // against kMaxFrameBytes before any payload allocation, so a
+        // hostile prefix cannot balloon memory.
+        if (rxBuffer.size() >= 4) {
+            uint32_t length = 0;
+            std::memcpy(&length, rxBuffer.data(), 4);
+            if (length > kMaxFrameBytes) {
+                davf_throw(ErrorKind::BadInput, "frame length ", length,
+                           " exceeds the ", kMaxFrameBytes,
+                           "-byte ceiling (corrupt or hostile peer)");
+            }
+            if (rxBuffer.size() >= 4 + size_t(length)) {
+                out.assign(rxBuffer, 4, length);
+                rxBuffer.erase(0, 4 + size_t(length));
+                return ReadStatus::Frame;
+            }
+        }
+
+        const double remaining = deadline - nowMs();
+        if (remaining <= 0.0 && timeout_ms > 0.0)
+            return ReadStatus::Timeout;
+
+        pollfd pfd = {fd, POLLIN, 0};
+        const int rc = ::poll(
+            &pfd, 1,
+            timeout_ms <= 0.0
+                ? 0
+                : static_cast<int>(std::max(remaining, 1.0)));
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            davf_throw(ErrorKind::Io, "poll: ", std::strerror(errno));
+        }
+        if (rc == 0)
+            return ReadStatus::Timeout;
+
+        char chunk[65536];
+        const ssize_t got = ::read(fd, chunk, sizeof chunk);
+        if (got < 0) {
+            if (errno == EINTR)
+                continue;
+            davf_throw(ErrorKind::Io, "read: ", std::strerror(errno));
+        }
+        if (got == 0) {
+            if (!rxBuffer.empty()) {
+                davf_throw(ErrorKind::BadInput,
+                           "peer closed the connection mid-frame (",
+                           rxBuffer.size(), " stray bytes)");
+            }
+            return ReadStatus::Eof;
+        }
+        rxBuffer.append(chunk, static_cast<size_t>(got));
+    }
+}
+
+void
+FrameConn::close()
+{
+    if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+    }
+    rxBuffer.clear();
+}
+
+std::string
+makeHello(const std::string &node, const std::string &fingerprint)
+{
+    std::ostringstream os;
+    os << kNetMagic << ' ' << kNetVersion << " hello " << node << ' '
+       << fingerprint;
+    return os.str();
+}
+
+Result<Hello>
+parseHello(const std::string &payload)
+{
+    using R = Result<Hello>;
+    std::istringstream is(payload);
+    std::string magic, version, verb;
+    Hello hello;
+    if (!(is >> magic >> version >> verb) || magic != kNetMagic) {
+        return R::Err(ErrorKind::BadInput,
+                      "handshake: not a davf-net frame: "
+                          + payload.substr(0, 60));
+    }
+    if (version != kNetVersion) {
+        return R::Err(ErrorKind::BadInput,
+                      "handshake: unsupported protocol version '"
+                          + version + "' (this side speaks "
+                          + std::string(kNetVersion) + ")");
+    }
+    if (verb != "hello" || !(is >> hello.node >> hello.fingerprint)) {
+        return R::Err(ErrorKind::BadInput,
+                      "handshake: malformed hello: "
+                          + payload.substr(0, 60));
+    }
+    std::string trailing;
+    if (is >> trailing) {
+        return R::Err(ErrorKind::BadInput,
+                      "handshake: trailing tokens: "
+                          + payload.substr(0, 60));
+    }
+    return R::Ok(std::move(hello));
+}
+
+std::string
+makeWelcome()
+{
+    return std::string(kNetMagic) + ' ' + std::string(kNetVersion)
+        + " welcome";
+}
+
+std::string
+makeReject(const std::string &reason)
+{
+    return std::string(kNetMagic) + ' ' + std::string(kNetVersion)
+        + " reject " + reason;
+}
+
+Result<bool>
+parseHandshakeReply(const std::string &payload, std::string &reason)
+{
+    using R = Result<bool>;
+    std::istringstream is(payload);
+    std::string magic, version, verb;
+    if (!(is >> magic >> version >> verb) || magic != kNetMagic
+        || version != kNetVersion) {
+        return R::Err(ErrorKind::BadInput,
+                      "handshake: bad reply: " + payload.substr(0, 60));
+    }
+    if (verb == "welcome")
+        return R::Ok(true);
+    if (verb == "reject") {
+        std::getline(is, reason);
+        if (!reason.empty() && reason.front() == ' ')
+            reason.erase(0, 1);
+        return R::Ok(false);
+    }
+    return R::Err(ErrorKind::BadInput,
+                  "handshake: unknown verb '" + verb + "'");
+}
+
+} // namespace davf::net

@@ -1,0 +1,94 @@
+#include "netfault.hh"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "util/logging.hh"
+
+namespace davf::net {
+
+bool
+NetFault::matches(const std::string &node_name,
+                  uint64_t shard_cycle) const
+{
+    if (kind == NetFaultKind::None)
+        return false;
+    if (node != "*" && node != node_name)
+        return false;
+    return anyCycle || cycle == shard_cycle;
+}
+
+NetFault
+parseNetFault(const char *text)
+{
+    NetFault fault;
+    if (text == nullptr || *text == '\0')
+        return fault;
+    const std::string spec = text;
+
+    auto malformed = [&]() {
+        davf_warn("ignoring malformed DAVF_TEST_NETFAULT '", spec,
+                  "' (expected "
+                  "<drop|stall|garble|disconnect>@<node>[:<cycle>])");
+        fault.kind = NetFaultKind::None;
+        return fault;
+    };
+
+    const size_t at = spec.find('@');
+    if (at == std::string::npos || at + 1 >= spec.size())
+        return malformed();
+    const std::string kind = spec.substr(0, at);
+    if (kind == "drop")
+        fault.kind = NetFaultKind::Drop;
+    else if (kind == "stall")
+        fault.kind = NetFaultKind::Stall;
+    else if (kind == "garble")
+        fault.kind = NetFaultKind::Garble;
+    else if (kind == "disconnect")
+        fault.kind = NetFaultKind::Disconnect;
+    else
+        return malformed();
+
+    std::string rest = spec.substr(at + 1);
+    const size_t colon = rest.find(':');
+    if (colon != std::string::npos) {
+        const std::string cycle_text = rest.substr(colon + 1);
+        rest.erase(colon);
+        if (cycle_text == "*") {
+            fault.anyCycle = true;
+        } else {
+            errno = 0;
+            char *end = nullptr;
+            const unsigned long long value =
+                std::strtoull(cycle_text.c_str(), &end, 10);
+            if (errno != 0 || end == cycle_text.c_str() || *end != '\0')
+                return malformed();
+            fault.anyCycle = false;
+            fault.cycle = value;
+        }
+    }
+    if (rest.empty())
+        return malformed();
+    fault.node = std::move(rest);
+    return fault;
+}
+
+const NetFault &
+armedNetFault()
+{
+    static const NetFault fault =
+        parseNetFault(std::getenv("DAVF_TEST_NETFAULT"));
+    return fault;
+}
+
+bool
+netFaultFires(const std::string &node_name, uint64_t shard_cycle)
+{
+    static bool fired = false;
+    if (fired || !armedNetFault().matches(node_name, shard_cycle))
+        return false;
+    fired = true;
+    return true;
+}
+
+} // namespace davf::net

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Deterministic network-fault injection for the distributed fabric.
+ *
+ * Mirrors the engine's DAVF_TEST_FAULT hook (core/vulnerability.cc):
+ * the environment variable
+ *
+ *   DAVF_TEST_NETFAULT=<drop|stall|garble|disconnect>@<node>[:<cycle>]
+ *
+ * arms exactly one fault in the *worker* process whose node name
+ * matches <node> ('*' matches any), firing on the first shard whose
+ * injection cycle matches <cycle> ('*' or omitted matches any). The
+ * fault fires once per process, so every coordinator failure path is
+ * exercised deterministically:
+ *
+ *  - drop        compute the shard but never send the reply and go
+ *                silent: the coordinator's heartbeat timeout fires;
+ *  - stall       keep heartbeating but never reply: only the shard
+ *                deadline (--shard-timeout-ms) catches it — the
+ *                slow-node case;
+ *  - garble      reply with an unparseable payload: the coordinator
+ *                must classify it BadOutput and re-dispatch;
+ *  - disconnect  close the socket before replying and exit: the
+ *                dead-node (kill -9 equivalent) case.
+ *
+ * Test-only; parsing is lenient about nothing — a malformed spec is
+ * a warning and no fault (the hook must never break a real run).
+ */
+
+#ifndef DAVF_NET_NETFAULT_HH
+#define DAVF_NET_NETFAULT_HH
+
+#include <cstdint>
+#include <string>
+
+namespace davf::net {
+
+/** What the armed fault does at its trigger point. */
+enum class NetFaultKind : uint8_t {
+    None,
+    Drop,
+    Stall,
+    Garble,
+    Disconnect,
+};
+
+/** One parsed DAVF_TEST_NETFAULT spec. */
+struct NetFault
+{
+    NetFaultKind kind = NetFaultKind::None;
+    std::string node = "*"; ///< Node name, or '*' for any.
+    bool anyCycle = true;
+    uint64_t cycle = 0; ///< Matched when !anyCycle.
+
+    /** Does this fault apply to @p node_name computing @p cycle? */
+    bool matches(const std::string &node_name,
+                 uint64_t shard_cycle) const;
+};
+
+/**
+ * Parse @p text (the env value); nullptr/empty or malformed input
+ * yields kind None (malformed input additionally warns).
+ */
+NetFault parseNetFault(const char *text);
+
+/** The process-wide armed fault, read from DAVF_TEST_NETFAULT once. */
+const NetFault &armedNetFault();
+
+/**
+ * True exactly once: the armed fault matches and has not fired yet.
+ * Workers call this per shard and apply the returned kind.
+ */
+bool netFaultFires(const std::string &node_name, uint64_t shard_cycle);
+
+} // namespace davf::net
+
+#endif // DAVF_NET_NETFAULT_HH

@@ -1,0 +1,250 @@
+#include "worker.hh"
+
+#include <signal.h>
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+#include "campaign/checkpoint.hh"
+#include "core/shard.hh"
+#include "net/frame.hh"
+#include "net/netfault.hh"
+#include "util/logging.hh"
+
+namespace davf::net {
+
+namespace {
+
+constexpr double kHeartbeatIntervalMs = 200.0;
+
+double
+nowMs()
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/**
+ * Sends "hb" frames while a shard computes (the pipe worker's
+ * Heartbeat, pointed at the socket). Shares the connection write mutex
+ * with the reply path: frames must never interleave.
+ */
+class Heartbeat
+{
+  public:
+    Heartbeat(FrameConn &the_conn, std::mutex &the_mutex)
+        : conn(the_conn), writeMutex(the_mutex)
+    {
+        thread = std::thread([this] { run(); });
+    }
+
+    ~Heartbeat()
+    {
+        done.store(true, std::memory_order_relaxed);
+        thread.join();
+    }
+
+  private:
+    void
+    run()
+    {
+        double last_beat = nowMs();
+        while (!done.load(std::memory_order_relaxed)) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(10));
+            if (nowMs() - last_beat < kHeartbeatIntervalMs)
+                continue;
+            last_beat = nowMs();
+            try {
+                const std::lock_guard<std::mutex> lock(writeMutex);
+                conn.send("hb");
+            } catch (const DavfError &) {
+                return; // The coordinator hung up; stop beating.
+            }
+        }
+    }
+
+    FrameConn &conn;
+    std::mutex &writeMutex;
+    std::atomic<bool> done{false};
+    std::thread thread;
+};
+
+std::string
+selfRusageSuffix()
+{
+    struct rusage ru = {};
+    ::getrusage(RUSAGE_SELF, &ru);
+    char buffer[96];
+    std::snprintf(buffer, sizeof buffer, " rss %ld %.3f %.3f",
+                  ru.ru_maxrss,
+                  static_cast<double>(ru.ru_utime.tv_sec)
+                      + static_cast<double>(ru.ru_utime.tv_usec) * 1e-6,
+                  static_cast<double>(ru.ru_stime.tv_sec)
+                      + static_cast<double>(ru.ru_stime.tv_usec) * 1e-6);
+    return buffer;
+}
+
+/** Keep heartbeating forever: the armed "stall" netfault. Ends when
+ *  the coordinator gives up and closes the connection. */
+[[noreturn]] void
+stallForever(FrameConn &conn, std::mutex &write_mutex)
+{
+    for (;;) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        try {
+            const std::lock_guard<std::mutex> lock(write_mutex);
+            conn.send("hb");
+        } catch (const DavfError &) {
+            std::_Exit(1); // Quarantined by the coordinator; done.
+        }
+    }
+}
+
+} // namespace
+
+int
+runNetWorker(VulnerabilityEngine &engine,
+             const StructureRegistry &registry,
+             const NetWorkerOptions &options)
+{
+    // A vanished coordinator surfaces as EPIPE on write, not a
+    // process-fatal SIGPIPE.
+    ::signal(SIGPIPE, SIG_IGN);
+
+    const std::string node = options.nodeName.empty()
+        ? "node-" + std::to_string(::getpid())
+        : options.nodeName;
+
+    FrameConn conn(connectTcpRetry(options.host, options.port,
+                                   options.connectTimeoutMs,
+                                   options.connectRetries,
+                                   options.backoffBaseMs));
+    std::mutex write_mutex;
+    auto send = [&](const std::string &payload) {
+        const std::lock_guard<std::mutex> lock(write_mutex);
+        conn.send(payload);
+    };
+
+    try {
+        send(makeHello(node, options.fingerprint));
+        std::string payload;
+        const FrameConn::ReadStatus hs = conn.read(payload, 30000.0);
+        if (hs != FrameConn::ReadStatus::Frame) {
+            std::fprintf(stderr,
+                         "net worker %s: no handshake reply\n",
+                         node.c_str());
+            return 1;
+        }
+        std::string reason;
+        Result<bool> welcome = parseHandshakeReply(payload, reason);
+        if (!welcome)
+            throw welcome.error();
+        if (!welcome.value()) {
+            std::fprintf(stderr, "net worker %s: rejected: %s\n",
+                         node.c_str(), reason.c_str());
+            return 2;
+        }
+
+        for (;;) {
+            std::string frame;
+            const FrameConn::ReadStatus st = conn.read(frame, 1000.0);
+            if (st == FrameConn::ReadStatus::Timeout)
+                continue; // Idle between cells.
+            if (st == FrameConn::ReadStatus::Eof) {
+                std::fprintf(stderr,
+                             "net worker %s: coordinator vanished\n",
+                             node.c_str());
+                return 1;
+            }
+            if (frame == "quit")
+                return 0;
+            if (frame.rfind("shard ", 0) != 0) {
+                send("err bad-input unknown frame");
+                continue;
+            }
+            Result<ShardSpec> parsed = parseShardSpec(frame.substr(6));
+            if (!parsed) {
+                send(std::string("err bad-input ")
+                     + parsed.error().what());
+                continue;
+            }
+            const ShardSpec &spec = parsed.value();
+            const Structure *structure = registry.find(spec.structure);
+            if (!structure) {
+                send("err not-found unknown structure '" + spec.structure
+                     + "'");
+                continue;
+            }
+
+            const bool fault = netFaultFires(node, spec.cycle);
+            if (fault
+                && armedNetFault().kind == NetFaultKind::Disconnect) {
+                std::fprintf(stderr,
+                             "net worker %s: netfault disconnect\n",
+                             node.c_str());
+                conn.close();
+                return 1;
+            }
+            if (fault && armedNetFault().kind == NetFaultKind::Stall) {
+                std::fprintf(stderr, "net worker %s: netfault stall\n",
+                             node.c_str());
+                stallForever(conn, write_mutex);
+            }
+
+            // One shard at a time; inner threading would multiply
+            // nodes times threads (same rule as pipe workers).
+            SamplingConfig sampling = spec.sampling;
+            sampling.threads = 1;
+
+            std::string reply;
+            try {
+                const Heartbeat heartbeat(conn, write_mutex);
+                if (spec.kind == ShardSpec::Kind::Cycle) {
+                    const InjectionCycleOutcome out =
+                        engine.delayAvfCycle(*structure,
+                                             spec.delayFraction,
+                                             spec.cycle, sampling,
+                                             spec.wireBegin, spec.wireEnd,
+                                             spec.quarantined);
+                    reply = "ok davf " + serializeOutcomeFields(out);
+                } else {
+                    const SavfResult out =
+                        engine.savf(*structure, sampling);
+                    reply = "ok savf " + serializeSavfFields(out);
+                }
+                reply += selfRusageSuffix();
+            } catch (const std::bad_alloc &) {
+                ::_exit(86); // The pipe workers' OOM convention.
+            } catch (const DavfError &error) {
+                reply = std::string("err ")
+                    + std::string(errorKindName(error.kind())) + " "
+                    + error.what();
+            } catch (const std::exception &error) {
+                reply = std::string("err exception ") + error.what();
+            }
+
+            if (fault && armedNetFault().kind == NetFaultKind::Drop) {
+                std::fprintf(stderr, "net worker %s: netfault drop\n",
+                             node.c_str());
+                continue; // Computed, never sent; go silent.
+            }
+            if (fault && armedNetFault().kind == NetFaultKind::Garble)
+                reply = "ok davf !garbled-by-netfault!";
+
+            send(reply);
+        }
+    } catch (const DavfError &error) {
+        std::fprintf(stderr, "net worker %s: fatal: %s\n", node.c_str(),
+                     error.what());
+        return 1;
+    }
+}
+
+} // namespace davf::net

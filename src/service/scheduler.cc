@@ -107,9 +107,15 @@ QueryScheduler::QueryScheduler(VulnerabilityEngine &the_engine,
 QueryScheduler::~QueryScheduler() = default;
 
 std::string
-QueryScheduler::shardKey(const ShardSpec &spec) const
+shardStoreKey(const std::string &fingerprint, const ShardSpec &spec)
 {
     return fingerprint + " " + serializeShardSpec(spec);
+}
+
+std::string
+QueryScheduler::shardKey(const ShardSpec &spec) const
+{
+    return shardStoreKey(fingerprint, spec);
 }
 
 void

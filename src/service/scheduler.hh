@@ -55,6 +55,15 @@ class Supervisor;
 
 namespace davf::service {
 
+/**
+ * The content-addressed store key of one shard under one workspace
+ * build fingerprint. Shared by the query scheduler and the net
+ * coordinator's cache tier (src/net/coordinator.hh), so a shard
+ * computed by either is a hit for the other.
+ */
+std::string shardStoreKey(const std::string &fingerprint,
+                          const ShardSpec &spec);
+
 /** Monotonic scheduler counters (store counters live in StoreStats). */
 struct SchedulerStats
 {

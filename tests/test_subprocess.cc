@@ -76,6 +76,21 @@ runChildMode(const std::string &mode)
         }
         return 0;
     }
+    if (mode == "reply-on-quit") {
+        // Models a worker whose final result races the quit frame: on
+        // quit it still writes one pipe-capacity-busting reply before
+        // exiting cleanly. A parent that closes the pipe instead of
+        // draining it leaves this child blocked in write() forever.
+        std::string payload;
+        while (readFrameFd(STDIN_FILENO, payload)) {
+            if (payload == "quit") {
+                writeFrameFd(STDOUT_FILENO, std::string(2u << 20, 'r'));
+                return 0;
+            }
+            writeFrameFd(STDOUT_FILENO, payload);
+        }
+        return 0;
+    }
     if (mode == "badframe") {
         // An absurd length prefix: the parent must reject it rather
         // than trying to buffer 4 GiB.
@@ -258,6 +273,35 @@ TEST(Subprocess, SendFrameToDeadChildThrowsIo)
     ExitStatus status = child.wait();
     EXPECT_TRUE(status.exited);
     EXPECT_EQ(status.code, 7);
+}
+
+TEST(Subprocess, QuitRacingReplyIsDrainedNotKilled)
+{
+    // The shutdown discipline shared by the supervisor and the net
+    // coordinator: after sending quit, drain the worker until EOF
+    // instead of closing/terminating straight away. A worker blocked
+    // writing a reply larger than the pipe capacity can then finish
+    // its write and exit 0; anything else loses the in-flight result
+    // and misreports a clean shutdown as a worker failure.
+    Subprocess child;
+    child.spawn(childArgv("reply-on-quit"));
+    child.sendFrame("quit");
+
+    std::string payload;
+    size_t drained = 0;
+    for (;;) {
+        const Subprocess::ReadStatus status =
+            child.readFrame(payload, 15000.0);
+        ASSERT_NE(status, Subprocess::ReadStatus::Timeout);
+        if (status != Subprocess::ReadStatus::Frame)
+            break;
+        ++drained;
+        EXPECT_EQ(payload, std::string(2u << 20, 'r'));
+    }
+    EXPECT_EQ(drained, 1u);
+    const ExitStatus status = child.wait();
+    EXPECT_TRUE(status.exited) << status.describe();
+    EXPECT_EQ(status.code, 0) << status.describe();
 }
 
 TEST(Subprocess, SelfExePathIsAbsoluteAndExists)

@@ -224,11 +224,125 @@ serve_smoke() {
     echo "=== serve smoke ok ($hits shard hits)" >&2
 }
 
+# Net smoke: the distributed fabric under fire (docs/DISTRIBUTED.md).
+# A coordinator sweep dispatches to three loopback davf_worker nodes;
+# one node is armed with a deterministic stall netfault (caught by the
+# shard deadline), and one healthy node is kill -9'd mid-campaign. The
+# final --json report must still be byte-identical to the same sweep
+# computed in-process single-threaded, and the metrics snapshot must
+# show the fleet connected, a node lost, and at least one re-dispatch.
+# Runs under both configs so the socket transport, coordinator, and
+# worker serve loop get ASan/UBSan coverage on every CI run.
+net_smoke() {
+    build_dir="$1"
+    smoke_dir="$build_dir/net-smoke"
+    rm -rf "$smoke_dir"
+    mkdir -p "$smoke_dir"
+    echo "=== net smoke $build_dir" >&2
+
+    sweep_args="--benchmark popcount --structure ALU
+        --delays 0.5:0.9:0.4 --cycles 4 --wires 24"
+
+    # Reference: the identical sweep, in-process, single-threaded.
+    # shellcheck disable=SC2086
+    "$build_dir/tools/davf_run" --json --threads 1 $sweep_args \
+        > "$smoke_dir/ref.json"
+
+    port_file="$smoke_dir/port"
+    # shellcheck disable=SC2086
+    "$build_dir/tools/davf_run" --json $sweep_args \
+        --isolate net --listen 127.0.0.1:0 --port-file "$port_file" \
+        --min-nodes 3 --node-wait-ms 60000 \
+        --shard-timeout-ms 2000 --backoff-ms 1 \
+        --metrics-json "$smoke_dir/metrics.json" \
+        > "$smoke_dir/net.json" 2> "$smoke_dir/run.log" &
+    run_pid=$!
+    trap 'kill "$run_pid" $w1 $w2 $w3 2>/dev/null || true' EXIT
+
+    waited=0
+    while [ ! -s "$port_file" ]; do
+        if ! kill -0 "$run_pid" 2>/dev/null; then
+            echo "net smoke: coordinator died during startup" >&2
+            cat "$smoke_dir/run.log" >&2
+            exit 1
+        fi
+        if [ "$waited" -ge 300 ]; then
+            echo "net smoke: coordinator never wrote $port_file" >&2
+            exit 1
+        fi
+        sleep 1
+        waited=$((waited + 1))
+    done
+    port=$(cat "$port_file")
+
+    worker() {
+        env DAVF_TEST_NETFAULT="$2" \
+            "$build_dir/tools/davf_worker" \
+            --connect "127.0.0.1:$port" --benchmark popcount \
+            --node "$1" 2>> "$smoke_dir/workers.log"
+    }
+    worker w1 '' &
+    w1=$!
+    worker w2 '' &
+    w2=$!
+    worker w3 'stall@w3' &
+    w3=$!
+
+    # Once the whole fleet has joined, the campaign is running and the
+    # stalled node pins it for at least the shard deadline — a window
+    # in which killing a healthy node is genuinely mid-campaign.
+    waited=0
+    while ! grep -q '3 node(s) connected' "$smoke_dir/run.log"; do
+        if ! kill -0 "$run_pid" 2>/dev/null; then
+            echo "net smoke: coordinator exited before the fleet" >&2
+            cat "$smoke_dir/run.log" "$smoke_dir/workers.log" >&2
+            exit 1
+        fi
+        if [ "$waited" -ge 300 ]; then
+            echo "net smoke: fleet never assembled" >&2
+            cat "$smoke_dir/run.log" "$smoke_dir/workers.log" >&2
+            exit 1
+        fi
+        sleep 1
+        waited=$((waited + 1))
+    done
+    kill -9 "$w1" 2>/dev/null || true
+
+    if ! wait "$run_pid"; then
+        echo "net smoke: coordinator run failed" >&2
+        cat "$smoke_dir/run.log" "$smoke_dir/workers.log" >&2
+        exit 1
+    fi
+    trap - EXIT
+
+    if ! cmp -s "$smoke_dir/ref.json" "$smoke_dir/net.json"; then
+        echo "net smoke: net.json differs from in-process ref.json" >&2
+        exit 1
+    fi
+    connected=$(sed -n 's/.*"net\.nodes_connected":\([0-9]*\).*/\1/p' \
+        "$smoke_dir/metrics.json")
+    lost=$(sed -n 's/.*"net\.nodes_lost":\([0-9]*\).*/\1/p' \
+        "$smoke_dir/metrics.json")
+    redispatched=$(sed -n 's/.*"net\.redispatches":\([0-9]*\).*/\1/p' \
+        "$smoke_dir/metrics.json")
+    if [ "${connected:-0}" -ne 3 ] || [ "${lost:-0}" -eq 0 ] \
+        || [ "${redispatched:-0}" -eq 0 ]; then
+        echo "net smoke: unexpected fleet metrics" \
+            "(connected=$connected lost=$lost" \
+            "redispatches=$redispatched):" >&2
+        cat "$smoke_dir/metrics.json" >&2
+        exit 1
+    fi
+    echo "=== net smoke ok (report bit-identical," \
+        "$lost node(s) lost, $redispatched re-dispatch(es))" >&2
+}
+
 run_config "$root/build-ci-release" -DCMAKE_BUILD_TYPE=Release
 isolation_smoke "$root/build-ci-release"
 vector_smoke "$root/build-ci-release"
 obs_smoke "$root/build-ci-release"
 serve_smoke "$root/build-ci-release"
+net_smoke "$root/build-ci-release"
 groupace_bench "$root/build-ci-release"
 run_config "$root/build-ci-asan" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DDAVF_SANITIZE=address,undefined
@@ -236,5 +350,6 @@ isolation_smoke "$root/build-ci-asan"
 vector_smoke "$root/build-ci-asan"
 obs_smoke "$root/build-ci-asan"
 serve_smoke "$root/build-ci-asan"
+net_smoke "$root/build-ci-asan"
 
 echo "=== ci_check: all configurations passed" >&2

@@ -24,19 +24,29 @@
  *     --timeout-ms X       per-injection wall-clock budget (0 = none)
  *     --max-failure-rate X abandon a cell past this failure fraction
  *                          (default 0.05)
+ *     --connect-retries N  extra connect attempts with exponential
+ *                          backoff (default 0) — rides out a server
+ *                          that is still building its workspace
+ *     --backoff-ms X       base of the connect backoff (default 200)
+ *     --connect-timeout-ms X  overall budget for establishing the
+ *                          connection across all attempts, 0 = none
+ *                          (default 0)
  *
  * Exit status: 0 on an ok reply, 1 on a server-reported error. The
  * round-trip wall time is printed to stderr.
  */
 
+#include <signal.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 
 #include "service/protocol.hh"
 #include "util/logging.hh"
@@ -55,6 +65,9 @@ struct Options
     double delay_lo = 0.1;
     double delay_hi = 0.9;
     double delay_step = 0.2;
+    unsigned connect_retries = 0;
+    double backoff_ms = 200.0;
+    double connect_timeout_ms = 0.0;
 };
 
 [[noreturn]] void
@@ -67,7 +80,9 @@ usageError(const char *argv0, const std::string &detail)
                  "[--delays LO:HI:STEP] [--savf]\n"
                  "          [--cycles N] [--wires N] [--flops N] "
                  "[--seed N]\n"
-                 "          [--timeout-ms X] [--max-failure-rate X]\n",
+                 "          [--timeout-ms X] [--max-failure-rate X]\n"
+                 "          [--connect-retries N] [--backoff-ms X] "
+                 "[--connect-timeout-ms X]\n",
                  argv0);
     std::fprintf(stderr, "error: %s\n", detail.c_str());
     std::exit(2);
@@ -182,6 +197,17 @@ parse(int argc, char **argv)
                 usageError(argv[0],
                            "--max-failure-rate must lie in [0, 1]");
             }
+        } else if (arg == "--connect-retries") {
+            opts.connect_retries =
+                static_cast<unsigned>(parseU64(argv[0], arg, need(i)));
+        } else if (arg == "--backoff-ms") {
+            opts.backoff_ms = parseDouble(argv[0], arg, need(i));
+            if (opts.backoff_ms < 0.0)
+                usageError(argv[0], "--backoff-ms must be >= 0");
+        } else if (arg == "--connect-timeout-ms") {
+            opts.connect_timeout_ms = parseDouble(argv[0], arg, need(i));
+            if (opts.connect_timeout_ms < 0.0)
+                usageError(argv[0], "--connect-timeout-ms must be >= 0");
         } else {
             usageError(argv[0], "unknown flag '" + arg + "'");
         }
@@ -198,12 +224,61 @@ parse(int argc, char **argv)
     return opts;
 }
 
+/**
+ * connectUnix with up to @p retries extra attempts, backing off
+ * exponentially, under one overall deadline. A client launched while
+ * the server is still building its workspace (the socket file does not
+ * exist yet) waits for it instead of failing on the first attempt.
+ */
+int
+connectWithRetry(const Options &opts)
+{
+    const auto start = std::chrono::steady_clock::now();
+    auto elapsed_ms = [&] {
+        return std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - start)
+            .count();
+    };
+    for (unsigned attempt = 0;; ++attempt) {
+        try {
+            return connectUnix(opts.socket_path);
+        } catch (const DavfError &error) {
+            if (attempt >= opts.connect_retries)
+                throw;
+            double delay_ms = opts.backoff_ms
+                * static_cast<double>(1u << std::min(attempt, 10u));
+            if (opts.connect_timeout_ms > 0.0) {
+                const double remaining =
+                    opts.connect_timeout_ms - elapsed_ms();
+                if (remaining <= 0.0) {
+                    davf_throw(ErrorKind::Timeout,
+                               "could not connect to '",
+                               opts.socket_path, "' within ",
+                               opts.connect_timeout_ms,
+                               " ms: ", error.what());
+                }
+                delay_ms = std::min(delay_ms, remaining);
+            }
+            std::fprintf(stderr,
+                         "connect attempt %u failed (%s); retrying in "
+                         "%.0f ms\n",
+                         attempt + 1, error.what(), delay_ms);
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(delay_ms));
+        }
+    }
+}
+
 int
 runTool(int argc, char **argv)
 {
     const Options opts = parse(argc, argv);
 
-    const int fd = connectUnix(opts.socket_path);
+    // A server that dies mid-exchange must surface as EPIPE on our
+    // write, not a process-killing SIGPIPE.
+    ::signal(SIGPIPE, SIG_IGN);
+
+    const int fd = connectWithRetry(opts);
     const auto start = std::chrono::steady_clock::now();
     writeFrameFd(fd, opts.stats ? std::string("stats")
                                 : makeQueryFrame(opts.query));

@@ -43,13 +43,30 @@
  *     --timeout-ms X       wall-clock budget per injection (0 = none)
  *     --max-failure-rate X abandon a cell if > X of injections fail
  *                          (default 0.05)
- *     --isolate MODE       thread (default) or process: run injection
- *                          cycles in supervised worker processes that
- *                          are respawned on crash/hang/OOM, with retry,
+ *     --isolate MODE       thread (default), process, or net:
+ *                            process — run injection cycles in
+ *                          supervised worker processes that are
+ *                          respawned on crash/hang/OOM, with retry,
  *                          crash bisection, and quarantine (see
- *                          docs/ROBUSTNESS.md)
+ *                          docs/ROBUSTNESS.md);
+ *                            net — dispatch shards to davf_worker
+ *                          nodes over TCP with heartbeats, retry,
+ *                          node quarantine, and graceful local
+ *                          fallback (see docs/DISTRIBUTED.md)
  *     --workers N          worker processes for --isolate process
  *                          (default 1)
+ *     --listen HOST:PORT   coordinator bind address for --isolate net
+ *                          (default 127.0.0.1:0 — an ephemeral port)
+ *     --port-file FILE     write the resolved listen port to FILE
+ *                          (atomic), so scripts can start workers
+ *     --min-nodes N        wait for N connected nodes before starting
+ *                          the sweep (default 1; 0 starts immediately)
+ *     --node-wait-ms X     how long to wait for --min-nodes before
+ *                          proceeding with whatever connected
+ *                          (default 30000)
+ *     --store-dir D        content-addressed result store shared as a
+ *                          cache tier: shards found there are not
+ *                          recomputed, fresh ones are written back
  *     --max-retries N      re-dispatches per shard after a failure
  *                          (default 2)
  *     --backoff-ms X       base of the exponential retry backoff
@@ -80,14 +97,20 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "campaign/campaign.hh"
 #include "campaign/stop.hh"
 #include "campaign/supervisor.hh"
 #include "core/report.hh"
 #include "core/vulnerability.hh"
 #include "isa/benchmarks.hh"
+#include "net/coordinator.hh"
+#include "net/frame.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
+#include "service/result_store.hh"
+#include "service/scheduler.hh"
 #include "service/workspace.hh"
 #include "util/atomic_file.hh"
 #include "util/logging.hh"
@@ -117,6 +140,12 @@ struct Options
     bool resume = false;
 
     bool isolate_process = false;
+    bool isolate_net = false;
+    std::string listen = "127.0.0.1:0";
+    std::string port_file;
+    size_t min_nodes = 1;
+    double node_wait_ms = 30000.0;
+    std::string store_dir;
     unsigned workers = 1;
     unsigned max_retries = 2;
     double backoff_ms = 50.0;
@@ -144,7 +173,10 @@ printUsage(const char *argv0)
                  "          [--checkpoint FILE] [--resume FILE] "
                  "[--timeout-ms X]\n"
                  "          [--max-failure-rate X] "
-                 "[--isolate thread|process] [--workers N]\n"
+                 "[--isolate thread|process|net] [--workers N]\n"
+                 "          [--listen HOST:PORT] [--port-file FILE] "
+                 "[--min-nodes N]\n"
+                 "          [--node-wait-ms X] [--store-dir D]\n"
                  "          [--max-retries N] [--backoff-ms X] "
                  "[--worker-mem-mb N]\n"
                  "          [--shard-timeout-ms X] [--quarantine-dir D]\n"
@@ -310,13 +342,27 @@ parse(int argc, char **argv)
             }
         } else if (arg == "--isolate") {
             const std::string mode = need(i);
-            if (mode == "process")
-                opts.isolate_process = true;
-            else if (mode == "thread")
-                opts.isolate_process = false;
-            else
-                usageError(argv[0], "--isolate expects 'thread' or "
-                                    "'process', got '" + mode + "'");
+            opts.isolate_process = mode == "process";
+            opts.isolate_net = mode == "net";
+            if (!opts.isolate_process && !opts.isolate_net
+                && mode != "thread") {
+                usageError(argv[0],
+                           "--isolate expects 'thread', 'process', or "
+                           "'net', got '" + mode + "'");
+            }
+        } else if (arg == "--listen") {
+            opts.listen = need(i);
+        } else if (arg == "--port-file") {
+            opts.port_file = need(i);
+        } else if (arg == "--min-nodes") {
+            opts.min_nodes =
+                static_cast<size_t>(parseU64(argv[0], arg, need(i)));
+        } else if (arg == "--node-wait-ms") {
+            opts.node_wait_ms = parseDouble(argv[0], arg, need(i));
+            if (opts.node_wait_ms < 0.0)
+                usageError(argv[0], "--node-wait-ms must be >= 0");
+        } else if (arg == "--store-dir") {
+            opts.store_dir = need(i);
         } else if (arg == "--workers") {
             opts.workers =
                 static_cast<unsigned>(parseU64(argv[0], arg, need(i)));
@@ -460,6 +506,88 @@ runTool(int argc, char **argv)
     campaign_options.structureLabel = opts.ecc ? " (ECC)" : "";
     campaign_options.stopFlag = &installStopHandlers();
 
+    // Net mode: bind the coordinator, publish the port, give the fleet
+    // a chance to assemble, and hand the dispatcher to the campaign.
+    // Aggregation still runs through the same journal path, so the
+    // report is byte-identical to a thread-mode run.
+    std::unique_ptr<net::Coordinator> coordinator;
+    std::unique_ptr<service::ResultStore> net_store;
+    if (opts.isolate_net) {
+        campaign_options.isolate = IsolationMode::Net;
+
+        std::string host;
+        uint16_t port = 0;
+        net::parseHostPort(opts.listen, host, port);
+        net::ListenSocket listener = net::listenTcp(host, port);
+        if (!opts.port_file.empty()) {
+            writeFileAtomic(opts.port_file,
+                            std::to_string(listener.port) + "\n");
+        }
+        std::fprintf(stderr, "coordinator listening on %s:%u\n",
+                     host.c_str(), listener.port);
+
+        net::CoordinatorOptions net_options;
+        net_options.fingerprint = workspace.fingerprint();
+        net_options.maxRetries = opts.max_retries;
+        net_options.backoffBaseMs = opts.backoff_ms;
+        net_options.shardTimeoutMs = opts.shard_timeout_ms;
+        net_options.seed = opts.sampling.seed;
+        net_options.stopFlag = campaign_options.stopFlag;
+        net_options.localCycle =
+            [&workspace, &engine](const ShardSpec &spec) {
+                const Structure *structure =
+                    workspace.structures().find(spec.structure);
+                davf_assert(structure != nullptr,
+                            "local fallback: unknown structure");
+                return engine.delayAvfCycle(
+                    *structure, spec.delayFraction, spec.cycle,
+                    spec.sampling, spec.wireBegin, spec.wireEnd,
+                    spec.quarantined);
+            };
+        net_options.localSavf =
+            [&workspace, &engine](const ShardSpec &spec) {
+                const Structure *structure =
+                    workspace.structures().find(spec.structure);
+                davf_assert(structure != nullptr,
+                            "local fallback: unknown structure");
+                return engine.savf(*structure, spec.sampling);
+            };
+        if (!opts.store_dir.empty()) {
+            service::ResultStore::Options store_options;
+            store_options.dir = opts.store_dir;
+            net_store = std::make_unique<service::ResultStore>(
+                store_options);
+            const std::string fingerprint = workspace.fingerprint();
+            net_options.cacheLookup =
+                [&store = *net_store, fingerprint](const ShardSpec &spec)
+                -> std::optional<std::string> {
+                return store.lookup(
+                    service::shardStoreKey(fingerprint, spec));
+            };
+            net_options.cacheStore =
+                [&store = *net_store, fingerprint](
+                    const ShardSpec &spec, const std::string &payload) {
+                    store.store(
+                        service::shardStoreKey(fingerprint, spec),
+                        payload);
+                };
+        }
+
+        coordinator = std::make_unique<net::Coordinator>(
+            listener, std::move(net_options));
+        if (opts.min_nodes > 0) {
+            const size_t nodes = coordinator->waitForNodes(
+                opts.min_nodes, opts.node_wait_ms);
+            std::fprintf(stderr, "%zu node(s) connected\n", nodes);
+            if (nodes < opts.min_nodes) {
+                std::fprintf(stderr,
+                             "proceeding anyway; missing shards run "
+                             "locally\n");
+            }
+        }
+        campaign_options.dispatcher = coordinator.get();
+    }
+
     if (opts.isolate_process) {
         campaign_options.isolate = IsolationMode::Process;
         SupervisorOptions &sup = campaign_options.supervisor;
@@ -480,6 +608,11 @@ runTool(int argc, char **argv)
 
     Campaign campaign(engine, workspace.structures(), campaign_options);
     const CampaignSummary summary = campaign.run();
+
+    // Release the fleet before exporting metrics, so the shutdown
+    // drain (and its counters) land in the snapshot.
+    if (coordinator)
+        coordinator->shutdown();
 
     exportObservability(opts);
 

@@ -37,11 +37,13 @@
  * when the scheduler re-executes this binary.
  */
 
+#include <signal.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -305,6 +307,12 @@ runTool(int argc, char **argv)
 {
     const Options opts = parse(argc, argv);
 
+    // A client that vanishes mid-reply must surface as EPIPE on that
+    // connection's write, not a process-fatal SIGPIPE for the whole
+    // server. (The Supervisor constructor also sets this, but only in
+    // --isolate process mode.)
+    ::signal(SIGPIPE, SIG_IGN);
+
     // The server always collects metrics: a long-lived process wants
     // its registry live so the `stats` verb can report it, and the
     // striped counters are too cheap to merit a knob here.
@@ -376,8 +384,20 @@ runTool(int argc, char **argv)
     while (true) {
         const int client_fd = ::accept(listen_fd, nullptr, nullptr);
         if (client_fd < 0) {
-            if (errno == EINTR)
+            // A dialer that gave up between connect and accept
+            // (ECONNABORTED) — or a transient kernel shortage — is
+            // that connection's problem, not the server's.
+            if (errno == EINTR || errno == ECONNABORTED)
                 continue;
+            if (errno == EMFILE || errno == ENFILE) {
+                // Out of descriptors: shed load instead of dying; the
+                // pause lets in-flight connections finish and release.
+                davf_warn("accept: ", std::strerror(errno),
+                          "; backing off");
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(100));
+                continue;
+            }
             davf_throw(ErrorKind::Io, "accept: ", std::strerror(errno));
         }
         std::thread([client_fd, &scheduler, &opts] {

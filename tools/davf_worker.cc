@@ -1,0 +1,213 @@
+/**
+ * @file
+ * The remote campaign worker node (see docs/DISTRIBUTED.md).
+ *
+ * One davf_worker builds the same workspace as its coordinator —
+ * benchmark, ECC switch, clock model — then connects, introduces itself
+ * with the versioned hello carrying the workspace build fingerprint,
+ * and serves shards until told to quit. A coordinator built from a
+ * different design/workload rejects the hello instead of silently
+ * mixing results, so the only configuration that must agree here is
+ * the workspace spec; every sampling knob arrives per-shard.
+ *
+ * Usage:
+ *   davf_worker --connect HOST:PORT [options]
+ *     --benchmark NAME        workload to build (default libstrstr);
+ *                             must match the coordinator's
+ *     --ecc                   protect the register file with SEC ECC
+ *     --sta-period            use the STA longest path as the clock
+ *     --node NAME             self-chosen node name shown in
+ *                             coordinator logs (default node-<pid>)
+ *     --connect-retries N     extra connect attempts with exponential
+ *                             backoff (default 30) — a worker started
+ *                             before its coordinator waits for it
+ *     --backoff-ms X          base of the connect backoff (default 200)
+ *     --connect-timeout-ms X  per-attempt connect timeout (default 5000)
+ *     --no-vector             scalar faulty continuations
+ *     --vector-lanes N        lanes per vector batch, 2..64 (default 64)
+ *
+ * Exit codes: 0 after a clean quit, 1 for a lost/unreachable
+ * coordinator, 2 for a rejected handshake.
+ */
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "isa/benchmarks.hh"
+#include "net/frame.hh"
+#include "net/worker.hh"
+#include "service/workspace.hh"
+#include "util/logging.hh"
+
+using namespace davf;
+
+namespace {
+
+struct Options
+{
+    std::string connect;
+    std::string benchmark = "libstrstr";
+    bool ecc = false;
+    bool sta_period = false;
+    std::string node;
+    net::NetWorkerOptions net;
+    bool no_vector = false;
+    unsigned vector_lanes = 64;
+};
+
+void
+printUsage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s --connect HOST:PORT [--benchmark N] [--ecc]"
+                 " [--sta-period]\n"
+                 "          [--node NAME] [--connect-retries N] "
+                 "[--backoff-ms X]\n"
+                 "          [--connect-timeout-ms X] [--no-vector] "
+                 "[--vector-lanes N]\n",
+                 argv0);
+}
+
+[[noreturn]] void
+usageError(const char *argv0, const std::string &detail)
+{
+    printUsage(argv0);
+    std::fprintf(stderr, "error: %s\n", detail.c_str());
+    std::exit(2);
+}
+
+uint64_t
+parseU64(const char *argv0, const std::string &flag, const char *text)
+{
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long value = std::strtoull(text, &end, 10);
+    if (errno != 0 || end == text || *end != '\0') {
+        usageError(argv0,
+                   flag + " expects a non-negative integer, got '"
+                       + text + "'");
+    }
+    return static_cast<uint64_t>(value);
+}
+
+double
+parseDouble(const char *argv0, const std::string &flag, const char *text)
+{
+    errno = 0;
+    char *end = nullptr;
+    const double value = std::strtod(text, &end);
+    if (errno != 0 || end == text || *end != '\0') {
+        usageError(argv0, flag + " expects a number, got '"
+                              + std::string(text) + "'");
+    }
+    return value;
+}
+
+bool
+knownBenchmark(const std::string &name)
+{
+    for (const auto &program : beebsBenchmarks()) {
+        if (program.name == name)
+            return true;
+    }
+    for (const auto &program : extraBenchmarks()) {
+        if (program.name == name)
+            return true;
+    }
+    return false;
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options opts;
+    auto need = [&](int &i) -> const char * {
+        if (i + 1 >= argc) {
+            usageError(argv[0], std::string(argv[i])
+                                    + " expects a value");
+        }
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--connect") {
+            opts.connect = need(i);
+        } else if (arg == "--benchmark") {
+            opts.benchmark = need(i);
+        } else if (arg == "--ecc") {
+            opts.ecc = true;
+        } else if (arg == "--sta-period") {
+            opts.sta_period = true;
+        } else if (arg == "--node") {
+            opts.node = need(i);
+        } else if (arg == "--connect-retries") {
+            opts.net.connectRetries =
+                static_cast<unsigned>(parseU64(argv[0], arg, need(i)));
+        } else if (arg == "--backoff-ms") {
+            opts.net.backoffBaseMs = parseDouble(argv[0], arg, need(i));
+            if (opts.net.backoffBaseMs < 0.0)
+                usageError(argv[0], "--backoff-ms must be >= 0");
+        } else if (arg == "--connect-timeout-ms") {
+            opts.net.connectTimeoutMs =
+                parseDouble(argv[0], arg, need(i));
+            if (opts.net.connectTimeoutMs < 0.0)
+                usageError(argv[0], "--connect-timeout-ms must be >= 0");
+        } else if (arg == "--no-vector") {
+            opts.no_vector = true;
+        } else if (arg == "--vector-lanes") {
+            opts.vector_lanes =
+                static_cast<unsigned>(parseU64(argv[0], arg, need(i)));
+            if (opts.vector_lanes < 2 || opts.vector_lanes > 64)
+                usageError(argv[0], "--vector-lanes must lie in [2, 64]");
+        } else {
+            usageError(argv[0], "unknown flag '" + arg + "'");
+        }
+    }
+
+    if (opts.connect.empty())
+        usageError(argv[0], "--connect HOST:PORT is required");
+    if (!knownBenchmark(opts.benchmark)) {
+        usageError(argv[0], "--benchmark: unknown benchmark '"
+                                + opts.benchmark + "'");
+    }
+    return opts;
+}
+
+int
+runTool(int argc, char **argv)
+{
+    const Options opts = parse(argc, argv);
+    net::NetWorkerOptions net = opts.net;
+    net::parseHostPort(opts.connect, net.host, net.port);
+    net.nodeName = opts.node;
+
+    service::WorkspaceSpec ws_spec;
+    ws_spec.benchmark = opts.benchmark;
+    ws_spec.ecc = opts.ecc;
+    ws_spec.staPeriod = opts.sta_period;
+    std::fprintf(stderr,
+                 "worker: building IbexMini (%s regfile), assembling "
+                 "%s, running golden capture...\n",
+                 opts.ecc ? "ECC" : "plain", opts.benchmark.c_str());
+    service::Workspace workspace(ws_spec);
+
+    VulnerabilityEngine &engine = workspace.engine();
+    engine.setVectorMode(!opts.no_vector, opts.vector_lanes);
+    net.fingerprint = workspace.fingerprint();
+
+    std::fprintf(stderr, "worker: connecting to %s:%u\n",
+                 net.host.c_str(), net.port);
+    return net::runNetWorker(engine, workspace.structures(), net);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return guardedMain([&] { return runTool(argc, argv); });
+}
