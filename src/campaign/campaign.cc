@@ -20,6 +20,8 @@ struct CampaignMetrics
     obs::Counter cellsFromCheckpoint{"campaign.cells_from_checkpoint"};
     obs::Counter cellsFailed{"campaign.cells_failed"};
     obs::Counter checkpointSaves{"campaign.checkpoint_saves"};
+    obs::Counter checkpointWriteFailures{
+        "campaign.checkpoint_write_failures"};
     obs::Counter csvFlushes{"campaign.csv_flushes"};
     obs::Counter cellNs{"campaign.time.cell_ns"};
     obs::Counter checkpointNs{"campaign.time.checkpoint_ns"};
@@ -90,7 +92,21 @@ Campaign::save() const
         return;
     const obs::Span span("campaign.checkpoint",
                          &campaignMetrics().checkpointNs);
-    saveCheckpoint(options.checkpointPath, journal);
+    // A checkpoint is a convenience, not a result: if the disk fills
+    // (or an armed crash point throws) mid-sweep, losing checkpoint
+    // freshness must not lose the sweep. The atomic write discipline
+    // guarantees the previous journal survives the failed save, so a
+    // later resume still works from the last good state.
+    try {
+        saveCheckpoint(options.checkpointPath, journal);
+    } catch (const DavfError &error) {
+        if (error.kind() != ErrorKind::Io)
+            throw;
+        campaignMetrics().checkpointWriteFailures.add(1);
+        davf_warn("checkpoint save to '", options.checkpointPath,
+                  "' failed (campaign continues): ", error.what());
+        return;
+    }
     campaignMetrics().checkpointSaves.add(1);
     if (options.onCheckpointSaved)
         options.onCheckpointSaved();

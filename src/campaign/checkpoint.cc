@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "util/atomic_file.hh"
+#include "util/crashpoint.hh"
 #include "util/logging.hh"
 
 namespace davf {
@@ -393,6 +394,12 @@ parseCheckpoint(const std::string &text, CheckpointLoadStats *stats)
 void
 saveCheckpoint(const std::string &path, const Checkpoint &checkpoint)
 {
+    // The whole-journal rewrite is the riskiest persistence moment a
+    // campaign has (it happens after every cell and every injection
+    // cycle); the crash point proves a kill mid-rewrite only ever
+    // costs the in-flight save, never the previous journal.
+    static const crashpoint::CrashPoint save_point("checkpoint.save");
+    save_point.fire();
     writeFileAtomic(path, serializeCheckpoint(checkpoint));
 }
 

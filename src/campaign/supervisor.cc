@@ -19,6 +19,7 @@
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "util/atomic_file.hh"
+#include "util/crashpoint.hh"
 #include "util/logging.hh"
 
 namespace davf {
@@ -80,6 +81,10 @@ struct SupervisorMetrics
     obs::Counter backoffWaits{"supervisor.backoff_waits"};
     obs::Counter bisectProbes{"supervisor.bisect_probes"};
     obs::Counter quarantines{"supervisor.quarantines"};
+    obs::Counter quarantineWriteFailures{
+        "supervisor.quarantine_write_failures"};
+    obs::Counter quarantineSkippedRecords{
+        "supervisor.quarantine_skipped_records"};
     obs::Counter dispatchNs{"supervisor.time.dispatch_ns"};
     obs::Counter backoffNs{"supervisor.time.backoff_ns"};
     obs::ValueHistogram shardWallUs{"supervisor.shard_wall_us"};
@@ -170,6 +175,8 @@ saveQuarantineRecord(const std::string &dir,
          << ".qr";
     const std::filesystem::path path =
         std::filesystem::path(dir) / name.str();
+    static const crashpoint::CrashPoint save_point("quarantine.save");
+    save_point.fire();
     writeFileAtomic(path.string(),
                     serializeQuarantineRecord(record) + "\n");
 }
@@ -185,14 +192,24 @@ loadQuarantineRecords(const std::string &dir)
     for (const std::filesystem::directory_entry &entry : it) {
         if (!entry.is_regular_file(ec))
             continue;
+        // Resume must never die on quarantine damage: an unreadable,
+        // empty, torn, or garbled record is skipped with a warning and
+        // a counter — the worst consequence is re-bisecting (and
+        // re-quarantining) the injection it described.
         std::ifstream file(entry.path(), std::ios::binary);
         std::string line;
-        if (!file || !std::getline(file, line))
+        if (!file || !std::getline(file, line)) {
+            supervisorMetrics().quarantineSkippedRecords.add(1);
+            davf_warn("skipping unreadable or empty quarantine record "
+                      "'", entry.path().string(), "'");
             continue;
+        }
         Result<QuarantineRecord> parsed = parseQuarantineRecord(line);
         if (!parsed) {
-            davf_warn("ignoring unparseable quarantine record '",
-                      entry.path().string(), "'");
+            supervisorMetrics().quarantineSkippedRecords.add(1);
+            davf_warn("skipping torn or garbled quarantine record '",
+                      entry.path().string(),
+                      "': ", parsed.error().what());
             continue;
         }
         records.push_back(std::move(parsed.value()));
@@ -641,8 +658,20 @@ Supervisor::bisectAndQuarantine(Slot &slot, ShardSpec spec,
         record.wire = lo < wires.size() ? wires[lo] : 0;
         record.seed = spec.sampling.seed;
         record.reason = last.detail;
-        if (!options.quarantineDir.empty())
-            saveQuarantineRecord(options.quarantineDir, record);
+        if (!options.quarantineDir.empty()) {
+            // A quarantine record is an optimization (it pre-excludes
+            // the injection on the next run); failing to persist one —
+            // full disk, armed crash point — must not kill the
+            // campaign that just survived the crash it describes.
+            try {
+                saveQuarantineRecord(options.quarantineDir, record);
+            } catch (const DavfError &error) {
+                supervisorMetrics().quarantineWriteFailures.add(1);
+                davf_warn("cannot persist quarantine record (campaign "
+                          "continues): ",
+                          error.what());
+            }
+        }
         supervisorMetrics().quarantines.add(1);
         {
             const std::lock_guard<std::mutex> lock(cell.mutex);

@@ -12,6 +12,7 @@
 #include "campaign/checkpoint.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
+#include "util/crashpoint.hh"
 #include "util/logging.hh"
 
 namespace davf::net {
@@ -60,6 +61,7 @@ struct NetMetrics
     obs::Counter localFallbacks{"net.local_fallbacks"};
     obs::Counter storeHits{"net.store_hits"};
     obs::Counter storeWrites{"net.store_writes"};
+    obs::Counter storeWriteFailures{"net.store_write_failures"};
     obs::Counter dispatchNs{"net.time.dispatch_ns"};
     obs::Counter backoffNs{"net.time.backoff_ns"};
     obs::ValueHistogram shardWallUs{"net.shard_wall_us"};
@@ -393,8 +395,22 @@ Coordinator::finishJob(CellCtx &ctx, Job &job)
                 job.spec.kind == ShardSpec::Kind::Cycle
                 ? serializeOutcomeFields(job.cycleOutcome)
                 : serializeSavfFields(job.savfOutcome);
-            options.cacheStore(job.spec, payload);
-            netMetrics().storeWrites.add(1);
+            // The shared store is a cache tier: the shard's result is
+            // already delivered to the journal above, so a store that
+            // cannot accept the write (full disk, armed crash point)
+            // costs a future hit, never the campaign.
+            try {
+                static const crashpoint::CrashPoint store_point(
+                    "net.store_write");
+                store_point.fire();
+                options.cacheStore(job.spec, payload);
+                netMetrics().storeWrites.add(1);
+            } catch (const DavfError &error) {
+                netMetrics().storeWriteFailures.add(1);
+                davf_warn("shared-store write failed (campaign "
+                          "continues): ",
+                          error.what());
+            }
         }
     }
     const std::lock_guard<std::mutex> lock(ctx.mutex);

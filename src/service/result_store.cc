@@ -4,8 +4,11 @@
 #include <fstream>
 #include <sstream>
 
+#include <cstdio>
+
 #include "obs/metrics.hh"
 #include "util/atomic_file.hh"
+#include "util/crashpoint.hh"
 #include "util/logging.hh"
 
 namespace davf::service {
@@ -21,6 +24,8 @@ struct StoreMetrics
     obs::Counter evictions{"store.evictions"};
     obs::Counter corruptRecords{"store.corrupt_records"};
     obs::Counter writes{"store.writes"};
+    obs::Counter writeFailures{"store.write_failures"};
+    obs::Counter repairUnlinks{"store.repair_unlinks"};
 };
 
 StoreMetrics &
@@ -68,7 +73,8 @@ ResultStore::serializeRecord(const std::string &key,
 {
     std::ostringstream os;
     os << "davf-store v" << kVersion << "\nkey " << key << "\npayload "
-       << payload << "\nend\n";
+       << payload << "\nsum " << fnv1aHex(key + '\n' + payload)
+       << "\nend\n";
     return os.str();
 }
 
@@ -96,7 +102,17 @@ ResultStore::parseRecord(const std::string &text)
                       "store record: missing payload record");
     }
     std::string payload = line.substr(8);
-    // The end sentinel proves the payload line was not truncated
+    // The checksum catches in-place corruption (a flipped bit in the
+    // key or payload) that would otherwise parse as a valid record.
+    if (!std::getline(is, line) || line.rfind("sum ", 0) != 0) {
+        return R::Err(ErrorKind::BadInput,
+                      "store record: missing sum record");
+    }
+    if (line.substr(4) != fnv1aHex(key + '\n' + payload)) {
+        return R::Err(ErrorKind::BadInput,
+                      "store record: checksum mismatch (garbled)");
+    }
+    // The end sentinel proves the sum line was not truncated
     // mid-write; without it the record is torn and must be recomputed.
     if (!std::getline(is, line) || line != "end") {
         return R::Err(ErrorKind::BadInput,
@@ -110,12 +126,18 @@ ResultStore::parseRecord(const std::string &text)
 }
 
 std::string
+ResultStore::recordFileName(const std::string &key)
+{
+    return "r-" + fnv1aHex(key) + ".rec";
+}
+
+std::string
 ResultStore::recordPath(const std::string &key) const
 {
     if (options.dir.empty())
         return "";
-    const std::filesystem::path path = std::filesystem::path(options.dir)
-        / ("r-" + fnv1aHex(key) + ".rec");
+    const std::filesystem::path path =
+        std::filesystem::path(options.dir) / recordFileName(key);
     return path.string();
 }
 
@@ -162,10 +184,28 @@ ResultStore::lookup(const std::string &key)
             auto parsed = parseRecord(contents.str());
             if (!parsed) {
                 // Truncated / wrong-version / damaged record: a miss
-                // the caller's recompute-and-store will repair.
+                // the caller's recompute-and-store will repair. Unlink
+                // the damaged file eagerly so readers that never
+                // recompute (fsck-less query fleets) stop re-parsing
+                // it; a failed unlink is tolerable — the file is
+                // rewritten on the next store() anyway.
                 ++counters.corruptRecords;
                 storeMetrics().corruptRecords.add(1);
+                try {
+                    static const crashpoint::CrashPoint repair_point(
+                        "store.repair_unlink");
+                    repair_point.fire();
+                    if (std::remove(path.c_str()) == 0) {
+                        ++counters.repairUnlinks;
+                        storeMetrics().repairUnlinks.add(1);
+                    }
+                } catch (const DavfError &) {
+                    // The armed crash point threw; the record stays
+                    // for the next reader (or fsck) to clean up.
+                }
             } else if (parsed.value().first != key) {
+                // NOTE: deliberately *not* unlinked — a hash collision
+                // means this file holds some other key's valid record.
                 // A filename-hash collision stores someone else's
                 // result here; serving it would poison the cache.
                 ++counters.corruptRecords;
@@ -195,7 +235,24 @@ ResultStore::store(const std::string &key, const std::string &payload)
         // sharing the directory) safe: a reader only ever sees a
         // complete old or complete new record. Same-process writers are
         // serialized by the store mutex (the tmp name is per-pid).
-        writeFileAtomic(path, serializeRecord(key, payload));
+        //
+        // A failed publish (ENOSPC, EIO, armed crash point) is counted
+        // and swallowed: the result was computed and still reaches the
+        // caller through the memory tier — a full disk must degrade a
+        // serve/campaign to cache misses, never kill it.
+        try {
+            static const crashpoint::CrashPoint publish_point(
+                "store.publish");
+            publish_point.fire();
+            writeFileAtomic(path, serializeRecord(key, payload));
+        } catch (const DavfError &error) {
+            ++counters.writeFailures;
+            storeMetrics().writeFailures.add(1);
+            davf_warn("store record publish to '", path,
+                      "' failed (serving from memory): ",
+                      error.what());
+            return;
+        }
     }
     ++counters.writes;
     storeMetrics().writes.add(1);

@@ -19,9 +19,17 @@
  * checkpoint loader: a truncated, wrong-version, or otherwise
  * unparseable record — and a hash-collision record whose embedded key
  * disagrees — is reported as a miss (tallied in StoreStats), so the
- * caller recomputes and the rewrite repairs the store. Nothing in this
- * class ever throws on a damaged record; only an unwritable store
- * directory surfaces as DavfError{Io}.
+ * caller recomputes and the rewrite repairs the store; a damaged (but
+ * not collision) record file is additionally unlinked on sight.
+ * Nothing in this class ever throws on a damaged record, and a failed
+ * record *publish* (full disk, I/O error) is likewise swallowed after
+ * counting — the memory tier still serves the result. Only an
+ * uncreatable store directory surfaces as DavfError{Io}.
+ *
+ * The publish and repair paths carry the `store.publish` and
+ * `store.repair_unlink` crash points (util/crashpoint.hh); the offline
+ * checker for a store directory lives in service/store_fsck.hh and the
+ * `davf_store` CLI.
  */
 
 #ifndef DAVF_SERVICE_RESULT_STORE_HH
@@ -48,6 +56,8 @@ struct StoreStats
     uint64_t evictions = 0;      ///< LRU entries displaced.
     uint64_t corruptRecords = 0; ///< Unreadable records treated as misses.
     uint64_t writes = 0;         ///< Records persisted.
+    uint64_t writeFailures = 0;  ///< Publishes that failed (non-fatal).
+    uint64_t repairUnlinks = 0;  ///< Damaged record files deleted.
 
     bool operator==(const StoreStats &) const = default;
 };
@@ -56,7 +66,7 @@ struct StoreStats
 class ResultStore
 {
   public:
-    static constexpr uint32_t kVersion = 1;
+    static constexpr uint32_t kVersion = 2;
 
     struct Options
     {
@@ -85,11 +95,20 @@ class ResultStore
     std::string recordPath(const std::string &key) const;
 
     /**
+     * The canonical file name ("r-<hash>.rec") a record for @p key
+     * lives under, independent of any store instance — shared with the
+     * offline fsck/compact tooling so "misplaced record" means the
+     * same thing everywhere.
+     */
+    static std::string recordFileName(const std::string &key);
+
+    /**
      * @name Record text form (exposed for tests and fuzzing)
-     * A record is "davf-store v1\nkey <key>\npayload <payload>\nend\n".
-     * parseRecord returns the (key, payload) pair or an Err for any
-     * damage: bad magic, unknown version, missing fields, missing end
-     * sentinel, trailing garbage.
+     * A record is "davf-store v2\nkey <key>\npayload <payload>\n"
+     * "sum <fnv1a of key\\npayload>\nend\n". parseRecord returns the
+     * (key, payload) pair or an Err for any damage: bad magic, unknown
+     * version, missing fields, checksum mismatch (a garbled byte),
+     * missing end sentinel (a torn write), trailing garbage.
      */
     /// @{
     static std::string serializeRecord(const std::string &key,

@@ -444,6 +444,8 @@ QueryScheduler::statsJson() const
        << ",\"evictions\":" << store_stats.evictions
        << ",\"corrupt_records\":" << store_stats.corruptRecords
        << ",\"writes\":" << store_stats.writes
+       << ",\"write_failures\":" << store_stats.writeFailures
+       << ",\"repair_unlinks\":" << store_stats.repairUnlinks
        << "},\"latency_ms\":{\"lookup\":" << histogramJson(lookupMs)
        << ",\"compute\":" << histogramJson(computeMs)
        << ",\"aggregate\":" << histogramJson(aggregateMs)

@@ -1,0 +1,312 @@
+#include "store_fsck.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "obs/metrics.hh"
+#include "service/result_store.hh"
+#include "util/atomic_file.hh"
+#include "util/crashpoint.hh"
+#include "util/logging.hh"
+
+namespace davf::service {
+
+const char *const kFsckQuarantineDir = "quarantine";
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/** Fsck/compact metric handles (docs/OBSERVABILITY.md). */
+struct FsckMetrics
+{
+    obs::Counter damageFound{"store.fsck_damage"};
+    obs::Counter quarantined{"store.fsck_quarantined"};
+    obs::Counter tmpsRemoved{"store.fsck_tmps_removed"};
+    obs::Counter rehomed{"store.compact_rehomed"};
+    obs::Counter duplicateLosers{"store.compact_duplicate_losers"};
+};
+
+FsckMetrics &
+fsckMetrics()
+{
+    static FsckMetrics *const metrics = new FsckMetrics();
+    return *metrics;
+}
+
+/** A classified entry plus what was parsed out of it (when valid). */
+struct WalkedEntry
+{
+    StoreEntry entry;
+    std::string key;     ///< Embedded key (Valid / Misplaced only).
+    std::string payload; ///< Embedded payload (Valid / Misplaced only).
+};
+
+/**
+ * Classify every regular file directly under @p dir, sorted by name.
+ * Directories (including the quarantine sub-dir) are skipped. Throws
+ * DavfError{Io} only if the directory itself cannot be enumerated.
+ */
+std::vector<WalkedEntry>
+walkStore(const std::string &dir)
+{
+    std::error_code ec;
+    fs::directory_iterator it(dir, ec);
+    if (ec) {
+        davf_throw(ErrorKind::Io, "cannot enumerate store dir '", dir,
+                   "': ", ec.message());
+    }
+
+    std::vector<WalkedEntry> walked;
+    for (const fs::directory_entry &dirent : it) {
+        if (!dirent.is_regular_file(ec))
+            continue;
+        WalkedEntry we;
+        we.entry.name = dirent.path().filename().string();
+
+        if (we.entry.name.find(".tmp.") != std::string::npos) {
+            we.entry.kind = StoreEntryKind::OrphanTmp;
+            we.entry.detail = "stale writer temporary";
+            walked.push_back(std::move(we));
+            continue;
+        }
+        if (we.entry.name.size() < 4
+            || we.entry.name.rfind(".rec")
+                != we.entry.name.size() - 4) {
+            we.entry.kind = StoreEntryKind::Foreign;
+            walked.push_back(std::move(we));
+            continue;
+        }
+
+        std::ifstream file(dirent.path(), std::ios::binary);
+        std::ostringstream contents;
+        if (file)
+            contents << file.rdbuf();
+        const std::string text = contents.str();
+        if (!file) {
+            we.entry.kind = StoreEntryKind::Garbled;
+            we.entry.detail = "unreadable";
+            walked.push_back(std::move(we));
+            continue;
+        }
+
+        auto parsed = ResultStore::parseRecord(text);
+        if (parsed) {
+            we.key = std::move(parsed.value().first);
+            we.payload = std::move(parsed.value().second);
+            const std::string canonical =
+                ResultStore::recordFileName(we.key);
+            if (we.entry.name == canonical) {
+                we.entry.kind = StoreEntryKind::Valid;
+            } else {
+                we.entry.kind = StoreEntryKind::Misplaced;
+                we.entry.detail = "canonical name is " + canonical;
+            }
+        } else if (text.size() < 4
+                   || text.compare(text.size() - 4, 4, "end\n") != 0) {
+            // No end sentinel: the write stopped mid-record.
+            we.entry.kind = StoreEntryKind::Torn;
+            we.entry.detail = parsed.error().what();
+        } else {
+            // Structurally complete but damaged: corruption, a stale
+            // version, or hand-edited garbage.
+            we.entry.kind = StoreEntryKind::Garbled;
+            we.entry.detail = parsed.error().what();
+        }
+        walked.push_back(std::move(we));
+    }
+    std::sort(walked.begin(), walked.end(),
+              [](const WalkedEntry &a, const WalkedEntry &b) {
+                  return a.entry.name < b.entry.name;
+              });
+    return walked;
+}
+
+void
+tally(FsckReport &report, const StoreEntry &entry)
+{
+    switch (entry.kind) {
+      case StoreEntryKind::Valid:
+        ++report.valid;
+        break;
+      case StoreEntryKind::Misplaced:
+        ++report.misplaced;
+        break;
+      case StoreEntryKind::Torn:
+        ++report.torn;
+        fsckMetrics().damageFound.add(1);
+        break;
+      case StoreEntryKind::Garbled:
+        ++report.garbled;
+        fsckMetrics().damageFound.add(1);
+        break;
+      case StoreEntryKind::OrphanTmp:
+        ++report.orphanTmps;
+        break;
+      case StoreEntryKind::Foreign:
+        ++report.foreign;
+        break;
+    }
+}
+
+/**
+ * Move a damaged record into the quarantine sub-dir (creating it on
+ * demand). A failed move is warned about and left in place — the
+ * report then stays un-clean, which is the honest answer.
+ */
+bool
+quarantineEntry(const std::string &dir, const std::string &name)
+{
+    std::error_code ec;
+    const fs::path qdir = fs::path(dir) / kFsckQuarantineDir;
+    fs::create_directories(qdir, ec);
+    if (ec) {
+        davf_warn("cannot create '", qdir.string(),
+                  "': ", ec.message());
+        return false;
+    }
+    fs::rename(fs::path(dir) / name, qdir / name, ec);
+    if (ec) {
+        davf_warn("cannot quarantine '", name, "': ", ec.message());
+        return false;
+    }
+    return true;
+}
+
+bool
+removeEntry(const std::string &dir, const std::string &name)
+{
+    std::error_code ec;
+    if (!fs::remove(fs::path(dir) / name, ec) || ec) {
+        davf_warn("cannot remove '", name, "': ",
+                  ec ? ec.message() : "no such file");
+        return false;
+    }
+    return true;
+}
+
+/** The shared fsck walk; @p rehome additionally compacts misplaced. */
+FsckReport
+runFsck(const std::string &dir, bool repair, bool rehome)
+{
+    static const crashpoint::CrashPoint repair_point("fsck.repair");
+    static const crashpoint::CrashPoint rewrite_point("compact.rewrite");
+
+    FsckReport report;
+    std::vector<WalkedEntry> walked = walkStore(dir);
+    for (const WalkedEntry &we : walked) {
+        tally(report, we.entry);
+        report.entries.push_back(we.entry);
+    }
+
+    if (repair) {
+        for (const WalkedEntry &we : walked) {
+            switch (we.entry.kind) {
+              case StoreEntryKind::Torn:
+              case StoreEntryKind::Garbled:
+                repair_point.fire();
+                if (quarantineEntry(dir, we.entry.name)) {
+                    ++report.quarantined;
+                    fsckMetrics().quarantined.add(1);
+                }
+                break;
+              case StoreEntryKind::OrphanTmp:
+                repair_point.fire();
+                if (removeEntry(dir, we.entry.name)) {
+                    ++report.removedTmps;
+                    fsckMetrics().tmpsRemoved.add(1);
+                }
+                break;
+              default:
+                break;
+            }
+        }
+    }
+
+    if (rehome) {
+        // Re-home misplaced records (or drop them as duplicate-key
+        // losers when their canonical slot is taken). Each step is one
+        // atomic rewrite or unlink, so a kill mid-compact leaves a
+        // store the next run finishes — and never fewer distinct keys
+        // than it started with.
+        for (const WalkedEntry &we : walked) {
+            if (we.entry.kind != StoreEntryKind::Misplaced)
+                continue;
+            const std::string canonical =
+                ResultStore::recordFileName(we.key);
+            const fs::path canonical_path = fs::path(dir) / canonical;
+            std::error_code ec;
+            bool slot_taken = fs::exists(canonical_path, ec) && !ec;
+            if (slot_taken) {
+                rewrite_point.fire();
+                if (removeEntry(dir, we.entry.name)) {
+                    ++report.duplicateLosers;
+                    fsckMetrics().duplicateLosers.add(1);
+                }
+            } else {
+                rewrite_point.fire();
+                try {
+                    writeFileAtomic(
+                        canonical_path.string(),
+                        ResultStore::serializeRecord(we.key,
+                                                     we.payload));
+                } catch (const DavfError &error) {
+                    davf_warn("cannot re-home '", we.entry.name,
+                              "': ", error.what());
+                    continue;
+                }
+                if (removeEntry(dir, we.entry.name)) {
+                    ++report.rehomed;
+                    fsckMetrics().rehomed.add(1);
+                }
+            }
+        }
+    }
+    return report;
+}
+
+} // namespace
+
+const char *
+storeEntryKindName(StoreEntryKind kind)
+{
+    switch (kind) {
+      case StoreEntryKind::Valid:
+        return "valid";
+      case StoreEntryKind::Misplaced:
+        return "misplaced";
+      case StoreEntryKind::Torn:
+        return "torn";
+      case StoreEntryKind::Garbled:
+        return "garbled";
+      case StoreEntryKind::OrphanTmp:
+        return "orphan-tmp";
+      case StoreEntryKind::Foreign:
+        return "foreign";
+    }
+    return "foreign";
+}
+
+bool
+FsckReport::clean() const
+{
+    return torn + garbled == quarantined
+        && orphanTmps == removedTmps;
+}
+
+FsckReport
+fsckStore(const std::string &dir, const FsckOptions &options)
+{
+    return runFsck(dir, options.repair, false);
+}
+
+FsckReport
+compactStore(const std::string &dir)
+{
+    return runFsck(dir, true, true);
+}
+
+} // namespace davf::service

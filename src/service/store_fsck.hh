@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Offline integrity checking and compaction for a result-store
+ * directory (service/result_store.hh), behind the `davf_store` CLI.
+ *
+ * fsckStore() walks one store directory and classifies every entry:
+ *
+ *  - **valid**     a well-formed record at its canonical file name;
+ *  - **misplaced** a well-formed record whose file name is not the
+ *                  canonical name for its embedded key — unreachable
+ *                  by lookups, so dead weight (a renamed file, or the
+ *                  loser of a hash collision);
+ *  - **torn**      a record missing its end sentinel: a truncated
+ *                  write (power cut reordered rename before data);
+ *  - **garbled**   a record that is damaged any other way — bad
+ *                  magic, stale version, checksum mismatch, trailing
+ *                  garbage;
+ *  - **orphan tmp** a `*.tmp.<pid>` sibling left by a writer that died
+ *                  between open and rename;
+ *  - **foreign**   anything else (ignored, counted).
+ *
+ * With `repair` set, damaged (torn/garbled) records are quarantined
+ * into `<dir>/quarantine/` (never deleted: they are evidence), orphan
+ * tmps are deleted, and misplaced records are left for compact. A
+ * repaired store passes a subsequent fsck. Repair is idempotent and
+ * crash-safe: every step is a single rename or unlink, and the
+ * `fsck.repair` crash point (util/crashpoint.hh) lets the recovery
+ * matrix kill it mid-flight and prove a rerun converges.
+ *
+ * compactStore() is repair plus space recovery: damaged records are
+ * quarantined, orphan tmps deleted, and every misplaced record is
+ * either re-homed to its canonical name (atomic rewrite) or — when a
+ * record already lives there — dropped as a duplicate-key loser. The
+ * `compact.rewrite` crash point guards each rewrite.
+ */
+
+#ifndef DAVF_SERVICE_STORE_FSCK_HH
+#define DAVF_SERVICE_STORE_FSCK_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace davf::service {
+
+/** Sub-directory of a store dir that fsck quarantines damage into. */
+extern const char *const kFsckQuarantineDir;
+
+/** How one store-directory entry was classified. */
+enum class StoreEntryKind : uint8_t {
+    Valid,
+    Misplaced,
+    Torn,
+    Garbled,
+    OrphanTmp,
+    Foreign,
+};
+
+/** Stable lowercase name of @p kind (CLI output, tests). */
+const char *storeEntryKindName(StoreEntryKind kind);
+
+/** One classified entry (relative file name + why). */
+struct StoreEntry
+{
+    std::string name;
+    StoreEntryKind kind = StoreEntryKind::Foreign;
+    std::string detail; ///< Parser/em error text for damaged entries.
+};
+
+/** What a fsck or compact pass found (and did). */
+struct FsckReport
+{
+    uint64_t valid = 0;
+    uint64_t misplaced = 0;
+    uint64_t torn = 0;
+    uint64_t garbled = 0;
+    uint64_t orphanTmps = 0;
+    uint64_t foreign = 0;
+
+    uint64_t quarantined = 0;  ///< Damaged records moved aside.
+    uint64_t removedTmps = 0;  ///< Orphan tmps deleted.
+    uint64_t rehomed = 0;      ///< Misplaced records rewritten (compact).
+    uint64_t duplicateLosers = 0; ///< Misplaced duplicates dropped.
+
+    /** Every entry, sorted by name (deterministic CLI output). */
+    std::vector<StoreEntry> entries;
+
+    /**
+     * No torn/garbled/misplaced records and no orphan tmps remain
+     * un-repaired. After fsckStore(repair=true) or compactStore()
+     * completes, this is true.
+     */
+    bool clean() const;
+};
+
+struct FsckOptions
+{
+    bool repair = false;
+};
+
+/**
+ * Check (and with options.repair, repair) the store at @p dir. Throws
+ * DavfError{Io} only if @p dir cannot be enumerated at all; per-entry
+ * I/O trouble is classified, never thrown.
+ */
+FsckReport fsckStore(const std::string &dir,
+                     const FsckOptions &options = {});
+
+/**
+ * Repair @p dir and recover space: quarantine damage, delete orphan
+ * tmps, re-home or drop misplaced records. Crash-safe and idempotent —
+ * killing it anywhere leaves a store a rerun (or plain fsck --repair)
+ * finishes cleaning.
+ */
+FsckReport compactStore(const std::string &dir);
+
+} // namespace davf::service
+
+#endif // DAVF_SERVICE_STORE_FSCK_HH

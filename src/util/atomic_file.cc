@@ -4,15 +4,60 @@
 #include <cstdio>
 #include <cstring>
 
+#include <fcntl.h>
 #include <unistd.h>
 
+#include "util/crashpoint.hh"
 #include "util/logging.hh"
 
 namespace davf {
 
+namespace {
+
+/**
+ * fsync the directory holding @p path, making a just-renamed entry
+ * durable. Without this a post-rename power cut can roll the
+ * directory back and silently lose a "committed" record even though
+ * the data blocks were fsynced. EINVAL/ENOTSUP (filesystems that
+ * cannot sync directories) are tolerated; real I/O errors throw.
+ */
+void
+fsyncParentDir(const std::string &path)
+{
+    const size_t slash = path.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : path.substr(0, slash + 1);
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0) {
+        davf_throw(ErrorKind::Io, "cannot open directory '", dir,
+                   "' to sync '", path, "': ", std::strerror(errno));
+    }
+    if (::fsync(fd) != 0 && errno != EINVAL && errno != ENOTSUP) {
+        const int saved = errno;
+        ::close(fd);
+        davf_throw(ErrorKind::Io, "cannot fsync directory '", dir,
+                   "': ", std::strerror(saved));
+    }
+    ::close(fd);
+}
+
+} // namespace
+
 void
 writeFileAtomic(const std::string &path, std::string_view contents)
 {
+    static const crashpoint::CrashPoint pre_tmp(
+        "atomic_file.pre_tmp_write");
+    static const crashpoint::CrashPoint write_point("atomic_file.write");
+    static const crashpoint::CrashPoint pre_fsync(
+        "atomic_file.pre_fsync");
+    static const crashpoint::CrashPoint pre_rename(
+        "atomic_file.pre_rename");
+    static const crashpoint::CrashPoint post_rename(
+        "atomic_file.post_rename");
+
+    pre_tmp.fire();
+
     const std::string tmp =
         path + ".tmp." + std::to_string(::getpid());
 
@@ -22,12 +67,51 @@ writeFileAtomic(const std::string &path, std::string_view contents)
                    "' for writing: ", std::strerror(errno));
     }
 
-    bool ok = contents.empty()
-        || std::fwrite(contents.data(), 1, contents.size(), file)
-            == contents.size();
+    // An armed payload action rewrites what actually reaches the disk:
+    // `torn` and `garble` publish damaged bytes and die after the
+    // rename (simulating rename metadata surviving a power cut that
+    // the data blocks did not), `enospc` stops the write mid-stream
+    // and fails like a full disk.
+    std::string_view payload = contents;
+    std::string garbled;
+    bool fail_enospc = false;
+    bool kill_after_publish = false;
+    switch (write_point.firePayload(contents.size())) {
+      case crashpoint::Action::Torn:
+        payload = contents.substr(
+            0, crashpoint::damageOffset(contents.size()));
+        kill_after_publish = true;
+        break;
+      case crashpoint::Action::Garble:
+        garbled = std::string(contents);
+        garbled[crashpoint::damageOffset(garbled.size())] ^= 0x40;
+        payload = garbled;
+        kill_after_publish = true;
+        break;
+      case crashpoint::Action::Enospc:
+        payload = contents.substr(
+            0, crashpoint::damageOffset(contents.size()));
+        fail_enospc = true;
+        break;
+      default:
+        break;
+    }
+
+    bool ok = payload.empty()
+        || std::fwrite(payload.data(), 1, payload.size(), file)
+            == payload.size();
+    if (fail_enospc) {
+        std::fclose(file);
+        std::remove(tmp.c_str());
+        davf_throw(ErrorKind::Io, "short write to '", tmp,
+                   "': no space left on device (injected)");
+    }
     ok = std::fflush(file) == 0 && ok;
+    pre_fsync.fire();
     // Persist the data before the rename publishes it.
     ok = ::fsync(::fileno(file)) == 0 && ok;
+    // fclose can surface the final deferred write error; an unchecked
+    // failure here would publish a record the kernel never accepted.
     ok = std::fclose(file) == 0 && ok;
     if (!ok) {
         std::remove(tmp.c_str());
@@ -35,12 +119,18 @@ writeFileAtomic(const std::string &path, std::string_view contents)
                    "': ", std::strerror(errno));
     }
 
+    pre_rename.fire();
     if (std::rename(tmp.c_str(), path.c_str()) != 0) {
         const int saved = errno;
         std::remove(tmp.c_str());
         davf_throw(ErrorKind::Io, "cannot rename '", tmp, "' to '", path,
                    "': ", std::strerror(saved));
     }
+    if (kill_after_publish)
+        crashpoint::killProcess("atomic_file.write");
+    post_rename.fire();
+    // Make the rename itself durable (see fsyncParentDir).
+    fsyncParentDir(path);
 }
 
 } // namespace davf

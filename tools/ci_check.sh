@@ -224,6 +224,152 @@ serve_smoke() {
     echo "=== serve smoke ok ($hits shard hits)" >&2
 }
 
+# Crash soak: the durability model against the real binaries
+# (docs/ROBUSTNESS.md). Phase 1 kill -9s davf_run at every registered
+# crash point (env-armed via DAVF_TEST_CRASHPOINT, iterating the list
+# `davf_store crashpoints` prints), resumes from whatever the kill
+# left behind, and requires the final --json report byte-identical to
+# an undisturbed run — plus targeted torn/enospc cases on the journal
+# write. Phase 2 tears a result-store record inside a crashing
+# davf_serve, requires `davf_store fsck` to find and repair the
+# damage, and requires a restarted server to converge on the exact
+# cold-run reply. Runs under both configs so the recovery paths get
+# ASan/UBSan coverage on every CI run.
+crash_soak() {
+    build_dir="$1"
+    soak_dir="$build_dir/crash-soak"
+    rm -rf "$soak_dir"
+    mkdir -p "$soak_dir"
+    echo "=== crash soak $build_dir" >&2
+
+    sweep() {
+        "$build_dir/tools/davf_run" --json \
+            --benchmark popcount --structure ALU --delays 0.5:0.9:0.4 \
+            --cycles 2 --wires 12 "$@"
+    }
+    sweep --checkpoint "$soak_dir/ref.ckpt" > "$soak_dir/ref.json"
+
+    # One kill per registered point (hit 2, so at least one journal
+    # write can land first when the point sits on the write path),
+    # plus the two damage shapes on the journal write itself.
+    specs=$("$build_dir/tools/davf_store" crashpoints \
+            | sed 's/$/:2=kill/')
+    specs="$specs atomic_file.write=torn atomic_file.write:2=enospc"
+    for spec in $specs; do
+        tag=$(echo "$spec" | tr ':=' '__')
+        wdir="$soak_dir/$tag"
+        mkdir -p "$wdir"
+        rc=0
+        env DAVF_TEST_CRASHPOINT="$spec" \
+            "$build_dir/tools/davf_run" --json \
+            --benchmark popcount --structure ALU \
+            --delays 0.5:0.9:0.4 --cycles 2 --wires 12 \
+            --checkpoint "$wdir/ck.ckpt" \
+            > "$wdir/out.json" 2> "$wdir/run.log" || rc=$?
+        if [ "$rc" -ne 0 ]; then
+            # The point fired fatally: recover in a fresh process,
+            # resuming if the crash left a (possibly torn) journal.
+            resume_args=""
+            [ -f "$wdir/ck.ckpt" ] \
+                && resume_args="--resume $wdir/ck.ckpt"
+            # shellcheck disable=SC2086
+            sweep $resume_args --checkpoint "$wdir/ck.ckpt" \
+                > "$wdir/out.json" 2>> "$wdir/run.log"
+        fi
+        if ! cmp -s "$soak_dir/ref.json" "$wdir/out.json"; then
+            echo "crash soak: $spec: report differs after recovery" >&2
+            cat "$wdir/run.log" >&2
+            exit 1
+        fi
+        if ! cmp -s "$soak_dir/ref.ckpt" "$wdir/ck.ckpt"; then
+            echo "crash soak: $spec: journal differs after recovery" >&2
+            exit 1
+        fi
+    done
+
+    # Phase 2: a torn store record. The armed server publishes a
+    # truncated record and dies mid-campaign; fsck must classify and
+    # quarantine it, and a clean restart must serve the exact cold
+    # reply.
+    store_dir="$soak_dir/store"
+    sock="$soak_dir/davf.sock"
+    env DAVF_TEST_CRASHPOINT='atomic_file.write=torn' \
+        "$build_dir/tools/davf_serve" --socket "$sock" \
+        --store-dir "$store_dir" --benchmark popcount \
+        2> "$soak_dir/serve-armed.log" &
+    serve_pid=$!
+    trap 'kill "$serve_pid" 2>/dev/null || true' EXIT
+    waited=0
+    while [ ! -S "$sock" ]; do
+        if ! kill -0 "$serve_pid" 2>/dev/null; then
+            echo "crash soak: armed server died during startup" >&2
+            cat "$soak_dir/serve-armed.log" >&2
+            exit 1
+        fi
+        if [ "$waited" -ge 300 ]; then
+            echo "crash soak: armed server never bound $sock" >&2
+            exit 1
+        fi
+        sleep 1
+        waited=$((waited + 1))
+    done
+    "$build_dir/tools/davf_client" --socket "$sock" \
+        --benchmark popcount --structure ALU --delays 0.5:0.9:0.4 \
+        --cycles 2 --wires 12 \
+        > /dev/null 2>> "$soak_dir/serve-armed.log" || true
+    wait "$serve_pid" 2>/dev/null || true
+    trap - EXIT
+
+    if "$build_dir/tools/davf_store" fsck "$store_dir" \
+        2> "$soak_dir/fsck.log"; then
+        echo "crash soak: fsck missed the torn record:" >&2
+        cat "$soak_dir/fsck.log" >&2
+        exit 1
+    fi
+    "$build_dir/tools/davf_store" fsck --repair "$store_dir" \
+        2>> "$soak_dir/fsck.log"
+    "$build_dir/tools/davf_store" fsck "$store_dir" \
+        2>> "$soak_dir/fsck.log"
+    if [ ! -d "$store_dir/quarantine" ]; then
+        echo "crash soak: repair left no quarantine evidence" >&2
+        exit 1
+    fi
+
+    rm -f "$sock"
+    "$build_dir/tools/davf_serve" --socket "$sock" \
+        --store-dir "$store_dir" --benchmark popcount \
+        2> "$soak_dir/serve.log" &
+    serve_pid=$!
+    trap 'kill "$serve_pid" 2>/dev/null || true' EXIT
+    waited=0
+    while [ ! -S "$sock" ]; do
+        if ! kill -0 "$serve_pid" 2>/dev/null; then
+            echo "crash soak: server died during restart" >&2
+            cat "$soak_dir/serve.log" >&2
+            exit 1
+        fi
+        if [ "$waited" -ge 300 ]; then
+            echo "crash soak: restarted server never bound $sock" >&2
+            exit 1
+        fi
+        sleep 1
+        waited=$((waited + 1))
+    done
+    "$build_dir/tools/davf_client" --socket "$sock" \
+        --benchmark popcount --structure ALU --delays 0.5:0.9:0.4 \
+        --cycles 2 --wires 12 > "$soak_dir/served.json" \
+        2>> "$soak_dir/serve.log"
+    kill "$serve_pid" 2>/dev/null || true
+    wait "$serve_pid" 2>/dev/null || true
+    trap - EXIT
+    if ! cmp -s "$soak_dir/ref.json" "$soak_dir/served.json"; then
+        echo "crash soak: served reply differs from cold run" >&2
+        exit 1
+    fi
+    echo "=== crash soak ok ($(echo "$specs" | wc -w) specs," \
+        "store repaired)" >&2
+}
+
 # Net smoke: the distributed fabric under fire (docs/DISTRIBUTED.md).
 # A coordinator sweep dispatches to three loopback davf_worker nodes;
 # one node is armed with a deterministic stall netfault (caught by the
@@ -343,6 +489,7 @@ vector_smoke "$root/build-ci-release"
 obs_smoke "$root/build-ci-release"
 serve_smoke "$root/build-ci-release"
 net_smoke "$root/build-ci-release"
+crash_soak "$root/build-ci-release"
 groupace_bench "$root/build-ci-release"
 run_config "$root/build-ci-asan" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DDAVF_SANITIZE=address,undefined
@@ -351,5 +498,6 @@ vector_smoke "$root/build-ci-asan"
 obs_smoke "$root/build-ci-asan"
 serve_smoke "$root/build-ci-asan"
 net_smoke "$root/build-ci-asan"
+crash_soak "$root/build-ci-asan"
 
 echo "=== ci_check: all configurations passed" >&2

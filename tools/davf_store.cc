@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Offline maintenance for a result-store directory (docs/SERVICE.md,
+ * docs/ROBUSTNESS.md).
+ *
+ * Usage:
+ *   davf_store fsck [--repair] DIR
+ *   davf_store compact DIR
+ *   davf_store crashpoints
+ *
+ * `fsck` walks DIR and classifies every entry (valid / misplaced /
+ * torn / garbled / orphan-tmp / foreign), printing one line per
+ * problem and a summary. Exit 0 when the store is damage-free, 1 when
+ * damage was found (or, with --repair, when some damage could not be
+ * repaired) or the directory is unreadable, 2 on usage errors. With
+ * --repair, torn and garbled
+ * records are quarantined into DIR/quarantine/ and stale writer
+ * temporaries are deleted; a repaired store exits 0.
+ *
+ * `compact` is repair plus space recovery: misplaced records are
+ * re-homed to their canonical file names and duplicate-key losers are
+ * dropped. Crash-safe — killing it at any instant leaves a store a
+ * rerun finishes.
+ *
+ * `crashpoints` prints every crash-point name compiled into this
+ * binary (util/crashpoint.hh), one per line; the CI crash soak
+ * iterates this list.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "service/store_fsck.hh"
+#include "util/crashpoint.hh"
+#include "util/logging.hh"
+
+using namespace davf;
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s fsck [--repair] DIR\n"
+                 "       %s compact DIR\n"
+                 "       %s crashpoints\n",
+                 argv0, argv0, argv0);
+    return 2;
+}
+
+void
+printReport(const service::FsckReport &report)
+{
+    for (const service::StoreEntry &entry : report.entries) {
+        if (entry.kind == service::StoreEntryKind::Valid
+            || entry.kind == service::StoreEntryKind::Foreign) {
+            continue;
+        }
+        std::fprintf(stderr, "%-10s %s%s%s\n",
+                     service::storeEntryKindName(entry.kind),
+                     entry.name.c_str(),
+                     entry.detail.empty() ? "" : ": ",
+                     entry.detail.c_str());
+    }
+    std::fprintf(stderr,
+                 "%llu valid, %llu misplaced, %llu torn, %llu garbled, "
+                 "%llu orphan tmp(s), %llu foreign\n",
+                 (unsigned long long)report.valid,
+                 (unsigned long long)report.misplaced,
+                 (unsigned long long)report.torn,
+                 (unsigned long long)report.garbled,
+                 (unsigned long long)report.orphanTmps,
+                 (unsigned long long)report.foreign);
+    if (report.quarantined || report.removedTmps || report.rehomed
+        || report.duplicateLosers) {
+        std::fprintf(stderr,
+                     "repaired: %llu quarantined, %llu tmp(s) removed, "
+                     "%llu re-homed, %llu duplicate loser(s) dropped\n",
+                     (unsigned long long)report.quarantined,
+                     (unsigned long long)report.removedTmps,
+                     (unsigned long long)report.rehomed,
+                     (unsigned long long)report.duplicateLosers);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return guardedMain([&]() -> int {
+        if (argc < 2)
+            return usage(argv[0]);
+        const std::string verb = argv[1];
+
+        if (verb == "crashpoints") {
+            for (const std::string &name : crashpoint::knownPoints())
+                std::printf("%s\n", name.c_str());
+            return 0;
+        }
+
+        if (verb == "fsck") {
+            service::FsckOptions options;
+            std::string dir;
+            for (int i = 2; i < argc; ++i) {
+                if (std::strcmp(argv[i], "--repair") == 0)
+                    options.repair = true;
+                else if (dir.empty())
+                    dir = argv[i];
+                else
+                    return usage(argv[0]);
+            }
+            if (dir.empty())
+                return usage(argv[0]);
+            const service::FsckReport report =
+                service::fsckStore(dir, options);
+            printReport(report);
+            return report.clean() ? 0 : 1;
+        }
+
+        if (verb == "compact") {
+            if (argc != 3)
+                return usage(argv[0]);
+            const service::FsckReport report =
+                service::compactStore(argv[2]);
+            printReport(report);
+            return report.clean() ? 0 : 1;
+        }
+
+        return usage(argv[0]);
+    });
+}
