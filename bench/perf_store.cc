@@ -1,0 +1,363 @@
+/**
+ * @file
+ * Result-store disk-tier benchmark: legacy per-file records vs the
+ * extendible-hash index (src/store/), the numbers behind the index
+ * subsystem's "warm indexed lookups >= 5x legacy at 100k records"
+ * acceptance line.
+ *
+ * For each record count and thread count it measures, with the memory
+ * tier disabled so every lookup exercises the disk structures:
+ *
+ *  - populate throughput (records/s) for each tier;
+ *  - a **cold** pass: a fresh ResultStore handle looks every key up
+ *    once, in per-thread shuffled order (index load / first directory
+ *    touch included);
+ *  - a **warm** pass: the same handle does it again.
+ *
+ * Every lookup's payload is compared against the expected bytes; any
+ * mismatch between tiers or against the generator fails the run with
+ * a nonzero exit — byte-identity is the property the store exists for.
+ *
+ * The results are written to --out (default BENCH_store.json) as one
+ * `davf-bench-store/v1` JSON object. Legacy runs are capped at
+ * --legacy-cap records (default 100000: a million 4 KiB-block files
+ * with an fsync each is an inode bonfire, not a measurement); capped
+ * sizes carry index entries only and the cap is recorded in the
+ * artifact rather than silently shrinking coverage.
+ *
+ * Usage:
+ *   perf_store [--records 1000,100000,1000000] [--threads 1,8]
+ *              [--dir /tmp/davf_perf_store] [--legacy-cap 100000]
+ *              [--out BENCH_store.json]
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <iomanip>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <random>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/result_store.hh"
+#include "store/index_store.hh"
+#include "util/atomic_file.hh"
+#include "util/error.hh"
+#include "util/json.hh"
+#include "util/logging.hh"
+
+using namespace davf;
+
+namespace {
+
+struct Options
+{
+    std::vector<uint64_t> records = {1000, 100000, 1000000};
+    std::vector<unsigned> threads = {1, 8};
+    std::string dir = "/tmp/davf_perf_store";
+    uint64_t legacyCap = 100000;
+    std::string out = "BENCH_store.json";
+};
+
+std::string
+benchKey(uint64_t i)
+{
+    return "bench-fp0123abcd shard ALU d=0.5 cyc=8 w=" + std::to_string(i);
+}
+
+std::string
+benchPayload(uint64_t i)
+{
+    // The hexfloat token shape real shard outcomes use.
+    return "0x1.91eb851eb851fp-1 0x1.0p-3 inj=3200 err="
+        + std::to_string(i % 97) + " idx=" + std::to_string(i);
+}
+
+std::vector<uint64_t>
+parseU64List(const char *text)
+{
+    std::vector<uint64_t> values;
+    std::stringstream stream{std::string(text)};
+    std::string item;
+    while (std::getline(stream, item, ',')) {
+        if (item.empty())
+            continue;
+        values.push_back(std::strtoull(item.c_str(), nullptr, 10));
+        if (values.back() == 0)
+            davf_throw(ErrorKind::BadInput, "bad list entry '", item,
+                       "'");
+    }
+    if (values.empty())
+        davf_throw(ErrorKind::BadInput, "empty list '", text, "'");
+    return values;
+}
+
+double
+seconds(std::chrono::steady_clock::time_point from)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - from)
+        .count();
+}
+
+struct PassResult
+{
+    double lookupsPerSec = 0.0;
+    double p99Us = 0.0;
+};
+
+/**
+ * Look every key up once across @p threads threads (keys sharded
+ * round-robin, each shard shuffled), verifying payload bytes.
+ * @p mismatches counts byte diffs; latencies feed the p99.
+ */
+PassResult
+lookupPass(service::ResultStore &store, uint64_t records,
+           unsigned threads, std::atomic<uint64_t> &mismatches)
+{
+    std::vector<std::vector<uint32_t>> latencies(threads);
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> workers;
+    for (unsigned t = 0; t < threads; ++t) {
+        workers.emplace_back([&, t] {
+            std::vector<uint64_t> mine;
+            for (uint64_t i = t; i < records; i += threads)
+                mine.push_back(i);
+            std::shuffle(mine.begin(), mine.end(),
+                         std::mt19937_64(t + 1));
+            latencies[t].reserve(mine.size());
+            for (const uint64_t i : mine) {
+                const auto t0 = std::chrono::steady_clock::now();
+                const auto hit = store.lookup(benchKey(i));
+                const auto ns =
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+                latencies[t].push_back(static_cast<uint32_t>(
+                    std::min<int64_t>(ns, UINT32_MAX)));
+                if (!hit.has_value() || *hit != benchPayload(i))
+                    mismatches.fetch_add(1);
+            }
+        });
+    }
+    for (std::thread &worker : workers)
+        worker.join();
+    const double elapsed = seconds(start);
+
+    std::vector<uint32_t> merged;
+    for (const auto &shard : latencies)
+        merged.insert(merged.end(), shard.begin(), shard.end());
+    PassResult result;
+    result.lookupsPerSec =
+        elapsed > 0.0 ? static_cast<double>(records) / elapsed : 0.0;
+    if (!merged.empty()) {
+        const size_t at = merged.size() * 99 / 100;
+        std::nth_element(merged.begin(), merged.begin() + at,
+                         merged.end());
+        result.p99Us = merged[at] / 1000.0;
+    }
+    return result;
+}
+
+struct Entry
+{
+    std::string tier; ///< "legacy" | "index"
+    uint64_t records = 0;
+    unsigned threads = 0;
+    double populatePerSec = 0.0;
+    PassResult cold;
+    PassResult warm;
+};
+
+double
+populateLegacy(const std::string &dir, uint64_t records)
+{
+    service::ResultStore store(
+        {dir, 0, service::StoreFormat::Legacy});
+    const auto start = std::chrono::steady_clock::now();
+    for (uint64_t i = 0; i < records; ++i)
+        store.store(benchKey(i), benchPayload(i));
+    return static_cast<double>(records) / seconds(start);
+}
+
+double
+populateIndex(const std::string &dir, uint64_t records)
+{
+    // Bulk load: per-append fdatasync off, one durability barrier at
+    // the end — the posture a migration or backfill would use.
+    store::IndexStore::Options options;
+    options.dir = dir;
+    options.syncAppends = false;
+    store::IndexStore store(options);
+    const auto start = std::chrono::steady_clock::now();
+    for (uint64_t i = 0; i < records; ++i)
+        store.put(benchKey(i), benchPayload(i));
+    store.checkpoint();
+    return static_cast<double>(records) / seconds(start);
+}
+
+void
+appendEntryJson(std::ostringstream &os, const Entry &entry, bool first)
+{
+    if (!first)
+        os << ",";
+    os << "{\"tier\":\"" << entry.tier << "\""
+       << ",\"records\":" << entry.records
+       << ",\"threads\":" << entry.threads << std::fixed
+       << std::setprecision(1) << ",\"populate_per_sec\":"
+       << entry.populatePerSec
+       << ",\"cold_lookups_per_sec\":" << entry.cold.lookupsPerSec
+       << ",\"warm_lookups_per_sec\":" << entry.warm.lookupsPerSec
+       << std::setprecision(3) << ",\"cold_p99_us\":" << entry.cold.p99Us
+       << ",\"warm_p99_us\":" << entry.warm.p99Us << "}";
+}
+
+int
+run(const Options &opts)
+{
+    namespace fs = std::filesystem;
+    std::vector<Entry> entries;
+    std::atomic<uint64_t> mismatches{0};
+
+    for (const uint64_t records : opts.records) {
+        for (const std::string tier : {"legacy", "index"}) {
+            if (tier == "legacy" && records > opts.legacyCap) {
+                std::fprintf(stderr,
+                             "perf_store: skipping legacy at %llu "
+                             "records (over --legacy-cap %llu)\n",
+                             static_cast<unsigned long long>(records),
+                             static_cast<unsigned long long>(
+                                 opts.legacyCap));
+                continue;
+            }
+            const std::string dir =
+                opts.dir + "/" + tier + "-" + std::to_string(records);
+            fs::remove_all(dir);
+            std::fprintf(stderr,
+                         "perf_store: %s %llu records: populating...\n",
+                         tier.c_str(),
+                         static_cast<unsigned long long>(records));
+            const double populatePerSec =
+                tier == "legacy" ? populateLegacy(dir, records)
+                                 : populateIndex(dir, records);
+            for (const unsigned threads : opts.threads) {
+                Entry entry;
+                entry.tier = tier;
+                entry.records = records;
+                entry.threads = threads;
+                entry.populatePerSec = populatePerSec;
+                // A fresh handle per thread count: the cold pass pays
+                // the open (index load or first directory touch).
+                service::ResultStore store({dir, 0});
+                entry.cold =
+                    lookupPass(store, records, threads, mismatches);
+                entry.warm =
+                    lookupPass(store, records, threads, mismatches);
+                std::fprintf(
+                    stderr,
+                    "perf_store: %s n=%llu t=%u cold=%.0f/s "
+                    "warm=%.0f/s p99=%.1fus\n",
+                    tier.c_str(),
+                    static_cast<unsigned long long>(records), threads,
+                    entry.cold.lookupsPerSec, entry.warm.lookupsPerSec,
+                    entry.warm.p99Us);
+                entries.push_back(entry);
+            }
+            fs::remove_all(dir);
+        }
+    }
+
+    // Warm single-thread speedup per size where both tiers ran — the
+    // acceptance number is the 100000-record row.
+    std::ostringstream os;
+    os << "{\"schema\":\"davf-bench-store/v1\",\"legacy_cap\":"
+       << opts.legacyCap << ",\"byte_identical\":"
+       << (mismatches.load() == 0 ? "true" : "false")
+       << ",\"entries\":[";
+    for (size_t i = 0; i < entries.size(); ++i)
+        appendEntryJson(os, entries[i], i == 0);
+    os << "],\"speedups\":[";
+    bool firstSpeedup = true;
+    for (const uint64_t records : opts.records) {
+        const Entry *legacy = nullptr;
+        const Entry *index = nullptr;
+        for (const Entry &entry : entries) {
+            if (entry.records != records || entry.threads != 1)
+                continue;
+            (entry.tier == "legacy" ? legacy : index) = &entry;
+        }
+        if (legacy == nullptr || index == nullptr
+            || legacy->warm.lookupsPerSec <= 0.0)
+            continue;
+        if (!firstSpeedup)
+            os << ",";
+        firstSpeedup = false;
+        os << "{\"records\":" << records << std::fixed
+           << std::setprecision(2) << ",\"warm_index_over_legacy\":"
+           << index->warm.lookupsPerSec / legacy->warm.lookupsPerSec
+           << "}";
+    }
+    os << "]}";
+
+    const std::string json = os.str();
+    const JsonCheck check = jsonValidate(json);
+    if (!check) {
+        std::fprintf(stderr, "perf_store: emitted invalid JSON: %s\n",
+                     check.message.c_str());
+        return 2;
+    }
+    writeFileAtomic(opts.out, json + "\n");
+    std::fprintf(stderr, "perf_store: wrote %s\n", opts.out.c_str());
+
+    if (mismatches.load() != 0) {
+        std::fprintf(stderr,
+                     "perf_store: %llu payload mismatches — the tiers "
+                     "are NOT byte-identical\n",
+                     static_cast<unsigned long long>(mismatches.load()));
+        return 1;
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return guardedMain([&] {
+        Options opts;
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            auto need = [&]() -> const char * {
+                if (i + 1 >= argc)
+                    davf_throw(ErrorKind::BadInput, arg,
+                               " expects a value");
+                return argv[++i];
+            };
+            if (arg == "--records")
+                opts.records = parseU64List(need());
+            else if (arg == "--threads") {
+                opts.threads.clear();
+                for (const uint64_t t : parseU64List(need()))
+                    opts.threads.push_back(static_cast<unsigned>(t));
+            } else if (arg == "--dir")
+                opts.dir = need();
+            else if (arg == "--legacy-cap")
+                opts.legacyCap =
+                    std::strtoull(need(), nullptr, 10);
+            else if (arg == "--out")
+                opts.out = need();
+            else
+                davf_throw(ErrorKind::BadInput, "unknown flag '", arg,
+                           "'");
+        }
+        return run(opts);
+    });
+}

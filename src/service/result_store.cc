@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "obs/metrics.hh"
+#include "store/layout.hh"
 #include "util/atomic_file.hh"
 #include "util/crashpoint.hh"
 #include "util/logging.hh"
@@ -26,6 +27,8 @@ struct StoreMetrics
     obs::Counter writes{"store.writes"};
     obs::Counter writeFailures{"store.write_failures"};
     obs::Counter repairUnlinks{"store.repair_unlinks"};
+    obs::Gauge lruEntries{"store.lru_entries"};
+    obs::Gauge lruBytes{"store.lru_bytes"};
 };
 
 StoreMetrics &
@@ -35,24 +38,35 @@ storeMetrics()
     return *metrics;
 }
 
-} // namespace
-
-namespace {
-
-std::string
-fnv1aHex(const std::string &text)
+/** Does @p dir hold any legacy per-file records ("r-*.rec")? */
+bool
+hasLegacyRecords(const std::string &dir)
 {
-    uint64_t hash = 0xcbf29ce484222325ull;
-    for (unsigned char c : text) {
-        hash ^= c;
-        hash *= 0x100000001b3ull;
+    std::error_code ec;
+    for (std::filesystem::directory_iterator it(dir, ec), end;
+         !ec && it != end; it.increment(ec)) {
+        const std::string name = it->path().filename().string();
+        if (name.rfind("r-", 0) == 0 && name.size() > 6
+            && name.compare(name.size() - 4, 4, ".rec") == 0) {
+            return true;
+        }
     }
-    std::ostringstream os;
-    os << std::hex << hash;
-    return os.str();
+    return false;
 }
 
 } // namespace
+
+std::optional<StoreFormat>
+parseStoreFormat(const std::string &text)
+{
+    if (text == "auto")
+        return StoreFormat::Auto;
+    if (text == "legacy")
+        return StoreFormat::Legacy;
+    if (text == "index")
+        return StoreFormat::Index;
+    return std::nullopt;
+}
 
 ResultStore::ResultStore(Options the_options)
     : options(std::move(the_options))
@@ -65,70 +79,51 @@ ResultStore::ResultStore(Options the_options)
         davf_throw(ErrorKind::Io, "cannot create store dir '",
                    options.dir, "': ", ec.message());
     }
+
+    StoreFormat format = options.format;
+    if (format == StoreFormat::Auto) {
+        // Follow the directory: an index wins outright; a legacy
+        // directory stays legacy until migrated (no surprise format
+        // flips under existing deployments); empty starts indexed.
+        if (davf::store::IndexStore::present(options.dir))
+            format = StoreFormat::Index;
+        else if (hasLegacyRecords(options.dir))
+            format = StoreFormat::Legacy;
+        else
+            format = StoreFormat::Index;
+    }
+    if (format == StoreFormat::Index) {
+        try {
+            index = std::make_unique<davf::store::IndexStore>(
+                davf::store::IndexStore::Options{.dir = options.dir});
+        } catch (const DavfError &error) {
+            // Most likely another process owns the index lock. Legacy
+            // per-file records keep this process fully functional, and
+            // the lock owner absorbs our records on sight.
+            davf_warn("cannot open indexed store in '", options.dir,
+                      "' (falling back to legacy per-file records): ",
+                      error.what());
+        }
+    }
 }
 
 std::string
 ResultStore::serializeRecord(const std::string &key,
                              const std::string &payload)
 {
-    std::ostringstream os;
-    os << "davf-store v" << kVersion << "\nkey " << key << "\npayload "
-       << payload << "\nsum " << fnv1aHex(key + '\n' + payload)
-       << "\nend\n";
-    return os.str();
+    return davf::store::serializeRecordText(key, payload);
 }
 
 Result<std::pair<std::string, std::string>>
 ResultStore::parseRecord(const std::string &text)
 {
-    using R = Result<std::pair<std::string, std::string>>;
-    std::istringstream is(text);
-    std::string line;
-
-    if (!std::getline(is, line)
-        || line != "davf-store v" + std::to_string(kVersion)) {
-        return R::Err(ErrorKind::BadInput,
-                      "store record: bad header: " + line.substr(0, 60));
-    }
-    if (!std::getline(is, line) || line.rfind("key ", 0) != 0
-        || line.size() == 4) {
-        return R::Err(ErrorKind::BadInput,
-                      "store record: missing key record");
-    }
-    std::string key = line.substr(4);
-    if (!std::getline(is, line) || line.rfind("payload ", 0) != 0
-        || line.size() == 8) {
-        return R::Err(ErrorKind::BadInput,
-                      "store record: missing payload record");
-    }
-    std::string payload = line.substr(8);
-    // The checksum catches in-place corruption (a flipped bit in the
-    // key or payload) that would otherwise parse as a valid record.
-    if (!std::getline(is, line) || line.rfind("sum ", 0) != 0) {
-        return R::Err(ErrorKind::BadInput,
-                      "store record: missing sum record");
-    }
-    if (line.substr(4) != fnv1aHex(key + '\n' + payload)) {
-        return R::Err(ErrorKind::BadInput,
-                      "store record: checksum mismatch (garbled)");
-    }
-    // The end sentinel proves the sum line was not truncated
-    // mid-write; without it the record is torn and must be recomputed.
-    if (!std::getline(is, line) || line != "end") {
-        return R::Err(ErrorKind::BadInput,
-                      "store record: missing end sentinel");
-    }
-    if (std::getline(is, line) && !line.empty()) {
-        return R::Err(ErrorKind::BadInput,
-                      "store record: trailing garbage");
-    }
-    return R::Ok({std::move(key), std::move(payload)});
+    return davf::store::parseRecordText(text);
 }
 
 std::string
 ResultStore::recordFileName(const std::string &key)
 {
-    return "r-" + fnv1aHex(key) + ".rec";
+    return davf::store::legacyRecordFileName(key);
 }
 
 std::string
@@ -149,76 +144,149 @@ ResultStore::remember(const std::string &key, const std::string &payload)
         return;
     auto it = lruIndex.find(key);
     if (it != lruIndex.end()) {
+        lruBytes += payload.size();
+        lruBytes -= it->second->second.size();
         it->second->second = payload;
         lru.splice(lru.begin(), lru, it->second);
-        return;
+    } else {
+        lru.emplace_front(key, payload);
+        lruIndex[key] = lru.begin();
+        lruBytes += key.size() + payload.size();
+        while (lru.size() > options.memCapacity) {
+            lruBytes -=
+                lru.back().first.size() + lru.back().second.size();
+            lruIndex.erase(lru.back().first);
+            lru.pop_back();
+            ++counters.evictions;
+            storeMetrics().evictions.add(1);
+        }
     }
-    lru.emplace_front(key, payload);
-    lruIndex[key] = lru.begin();
-    while (lru.size() > options.memCapacity) {
-        lruIndex.erase(lru.back().first);
-        lru.pop_back();
-        ++counters.evictions;
-        storeMetrics().evictions.add(1);
+    storeMetrics().lruEntries.set(static_cast<int64_t>(lru.size()));
+    storeMetrics().lruBytes.set(static_cast<int64_t>(lruBytes));
+}
+
+std::optional<std::string>
+ResultStore::lookupLegacyFile(const std::string &key)
+{
+    const std::string path = recordPath(key);
+    if (path.empty())
+        return std::nullopt;
+    std::ifstream file(path, std::ios::binary);
+    if (!file)
+        return std::nullopt;
+    std::ostringstream contents;
+    contents << file.rdbuf();
+    auto parsed = parseRecord(contents.str());
+    if (!parsed) {
+        // Truncated / wrong-version / damaged record: a miss the
+        // caller's recompute-and-store will repair. Unlink the damaged
+        // file eagerly so readers that never recompute (fsck-less
+        // query fleets) stop re-parsing it; a failed unlink is
+        // tolerable — the file is rewritten on the next store() anyway.
+        {
+            const std::lock_guard<std::mutex> lock(mutex);
+            ++counters.corruptRecords;
+        }
+        storeMetrics().corruptRecords.add(1);
+        try {
+            static const crashpoint::CrashPoint repair_point(
+                "store.repair_unlink");
+            repair_point.fire();
+            if (std::remove(path.c_str()) == 0) {
+                const std::lock_guard<std::mutex> lock(mutex);
+                ++counters.repairUnlinks;
+                storeMetrics().repairUnlinks.add(1);
+            }
+        } catch (const DavfError &) {
+            // The armed crash point threw; the record stays for the
+            // next reader (or fsck) to clean up.
+        }
+        return std::nullopt;
     }
+    if (parsed.value().first != key) {
+        // NOTE: deliberately *not* unlinked — a hash collision means
+        // this file holds some other key's valid record. A
+        // filename-hash collision stores someone else's result here;
+        // serving it would poison the cache.
+        {
+            const std::lock_guard<std::mutex> lock(mutex);
+            ++counters.corruptRecords;
+        }
+        storeMetrics().corruptRecords.add(1);
+        return std::nullopt;
+    }
+    return std::move(parsed.value().second);
 }
 
 std::optional<std::string>
 ResultStore::lookup(const std::string &key)
 {
-    const std::lock_guard<std::mutex> lock(mutex);
-
-    if (auto it = lruIndex.find(key); it != lruIndex.end()) {
-        ++counters.memoryHits;
-        storeMetrics().memoryHits.add(1);
-        lru.splice(lru.begin(), lru, it->second);
-        return it->second->second;
-    }
-
-    const std::string path = recordPath(key);
-    if (!path.empty()) {
-        std::ifstream file(path, std::ios::binary);
-        if (file) {
-            std::ostringstream contents;
-            contents << file.rdbuf();
-            auto parsed = parseRecord(contents.str());
-            if (!parsed) {
-                // Truncated / wrong-version / damaged record: a miss
-                // the caller's recompute-and-store will repair. Unlink
-                // the damaged file eagerly so readers that never
-                // recompute (fsck-less query fleets) stop re-parsing
-                // it; a failed unlink is tolerable — the file is
-                // rewritten on the next store() anyway.
-                ++counters.corruptRecords;
-                storeMetrics().corruptRecords.add(1);
-                try {
-                    static const crashpoint::CrashPoint repair_point(
-                        "store.repair_unlink");
-                    repair_point.fire();
-                    if (std::remove(path.c_str()) == 0) {
-                        ++counters.repairUnlinks;
-                        storeMetrics().repairUnlinks.add(1);
-                    }
-                } catch (const DavfError &) {
-                    // The armed crash point threw; the record stays
-                    // for the next reader (or fsck) to clean up.
-                }
-            } else if (parsed.value().first != key) {
-                // NOTE: deliberately *not* unlinked — a hash collision
-                // means this file holds some other key's valid record.
-                // A filename-hash collision stores someone else's
-                // result here; serving it would poison the cache.
-                ++counters.corruptRecords;
-                storeMetrics().corruptRecords.add(1);
-            } else {
-                ++counters.diskHits;
-                storeMetrics().diskHits.add(1);
-                remember(key, parsed.value().second);
-                return std::move(parsed.value().second);
-            }
+    {
+        const std::lock_guard<std::mutex> lock(mutex);
+        if (auto it = lruIndex.find(key); it != lruIndex.end()) {
+            ++counters.memoryHits;
+            storeMetrics().memoryHits.add(1);
+            lru.splice(lru.begin(), lru, it->second);
+            return it->second->second;
         }
     }
 
+    if (index != nullptr) {
+        using Status = davf::store::IndexStore::LookupStatus;
+        auto looked = index->lookup(key);
+        switch (looked.status) {
+          case Status::Hit: {
+            const std::lock_guard<std::mutex> lock(mutex);
+            ++counters.diskHits;
+            storeMetrics().diskHits.add(1);
+            remember(key, looked.payload);
+            return std::move(looked.payload);
+          }
+          case Status::Corrupt:
+          case Status::Collision: {
+            // Both degrade to a miss, exactly like their legacy
+            // counterparts (the corrupt slot was already dropped).
+            const std::lock_guard<std::mutex> lock(mutex);
+            ++counters.corruptRecords;
+            storeMetrics().corruptRecords.add(1);
+            break;
+          }
+          case Status::Miss: {
+            // A stray legacy record file can still hold the answer: a
+            // process that lost the index lock writes per-file records
+            // into the same directory, and interrupted migrations
+            // leave some behind. Absorb it into the index on sight.
+            auto payload = lookupLegacyFile(key);
+            if (payload) {
+                try {
+                    index->put(key, *payload);
+                    std::remove(recordPath(key).c_str());
+                } catch (const DavfError &error) {
+                    davf_warn("cannot absorb legacy record for '", key,
+                              "' into the index (leaving the file): ",
+                              error.what());
+                }
+                const std::lock_guard<std::mutex> lock(mutex);
+                ++counters.diskHits;
+                storeMetrics().diskHits.add(1);
+                remember(key, *payload);
+                return payload;
+            }
+            break;
+          }
+        }
+    } else {
+        auto payload = lookupLegacyFile(key);
+        if (payload) {
+            const std::lock_guard<std::mutex> lock(mutex);
+            ++counters.diskHits;
+            storeMetrics().diskHits.add(1);
+            remember(key, *payload);
+            return payload;
+        }
+    }
+
+    const std::lock_guard<std::mutex> lock(mutex);
     ++counters.misses;
     storeMetrics().misses.add(1);
     return std::nullopt;
@@ -227,6 +295,34 @@ ResultStore::lookup(const std::string &key)
 void
 ResultStore::store(const std::string &key, const std::string &payload)
 {
+    // A failed publish (ENOSPC, EIO, armed crash point) is counted and
+    // swallowed in both formats: the result was computed and still
+    // reaches the caller through the memory tier — a full disk must
+    // degrade a serve/campaign to cache misses, never kill it.
+    if (index != nullptr) {
+        {
+            const std::lock_guard<std::mutex> lock(mutex);
+            remember(key, payload);
+        }
+        try {
+            static const crashpoint::CrashPoint publish_point(
+                "store.publish");
+            publish_point.fire();
+            index->put(key, payload);
+        } catch (const DavfError &error) {
+            const std::lock_guard<std::mutex> lock(mutex);
+            ++counters.writeFailures;
+            storeMetrics().writeFailures.add(1);
+            davf_warn("store record publish to index in '", options.dir,
+                      "' failed (serving from memory): ", error.what());
+            return;
+        }
+        const std::lock_guard<std::mutex> lock(mutex);
+        ++counters.writes;
+        storeMetrics().writes.add(1);
+        return;
+    }
+
     const std::lock_guard<std::mutex> lock(mutex);
     remember(key, payload);
     const std::string path = recordPath(key);
@@ -235,11 +331,6 @@ ResultStore::store(const std::string &key, const std::string &payload)
         // sharing the directory) safe: a reader only ever sees a
         // complete old or complete new record. Same-process writers are
         // serialized by the store mutex (the tmp name is per-pid).
-        //
-        // A failed publish (ENOSPC, EIO, armed crash point) is counted
-        // and swallowed: the result was computed and still reaches the
-        // caller through the memory tier — a full disk must degrade a
-        // serve/campaign to cache misses, never kill it.
         try {
             static const crashpoint::CrashPoint publish_point(
                 "store.publish");
@@ -249,8 +340,7 @@ ResultStore::store(const std::string &key, const std::string &payload)
             ++counters.writeFailures;
             storeMetrics().writeFailures.add(1);
             davf_warn("store record publish to '", path,
-                      "' failed (serving from memory): ",
-                      error.what());
+                      "' failed (serving from memory): ", error.what());
             return;
         }
     }
@@ -262,7 +352,18 @@ StoreStats
 ResultStore::stats() const
 {
     const std::lock_guard<std::mutex> lock(mutex);
-    return counters;
+    StoreStats snapshot = counters;
+    snapshot.lruEntries = lru.size();
+    snapshot.lruBytes = lruBytes;
+    return snapshot;
+}
+
+std::optional<davf::store::IndexStoreStats>
+ResultStore::indexStats() const
+{
+    if (index == nullptr)
+        return std::nullopt;
+    return index->stats();
 }
 
 } // namespace davf::service

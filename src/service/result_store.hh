@@ -8,28 +8,39 @@
  * grammar the campaign journal uses, so a served result aggregates
  * bit-identically to a freshly computed one.
  *
- * Two tiers:
+ * Tiers:
  *  - an in-memory LRU map (bounded entry count) absorbs the hot set;
- *  - one versioned file per record under the store directory, written
- *    with the atomic tmp+rename discipline (util/atomic_file), survives
- *    process exit and is shared by every server pointed at the same
- *    directory.
+ *  - a persistent disk tier in one of two formats:
+ *      - **Index** (the default for new directories): one append-only
+ *        segment data file plus a persistent extendible-hash index
+ *        (store/index_store.hh) — O(1) lookups with lock-free readers;
+ *      - **Legacy**: one versioned file per record, written with the
+ *        atomic tmp+rename discipline (util/atomic_file).
+ *    StoreFormat::Auto picks whatever the directory already holds
+ *    (an `index.davf` wins; existing `r-*.rec` directories stay legacy
+ *    until `davf_store migrate` absorbs them; empty directories start
+ *    indexed). Both formats store byte-identical v2 record text, and
+ *    an indexed store still *reads* stray legacy record files —
+ *    written by a process that lost the index lock, or left by an
+ *    interrupted migration — absorbing them into the index on sight.
  *
  * Loads are corruption-tolerant in the same spirit as the lenient
  * checkpoint loader: a truncated, wrong-version, or otherwise
  * unparseable record — and a hash-collision record whose embedded key
  * disagrees — is reported as a miss (tallied in StoreStats), so the
  * caller recomputes and the rewrite repairs the store; a damaged (but
- * not collision) record file is additionally unlinked on sight.
- * Nothing in this class ever throws on a damaged record, and a failed
- * record *publish* (full disk, I/O error) is likewise swallowed after
- * counting — the memory tier still serves the result. Only an
- * uncreatable store directory surfaces as DavfError{Io}.
+ * not collision) legacy record file is additionally unlinked on sight,
+ * and a damaged indexed record drops its index slot. Nothing in this
+ * class ever throws on a damaged record, and a failed record *publish*
+ * (full disk, I/O error) is likewise swallowed after counting — the
+ * memory tier still serves the result. Only an uncreatable store
+ * directory surfaces as DavfError{Io}.
  *
  * The publish and repair paths carry the `store.publish` and
- * `store.repair_unlink` crash points (util/crashpoint.hh); the offline
- * checker for a store directory lives in service/store_fsck.hh and the
- * `davf_store` CLI.
+ * `store.repair_unlink` crash points (util/crashpoint.hh); the indexed
+ * tier adds the `index.*` family. Offline checking lives in
+ * service/store_fsck.hh (legacy) and store/index_fsck.hh (indexed),
+ * both behind the `davf_store` CLI.
  */
 
 #ifndef DAVF_SERVICE_RESULT_STORE_HH
@@ -37,27 +48,42 @@
 
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <utility>
 
+#include "store/index_store.hh"
 #include "util/error.hh"
 
 namespace davf::service {
 
-/** Monotonic counters describing one store's traffic. */
+/** Disk-tier format selection (see file comment). */
+enum class StoreFormat : uint8_t {
+    Auto,   ///< Follow what the directory holds; index when empty.
+    Legacy, ///< One file per record.
+    Index,  ///< Segment file + extendible-hash index.
+};
+
+/** Parse a `--store-format` value; nullopt if unrecognized. */
+std::optional<StoreFormat> parseStoreFormat(const std::string &text);
+
+/** Monotonic counters (and two gauges) describing one store. */
 struct StoreStats
 {
     uint64_t memoryHits = 0;     ///< Served from the LRU tier.
-    uint64_t diskHits = 0;       ///< Served from a record file.
+    uint64_t diskHits = 0;       ///< Served from the disk tier.
     uint64_t misses = 0;         ///< No (usable) record existed.
     uint64_t evictions = 0;      ///< LRU entries displaced.
     uint64_t corruptRecords = 0; ///< Unreadable records treated as misses.
     uint64_t writes = 0;         ///< Records persisted.
     uint64_t writeFailures = 0;  ///< Publishes that failed (non-fatal).
     uint64_t repairUnlinks = 0;  ///< Damaged record files deleted.
+
+    uint64_t lruEntries = 0;     ///< Gauge: entries in the LRU tier now.
+    uint64_t lruBytes = 0;       ///< Gauge: key+payload bytes held now.
 
     bool operator==(const StoreStats &) const = default;
 };
@@ -75,6 +101,9 @@ class ResultStore
 
         /** LRU tier capacity in entries (0 disables the tier). */
         size_t memCapacity = 4096;
+
+        /** Disk-tier format (Auto follows the directory contents). */
+        StoreFormat format = StoreFormat::Auto;
     };
 
     explicit ResultStore(Options options);
@@ -86,12 +115,20 @@ class ResultStore
      */
     std::optional<std::string> lookup(const std::string &key);
 
-    /** Persist @p payload under @p key (memory tier + record file). */
+    /** Persist @p payload under @p key (memory tier + disk tier). */
     void store(const std::string &key, const std::string &payload);
 
     StoreStats stats() const;
 
-    /** Path of the record file that holds @p key; "" if memory-only. */
+    /** Is the disk tier the indexed format? */
+    bool indexed() const { return index != nullptr; }
+
+    /** Indexed-tier counters; nullopt for legacy/memory-only stores. */
+    std::optional<davf::store::IndexStoreStats> indexStats() const;
+
+    /** Path of the legacy record file that would hold @p key; "" if
+     * memory-only. In index format this is where a *fallback* legacy
+     * record would sit (lookup absorbs such files on sight). */
     std::string recordPath(const std::string &key) const;
 
     /**
@@ -108,7 +145,8 @@ class ResultStore
      * "sum <fnv1a of key\\npayload>\nend\n". parseRecord returns the
      * (key, payload) pair or an Err for any damage: bad magic, unknown
      * version, missing fields, checksum mismatch (a garbled byte),
-     * missing end sentinel (a torn write), trailing garbage.
+     * missing end sentinel (a torn write), trailing garbage. Both
+     * delegate to store/layout.hh so every tier shares one grammar.
      */
     /// @{
     static std::string serializeRecord(const std::string &key,
@@ -121,7 +159,11 @@ class ResultStore
     /** Insert into the LRU tier, evicting beyond capacity. */
     void remember(const std::string &key, const std::string &payload);
 
+    /** Legacy-format disk lookup (also the index-miss fallback). */
+    std::optional<std::string> lookupLegacyFile(const std::string &key);
+
     Options options;
+    std::unique_ptr<davf::store::IndexStore> index;
 
     mutable std::mutex mutex;
     /** Most recent at the front. */
@@ -130,6 +172,7 @@ class ResultStore
         std::string,
         std::list<std::pair<std::string, std::string>>::iterator>
         lruIndex;
+    uint64_t lruBytes = 0; ///< Sum of key+payload sizes in `lru`.
     StoreStats counters;
 };
 

@@ -446,7 +446,28 @@ QueryScheduler::statsJson() const
        << ",\"writes\":" << store_stats.writes
        << ",\"write_failures\":" << store_stats.writeFailures
        << ",\"repair_unlinks\":" << store_stats.repairUnlinks
-       << "},\"latency_ms\":{\"lookup\":" << histogramJson(lookupMs)
+       << ",\"lru_entries\":" << store_stats.lruEntries
+       << ",\"lru_bytes\":" << store_stats.lruBytes;
+    if (const auto index_stats = store->indexStats()) {
+        os << ",\"index\":{\"lookups\":" << index_stats->lookups
+           << ",\"hits\":" << index_stats->hits
+           << ",\"corrupt_records\":" << index_stats->corrupt
+           << ",\"collisions\":" << index_stats->collisions
+           << ",\"appends\":" << index_stats->appends
+           << ",\"replayed_frames\":" << index_stats->replayed
+           << ",\"rebuilds\":" << index_stats->rebuilds
+           << ",\"tail_repairs\":" << index_stats->tailRepairs
+           << ",\"checkpoints\":" << index_stats->checkpoints
+           << ",\"checkpoint_failures\":"
+           << index_stats->checkpointFailures
+           << ",\"keys\":" << index_stats->keys
+           << ",\"buckets\":" << index_stats->buckets
+           << ",\"depth\":" << index_stats->depth
+           << ",\"splits\":" << index_stats->splits
+           << ",\"segment_bytes\":" << index_stats->segmentBytes
+           << '}';
+    }
+    os << "},\"latency_ms\":{\"lookup\":" << histogramJson(lookupMs)
        << ",\"compute\":" << histogramJson(computeMs)
        << ",\"aggregate\":" << histogramJson(aggregateMs)
        << "},\"registry\":"

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * The indexed disk tier of the result store: an append-only segment
+ * data file (store/segment_file.hh) accelerated by a persistent
+ * extendible-hash index (store/hash_index.hh), living together in one
+ * store directory alongside (and byte-compatible with) the legacy
+ * per-file record tier.
+ *
+ * **Crash model.** The segment file is the source of truth; the index
+ * is an acceleration structure. On open:
+ *  - a well-formed index is trusted up to its checkpoint watermark and
+ *    the segment tail past the watermark is replayed into it;
+ *  - *any* structural doubt (bad header/page checksum, a leftover
+ *    split journal, directory holes) triggers a full rebuild from a
+ *    segment scan;
+ *  - a torn segment tail is quarantined into `<dir>/quarantine/`
+ *    (never deleted) and truncated away, mirroring the legacy tier's
+ *    repair-on-sight semantics.
+ * Lookups verify frame checksums, record checksums, and the full key,
+ * so a damaged or colliding record degrades to a miss — never to a
+ * wrong payload.
+ *
+ * **Exclusivity.** One process owns the indexed tier at a time (an
+ * exclusive flock on `index.lock`); a second opener gets
+ * DavfError{Io} and its ResultStore falls back to legacy per-file
+ * records, which the owner later absorbs (lookup fallback, migrate,
+ * compact). Within the owner, writers serialize on a mutex while
+ * readers stay lock-free.
+ *
+ * Crash points: `index.append`, `index.bucket_write`,
+ * `index.checkpoint`, `index.split_journal`, `index.split_apply`,
+ * `index.tail_repair` — every mutation site, so the kill-anywhere
+ * matrix covers this engine like the rest of the persistence stack.
+ */
+
+#ifndef DAVF_STORE_INDEX_STORE_HH
+#define DAVF_STORE_INDEX_STORE_HH
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "store/hash_index.hh"
+#include "store/segment_file.hh"
+
+namespace davf::store {
+
+/** Monotonic counters + shape snapshot of one indexed tier. */
+struct IndexStoreStats
+{
+    uint64_t lookups = 0;
+    uint64_t hits = 0;
+    uint64_t corrupt = 0;     ///< Damaged frames/records (slot dropped).
+    uint64_t collisions = 0;  ///< Full-key mismatch on a hash match.
+    uint64_t appends = 0;
+    uint64_t replayed = 0;    ///< Tail frames re-inserted at open.
+    uint64_t rebuilds = 0;    ///< Full index rebuilds.
+    uint64_t tailRepairs = 0; ///< Torn segment tails quarantined.
+    uint64_t checkpoints = 0;
+    uint64_t checkpointFailures = 0;
+
+    uint64_t keys = 0;         ///< Live index entries.
+    uint64_t buckets = 0;
+    uint64_t depth = 0;        ///< Directory global depth.
+    uint64_t splits = 0;
+    uint64_t segmentBytes = 0; ///< Data file logical size.
+
+    bool operator==(const IndexStoreStats &) const = default;
+};
+
+/** The combined segment-file + hash-index tier (see file comment). */
+class IndexStore
+{
+  public:
+    struct Options
+    {
+        std::string dir;
+
+        /** fdatasync every segment append (off for bulk loads). */
+        bool syncAppends = true;
+
+        /** Appends between automatic checkpoints. */
+        uint64_t checkpointInterval = 4096;
+    };
+
+    /** Does @p dir hold an indexed tier (an index.davf)? */
+    static bool present(const std::string &dir);
+
+    /**
+     * Open (creating, rebuilding, repairing as needed — see crash
+     * model above). Throws DavfError{Io} when the directory is
+     * unusable or another process holds the index lock.
+     */
+    explicit IndexStore(Options options);
+
+    /** Checkpoints (best effort) and releases the lock. */
+    ~IndexStore();
+
+    IndexStore(const IndexStore &) = delete;
+    IndexStore &operator=(const IndexStore &) = delete;
+
+    enum class LookupStatus : uint8_t {
+        Hit,
+        Miss,
+        Corrupt,   ///< Damaged record dropped from the index.
+        Collision, ///< A different key's record owns this hash.
+    };
+
+    struct LookupResult
+    {
+        LookupStatus status = LookupStatus::Miss;
+        std::string payload; ///< Valid only for Hit.
+    };
+
+    /** Look @p key up. Lock-free against the writer; never throws. */
+    LookupResult lookup(const std::string &key);
+
+    /**
+     * Persist @p payload under @p key. Throws DavfError{Io} on an
+     * append/insert failure (the caller treats it like a failed legacy
+     * publish: count, warn, keep serving from memory). A *checkpoint*
+     * failure after a successful append is counted and swallowed.
+     */
+    void put(const std::string &key, const std::string &payload);
+
+    /**
+     * Persist an already-serialized record (migration/absorption —
+     * preserves the original bytes exactly). @p record must be the
+     * canonical serialized form of (@p key, its payload).
+     */
+    void putRecord(const std::string &key, const std::string &record);
+
+    /** Force a durability checkpoint now. Throws DavfError{Io}. */
+    void checkpoint();
+
+    /**
+     * Rewrite the segment file keeping only the records the index
+     * serves (the newest frame per key), dropping superseded
+     * duplicates, damaged frames, and quarantined-tail leftovers,
+     * then rebuild the index over the compact file. Returns segment
+     * bytes reclaimed. Crash-safe: the stale index is unlinked before
+     * the rewritten file replaces the old one, so dying anywhere
+     * reopens into a rebuild of whichever data file the rename left
+     * behind. Fires the `compact.rewrite` crash point. Throws
+     * DavfError{Io}.
+     */
+    uint64_t compact();
+
+    /** Enumerate live index slots (fsck/compact cross-checks). */
+    void forEachSlot(
+        const std::function<void(const BucketSlot &)> &fn) const;
+
+    IndexStoreStats stats() const;
+
+    const std::string &dir() const { return storeDir; }
+
+  private:
+    void openOrRecover();
+    void rebuild();
+    uint64_t replayTail(uint64_t from);
+    void repairTornTail(uint64_t offset, uint64_t end);
+    void putLocked(const std::string &key, const std::string &record);
+    void maybeCheckpointLocked();
+    void checkpointLockedFree();
+    void refreshShapeGauges();
+
+    Options options;
+    std::string storeDir;
+    int lockFd = -1;
+
+    mutable std::mutex writerMutex;
+    SegmentFile segments;
+    HashIndex index;
+    uint64_t appendsSinceCheckpoint = 0;
+
+    mutable std::mutex statsMutex;
+    IndexStoreStats counters;
+};
+
+} // namespace davf::store
+
+#endif // DAVF_STORE_INDEX_STORE_HH

@@ -1,0 +1,345 @@
+#include "layout.hh"
+
+#include <cstring>
+#include <sstream>
+
+namespace davf::store {
+
+const char *const kIndexFileName = "index.davf";
+const char *const kDataFileName = "segments.davf";
+const char *const kSplitJournalName = "split.journal";
+const char *const kLockFileName = "index.lock";
+
+namespace {
+
+const char kIndexMagic[8] = {'D', 'A', 'V', 'F', 'H', 'I', 'X', '1'};
+
+void
+putU32(std::string &out, uint32_t value)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+}
+
+void
+putU64(std::string &out, uint64_t value)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+}
+
+uint32_t
+getU32(std::string_view bytes, size_t at)
+{
+    uint32_t value = 0;
+    for (int i = 3; i >= 0; --i)
+        value = (value << 8) | static_cast<unsigned char>(bytes[at + i]);
+    return value;
+}
+
+uint64_t
+getU64(std::string_view bytes, size_t at)
+{
+    uint64_t value = 0;
+    for (int i = 7; i >= 0; --i)
+        value = (value << 8) | static_cast<unsigned char>(bytes[at + i]);
+    return value;
+}
+
+} // namespace
+
+uint64_t
+fnv1a64Extend(uint64_t hash, std::string_view bytes)
+{
+    for (const char c : bytes) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+uint64_t
+fnv1a64(std::string_view bytes)
+{
+    return fnv1a64Extend(kFnv1a64Seed, bytes);
+}
+
+std::string
+fnv1a64Hex(std::string_view bytes)
+{
+    std::ostringstream os;
+    os << std::hex << fnv1a64(bytes);
+    return os.str();
+}
+
+std::string
+serializeRecordText(const std::string &key, const std::string &payload)
+{
+    std::ostringstream os;
+    os << "davf-store v2\nkey " << key << "\npayload " << payload
+       << "\nsum " << fnv1a64Hex(key + '\n' + payload) << "\nend\n";
+    return os.str();
+}
+
+Result<std::pair<std::string, std::string>>
+parseRecordText(const std::string &text)
+{
+    using R = Result<std::pair<std::string, std::string>>;
+    std::istringstream is(text);
+    std::string line;
+
+    if (!std::getline(is, line) || line != "davf-store v2") {
+        return R::Err(ErrorKind::BadInput,
+                      "store record: bad header: " + line.substr(0, 60));
+    }
+    if (!std::getline(is, line) || line.rfind("key ", 0) != 0
+        || line.size() == 4) {
+        return R::Err(ErrorKind::BadInput,
+                      "store record: missing key record");
+    }
+    std::string key = line.substr(4);
+    if (!std::getline(is, line) || line.rfind("payload ", 0) != 0
+        || line.size() == 8) {
+        return R::Err(ErrorKind::BadInput,
+                      "store record: missing payload record");
+    }
+    std::string payload = line.substr(8);
+    // The checksum catches in-place corruption (a flipped bit in the
+    // key or payload) that would otherwise parse as a valid record.
+    if (!std::getline(is, line) || line.rfind("sum ", 0) != 0) {
+        return R::Err(ErrorKind::BadInput,
+                      "store record: missing sum record");
+    }
+    if (line.substr(4) != fnv1a64Hex(key + '\n' + payload)) {
+        return R::Err(ErrorKind::BadInput,
+                      "store record: checksum mismatch (garbled)");
+    }
+    // The end sentinel proves the sum line was not truncated
+    // mid-write; without it the record is torn and must be recomputed.
+    if (!std::getline(is, line) || line != "end") {
+        return R::Err(ErrorKind::BadInput,
+                      "store record: missing end sentinel");
+    }
+    if (std::getline(is, line) && !line.empty()) {
+        return R::Err(ErrorKind::BadInput,
+                      "store record: trailing garbage");
+    }
+    return R::Ok({std::move(key), std::move(payload)});
+}
+
+bool
+splitCanonicalRecord(std::string_view record, std::string_view &key,
+                     std::string_view &payload)
+{
+    constexpr std::string_view head = "davf-store v2\nkey ";
+    constexpr std::string_view payloadTag = "payload ";
+    constexpr std::string_view sumTag = "sum ";
+    constexpr std::string_view tail = "end\n";
+    if (record.substr(0, head.size()) != head)
+        return false;
+    size_t at = head.size();
+    const size_t keyEnd = record.find('\n', at);
+    if (keyEnd == std::string_view::npos || keyEnd == at)
+        return false;
+    key = record.substr(at, keyEnd - at);
+    at = keyEnd + 1;
+    if (record.substr(at, payloadTag.size()) != payloadTag)
+        return false;
+    at += payloadTag.size();
+    const size_t payloadEnd = record.find('\n', at);
+    if (payloadEnd == std::string_view::npos || payloadEnd == at)
+        return false;
+    payload = record.substr(at, payloadEnd - at);
+    at = payloadEnd + 1;
+    if (record.substr(at, sumTag.size()) != sumTag)
+        return false;
+    at += sumTag.size();
+    const size_t sumEnd = record.find('\n', at);
+    if (sumEnd == std::string_view::npos)
+        return false;
+    const std::string_view sum = record.substr(at, sumEnd - at);
+    if (record.substr(sumEnd + 1) != tail)
+        return false;
+    // Verify sum == fnv1a64Hex(key + '\n' + payload) without
+    // materializing the concatenation or formatting hex (this runs on
+    // the lookup hot path): chain the hash over the pieces and parse
+    // the stored digits, rejecting anything the canonical emitter
+    // would not produce (empty, over-long, uppercase, leading zeros).
+    uint64_t expected = fnv1a64Extend(kFnv1a64Seed, key);
+    expected = fnv1a64Extend(expected, std::string_view("\n", 1));
+    expected = fnv1a64Extend(expected, payload);
+    if (sum.empty() || sum.size() > 16
+        || (sum.size() > 1 && sum[0] == '0')) {
+        return false;
+    }
+    uint64_t stored = 0;
+    for (const char c : sum) {
+        uint64_t digit = 0;
+        if (c >= '0' && c <= '9')
+            digit = static_cast<uint64_t>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            digit = static_cast<uint64_t>(c - 'a') + 10;
+        else
+            return false;
+        stored = stored << 4 | digit;
+    }
+    return stored == expected;
+}
+
+std::string
+legacyRecordFileName(const std::string &key)
+{
+    return "r-" + fnv1a64Hex(key) + ".rec";
+}
+
+std::string
+serializeIndexHeader(const IndexHeader &header)
+{
+    std::string page;
+    page.reserve(kPageSize);
+    page.append(kIndexMagic, sizeof(kIndexMagic));
+    putU32(page, header.version);
+    putU32(page, header.pageSize);
+    putU32(page, header.slotsPerBucket);
+    putU32(page, header.globalDepth);
+    putU64(page, header.bucketPages);
+    putU64(page, header.keyCount);
+    putU64(page, header.dataCommitted);
+    putU32(page, header.clean ? 1 : 0);
+    putU32(page, 0);
+    putU64(page, fnv1a64(page));
+    page.resize(kPageSize, '\0');
+    return page;
+}
+
+Result<IndexHeader>
+parseIndexHeader(std::string_view page)
+{
+    using R = Result<IndexHeader>;
+    if (page.size() < 64)
+        return R::Err(ErrorKind::BadInput, "index header: short page");
+    if (std::memcmp(page.data(), kIndexMagic, sizeof(kIndexMagic)) != 0)
+        return R::Err(ErrorKind::BadInput, "index header: bad magic");
+    if (getU64(page, 56) != fnv1a64(page.substr(0, 56))) {
+        return R::Err(ErrorKind::BadInput,
+                      "index header: checksum mismatch");
+    }
+    IndexHeader header;
+    header.version = getU32(page, 8);
+    header.pageSize = getU32(page, 12);
+    header.slotsPerBucket = getU32(page, 16);
+    header.globalDepth = getU32(page, 20);
+    header.bucketPages = getU64(page, 24);
+    header.keyCount = getU64(page, 32);
+    header.dataCommitted = getU64(page, 40);
+    header.clean = getU32(page, 48) != 0;
+    if (header.version != kLayoutVersion) {
+        return R::Err(ErrorKind::BadInput,
+                      "index header: unknown version "
+                          + std::to_string(header.version));
+    }
+    if (header.pageSize != kPageSize
+        || header.slotsPerBucket != kSlotsPerBucket) {
+        return R::Err(ErrorKind::BadInput,
+                      "index header: geometry mismatch");
+    }
+    if (header.globalDepth > 31 || header.bucketPages > (1ull << 32))
+        return R::Err(ErrorKind::BadInput, "index header: insane shape");
+    return R::Ok(std::move(header));
+}
+
+std::string
+serializeBucketPage(const BucketImage &bucket)
+{
+    std::string page;
+    page.reserve(kPageSize);
+    putU64(page, bucket.prefix);
+    putU32(page, bucket.localDepth);
+    putU32(page, bucket.count);
+    putU64(page, 0); // Checksum placeholder, patched below.
+    for (uint32_t i = 0; i < kSlotsPerBucket; ++i) {
+        const BucketSlot &slot = bucket.slots[i];
+        putU64(page, slot.hash);
+        putU64(page, slot.offset);
+        putU32(page, slot.size);
+        putU32(page, slot.reserved);
+    }
+    page.resize(kPageSize, '\0');
+    const uint64_t sum = fnv1a64(page);
+    std::string patched;
+    putU64(patched, sum);
+    page.replace(16, 8, patched);
+    return page;
+}
+
+Result<BucketImage>
+parseBucketPage(std::string_view page)
+{
+    using R = Result<BucketImage>;
+    if (page.size() != kPageSize)
+        return R::Err(ErrorKind::BadInput, "bucket page: wrong size");
+    std::string zeroed(page);
+    zeroed.replace(16, 8, 8, '\0');
+    if (getU64(page, 16) != fnv1a64(zeroed)) {
+        return R::Err(ErrorKind::BadInput,
+                      "bucket page: checksum mismatch");
+    }
+    BucketImage bucket;
+    bucket.prefix = getU64(page, 0);
+    bucket.localDepth = getU32(page, 8);
+    bucket.count = getU32(page, 12);
+    if (bucket.localDepth > 63
+        || bucket.count > kSlotsPerBucket
+        || (bucket.localDepth < 64
+            && bucket.localDepth > 0
+            && (bucket.prefix >> bucket.localDepth) != 0)
+        || (bucket.localDepth == 0 && bucket.prefix != 0)) {
+        return R::Err(ErrorKind::BadInput, "bucket page: insane shape");
+    }
+    size_t at = 24;
+    for (uint32_t i = 0; i < kSlotsPerBucket; ++i) {
+        BucketSlot &slot = bucket.slots[i];
+        slot.hash = getU64(page, at);
+        slot.offset = getU64(page, at + 8);
+        slot.size = getU32(page, at + 16);
+        slot.reserved = getU32(page, at + 20);
+        at += sizeof(BucketSlot);
+    }
+    return R::Ok(std::move(bucket));
+}
+
+std::string
+serializeFrameHeader(const FrameHeader &header)
+{
+    std::string bytes;
+    bytes.reserve(kFrameHeaderBytes);
+    putU32(bytes, kFrameMagic);
+    putU32(bytes, header.size);
+    putU64(bytes, header.keyHash);
+    putU64(bytes, header.bodySum);
+    putU64(bytes, fnv1a64(bytes));
+    return bytes;
+}
+
+Result<FrameHeader>
+parseFrameHeader(std::string_view bytes)
+{
+    using R = Result<FrameHeader>;
+    if (bytes.size() < kFrameHeaderBytes)
+        return R::Err(ErrorKind::BadInput, "frame header: short read");
+    if (getU32(bytes, 0) != kFrameMagic)
+        return R::Err(ErrorKind::BadInput, "frame header: bad magic");
+    if (getU64(bytes, 24) != fnv1a64(bytes.substr(0, 24))) {
+        return R::Err(ErrorKind::BadInput,
+                      "frame header: checksum mismatch");
+    }
+    FrameHeader header;
+    header.size = getU32(bytes, 4);
+    header.keyHash = getU64(bytes, 8);
+    header.bodySum = getU64(bytes, 16);
+    if (header.size == 0 || header.size > kMaxRecordBytes)
+        return R::Err(ErrorKind::BadInput, "frame header: insane size");
+    return R::Ok(std::move(header));
+}
+
+} // namespace davf::store

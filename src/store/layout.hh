@@ -1,0 +1,207 @@
+/**
+ * @file
+ * On-disk layout of the persistent extendible-hash result index
+ * (`src/store/`): byte-exact encode/decode helpers for the three
+ * artifacts that make up an indexed store directory, plus the shared
+ * record-text grammar the legacy per-file tier already speaks.
+ *
+ * An indexed store directory contains:
+ *
+ *  - `segments.davf` — the append-only **segment data file**, the
+ *    single source of truth. Every record is wrapped in a 32-byte
+ *    binary frame (magic, record size, key hash, body checksum, and a
+ *    header checksum over the first 24 bytes) and padded to a 16-byte
+ *    boundary so a scan can resynchronise after damage. The framed
+ *    payload is the *unchanged* v2 record text
+ *    ("davf-store v2\nkey ...\npayload ...\nsum ...\nend\n"), so a
+ *    record read out of a segment is byte-identical to the legacy
+ *    per-file tier and to a cold recompute.
+ *
+ *  - `index.davf` — the **extendible-hash index**: one 4 KiB header
+ *    page followed by 4 KiB bucket pages. Each bucket page carries its
+ *    own prefix/local-depth/checksum, so the directory is fully
+ *    derivable from the bucket pages alone; the header only persists
+ *    the checkpoint watermark (how many data bytes the bucket pages
+ *    are guaranteed to cover) and the clean flag. The index is an
+ *    acceleration structure: any damage degrades to a rebuild from the
+ *    data file, never to a wrong answer.
+ *
+ *  - `split.journal` — present only while a bucket split is in flight
+ *    (written via util/atomic_file before the split mutates pages,
+ *    removed after both pages are durable). Its existence at open time
+ *    classifies a **torn split**.
+ *
+ * All integers are little-endian. All checksums are 64-bit FNV-1a,
+ * the same function the record text's `sum` line uses.
+ */
+
+#ifndef DAVF_STORE_LAYOUT_HH
+#define DAVF_STORE_LAYOUT_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "util/error.hh"
+
+namespace davf::store {
+
+/// @name File names inside an indexed store directory
+/// @{
+extern const char *const kIndexFileName;    ///< "index.davf"
+extern const char *const kDataFileName;     ///< "segments.davf"
+extern const char *const kSplitJournalName; ///< "split.journal"
+extern const char *const kLockFileName;     ///< "index.lock"
+/// @}
+
+constexpr uint32_t kLayoutVersion = 1;
+constexpr uint32_t kPageSize = 4096;
+
+/** 64-bit FNV-1a over @p bytes (layout checksums + record sums). */
+uint64_t fnv1a64(std::string_view bytes);
+
+/// FNV-1a offset basis: the running-hash seed for fnv1a64Extend.
+constexpr uint64_t kFnv1a64Seed = 0xcbf29ce484222325ull;
+
+/**
+ * Fold @p bytes into a running FNV-1a @p hash (seeded with
+ * kFnv1a64Seed), so a hash over a concatenation can be computed
+ * without materializing it: fnv1a64(a+b) ==
+ * fnv1a64Extend(fnv1a64Extend(kFnv1a64Seed, a), b).
+ */
+uint64_t fnv1a64Extend(uint64_t hash, std::string_view bytes);
+
+/** Lowercase hex of fnv1a64 — the record text `sum` line format. */
+std::string fnv1a64Hex(std::string_view bytes);
+
+/** Top 16 bits of a key hash: the bucket-slot fingerprint. */
+constexpr uint16_t
+fingerprint(uint64_t hash)
+{
+    return static_cast<uint16_t>(hash >> 48);
+}
+
+/**
+ * @name Record text grammar (shared with the legacy tier)
+ * The exact v2 text form of one record. ResultStore::serializeRecord /
+ * parseRecord delegate here so both tiers stay byte-identical by
+ * construction. parseRecordText rejects every damage class: bad magic,
+ * unknown version, missing fields, checksum mismatch (garble), missing
+ * end sentinel (torn), trailing garbage.
+ */
+/// @{
+std::string serializeRecordText(const std::string &key,
+                                const std::string &payload);
+Result<std::pair<std::string, std::string>>
+parseRecordText(const std::string &text);
+
+/**
+ * Fast strict splitter for the *canonical* serialized form (the only
+ * form ever appended to a segment): on success points @p key and
+ * @p payload into @p record and returns true. Any deviation from the
+ * exact serializeRecordText() shape — including a wrong sum — returns
+ * false. The index hot path uses this instead of the line-lenient
+ * parseRecordText().
+ */
+bool splitCanonicalRecord(std::string_view record,
+                          std::string_view &key,
+                          std::string_view &payload);
+
+/** Canonical legacy file name ("r-<hash>.rec") a key's record lives
+ * under in a per-file store directory. */
+std::string legacyRecordFileName(const std::string &key);
+/// @}
+
+/** Index header page (page 0 of index.davf). */
+struct IndexHeader
+{
+    uint32_t version = kLayoutVersion;
+    uint32_t pageSize = kPageSize;
+    uint32_t slotsPerBucket = 0; ///< Must equal kSlotsPerBucket.
+    uint32_t globalDepth = 0;    ///< Directory is 2^globalDepth entries.
+    uint64_t bucketPages = 0;    ///< Bucket pages following the header.
+    uint64_t keyCount = 0;       ///< Live slots at last checkpoint.
+    uint64_t dataCommitted = 0;  ///< Segment bytes covered by buckets.
+    bool clean = false;          ///< Checkpointed; no mutations since.
+
+    bool operator==(const IndexHeader &) const = default;
+};
+
+/** Serialize @p header into exactly one kPageSize page. */
+std::string serializeIndexHeader(const IndexHeader &header);
+
+/** Parse a header page; Err{BadInput} on any damage. */
+Result<IndexHeader> parseIndexHeader(std::string_view page);
+
+/** One bucket slot: a key hash and where its record frame lives. */
+struct BucketSlot
+{
+    uint64_t hash = 0;   ///< fnv1a64 of the store key.
+    uint64_t offset = 0; ///< Frame offset in segments.davf.
+    uint32_t size = 0;   ///< Record text size (frame body bytes).
+    uint32_t reserved = 0;
+
+    bool operator==(const BucketSlot &) const = default;
+};
+
+/** Slots that fit one 4 KiB bucket page after its 24-byte header. */
+constexpr uint32_t kSlotsPerBucket =
+    (kPageSize - 24) / static_cast<uint32_t>(sizeof(BucketSlot));
+
+/** The persistent image of one bucket (page 1 + id of index.davf). */
+struct BucketImage
+{
+    uint64_t prefix = 0;     ///< Low localDepth bits every hash shares.
+    uint32_t localDepth = 0;
+    uint32_t count = 0;      ///< Live slots ([0, count) are valid).
+    BucketSlot slots[kSlotsPerBucket] = {};
+};
+
+/** Serialize @p bucket into exactly one checksummed kPageSize page. */
+std::string serializeBucketPage(const BucketImage &bucket);
+
+/** Parse a bucket page; Err{BadInput} on checksum/shape damage. */
+Result<BucketImage> parseBucketPage(std::string_view page);
+
+/// @name Segment frames
+/// @{
+constexpr uint32_t kFrameMagic = 0x43525644u; ///< "DVRC" little-endian.
+constexpr uint32_t kFrameHeaderBytes = 32;
+constexpr uint32_t kFrameAlign = 16;
+
+/** Largest record a frame will admit (guards parsers fed garbage). */
+constexpr uint32_t kMaxRecordBytes = 1u << 30;
+
+/** The 32-byte header in front of every record in segments.davf. */
+struct FrameHeader
+{
+    uint32_t size = 0;    ///< Record text bytes that follow.
+    uint64_t keyHash = 0; ///< fnv1a64 of the record's key.
+    uint64_t bodySum = 0; ///< fnv1a64 of the record text.
+
+    bool operator==(const FrameHeader &) const = default;
+};
+
+/** Total frame bytes (header + record + zero pad to kFrameAlign). */
+constexpr uint64_t
+frameBytes(uint32_t recordSize)
+{
+    const uint64_t raw = kFrameHeaderBytes + uint64_t(recordSize);
+    return (raw + kFrameAlign - 1) / kFrameAlign * kFrameAlign;
+}
+
+/** Serialize @p header (exactly kFrameHeaderBytes). */
+std::string serializeFrameHeader(const FrameHeader &header);
+
+/**
+ * Parse a frame header; Err{BadInput} if the magic, header checksum,
+ * or size bound is wrong. A valid result proves only the *header*: the
+ * body must still be verified against bodySum.
+ */
+Result<FrameHeader> parseFrameHeader(std::string_view bytes);
+/// @}
+
+} // namespace davf::store
+
+#endif // DAVF_STORE_LAYOUT_HH

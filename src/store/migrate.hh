@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Legacy-to-index store migration (`davf_store migrate`).
+ *
+ * migrateStore() absorbs every legacy per-file record (`r-*.rec`) in a
+ * store directory into the indexed tier, preserving record bytes
+ * exactly (the segment file stores the same v2 text), then removes the
+ * absorbed legacy file. Damaged legacy records are quarantined into
+ * `<dir>/quarantine/` — never deleted. The pass is idempotent and
+ * crash-safe: a record's legacy file is unlinked only after its frame
+ * is durable in the segment file, so killing a migration anywhere
+ * leaves a directory where lookups still find every record (index
+ * first, legacy fallback second) and a rerun finishes the job.
+ *
+ * The per-record `index.migrate` crash point makes migration part of
+ * the kill-anywhere matrix; `store.index.migrated_records` /
+ * `store.index.migrate_remaining` report progress to the obs registry.
+ */
+
+#ifndef DAVF_STORE_MIGRATE_HH
+#define DAVF_STORE_MIGRATE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace davf::store {
+
+/** What one migration pass did. */
+struct MigrateReport
+{
+    uint64_t migrated = 0;    ///< Legacy records absorbed + unlinked.
+    uint64_t alreadyIndexed = 0; ///< Skipped: index already serves them.
+    uint64_t quarantined = 0; ///< Damaged legacy records moved aside.
+    uint64_t foreign = 0;     ///< Non-record entries left untouched.
+
+    bool clean() const { return true; }
+};
+
+/**
+ * Migrate the store directory @p dir (see file comment). Creates the
+ * indexed tier if absent. Throws DavfError{Io} if the directory (or
+ * the index lock) is unusable.
+ */
+MigrateReport migrateStore(const std::string &dir);
+
+} // namespace davf::store
+
+#endif // DAVF_STORE_MIGRATE_HH

@@ -252,4 +252,77 @@ jsonValidate(std::string_view text)
     return Parser(text).run();
 }
 
+std::string
+jsonPretty(std::string_view text)
+{
+    if (!jsonValidate(text))
+        return std::string(text);
+
+    std::string out;
+    out.reserve(text.size() * 2);
+    size_t indent = 0;
+    bool inString = false;
+    bool escaped = false;
+    auto newline = [&](size_t level) {
+        out += '\n';
+        out.append(level * 2, ' ');
+    };
+    for (size_t i = 0; i < text.size(); ++i) {
+        const char c = text[i];
+        if (inString) {
+            out += c;
+            if (escaped)
+                escaped = false;
+            else if (c == '\\')
+                escaped = true;
+            else if (c == '"')
+                inString = false;
+            continue;
+        }
+        switch (c) {
+          case '"':
+            inString = true;
+            out += c;
+            break;
+          case '{':
+          case '[': {
+            // Keep empty containers on one line.
+            size_t j = i + 1;
+            while (j < text.size()
+                   && std::isspace(static_cast<unsigned char>(text[j])))
+                ++j;
+            if (j < text.size() && text[j] == (c == '{' ? '}' : ']')) {
+                out += c;
+                out += text[j];
+                i = j;
+                break;
+            }
+            out += c;
+            ++indent;
+            newline(indent);
+            break;
+          }
+          case '}':
+          case ']':
+            if (indent > 0)
+                --indent;
+            newline(indent);
+            out += c;
+            break;
+          case ',':
+            out += c;
+            newline(indent);
+            break;
+          case ':':
+            out += ": ";
+            break;
+          default:
+            if (!std::isspace(static_cast<unsigned char>(c)))
+                out += c;
+            break;
+        }
+    }
+    return out;
+}
+
 } // namespace davf

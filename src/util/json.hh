@@ -33,6 +33,16 @@ struct JsonCheck {
  */
 JsonCheck jsonValidate(std::string_view text);
 
+/**
+ * Re-indent one JSON value for human eyes (`davf_client stats`): two
+ * spaces per nesting level, one member/element per line, ": " after
+ * keys. Purely lexical — no DOM, key order and number spellings are
+ * untouched. @p text is validated first; anything malformed is
+ * returned unchanged (the caller is printing a server reply either
+ * way, and garbage is more debuggable unreformatted).
+ */
+std::string jsonPretty(std::string_view text);
+
 } // namespace davf
 
 #endif // DAVF_UTIL_JSON_HH

@@ -295,7 +295,7 @@ TEST(StoreCrash, PublishFailureIsNonFatalAndCounted)
 {
     const std::string dir = tempPath("store_pubfail");
     fs::remove_all(dir);
-    service::ResultStore store({dir, 8});
+    service::ResultStore store({dir, 8, service::StoreFormat::Legacy});
 
     ArmGuard armed("store.publish=throw");
     store.store("k1", "payload-1"); // must not throw
@@ -320,19 +320,19 @@ TEST(StoreCrash, EnospcMidRecordIsAMissNextTimeNotACrash)
     const std::string dir = tempPath("store_enospc");
     fs::remove_all(dir);
     {
-        service::ResultStore store({dir, 8});
+        service::ResultStore store({dir, 8, service::StoreFormat::Legacy});
         ArmGuard armed("atomic_file.write=enospc");
         store.store("k1", "payload-1"); // swallowed, counted
         EXPECT_EQ(store.stats().writeFailures, 1u);
     }
     // A fresh store (cold memory tier) sees a plain miss, then the
     // rewrite repairs the record.
-    service::ResultStore store({dir, 8});
+    service::ResultStore store({dir, 8, service::StoreFormat::Legacy});
     EXPECT_FALSE(store.lookup("k1").has_value());
     store.store("k1", "payload-1");
     EXPECT_EQ(store.stats().writes, 1u);
     {
-        service::ResultStore reread({dir, 8});
+        service::ResultStore reread({dir, 8, service::StoreFormat::Legacy});
         EXPECT_EQ(reread.lookup("k1").value_or(""), "payload-1");
     }
     fs::remove_all(dir);
@@ -344,7 +344,7 @@ TEST(StoreCrash, GarbledRecordIsAMissAndGetsUnlinked)
     fs::remove_all(dir);
     std::string path;
     {
-        service::ResultStore store({dir, 8});
+        service::ResultStore store({dir, 8, service::StoreFormat::Legacy});
         store.store("k1", "payload-1");
         path = store.recordPath("k1");
     }
@@ -355,7 +355,7 @@ TEST(StoreCrash, GarbledRecordIsAMissAndGetsUnlinked)
     text[pos + 3] ^= 0x20;
     writeRaw(path, text);
 
-    service::ResultStore store({dir, 8});
+    service::ResultStore store({dir, 8, service::StoreFormat::Legacy});
     EXPECT_FALSE(store.lookup("k1").has_value());
     const service::StoreStats stats = store.stats();
     EXPECT_EQ(stats.corruptRecords, 1u);
@@ -371,13 +371,13 @@ TEST(StoreCrash, RepairUnlinkFailureIsStillJustAMiss)
     fs::remove_all(dir);
     std::string path;
     {
-        service::ResultStore store({dir, 8});
+        service::ResultStore store({dir, 8, service::StoreFormat::Legacy});
         store.store("k1", "payload-1");
         path = store.recordPath("k1");
     }
     writeRaw(path, "davf-store v2\nkey k1\n"); // torn
 
-    service::ResultStore store({dir, 8});
+    service::ResultStore store({dir, 8, service::StoreFormat::Legacy});
     ArmGuard armed("store.repair_unlink=throw");
     EXPECT_FALSE(store.lookup("k1").has_value()); // must not throw
     EXPECT_EQ(store.stats().corruptRecords, 1u);
@@ -571,7 +571,7 @@ TEST(StoreFsck, CompactRehomesMisplacedAndDropsDuplicateLosers)
     EXPECT_TRUE(report.clean());
 
     // Every key the store held is still served, from canonical names.
-    service::ResultStore store({dir, 8});
+    service::ResultStore store({dir, 8, service::StoreFormat::Legacy});
     EXPECT_EQ(store.lookup("alpha").value_or(""), "p-alpha");
     EXPECT_EQ(store.lookup("beta").value_or(""), "p-beta");
     EXPECT_EQ(store.lookup("gamma").value_or(""), "p-gamma");
@@ -619,7 +619,7 @@ TEST(StoreFsck, KillMidCompactLosesNoKeys)
     }
     const service::FsckReport report = service::compactStore(dir);
     EXPECT_TRUE(report.clean());
-    service::ResultStore store({dir, 8});
+    service::ResultStore store({dir, 8, service::StoreFormat::Legacy});
     EXPECT_EQ(store.lookup("alpha").value_or(""), "p-alpha");
     EXPECT_EQ(store.lookup("beta").value_or(""), "p-beta");
     EXPECT_EQ(store.lookup("gamma").value_or(""), "p-gamma");
@@ -962,7 +962,7 @@ campaignChild(const ChildArgs &args)
 int
 storeChild(const ChildArgs &args)
 {
-    service::ResultStore store({args.dir, 8});
+    service::ResultStore store({args.dir, 8, service::StoreFormat::Legacy});
     for (const auto &[key, payload] : matrixStoreRecords())
         store.store(key, payload);
     // A publish swallowed by the non-fatal path (throw/enospc actions)

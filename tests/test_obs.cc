@@ -258,5 +258,46 @@ TEST(Json, ReportsErrorOffset)
     EXPECT_FALSE(check.message.empty());
 }
 
+TEST(Json, PrettyIndentsNestedContainers)
+{
+    EXPECT_EQ(jsonPretty("{\"a\":1,\"b\":[1,2],\"c\":{\"d\":null}}"),
+              "{\n"
+              "  \"a\": 1,\n"
+              "  \"b\": [\n"
+              "    1,\n"
+              "    2\n"
+              "  ],\n"
+              "  \"c\": {\n"
+              "    \"d\": null\n"
+              "  }\n"
+              "}");
+}
+
+TEST(Json, PrettyKeepsEmptyContainersAndScalarsOnOneLine)
+{
+    EXPECT_EQ(jsonPretty("{}"), "{}");
+    EXPECT_EQ(jsonPretty("[]"), "[]");
+    EXPECT_EQ(jsonPretty("{\"a\":{},\"b\":[  ]}"),
+              "{\n  \"a\": {},\n  \"b\": []\n}");
+    EXPECT_EQ(jsonPretty("-12.5e-3"), "-12.5e-3");
+    EXPECT_EQ(jsonPretty("null"), "null");
+}
+
+TEST(Json, PrettyLeavesStringContentsAlone)
+{
+    // Braces, commas, colons, and escapes inside strings are data, not
+    // structure; number spellings and key order must survive.
+    EXPECT_EQ(jsonPretty("{\"k{,:}\":\"v[1,2]\\\"\"}"),
+              "{\n  \"k{,:}\": \"v[1,2]\\\"\"\n}");
+    EXPECT_EQ(jsonPretty("[1.50e+1]"), "[\n  1.50e+1\n]");
+}
+
+TEST(Json, PrettyReturnsMalformedInputUnchanged)
+{
+    EXPECT_EQ(jsonPretty("{\"a\":"), "{\"a\":");
+    EXPECT_EQ(jsonPretty("not json"), "not json");
+    EXPECT_EQ(jsonPretty(""), "");
+}
+
 } // namespace
 } // namespace davf

@@ -152,7 +152,9 @@ TEST(ResultStore_, TruncatedRecordIsAMissAndIsRepaired)
 {
     const std::string dir = tempPath("truncated");
     std::filesystem::remove_all(dir);
-    ResultStore store({.dir = dir, .memCapacity = 0}); // no memory tier
+    ResultStore store({.dir = dir,
+                       .memCapacity = 0, // no memory tier
+                       .format = StoreFormat::Legacy});
     store.store("k", "v");
 
     const std::string path = store.recordPath("k");
@@ -175,7 +177,8 @@ TEST(ResultStore_, WrongVersionRecordIsAMiss)
 {
     const std::string dir = tempPath("version");
     std::filesystem::remove_all(dir);
-    ResultStore store({.dir = dir, .memCapacity = 0});
+    ResultStore store(
+        {.dir = dir, .memCapacity = 0, .format = StoreFormat::Legacy});
     store.store("k", "v");
     std::ofstream(store.recordPath("k"), std::ios::binary)
         << "davf-store v999\nkey k\npayload v\nend\n";
@@ -188,7 +191,8 @@ TEST(ResultStore_, EmbeddedKeyMismatchIsAMiss)
 {
     const std::string dir = tempPath("collision");
     std::filesystem::remove_all(dir);
-    ResultStore store({.dir = dir, .memCapacity = 0});
+    ResultStore store(
+        {.dir = dir, .memCapacity = 0, .format = StoreFormat::Legacy});
     // Simulate a filename-hash collision: the record file for "mine"
     // holds a record whose embedded key is someone else's.
     store.store("mine", "v");
@@ -443,8 +447,13 @@ class SchedulerFixture : public ::testing::Test
 
         storeDir = tempPath("sched");
         std::filesystem::remove_all(storeDir);
+        // Legacy per-file records: several tests below open a second
+        // store over the same live directory, which the index format's
+        // single-writer lock intentionally refuses.
         store = std::make_unique<ResultStore>(
-            ResultStore::Options{.dir = storeDir, .memCapacity = 64});
+            ResultStore::Options{.dir = storeDir,
+                                 .memCapacity = 64,
+                                 .format = StoreFormat::Legacy});
 
         QueryScheduler::Options options;
         options.benchmark = "rnd";

@@ -1,0 +1,1262 @@
+/**
+ * @file
+ * Tests for the persistent extendible-hash index subsystem
+ * (src/store/): on-disk layout codecs (including a deterministic fuzz
+ * pass over every parser), the append-only segment file's damage
+ * resynchronisation, hash-index splits/doubling/persistence, lock-free
+ * readers racing a splitting writer, the IndexStore crash model
+ * (replay, rebuild, torn-tail quarantine, corrupt-degrades-to-miss),
+ * legacy absorption and migration, index fsck/compact, and the
+ * kill-anywhere recovery matrix over every `index.*` crash point.
+ *
+ * Kill-action cases re-execute this binary (--crash-child=...) so the
+ * SIGKILL lands in a scratch process, which is why this test has its
+ * own main() instead of linking gtest_main.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "src/service/result_store.hh"
+#include "src/store/hash_index.hh"
+#include "src/store/index_fsck.hh"
+#include "src/store/index_store.hh"
+#include "src/store/layout.hh"
+#include "src/store/migrate.hh"
+#include "src/store/segment_file.hh"
+#include "src/util/crashpoint.hh"
+#include "src/util/error.hh"
+#include "src/util/subprocess.hh"
+
+namespace davf::store {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string
+tempPath(const std::string &name)
+{
+    return ::testing::TempDir() + "davf_store_"
+        + std::to_string(::getpid()) + "_" + name;
+}
+
+std::string
+matrixKey(size_t i)
+{
+    return "mk " + std::to_string(i);
+}
+
+std::string
+matrixPayload(size_t i)
+{
+    return "0x1.8p-1 payload " + std::to_string(i);
+}
+
+/** Arms a spec for the enclosing scope; disarms on exit. */
+struct ArmGuard
+{
+    explicit ArmGuard(const std::string &spec)
+    {
+        crashpoint::arm(crashpoint::parseSpec(spec.c_str()));
+    }
+    ~ArmGuard() { crashpoint::disarm(); }
+};
+
+/** Flip one byte of @p path at @p offset (crafting garble damage). */
+void
+flipByte(const std::string &path, uint64_t offset)
+{
+    std::fstream file(path,
+                      std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(static_cast<bool>(file)) << path;
+    file.seekg(static_cast<std::streamoff>(offset));
+    char byte = 0;
+    file.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x40);
+    file.seekp(static_cast<std::streamoff>(offset));
+    file.write(&byte, 1);
+    ASSERT_TRUE(static_cast<bool>(file)) << path;
+}
+
+// ------------------------------------------------------------------ layout
+
+TEST(StoreLayout, RecordTextRoundTripsAndMatchesLegacyGrammar)
+{
+    const std::string text = serializeRecordText("k one", "v 1");
+    EXPECT_EQ(text, service::ResultStore::serializeRecord("k one", "v 1"));
+
+    const auto parsed = parseRecordText(text);
+    ASSERT_TRUE(static_cast<bool>(parsed));
+    EXPECT_EQ(parsed.value().first, "k one");
+    EXPECT_EQ(parsed.value().second, "v 1");
+
+    std::string_view key, payload;
+    ASSERT_TRUE(splitCanonicalRecord(text, key, payload));
+    EXPECT_EQ(key, "k one");
+    EXPECT_EQ(payload, "v 1");
+}
+
+TEST(StoreLayout, RecordParsersRejectEveryDamageClass)
+{
+    const std::string text = serializeRecordText("k", "v");
+    std::string_view key, payload;
+
+    // Torn: every strict prefix fails the canonical splitter; the
+    // line-lenient parser may tolerate a lost final newline but must
+    // never produce a *different* record than the intact bytes.
+    for (size_t len = 0; len < text.size(); ++len) {
+        const std::string torn = text.substr(0, len);
+        const auto lenient = parseRecordText(torn);
+        if (lenient) {
+            EXPECT_EQ(lenient.value().first, "k") << len;
+            EXPECT_EQ(lenient.value().second, "v") << len;
+        }
+        EXPECT_FALSE(splitCanonicalRecord(torn, key, payload)) << len;
+    }
+    // Garble: any single flipped byte fails the sum (or the grammar).
+    for (size_t i = 0; i < text.size(); ++i) {
+        std::string garbled = text;
+        garbled[i] = static_cast<char>(garbled[i] ^ 0x40);
+        EXPECT_FALSE(static_cast<bool>(parseRecordText(garbled))) << i;
+        EXPECT_FALSE(splitCanonicalRecord(garbled, key, payload)) << i;
+    }
+    // Trailing garbage after the end sentinel.
+    EXPECT_FALSE(static_cast<bool>(parseRecordText(text + "x")));
+    EXPECT_FALSE(splitCanonicalRecord(text + "x", key, payload));
+}
+
+TEST(StoreLayout, HeaderAndBucketPagesRoundTrip)
+{
+    IndexHeader header;
+    header.slotsPerBucket = kSlotsPerBucket;
+    header.globalDepth = 3;
+    header.bucketPages = 8;
+    header.keyCount = 123;
+    header.dataCommitted = 4096;
+    header.clean = true;
+    const std::string page = serializeIndexHeader(header);
+    ASSERT_EQ(page.size(), kPageSize);
+    const auto reparsed = parseIndexHeader(page);
+    ASSERT_TRUE(static_cast<bool>(reparsed));
+    EXPECT_EQ(reparsed.value(), header);
+
+    BucketImage bucket;
+    bucket.prefix = 5;
+    bucket.localDepth = 3;
+    bucket.count = 2;
+    bucket.slots[0] = {0x1234567890abcdefull, 64, 80, 0};
+    bucket.slots[1] = {0xfeedfacecafef00dull, 160, 33, 0};
+    const std::string bpage = serializeBucketPage(bucket);
+    ASSERT_EQ(bpage.size(), kPageSize);
+    const auto bparsed = parseBucketPage(bpage);
+    ASSERT_TRUE(static_cast<bool>(bparsed));
+    EXPECT_EQ(bparsed.value().prefix, bucket.prefix);
+    EXPECT_EQ(bparsed.value().count, 2u);
+    EXPECT_EQ(bparsed.value().slots[0], bucket.slots[0]);
+    EXPECT_EQ(bparsed.value().slots[1], bucket.slots[1]);
+}
+
+TEST(StoreLayout, FrameHeaderRoundTripsAndChecksums)
+{
+    FrameHeader header;
+    header.size = 77;
+    header.keyHash = fnv1a64("some key");
+    header.bodySum = fnv1a64("some body");
+    const std::string bytes = serializeFrameHeader(header);
+    ASSERT_EQ(bytes.size(), kFrameHeaderBytes);
+    const auto reparsed = parseFrameHeader(bytes);
+    ASSERT_TRUE(static_cast<bool>(reparsed));
+    EXPECT_EQ(reparsed.value(), header);
+
+    for (size_t i = 0; i < bytes.size(); ++i) {
+        std::string garbled = bytes;
+        garbled[i] = static_cast<char>(garbled[i] ^ 0x01);
+        EXPECT_FALSE(static_cast<bool>(parseFrameHeader(garbled))) << i;
+    }
+}
+
+TEST(StoreLayoutFuzz, ParsersNeverAcceptMutatedOrRandomInput)
+{
+    // Deterministic fuzz corpus over every layout parser: random
+    // pages, truncations of valid pages, and single-byte mutations.
+    // The parsers must reject without crashing; accepting any mutation
+    // of a checksummed page would mean the checksum is not covering
+    // those bytes.
+    std::mt19937_64 rng(0xda5f5eedull);
+    std::uniform_int_distribution<int> byte(0, 255);
+
+    IndexHeader valid_header;
+    valid_header.slotsPerBucket = kSlotsPerBucket;
+    const std::string header_page = serializeIndexHeader(valid_header);
+    BucketImage bucket;
+    bucket.count = 1;
+    bucket.slots[0] = {42, 0, 16, 0};
+    const std::string bucket_page = serializeBucketPage(bucket);
+    FrameHeader frame;
+    frame.size = 16;
+    const std::string frame_bytes = serializeFrameHeader(frame);
+
+    for (int round = 0; round < 200; ++round) {
+        // Pure noise at assorted sizes.
+        std::string noise(static_cast<size_t>(rng() % (2 * kPageSize)),
+                          '\0');
+        for (char &c : noise)
+            c = static_cast<char>(byte(rng));
+        (void)parseIndexHeader(noise);
+        (void)parseBucketPage(noise);
+        (void)parseFrameHeader(noise);
+        (void)parseRecordText(noise);
+        std::string_view k, p;
+        (void)splitCanonicalRecord(noise, k, p);
+
+        // A valid page with one mutated checksummed byte must be
+        // rejected. (The index header's checksum covers its 64
+        // meaningful bytes; the page padding is free.)
+        auto mutate = [&](const std::string &valid, size_t covered) {
+            std::string damaged = valid;
+            const size_t at = rng() % covered;
+            const char old = damaged[at];
+            do {
+                damaged[at] = static_cast<char>(byte(rng));
+            } while (damaged[at] == old);
+            return damaged;
+        };
+        EXPECT_FALSE(static_cast<bool>(
+            parseIndexHeader(mutate(header_page, 64))));
+        EXPECT_FALSE(static_cast<bool>(
+            parseBucketPage(mutate(bucket_page, kPageSize))));
+        EXPECT_FALSE(static_cast<bool>(
+            parseFrameHeader(mutate(frame_bytes, kFrameHeaderBytes))));
+
+        // Truncations of valid inputs.
+        const size_t cut = rng() % kPageSize;
+        (void)parseIndexHeader(std::string_view(header_page).substr(0, cut));
+        (void)parseBucketPage(std::string_view(bucket_page).substr(0, cut));
+        (void)parseFrameHeader(
+            std::string_view(frame_bytes)
+                .substr(0, cut % kFrameHeaderBytes));
+    }
+}
+
+// ------------------------------------------------------------ segment file
+
+TEST(SegmentFileT, AppendReadScanRoundTrip)
+{
+    const std::string dir = tempPath("seg_roundtrip");
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    const std::string path = dir + "/" + kDataFileName;
+
+    SegmentFile file;
+    file.open(path);
+    std::vector<uint64_t> offsets;
+    std::vector<std::string> records;
+    for (int i = 0; i < 20; ++i) {
+        records.push_back(serializeRecordText(matrixKey(i),
+                                              matrixPayload(i)));
+        offsets.push_back(
+            file.append(records.back(), fnv1a64(matrixKey(i))));
+        EXPECT_EQ(offsets.back() % kFrameAlign, 0u);
+    }
+    for (int i = 0; i < 20; ++i) {
+        const auto read = file.read(
+            offsets[i], static_cast<uint32_t>(records[i].size()));
+        ASSERT_TRUE(static_cast<bool>(read)) << i;
+        EXPECT_EQ(read.value(), records[i]);
+    }
+    uint64_t seen = 0;
+    const SegmentFile::ScanStats stats = file.scan(
+        0, [&](uint64_t, const FrameHeader &, bool bodyValid) {
+            EXPECT_TRUE(bodyValid);
+            ++seen;
+        });
+    EXPECT_EQ(seen, 20u);
+    EXPECT_EQ(stats.valid, 20u);
+    EXPECT_EQ(stats.garbled, 0u);
+    EXPECT_EQ(stats.tailOffset, file.size());
+    EXPECT_FALSE(stats.tornTail);
+    file.close();
+    fs::remove_all(dir);
+}
+
+TEST(SegmentFileT, ScanResynchronisesOverMidFileDamage)
+{
+    const std::string dir = tempPath("seg_resync");
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    const std::string path = dir + "/" + kDataFileName;
+
+    std::vector<uint64_t> offsets;
+    {
+        SegmentFile file;
+        file.open(path);
+        for (int i = 0; i < 5; ++i) {
+            offsets.push_back(file.append(
+                serializeRecordText(matrixKey(i), matrixPayload(i)),
+                fnv1a64(matrixKey(i))));
+        }
+        file.close();
+    }
+    // Garble the *body* of frame 2: its header still parses, the body
+    // checksum fails, and the scan walks on to frames 3 and 4.
+    flipByte(path, offsets[2] + kFrameHeaderBytes + 4);
+    // Smash the *header* of frame 1: unframeable bytes the scan must
+    // resync over without losing frame 2..4 (all on the 16-byte grid).
+    for (uint64_t at = 0; at < kFrameHeaderBytes; ++at)
+        flipByte(path, offsets[1] + at);
+
+    SegmentFile file;
+    file.open(path);
+    uint64_t valid_seen = 0, garbled_seen = 0;
+    const SegmentFile::ScanStats stats = file.scan(
+        0, [&](uint64_t, const FrameHeader &, bool bodyValid) {
+            bodyValid ? ++valid_seen : ++garbled_seen;
+        });
+    EXPECT_EQ(valid_seen, 3u);   // frames 0, 3, 4
+    EXPECT_EQ(garbled_seen, 1u); // frame 2
+    EXPECT_EQ(stats.garbled, 1u);
+    EXPECT_GT(stats.skippedBytes, 0u); // frame 1's smashed header
+    EXPECT_FALSE(stats.tornTail);
+    file.close();
+    fs::remove_all(dir);
+}
+
+TEST(SegmentFileT, TruncatedFinalFrameIsATornTail)
+{
+    const std::string dir = tempPath("seg_torn");
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    const std::string path = dir + "/" + kDataFileName;
+
+    uint64_t last = 0;
+    {
+        SegmentFile file;
+        file.open(path);
+        file.append(serializeRecordText("a", "1"), fnv1a64("a"));
+        last = file.append(serializeRecordText("b", "2"), fnv1a64("b"));
+        file.close();
+    }
+    fs::resize_file(path, last + kFrameHeaderBytes / 2);
+
+    SegmentFile file;
+    file.open(path);
+    const SegmentFile::ScanStats stats =
+        file.scan(0, [](uint64_t, const FrameHeader &, bool) {});
+    EXPECT_EQ(stats.valid, 1u);
+    EXPECT_TRUE(stats.tornTail);
+    EXPECT_EQ(stats.tailOffset, last);
+    file.close();
+    fs::remove_all(dir);
+}
+
+// -------------------------------------------------------------- hash index
+
+TEST(HashIndexT, InsertLookupReplaceRemove)
+{
+    const std::string dir = tempPath("hidx_basic");
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+
+    HashIndex index;
+    index.create(dir, dir + "/" + kIndexFileName);
+    EXPECT_FALSE(index.lookup(42).has_value());
+
+    index.insert(42, 64, 10);
+    auto hit = index.lookup(42);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->offset, 64u);
+    EXPECT_EQ(hit->size, 10u);
+
+    // Same hash replaces in place (newest frame wins).
+    index.insert(42, 128, 12);
+    hit = index.lookup(42);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->offset, 128u);
+    EXPECT_EQ(index.keyCount(), 1u);
+
+    // remove() is offset-guarded: a stale repair can't drop the
+    // replacement slot.
+    EXPECT_FALSE(index.remove(42, 64));
+    EXPECT_TRUE(index.remove(42, 128));
+    EXPECT_FALSE(index.lookup(42).has_value());
+    EXPECT_EQ(index.keyCount(), 0u);
+    index.close();
+    fs::remove_all(dir);
+}
+
+TEST(HashIndexT, SplitsAndDirectoryDoublingKeepEveryKey)
+{
+    const std::string dir = tempPath("hidx_split");
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+
+    constexpr size_t kKeys = 4 * kSlotsPerBucket; // forces doublings
+    HashIndex index;
+    index.create(dir, dir + "/" + kIndexFileName);
+    for (size_t i = 0; i < kKeys; ++i)
+        index.insert(fnv1a64(matrixKey(i)), i * 16, 16);
+    EXPECT_GT(index.splits(), 0u);
+    EXPECT_GT(index.globalDepth(), 0u);
+    EXPECT_EQ(index.keyCount(), kKeys);
+    for (size_t i = 0; i < kKeys; ++i) {
+        const auto hit = index.lookup(fnv1a64(matrixKey(i)));
+        ASSERT_TRUE(hit.has_value()) << i;
+        EXPECT_EQ(hit->offset, i * 16) << i;
+    }
+    index.checkpoint(kKeys * 16);
+    index.close();
+
+    // Reload: everything persisted, the checkpoint watermark held.
+    HashIndex reloaded;
+    const auto info =
+        reloaded.load(dir, dir + "/" + kIndexFileName);
+    ASSERT_TRUE(static_cast<bool>(info));
+    EXPECT_TRUE(info.value().clean);
+    EXPECT_EQ(info.value().dataCommitted, kKeys * 16);
+    EXPECT_EQ(reloaded.keyCount(), kKeys);
+    for (size_t i = 0; i < kKeys; ++i) {
+        const auto hit = reloaded.lookup(fnv1a64(matrixKey(i)));
+        ASSERT_TRUE(hit.has_value()) << i;
+        EXPECT_EQ(hit->offset, i * 16) << i;
+    }
+    reloaded.close();
+    fs::remove_all(dir);
+}
+
+TEST(HashIndexT, DamagedPageFailsLoadInsteadOfServingWrongSlots)
+{
+    const std::string dir = tempPath("hidx_damage");
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    const std::string path = dir + "/" + kIndexFileName;
+
+    {
+        HashIndex index;
+        index.create(dir, path);
+        for (size_t i = 0; i < 10; ++i)
+            index.insert(fnv1a64(matrixKey(i)), i * 16, 16);
+        index.checkpoint(160);
+        index.close();
+    }
+    flipByte(path, kPageSize + 100); // first bucket page
+
+    HashIndex index;
+    EXPECT_FALSE(static_cast<bool>(index.load(dir, path)));
+    index.close();
+    fs::remove_all(dir);
+}
+
+TEST(HashIndexT, LeftoverSplitJournalFailsLoad)
+{
+    const std::string dir = tempPath("hidx_journal");
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    const std::string path = dir + "/" + kIndexFileName;
+
+    {
+        HashIndex index;
+        index.create(dir, path);
+        index.insert(1, 0, 16);
+        index.checkpoint(16);
+        index.close();
+    }
+    std::ofstream(dir + "/" + kSplitJournalName) << "torn split\n";
+
+    HashIndex index;
+    EXPECT_FALSE(static_cast<bool>(index.load(dir, path)));
+    index.close();
+    fs::remove_all(dir);
+}
+
+TEST(HashIndexT, LockFreeReadersSurviveConcurrentSplits)
+{
+    const std::string dir = tempPath("hidx_race");
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+
+    constexpr size_t kKeys = 6 * kSlotsPerBucket;
+    HashIndex index;
+    index.create(dir, dir + "/" + kIndexFileName);
+
+    std::atomic<size_t> published{0};
+    std::atomic<bool> failed{false};
+    std::vector<std::thread> readers;
+    for (int t = 0; t < 4; ++t) {
+        readers.emplace_back([&, t] {
+            std::mt19937_64 rng(static_cast<uint64_t>(t) + 1);
+            while (published.load(std::memory_order_acquire) < kKeys) {
+                const size_t limit =
+                    published.load(std::memory_order_acquire);
+                if (limit == 0)
+                    continue;
+                const size_t i = rng() % limit;
+                const auto hit = index.lookup(fnv1a64(matrixKey(i)));
+                // A published key must always be found, mid-split or
+                // not, and must carry its own offset — never a
+                // neighbour's (seqlock + ownership re-check).
+                if (!hit.has_value() || hit->offset != i * 16) {
+                    failed.store(true);
+                    return;
+                }
+            }
+        });
+    }
+    for (size_t i = 0; i < kKeys; ++i) {
+        index.insert(fnv1a64(matrixKey(i)), i * 16, 16);
+        published.store(i + 1, std::memory_order_release);
+    }
+    for (std::thread &reader : readers)
+        reader.join();
+    EXPECT_FALSE(failed.load());
+    EXPECT_GT(index.splits(), 0u);
+    index.close();
+    fs::remove_all(dir);
+}
+
+// ------------------------------------------------------------- index store
+
+TEST(IndexStoreT, RoundTripPersistsAcrossReopen)
+{
+    const std::string dir = tempPath("istore_roundtrip");
+    fs::remove_all(dir);
+    {
+        IndexStore store({.dir = dir});
+        for (size_t i = 0; i < 50; ++i)
+            store.put(matrixKey(i), matrixPayload(i));
+        for (size_t i = 0; i < 50; ++i) {
+            const auto result = store.lookup(matrixKey(i));
+            ASSERT_EQ(result.status, IndexStore::LookupStatus::Hit) << i;
+            EXPECT_EQ(result.payload, matrixPayload(i)) << i;
+        }
+        EXPECT_EQ(store.lookup("absent").status,
+                  IndexStore::LookupStatus::Miss);
+    }
+    {
+        IndexStore store({.dir = dir});
+        for (size_t i = 0; i < 50; ++i) {
+            const auto result = store.lookup(matrixKey(i));
+            ASSERT_EQ(result.status, IndexStore::LookupStatus::Hit) << i;
+            EXPECT_EQ(result.payload, matrixPayload(i)) << i;
+        }
+        EXPECT_EQ(store.stats().rebuilds, 0u)
+            << "a cleanly closed store reopens from its checkpoint";
+    }
+    fs::remove_all(dir);
+}
+
+TEST(IndexStoreT, UncheckpointedTailIsReplayedOnReopen)
+{
+    const std::string dir = tempPath("istore_replay");
+    fs::remove_all(dir);
+    {
+        IndexStore store({.dir = dir});
+        store.put(matrixKey(0), matrixPayload(0));
+        store.checkpoint();
+        store.put(matrixKey(1), matrixPayload(1));
+        store.put(matrixKey(2), matrixPayload(2));
+        // Simulate a crash: drop the index so the reopen cannot have
+        // seen the last two appends through it.
+        fs::remove(dir + "/" + kIndexFileName);
+        // The destructor would checkpoint; condemn that by releasing
+        // without one. (close path still best-effort checkpoints, but
+        // with index.davf gone it recreates — the point is the data
+        // file alone must carry all three records.)
+    }
+    IndexStore store({.dir = dir});
+    for (size_t i = 0; i < 3; ++i) {
+        const auto result = store.lookup(matrixKey(i));
+        ASSERT_EQ(result.status, IndexStore::LookupStatus::Hit) << i;
+        EXPECT_EQ(result.payload, matrixPayload(i)) << i;
+    }
+    EXPECT_EQ(store.stats().rebuilds, 1u);
+    fs::remove_all(dir);
+}
+
+TEST(IndexStoreT, GarbledRecordDegradesToAMissAndDropsItsSlot)
+{
+    const std::string dir = tempPath("istore_garble");
+    fs::remove_all(dir);
+    uint64_t offset = 0;
+    {
+        IndexStore store({.dir = dir});
+        store.put(matrixKey(0), matrixPayload(0));
+        store.put(matrixKey(1), matrixPayload(1));
+        store.forEachSlot([&](const BucketSlot &slot) {
+            if (slot.hash == fnv1a64(matrixKey(1)))
+                offset = slot.offset;
+        });
+    }
+    flipByte(dir + "/" + kDataFileName,
+             offset + kFrameHeaderBytes + 8);
+
+    IndexStore store({.dir = dir});
+    const auto damaged = store.lookup(matrixKey(1));
+    EXPECT_EQ(damaged.status, IndexStore::LookupStatus::Corrupt);
+    EXPECT_EQ(store.lookup(matrixKey(1)).status,
+              IndexStore::LookupStatus::Miss)
+        << "the corrupt slot is dropped on sight";
+    const auto intact = store.lookup(matrixKey(0));
+    ASSERT_EQ(intact.status, IndexStore::LookupStatus::Hit);
+    EXPECT_EQ(intact.payload, matrixPayload(0));
+    EXPECT_EQ(store.stats().corrupt, 1u);
+
+    // The recompute-and-store path repairs, like the legacy tier.
+    store.put(matrixKey(1), matrixPayload(1));
+    EXPECT_EQ(store.lookup(matrixKey(1)).status,
+              IndexStore::LookupStatus::Hit);
+    fs::remove_all(dir);
+}
+
+TEST(IndexStoreT, TornTailIsQuarantinedNotDeleted)
+{
+    const std::string dir = tempPath("istore_torntail");
+    fs::remove_all(dir);
+    uint64_t tail = 0;
+    {
+        IndexStore store({.dir = dir});
+        store.put(matrixKey(0), matrixPayload(0));
+        store.put(matrixKey(1), matrixPayload(1));
+        store.forEachSlot([&](const BucketSlot &slot) {
+            if (slot.hash == fnv1a64(matrixKey(1)))
+                tail = slot.offset;
+        });
+        // Forget the index: the reopen must discover the torn tail
+        // from the data file alone.
+        fs::remove(dir + "/" + kIndexFileName);
+    }
+    fs::resize_file(dir + "/" + kDataFileName,
+                    tail + kFrameHeaderBytes + 3);
+
+    IndexStore store({.dir = dir});
+    EXPECT_EQ(store.stats().tailRepairs, 1u);
+    EXPECT_EQ(store.lookup(matrixKey(0)).status,
+              IndexStore::LookupStatus::Hit);
+    EXPECT_EQ(store.lookup(matrixKey(1)).status,
+              IndexStore::LookupStatus::Miss);
+    // The torn bytes were preserved as evidence, never deleted.
+    bool quarantined = false;
+    if (fs::exists(dir + "/quarantine")) {
+        for (const auto &entry :
+             fs::directory_iterator(dir + "/quarantine"))
+            quarantined |= entry.is_regular_file();
+    }
+    EXPECT_TRUE(quarantined);
+    // And the store keeps working past the repair.
+    store.put(matrixKey(2), matrixPayload(2));
+    EXPECT_EQ(store.lookup(matrixKey(2)).status,
+              IndexStore::LookupStatus::Hit);
+    fs::remove_all(dir);
+}
+
+TEST(IndexStoreT, SecondOpenerIsLockedOut)
+{
+    const std::string dir = tempPath("istore_lock");
+    fs::remove_all(dir);
+    IndexStore store({.dir = dir});
+    store.put(matrixKey(0), matrixPayload(0));
+    EXPECT_THROW(IndexStore({.dir = dir}), DavfError);
+    // ... and ResultStore degrades to legacy per-file records instead
+    // of failing the open.
+    service::ResultStore fallback(
+        {.dir = dir, .memCapacity = 4,
+         .format = service::StoreFormat::Index});
+    EXPECT_FALSE(fallback.indexed());
+    fallback.store("fallback key", "fallback payload");
+    EXPECT_EQ(fallback.lookup("fallback key").value_or(""),
+              "fallback payload");
+    fs::remove_all(dir);
+}
+
+TEST(IndexStoreT, CompactDropsSupersededFramesAndKeepsPayloads)
+{
+    const std::string dir = tempPath("istore_compact");
+    fs::remove_all(dir);
+    IndexStore store({.dir = dir});
+    for (size_t i = 0; i < 30; ++i)
+        store.put(matrixKey(i), matrixPayload(i));
+    // Rewrite half the keys: the old frames become superseded space.
+    for (size_t i = 0; i < 15; ++i)
+        store.put(matrixKey(i), matrixPayload(i));
+    const uint64_t reclaimed = store.compact();
+    EXPECT_GT(reclaimed, 0u);
+    for (size_t i = 0; i < 30; ++i) {
+        const auto result = store.lookup(matrixKey(i));
+        ASSERT_EQ(result.status, IndexStore::LookupStatus::Hit) << i;
+        EXPECT_EQ(result.payload, matrixPayload(i)) << i;
+    }
+    EXPECT_EQ(store.compact(), 0u) << "compaction converges";
+    fs::remove_all(dir);
+}
+
+// --------------------------------------------- ResultStore integration
+
+TEST(StoreIntegration, AutoFormatFollowsTheDirectory)
+{
+    const std::string legacy_dir = tempPath("auto_legacy");
+    const std::string fresh_dir = tempPath("auto_fresh");
+    fs::remove_all(legacy_dir);
+    fs::remove_all(fresh_dir);
+    {
+        service::ResultStore store({.dir = legacy_dir,
+                                    .memCapacity = 0,
+                                    .format =
+                                        service::StoreFormat::Legacy});
+        store.store("k", "v");
+    }
+    // Auto keeps an existing legacy directory legacy...
+    service::ResultStore legacy({.dir = legacy_dir, .memCapacity = 0});
+    EXPECT_FALSE(legacy.indexed());
+    EXPECT_EQ(legacy.lookup("k").value_or(""), "v");
+    // ...and starts an empty directory indexed.
+    service::ResultStore fresh({.dir = fresh_dir, .memCapacity = 0});
+    EXPECT_TRUE(fresh.indexed());
+    fresh.store("k", "v");
+    EXPECT_TRUE(IndexStore::present(fresh_dir));
+    EXPECT_FALSE(fs::exists(
+        fresh_dir + "/" + legacyRecordFileName("k")));
+    fs::remove_all(legacy_dir);
+    fs::remove_all(fresh_dir);
+}
+
+TEST(StoreIntegration, IndexedStoreServesByteIdenticalPayloads)
+{
+    const std::string dir = tempPath("integ_bytes");
+    fs::remove_all(dir);
+    {
+        service::ResultStore store(
+            {.dir = dir, .memCapacity = 0,
+             .format = service::StoreFormat::Index});
+        for (size_t i = 0; i < 40; ++i)
+            store.store(matrixKey(i), matrixPayload(i));
+    }
+    service::ResultStore store({.dir = dir, .memCapacity = 0});
+    ASSERT_TRUE(store.indexed());
+    for (size_t i = 0; i < 40; ++i)
+        EXPECT_EQ(store.lookup(matrixKey(i)).value_or(""),
+                  matrixPayload(i))
+            << i;
+    EXPECT_EQ(store.stats().diskHits, 40u);
+    ASSERT_TRUE(store.indexStats().has_value());
+    EXPECT_EQ(store.indexStats()->keys, 40u);
+    fs::remove_all(dir);
+}
+
+TEST(StoreIntegration, IndexedStoreAbsorbsLegacyStraysOnLookup)
+{
+    const std::string dir = tempPath("integ_absorb");
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    // A stray legacy record (as a locked-out fallback writer or an
+    // interrupted migration would leave).
+    const std::string stray = dir + "/" + legacyRecordFileName("stray");
+    std::ofstream(stray, std::ios::binary)
+        << serializeRecordText("stray", "stray payload");
+
+    service::ResultStore store({.dir = dir, .memCapacity = 0,
+                                .format = service::StoreFormat::Index});
+    ASSERT_TRUE(store.indexed());
+    EXPECT_EQ(store.lookup("stray").value_or(""), "stray payload");
+    EXPECT_FALSE(fs::exists(stray))
+        << "absorbed into the index, legacy file retired";
+    EXPECT_EQ(store.lookup("stray").value_or(""), "stray payload")
+        << "second lookup is served by the index";
+    fs::remove_all(dir);
+}
+
+TEST(StoreIntegration, LruGaugesTrackEntriesAndBytes)
+{
+    service::ResultStore store({.dir = "", .memCapacity = 2});
+    EXPECT_EQ(store.stats().lruEntries, 0u);
+    EXPECT_EQ(store.stats().lruBytes, 0u);
+
+    store.store("a", "11");
+    store.store("b", "22");
+    service::StoreStats stats = store.stats();
+    EXPECT_EQ(stats.lruEntries, 2u);
+    EXPECT_EQ(stats.lruBytes, 6u); // ("a"+"11") + ("b"+"22")
+
+    store.store("c", "333"); // evicts "a"
+    stats = store.stats();
+    EXPECT_EQ(stats.evictions, 1u);
+    EXPECT_EQ(stats.lruEntries, 2u);
+    EXPECT_EQ(stats.lruBytes, 7u); // ("b"+"22") + ("c"+"333")
+
+    store.store("c", "4"); // replace shrinks the byte gauge
+    stats = store.stats();
+    EXPECT_EQ(stats.lruEntries, 2u);
+    EXPECT_EQ(stats.lruBytes, 5u); // ("b"+"22") + ("c"+"4")
+}
+
+// --------------------------------------------------------------- migration
+
+TEST(StoreMigrate, LegacyDirectoryMigratesByteIdentically)
+{
+    const std::string dir = tempPath("migrate_basic");
+    fs::remove_all(dir);
+    {
+        service::ResultStore store({.dir = dir, .memCapacity = 0,
+                                    .format =
+                                        service::StoreFormat::Legacy});
+        for (size_t i = 0; i < 25; ++i)
+            store.store(matrixKey(i), matrixPayload(i));
+    }
+    // One damaged legacy record rides along; it must be quarantined,
+    // never deleted, and never absorbed.
+    const std::string damaged =
+        dir + "/" + legacyRecordFileName("damaged");
+    std::ofstream(damaged, std::ios::binary) << "davf-store v2\nkey d";
+
+    const MigrateReport report = migrateStore(dir);
+    EXPECT_EQ(report.migrated, 25u);
+    EXPECT_EQ(report.quarantined, 1u);
+    EXPECT_FALSE(fs::exists(damaged));
+    EXPECT_TRUE(IndexStore::present(dir));
+    for (const auto &entry : fs::directory_iterator(dir)) {
+        const std::string name = entry.path().filename().string();
+        EXPECT_FALSE(name.rfind("r-", 0) == 0
+                     && name.find(".rec") != std::string::npos)
+            << "legacy record left behind: " << name;
+    }
+
+    // Idempotent: a second pass finds nothing to do.
+    const MigrateReport again = migrateStore(dir);
+    EXPECT_EQ(again.migrated, 0u);
+    EXPECT_EQ(again.quarantined, 0u);
+
+    service::ResultStore store({.dir = dir, .memCapacity = 0});
+    ASSERT_TRUE(store.indexed());
+    for (size_t i = 0; i < 25; ++i)
+        EXPECT_EQ(store.lookup(matrixKey(i)).value_or(""),
+                  matrixPayload(i))
+            << i;
+    fs::remove_all(dir);
+}
+
+// -------------------------------------------------------------- index fsck
+
+TEST(IndexFsck, CleanStoreIsClean)
+{
+    const std::string dir = tempPath("ifsck_clean");
+    fs::remove_all(dir);
+    {
+        IndexStore store({.dir = dir});
+        for (size_t i = 0; i < 10; ++i)
+            store.put(matrixKey(i), matrixPayload(i));
+    }
+    const IndexFsckReport report = fsckIndexStore(dir);
+    EXPECT_TRUE(report.clean())
+        << (report.notes.empty() ? "" : report.notes.front());
+    EXPECT_EQ(report.validFrames, 10u);
+    fs::remove_all(dir);
+}
+
+TEST(IndexFsck, ClassifiesAndRepairsEveryDamageKind)
+{
+    const std::string dir = tempPath("ifsck_damage");
+    fs::remove_all(dir);
+    uint64_t victim = 0;
+    {
+        IndexStore store({.dir = dir});
+        for (size_t i = 0; i < 12; ++i)
+            store.put(matrixKey(i), matrixPayload(i));
+        store.put(matrixKey(3), matrixPayload(3)); // superseded frame
+        store.forEachSlot([&](const BucketSlot &slot) {
+            if (slot.hash == fnv1a64(matrixKey(7)))
+                victim = slot.offset;
+        });
+    }
+    // Garble one record body: its frame is damage, and the slot that
+    // pointed at it becomes a stale entry.
+    flipByte(dir + "/" + kDataFileName,
+             victim + kFrameHeaderBytes + 2);
+    const IndexFsckReport garbled = fsckIndexStore(dir);
+    EXPECT_FALSE(garbled.clean());
+    EXPECT_EQ(garbled.garbledFrames, 1u);
+    EXPECT_EQ(garbled.staleEntries, 1u);
+    EXPECT_EQ(garbled.superseded, 1u);
+    EXPECT_FALSE(garbled.notes.empty());
+
+    // A leftover split journal condemns the index outright (it is not
+    // loaded at all, so cross-checks stop mattering).
+    std::ofstream(dir + "/" + kSplitJournalName) << "torn split\n";
+    const IndexFsckReport report = fsckIndexStore(dir);
+    EXPECT_FALSE(report.clean());
+    EXPECT_TRUE(report.tornSplit);
+    EXPECT_EQ(report.garbledFrames, 1u);
+
+    const IndexFsckReport repaired =
+        fsckIndexStore(dir, {.repair = true});
+    EXPECT_TRUE(repaired.rebuilt);
+    EXPECT_GT(repaired.quarantined, 0u);
+    EXPECT_TRUE(fsckIndexStore(dir).clean())
+        << "repair converges to a clean store";
+
+    // Every undamaged record is still served byte-identically; the
+    // garbled one is a miss, not an error.
+    service::ResultStore store({.dir = dir, .memCapacity = 0});
+    for (size_t i = 0; i < 12; ++i) {
+        if (i == 7) {
+            EXPECT_FALSE(store.lookup(matrixKey(i)).has_value());
+        } else {
+            EXPECT_EQ(store.lookup(matrixKey(i)).value_or(""),
+                      matrixPayload(i))
+                << i;
+        }
+    }
+    fs::remove_all(dir);
+}
+
+TEST(IndexFsck, MissingIndexIsStaleAndRepairRebuilds)
+{
+    const std::string dir = tempPath("ifsck_stale");
+    fs::remove_all(dir);
+    {
+        IndexStore store({.dir = dir});
+        for (size_t i = 0; i < 8; ++i)
+            store.put(matrixKey(i), matrixPayload(i));
+    }
+    fs::remove(dir + "/" + kIndexFileName);
+
+    const IndexFsckReport report = fsckIndexStore(dir);
+    EXPECT_TRUE(report.staleIndex);
+    const IndexFsckReport repaired =
+        fsckIndexStore(dir, {.repair = true});
+    EXPECT_TRUE(repaired.rebuilt);
+    EXPECT_TRUE(fsckIndexStore(dir).clean());
+    service::ResultStore store({.dir = dir, .memCapacity = 0});
+    for (size_t i = 0; i < 8; ++i)
+        EXPECT_EQ(store.lookup(matrixKey(i)).value_or(""),
+                  matrixPayload(i))
+            << i;
+    fs::remove_all(dir);
+}
+
+TEST(IndexFsck, CompactAbsorbsStraysQuarantinesDamageAndReclaims)
+{
+    const std::string dir = tempPath("ifsck_compact");
+    fs::remove_all(dir);
+    {
+        IndexStore store({.dir = dir});
+        for (size_t i = 0; i < 10; ++i)
+            store.put(matrixKey(i), matrixPayload(i));
+        for (size_t i = 0; i < 10; ++i) // superseded space
+            store.put(matrixKey(i), matrixPayload(i));
+    }
+    std::ofstream(dir + "/" + legacyRecordFileName("stray"),
+                  std::ios::binary)
+        << serializeRecordText("stray", "stray payload");
+
+    const IndexFsckReport report = compactIndexStoreDir(dir);
+    EXPECT_EQ(report.migrated, 1u);
+    EXPECT_GT(report.reclaimedBytes, 0u);
+    EXPECT_TRUE(fsckIndexStore(dir).clean());
+
+    service::ResultStore store({.dir = dir, .memCapacity = 0});
+    EXPECT_EQ(store.lookup("stray").value_or(""), "stray payload");
+    for (size_t i = 0; i < 10; ++i)
+        EXPECT_EQ(store.lookup(matrixKey(i)).value_or(""),
+                  matrixPayload(i))
+            << i;
+    fs::remove_all(dir);
+}
+
+// --------------------------------------------------- crash recovery matrix
+
+constexpr size_t kMatrixRecords = 220; // > kSlotsPerBucket: splits fire
+
+/**
+ * After a child died mid-write at some index.* point: repair, rerun
+ * the child to completion, and require every record to come back
+ * byte-identical through a fresh ResultStore.
+ */
+void
+recoverAndVerify(const std::string &dir)
+{
+    const IndexFsckReport repaired =
+        fsckIndexStore(dir, {.repair = true});
+    (void)repaired; // any damage classified here is quarantined
+    EXPECT_TRUE(fsckIndexStore(dir).clean());
+
+    Subprocess rerun;
+    rerun.spawn({Subprocess::selfExePath(), "--crash-child=istore",
+                 "--dir=" + dir});
+    rerun.closeWrite();
+    const ExitStatus rerun_status = rerun.wait();
+    EXPECT_TRUE(rerun_status.exited && rerun_status.code == 0)
+        << rerun_status.describe();
+
+    service::ResultStore store({.dir = dir, .memCapacity = 0});
+    ASSERT_TRUE(store.indexed());
+    for (size_t i = 0; i < kMatrixRecords; ++i)
+        EXPECT_EQ(store.lookup(matrixKey(i)).value_or(""),
+                  matrixPayload(i))
+            << i;
+    EXPECT_EQ(store.stats().corruptRecords, 0u);
+}
+
+TEST(IndexCrashMatrix, KillAtEveryMutationPointRecoversByteIdentically)
+{
+    // Every index.* mutation point, killed mid-flight (plus the two
+    // payload-damage actions the append point supports). Hit counts
+    // land the fault mid-stream — after enough inserts that splits and
+    // bucket rewrites have state to tear.
+    const char *specs[] = {
+        "index.append:100=kill",
+        "index.append:100=torn",
+        "index.append:100=garble",
+        "index.bucket_write:150=kill",
+        "index.checkpoint=kill",
+        "index.split_journal=kill",
+        "index.split_apply=kill",
+    };
+    for (const char *spec : specs) {
+        SCOPED_TRACE(spec);
+        const std::string dir =
+            tempPath(std::string("matrix_") + spec);
+        fs::remove_all(dir);
+
+        Subprocess child;
+        child.spawn({Subprocess::selfExePath(), "--crash-child=istore",
+                     "--dir=" + dir, "--spec=" + std::string(spec)});
+        child.closeWrite();
+        const ExitStatus status = child.wait();
+        EXPECT_TRUE(status.signaled && status.signal == SIGKILL)
+            << status.describe();
+
+        recoverAndVerify(dir);
+        fs::remove_all(dir);
+    }
+}
+
+TEST(IndexCrashMatrix, EnospcAppendIsNonFatalAndSelfHealing)
+{
+    const std::string dir = tempPath("matrix_enospc");
+    fs::remove_all(dir);
+    IndexStore store({.dir = dir});
+    store.put(matrixKey(0), matrixPayload(0));
+    {
+        ArmGuard armed("index.append=enospc");
+        EXPECT_THROW(store.put(matrixKey(1), matrixPayload(1)),
+                     DavfError);
+    }
+    // The failed append's partial frame is overwritten by the next
+    // one: no torn garbage lands between frames.
+    store.put(matrixKey(1), matrixPayload(1));
+    EXPECT_EQ(store.lookup(matrixKey(0)).payload, matrixPayload(0));
+    EXPECT_EQ(store.lookup(matrixKey(1)).payload, matrixPayload(1));
+    EXPECT_TRUE(fsckIndexStore(dir).clean());
+    fs::remove_all(dir);
+}
+
+TEST(IndexCrashMatrix, KillMidMigrationIsRerunnable)
+{
+    const std::string dir = tempPath("matrix_migrate");
+    fs::remove_all(dir);
+    {
+        service::ResultStore store({.dir = dir, .memCapacity = 0,
+                                    .format =
+                                        service::StoreFormat::Legacy});
+        for (size_t i = 0; i < 20; ++i)
+            store.store(matrixKey(i), matrixPayload(i));
+    }
+    Subprocess child;
+    child.spawn({Subprocess::selfExePath(), "--crash-child=imigrate",
+                 "--dir=" + dir, "--spec=index.migrate:10=kill"});
+    child.closeWrite();
+    const ExitStatus status = child.wait();
+    EXPECT_TRUE(status.signaled && status.signal == SIGKILL)
+        << status.describe();
+
+    // Mid-migration, *every* record is still served: index first,
+    // legacy fallback second.
+    {
+        service::ResultStore store({.dir = dir, .memCapacity = 0});
+        for (size_t i = 0; i < 20; ++i)
+            EXPECT_EQ(store.lookup(matrixKey(i)).value_or(""),
+                      matrixPayload(i))
+                << i;
+    }
+    // The rerun finishes the job and retires every legacy file.
+    const MigrateReport report = migrateStore(dir);
+    EXPECT_EQ(report.quarantined, 0u);
+    service::ResultStore store({.dir = dir, .memCapacity = 0});
+    ASSERT_TRUE(store.indexed());
+    for (size_t i = 0; i < 20; ++i)
+        EXPECT_EQ(store.lookup(matrixKey(i)).value_or(""),
+                  matrixPayload(i))
+            << i;
+    for (const auto &entry : fs::directory_iterator(dir)) {
+        const std::string name = entry.path().filename().string();
+        EXPECT_FALSE(name.rfind("r-", 0) == 0
+                     && name.find(".rec") != std::string::npos)
+            << name;
+    }
+    fs::remove_all(dir);
+}
+
+TEST(IndexCrashMatrix, KillMidTailRepairIsRerunnable)
+{
+    const std::string dir = tempPath("matrix_tailrepair");
+    fs::remove_all(dir);
+    // A torn tail, crafted by the append point's torn action.
+    {
+        Subprocess child;
+        child.spawn({Subprocess::selfExePath(), "--crash-child=istore",
+                     "--dir=" + dir, "--spec=index.append:50=torn"});
+        child.closeWrite();
+        const ExitStatus status = child.wait();
+        ASSERT_TRUE(status.signaled && status.signal == SIGKILL)
+            << status.describe();
+    }
+    // Force the reopen to *discover* the tail via a rebuild scan, then
+    // die mid-quarantine.
+    fs::remove(dir + "/" + kIndexFileName);
+    {
+        Subprocess child;
+        child.spawn({Subprocess::selfExePath(), "--crash-child=iopen",
+                     "--dir=" + dir, "--spec=index.tail_repair=kill"});
+        child.closeWrite();
+        const ExitStatus status = child.wait();
+        ASSERT_TRUE(status.signaled && status.signal == SIGKILL)
+            << status.describe();
+    }
+    recoverAndVerify(dir);
+    fs::remove_all(dir);
+}
+
+TEST(IndexCrashMatrix, KillMidCompactLosesNoRecords)
+{
+    const std::string dir = tempPath("matrix_compact");
+    fs::remove_all(dir);
+    {
+        IndexStore store({.dir = dir});
+        for (size_t i = 0; i < 30; ++i)
+            store.put(matrixKey(i), matrixPayload(i));
+        for (size_t i = 0; i < 30; ++i)
+            store.put(matrixKey(i), matrixPayload(i));
+    }
+    Subprocess child;
+    child.spawn({Subprocess::selfExePath(), "--crash-child=icompact",
+                 "--dir=" + dir, "--spec=compact.rewrite=kill"});
+    child.closeWrite();
+    const ExitStatus status = child.wait();
+    EXPECT_TRUE(status.signaled && status.signal == SIGKILL)
+        << status.describe();
+
+    // The interrupted compaction left either the old data file or the
+    // finished rename — both rebuild into every record being served.
+    const IndexFsckReport report = compactIndexStoreDir(dir);
+    EXPECT_TRUE(fsckIndexStore(dir).clean());
+    (void)report;
+    service::ResultStore store({.dir = dir, .memCapacity = 0});
+    for (size_t i = 0; i < 30; ++i)
+        EXPECT_EQ(store.lookup(matrixKey(i)).value_or(""),
+                  matrixPayload(i))
+            << i;
+    fs::remove_all(dir);
+}
+
+// --------------------------------------------------------------- children
+
+/** Child options parsed from --spec= / --dir=. */
+struct ChildArgs
+{
+    std::string spec;
+    std::string dir;
+};
+
+int
+istoreChild(const ChildArgs &args)
+{
+    IndexStore store({.dir = args.dir});
+    for (size_t i = 0; i < kMatrixRecords; ++i)
+        store.put(matrixKey(i), matrixPayload(i));
+    return 0;
+}
+
+int
+iopenChild(const ChildArgs &args)
+{
+    IndexStore store({.dir = args.dir});
+    return 0;
+}
+
+int
+imigrateChild(const ChildArgs &args)
+{
+    (void)migrateStore(args.dir);
+    return 0;
+}
+
+int
+icompactChild(const ChildArgs &args)
+{
+    IndexStore store({.dir = args.dir});
+    (void)store.compact();
+    return 0;
+}
+
+int
+crashChildMain(const std::string &mode, const ChildArgs &args)
+{
+    try {
+        if (!args.spec.empty())
+            crashpoint::arm(crashpoint::parseSpec(args.spec.c_str()));
+        if (mode == "istore")
+            return istoreChild(args);
+        if (mode == "iopen")
+            return iopenChild(args);
+        if (mode == "imigrate")
+            return imigrateChild(args);
+        if (mode == "icompact")
+            return icompactChild(args);
+        std::fprintf(stderr, "unknown crash-child mode '%s'\n",
+                     mode.c_str());
+        return 125;
+    } catch (const DavfError &error) {
+        std::fprintf(stderr, "crash-child: %s\n", error.what());
+        return 3;
+    }
+}
+
+} // namespace
+} // namespace davf::store
+
+int
+main(int argc, char **argv)
+{
+    std::string child_mode;
+    davf::store::ChildArgs child_args;
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        auto take = [&](std::string_view prefix, std::string &out) {
+            if (arg.substr(0, prefix.size()) != prefix)
+                return false;
+            out = std::string(arg.substr(prefix.size()));
+            return true;
+        };
+        if (take("--crash-child=", child_mode)
+            || take("--spec=", child_args.spec)
+            || take("--dir=", child_args.dir)) {
+            continue;
+        }
+    }
+    if (!child_mode.empty())
+        return davf::store::crashChildMain(child_mode, child_args);
+
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}

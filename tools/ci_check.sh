@@ -208,7 +208,8 @@ serve_smoke() {
         fi
     done
 
-    "$build_dir/tools/davf_client" --socket "$sock" --stats \
+    # --raw: the sed below keys on the unformatted "key":value shape.
+    "$build_dir/tools/davf_client" --socket "$sock" --stats --raw \
         > "$smoke_dir/stats.json" 2>> "$smoke_dir/client.log"
     hits=$(sed -n 's/.*"shard_hits":\([0-9]*\).*/\1/p' \
         "$smoke_dir/stats.json")
@@ -291,11 +292,17 @@ crash_soak() {
     # truncated record and dies mid-campaign; fsck must classify and
     # quarantine it, and a clean restart must serve the exact cold
     # reply.
+    # --store-format legacy: this phase exercises the per-file record
+    # tier, whose publishes go through atomic_file.write (an indexed
+    # store appends to the segment file and the point never fires; the
+    # index tier's own kill matrix lives in store_index_smoke and
+    # tests/test_store.cc).
     store_dir="$soak_dir/store"
     sock="$soak_dir/davf.sock"
     env DAVF_TEST_CRASHPOINT='atomic_file.write=torn' \
         "$build_dir/tools/davf_serve" --socket "$sock" \
-        --store-dir "$store_dir" --benchmark popcount \
+        --store-dir "$store_dir" --store-format legacy \
+        --benchmark popcount \
         2> "$soak_dir/serve-armed.log" &
     serve_pid=$!
     trap 'kill "$serve_pid" 2>/dev/null || true' EXIT
@@ -368,6 +375,130 @@ crash_soak() {
     fi
     echo "=== crash soak ok ($(echo "$specs" | wc -w) specs," \
         "store repaired)" >&2
+}
+
+# Store index smoke: the indexed result-store tier end to end against
+# the real binaries (docs/SERVICE.md, docs/ROBUSTNESS.md). A served
+# query seeds a legacy-format store and its warm reply is captured;
+# then every way the store can change shape — `davf_store migrate`,
+# a kill -9 mid-bucket-split followed by fsck repair, and a full
+# compact — must leave a restarted server producing that exact reply,
+# byte for byte. Runs under both configs so the segment file, hash
+# index, and recovery paths get ASan/UBSan coverage on every CI run.
+store_index_smoke() {
+    build_dir="$1"
+    smoke_dir="$build_dir/store-index-smoke"
+    rm -rf "$smoke_dir"
+    mkdir -p "$smoke_dir"
+    echo "=== store index smoke $build_dir" >&2
+    store_dir="$smoke_dir/store"
+    sock="$smoke_dir/davf.sock"
+
+    start_server() {
+        rm -f "$sock"
+        "$build_dir/tools/davf_serve" --socket "$sock" \
+            --store-dir "$store_dir" --benchmark popcount "$@" \
+            2>> "$smoke_dir/serve.log" &
+        serve_pid=$!
+        trap 'kill "$serve_pid" 2>/dev/null || true' EXIT
+        waited=0
+        while [ ! -S "$sock" ]; do
+            if ! kill -0 "$serve_pid" 2>/dev/null; then
+                echo "store index smoke: server died during startup" >&2
+                cat "$smoke_dir/serve.log" >&2
+                exit 1
+            fi
+            if [ "$waited" -ge 300 ]; then
+                echo "store index smoke: server never bound $sock" >&2
+                exit 1
+            fi
+            sleep 1
+            waited=$((waited + 1))
+        done
+    }
+    stop_server() {
+        kill "$serve_pid" 2>/dev/null || true
+        wait "$serve_pid" 2>/dev/null || true
+        trap - EXIT
+    }
+    query() {
+        "$build_dir/tools/davf_client" --socket "$sock" \
+            --benchmark popcount --structure ALU --delays 0.5:0.9:0.4 \
+            --cycles 2 --wires 12 2>> "$smoke_dir/client.log"
+    }
+    expect_reply() {
+        start_server
+        query > "$smoke_dir/$1"
+        stop_server
+        if ! cmp -s "$smoke_dir/warm-legacy.json" "$smoke_dir/$1"; then
+            echo "store index smoke: $1 differs from the legacy warm" \
+                "reply" >&2
+            exit 1
+        fi
+    }
+
+    # Seed a legacy-format store through a real served query and
+    # capture the warm (store-served) reply every later stage must
+    # reproduce.
+    start_server --store-format legacy
+    query > /dev/null
+    query > "$smoke_dir/warm-legacy.json"
+    stop_server
+    if ! ls "$store_dir"/r-*.rec > /dev/null 2>&1; then
+        echo "store index smoke: no legacy records were published" >&2
+        exit 1
+    fi
+
+    # Ballast so the migrated index is one bulk insert away from
+    # bucket splits (the kill target below).
+    "$build_dir/tools/davf_store" populate --format legacy \
+        "$store_dir" 120 2>> "$smoke_dir/store.log"
+
+    "$build_dir/tools/davf_store" migrate "$store_dir" \
+        2>> "$smoke_dir/store.log"
+    if ls "$store_dir"/r-*.rec > /dev/null 2>&1; then
+        echo "store index smoke: migrate left legacy records behind" >&2
+        exit 1
+    fi
+    if [ ! -f "$store_dir/index.davf" ]; then
+        echo "store index smoke: migrate built no index" >&2
+        exit 1
+    fi
+    expect_reply warm-migrated.json
+
+    # kill -9 mid-split: an armed bulk insert dies while applying a
+    # bucket split, leaving the split journal behind. Plain fsck must
+    # refuse the store, repair must converge, and the repaired store
+    # must still serve the exact reply.
+    rc=0
+    env DAVF_TEST_CRASHPOINT='index.split_apply=kill' \
+        "$build_dir/tools/davf_store" populate "$store_dir" 400 \
+        2>> "$smoke_dir/store.log" || rc=$?
+    if [ "$rc" -eq 0 ]; then
+        echo "store index smoke: armed populate survived its split" >&2
+        exit 1
+    fi
+    if "$build_dir/tools/davf_store" fsck "$store_dir" \
+        2> "$smoke_dir/fsck.log"; then
+        echo "store index smoke: fsck missed the torn split:" >&2
+        cat "$smoke_dir/fsck.log" >&2
+        exit 1
+    fi
+    "$build_dir/tools/davf_store" fsck --repair "$store_dir" \
+        2>> "$smoke_dir/fsck.log"
+    if ! "$build_dir/tools/davf_store" fsck "$store_dir" \
+        2>> "$smoke_dir/fsck.log"; then
+        echo "store index smoke: store still dirty after repair:" >&2
+        cat "$smoke_dir/fsck.log" >&2
+        exit 1
+    fi
+    expect_reply warm-repaired.json
+
+    "$build_dir/tools/davf_store" compact "$store_dir" \
+        2>> "$smoke_dir/store.log"
+    expect_reply warm-compacted.json
+    echo "=== store index smoke ok (replies byte-identical across" \
+        "migrate, split-kill repair, compact)" >&2
 }
 
 # Net smoke: the distributed fabric under fire (docs/DISTRIBUTED.md).
@@ -488,6 +619,7 @@ isolation_smoke "$root/build-ci-release"
 vector_smoke "$root/build-ci-release"
 obs_smoke "$root/build-ci-release"
 serve_smoke "$root/build-ci-release"
+store_index_smoke "$root/build-ci-release"
 net_smoke "$root/build-ci-release"
 crash_soak "$root/build-ci-release"
 groupace_bench "$root/build-ci-release"
@@ -497,6 +629,7 @@ isolation_smoke "$root/build-ci-asan"
 vector_smoke "$root/build-ci-asan"
 obs_smoke "$root/build-ci-asan"
 serve_smoke "$root/build-ci-asan"
+store_index_smoke "$root/build-ci-asan"
 net_smoke "$root/build-ci-asan"
 crash_soak "$root/build-ci-asan"
 

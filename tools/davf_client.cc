@@ -11,6 +11,8 @@
  *   davf_client --socket PATH [options]
  *     --socket PATH        server socket (required)
  *     --stats              request server statistics instead of a query
+ *                          (pretty-printed; --raw keeps one line)
+ *     --raw                print the reply body exactly as received
  *     --benchmark NAME     workload (default libstrstr)
  *     --ecc                query the ECC-regfile workspace
  *     --sta-period         query the STA-clock workspace
@@ -49,6 +51,7 @@
 #include <thread>
 
 #include "service/protocol.hh"
+#include "util/json.hh"
 #include "util/logging.hh"
 #include "util/subprocess.hh"
 
@@ -61,6 +64,7 @@ struct Options
 {
     std::string socket_path;
     bool stats = false;
+    bool raw = false;
     QuerySpec query;
     double delay_lo = 0.1;
     double delay_hi = 0.9;
@@ -74,8 +78,8 @@ struct Options
 usageError(const char *argv0, const std::string &detail)
 {
     std::fprintf(stderr,
-                 "usage: %s --socket PATH [--stats] [--benchmark N] "
-                 "[--ecc]\n"
+                 "usage: %s --socket PATH [--stats] [--raw] "
+                 "[--benchmark N] [--ecc]\n"
                  "          [--sta-period] [--structure N] "
                  "[--delays LO:HI:STEP] [--savf]\n"
                  "          [--cycles N] [--wires N] [--flops N] "
@@ -161,6 +165,8 @@ parse(int argc, char **argv)
             opts.socket_path = need(i);
         } else if (arg == "--stats") {
             opts.stats = true;
+        } else if (arg == "--raw") {
+            opts.raw = true;
         } else if (arg == "--benchmark") {
             opts.query.workspace.benchmark = need(i);
         } else if (arg == "--ecc") {
@@ -305,7 +311,15 @@ runTool(int argc, char **argv)
                      reply.value().message.c_str());
         return 1;
     }
-    std::printf("%s\n", reply.value().body.c_str());
+    if (opts.stats && !opts.raw) {
+        // Stats replies are for human eyes by default; --raw restores
+        // the single-line reply for scripts. Query replies are never
+        // reformatted — their byte-identity to `davf_run --json` is a
+        // service guarantee.
+        std::printf("%s\n", jsonPretty(reply.value().body).c_str());
+    } else {
+        std::printf("%s\n", reply.value().body.c_str());
+    }
     return 0;
 }
 

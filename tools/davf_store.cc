@@ -6,21 +6,35 @@
  * Usage:
  *   davf_store fsck [--repair] DIR
  *   davf_store compact DIR
+ *   davf_store migrate DIR
+ *   davf_store populate [--format F] [--payload-bytes N] DIR COUNT
  *   davf_store crashpoints
  *
- * `fsck` walks DIR and classifies every entry (valid / misplaced /
- * torn / garbled / orphan-tmp / foreign), printing one line per
- * problem and a summary. Exit 0 when the store is damage-free, 1 when
- * damage was found (or, with --repair, when some damage could not be
- * repaired) or the directory is unreadable, 2 on usage errors. With
- * --repair, torn and garbled
- * records are quarantined into DIR/quarantine/ and stale writer
- * temporaries are deleted; a repaired store exits 0.
+ * `fsck` checks DIR, dispatching on its format: an indexed store
+ * (index.davf present) gets the index checker (store/index_fsck.hh:
+ * torn splits, stale index pages/entries, garbled frames, torn tails,
+ * legacy strays), a legacy store gets the per-file checker
+ * (service/store_fsck.hh). Exit 0 when the store is damage-free, 1
+ * when damage was found (or, with --repair, when some damage could
+ * not be repaired) or the directory is unreadable, 2 on usage errors.
+ * With --repair, damage evidence is quarantined into DIR/quarantine/
+ * (never deleted) and the index, being derived data, is rebuilt from
+ * the segment file; a repaired store exits 0.
  *
- * `compact` is repair plus space recovery: misplaced records are
- * re-homed to their canonical file names and duplicate-key losers are
- * dropped. Crash-safe — killing it at any instant leaves a store a
- * rerun finishes.
+ * `compact` is repair plus space recovery. Indexed: absorb legacy
+ * strays, quarantine damage, rewrite the segment file to live records
+ * only, rebuild the index. Legacy: re-home misplaced records, drop
+ * duplicate-key losers. Crash-safe — killing it at any instant leaves
+ * a store a rerun finishes.
+ *
+ * `migrate` absorbs every legacy per-file record into the indexed
+ * tier (creating it if absent), unlinking each legacy file only after
+ * its replacement is durable; damaged legacy records are quarantined.
+ * Idempotent and crash-safe — rerun after any interruption.
+ *
+ * `populate` writes COUNT synthetic records (deterministic keys and
+ * payloads) through a ResultStore in the chosen format — fixture
+ * setup for the CI store smoke and benchmarks.
  *
  * `crashpoints` prints every crash-point name compiled into this
  * binary (util/crashpoint.hh), one per line; the CI crash soak
@@ -28,10 +42,15 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "service/result_store.hh"
 #include "service/store_fsck.hh"
+#include "store/index_fsck.hh"
+#include "store/index_store.hh"
+#include "store/migrate.hh"
 #include "util/crashpoint.hh"
 #include "util/logging.hh"
 
@@ -45,8 +64,11 @@ usage(const char *argv0)
     std::fprintf(stderr,
                  "usage: %s fsck [--repair] DIR\n"
                  "       %s compact DIR\n"
+                 "       %s migrate DIR\n"
+                 "       %s populate [--format auto|legacy|index]"
+                 " [--payload-bytes N] DIR COUNT\n"
                  "       %s crashpoints\n",
-                 argv0, argv0, argv0);
+                 argv0, argv0, argv0, argv0, argv0);
     return 2;
 }
 
@@ -85,6 +107,38 @@ printReport(const service::FsckReport &report)
     }
 }
 
+void
+printIndexReport(const store::IndexFsckReport &report)
+{
+    for (const std::string &note : report.notes)
+        std::fprintf(stderr, "%s\n", note.c_str());
+    std::fprintf(stderr,
+                 "index store: %llu valid frame(s), %llu superseded, "
+                 "%llu garbled, %llu torn-tail byte(s), "
+                 "%llu stale entr(ies), %llu unindexed, "
+                 "%llu legacy stray(s), %llu foreign%s%s\n",
+                 (unsigned long long)report.validFrames,
+                 (unsigned long long)report.superseded,
+                 (unsigned long long)report.garbledFrames,
+                 (unsigned long long)report.tornTailBytes,
+                 (unsigned long long)report.staleEntries,
+                 (unsigned long long)report.unindexed,
+                 (unsigned long long)report.legacyStrays,
+                 (unsigned long long)report.foreign,
+                 report.tornSplit ? ", torn split" : "",
+                 report.staleIndex ? ", stale index" : "");
+    if (report.quarantined || report.rebuilt || report.migrated
+        || report.reclaimedBytes) {
+        std::fprintf(stderr,
+                     "repaired: %llu quarantined, %llu migrated, "
+                     "%llu byte(s) reclaimed%s\n",
+                     (unsigned long long)report.quarantined,
+                     (unsigned long long)report.migrated,
+                     (unsigned long long)report.reclaimedBytes,
+                     report.rebuilt ? ", index rebuilt" : "");
+    }
+}
+
 } // namespace
 
 int
@@ -114,6 +168,13 @@ main(int argc, char **argv)
             }
             if (dir.empty())
                 return usage(argv[0]);
+            if (store::IndexStore::present(dir)) {
+                const store::IndexFsckReport report =
+                    store::fsckIndexStore(
+                        dir, {.repair = options.repair});
+                printIndexReport(report);
+                return report.clean() ? 0 : 1;
+            }
             const service::FsckReport report =
                 service::fsckStore(dir, options);
             printReport(report);
@@ -123,10 +184,77 @@ main(int argc, char **argv)
         if (verb == "compact") {
             if (argc != 3)
                 return usage(argv[0]);
+            const std::string dir = argv[2];
+            if (store::IndexStore::present(dir)) {
+                const store::IndexFsckReport report =
+                    store::compactIndexStoreDir(dir);
+                printIndexReport(report);
+                return report.clean() ? 0 : 1;
+            }
             const service::FsckReport report =
-                service::compactStore(argv[2]);
+                service::compactStore(dir);
             printReport(report);
             return report.clean() ? 0 : 1;
+        }
+
+        if (verb == "migrate") {
+            if (argc != 3)
+                return usage(argv[0]);
+            const store::MigrateReport report =
+                store::migrateStore(argv[2]);
+            std::fprintf(stderr,
+                         "migrated %llu record(s), %llu already "
+                         "indexed, %llu quarantined, %llu foreign "
+                         "entr(ies) untouched\n",
+                         (unsigned long long)report.migrated,
+                         (unsigned long long)report.alreadyIndexed,
+                         (unsigned long long)report.quarantined,
+                         (unsigned long long)report.foreign);
+            return report.quarantined == 0 ? 0 : 1;
+        }
+
+        if (verb == "populate") {
+            service::ResultStore::Options options;
+            options.memCapacity = 0;
+            size_t payloadBytes = 64;
+            std::string dir;
+            long long count = -1;
+            for (int i = 2; i < argc; ++i) {
+                const std::string arg = argv[i];
+                if (arg == "--format" && i + 1 < argc) {
+                    const auto format =
+                        service::parseStoreFormat(argv[++i]);
+                    if (!format)
+                        return usage(argv[0]);
+                    options.format = *format;
+                } else if (arg == "--payload-bytes" && i + 1 < argc) {
+                    payloadBytes = std::strtoull(argv[++i], nullptr, 10);
+                } else if (dir.empty()) {
+                    dir = arg;
+                } else if (count < 0) {
+                    count = std::strtoll(arg.c_str(), nullptr, 10);
+                } else {
+                    return usage(argv[0]);
+                }
+            }
+            if (dir.empty() || count < 0)
+                return usage(argv[0]);
+            options.dir = dir;
+            service::ResultStore store(options);
+            for (long long i = 0; i < count; ++i) {
+                const std::string key =
+                    "populate-key-" + std::to_string(i);
+                std::string payload =
+                    "payload-" + std::to_string(i) + "-";
+                while (payload.size() < payloadBytes)
+                    payload += 'x';
+                store.store(key, payload);
+            }
+            std::fprintf(stderr, "populated %lld %s record(s) in %s\n",
+                         count,
+                         store.indexed() ? "indexed" : "legacy",
+                         dir.c_str());
+            return 0;
         }
 
         return usage(argv[0]);
