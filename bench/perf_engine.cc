@@ -236,6 +236,68 @@ BENCHMARK(BM_GroupAceAluSweep)
     ->Iterations(1)
     ->Unit(benchmark::kSecond);
 
+/** Best time and report bytes of each tsim flavor ([0]=scalar). */
+SweepCapture g_tsim[2];
+
+/**
+ * The Step-1 cost, end to end: the same nine-duration ALU DelayAVF
+ * sweep on popcount, with faulted-cone re-simulation either scalar and
+ * sweep-blind (Arg 0) or batched onto the lane-parallel timed
+ * simulator with cross-delay reuse engaged (Arg 1). The GroupACE
+ * continuations stay on the vector path in both flavors so the ratio
+ * isolates the timing-aware step. Both must produce byte-identical
+ * reports; the ratio of their times is the headline speedup in
+ * BENCH_tsim.json.
+ */
+void
+BM_TsimAluSweep(benchmark::State &state)
+{
+    const bool vector_tsim = state.range(0) != 0;
+    EngineRig &rig = EngineRig::instance();
+    const Structure *alu = rig.soc.structures().find("ALU");
+    const SamplingConfig config = bench::BenchLab::sampling();
+    rig.engine.setVectorMode(true);
+    rig.engine.setTsimVectorMode(vector_tsim, vector_tsim ? 64 : 1);
+    const std::vector<double> fractions(bench::kDelayFractions.begin(),
+                                        bench::kDelayFractions.end());
+
+    for (auto _ : state) {
+        std::vector<ReportRow> rows;
+        const auto start = std::chrono::steady_clock::now();
+        if (vector_tsim)
+            rig.engine.beginDelaySweep(fractions);
+        for (double d : fractions) {
+            ReportRow row;
+            row.benchmark = "popcount";
+            row.structure = "ALU";
+            row.delayFraction = d;
+            row.davf = rig.engine.delayAvf(*alu, d, config);
+            rows.push_back(std::move(row));
+        }
+        if (vector_tsim)
+            rig.engine.endDelaySweep();
+        const double seconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        SweepCapture &capture = g_tsim[vector_tsim ? 1 : 0];
+        if (capture.seconds == 0.0 || seconds < capture.seconds)
+            capture.seconds = seconds;
+        capture.json = reportJson(rows);
+    }
+
+    rig.engine.setTsimVectorMode(true, 64);
+    state.counters["delays"] = static_cast<double>(fractions.size());
+    if (g_tsim[0].seconds > 0.0 && g_tsim[1].seconds > 0.0)
+        state.counters["speedup"] =
+            g_tsim[0].seconds / g_tsim[1].seconds;
+}
+BENCHMARK(BM_TsimAluSweep)
+    ->Arg(1)
+    ->Arg(0)
+    ->Iterations(1)
+    ->Unit(benchmark::kSecond);
+
 /**
  * Write the DAVF_BENCH_JSON artifact once both sweep flavors ran.
  * Returns false (failing the binary) if their reports differ by even
@@ -289,6 +351,61 @@ writeGroupAceArtifact()
     return identical;
 }
 
+/**
+ * Write the DAVF_BENCH_TSIM_JSON artifact once both tsim sweep flavors
+ * ran. Returns false (failing the binary) if their reports differ by
+ * even one byte — lane batching and cross-delay reuse are only legal
+ * while bit-identical.
+ */
+bool
+writeTsimArtifact()
+{
+    if (g_tsim[0].json.empty() || g_tsim[1].json.empty())
+        return true; // Sweeps filtered out: nothing to record.
+    const bool identical = g_tsim[0].json == g_tsim[1].json;
+    if (!identical) {
+        std::fprintf(stderr,
+                     "tsim sweep: lane-parallel report differs from "
+                     "scalar report (bit-identity violated)\n");
+    }
+    const double speedup = g_tsim[1].seconds > 0.0
+        ? g_tsim[0].seconds / g_tsim[1].seconds
+        : 0.0;
+    std::fprintf(stderr,
+                 "tsim ALU sweep: scalar %.2fs, lane-parallel %.2fs, "
+                 "speedup %.2fx, reports %s\n",
+                 g_tsim[0].seconds, g_tsim[1].seconds, speedup,
+                 identical ? "bit-identical" : "DIFFER");
+
+    const char *path = std::getenv("DAVF_BENCH_TSIM_JSON");
+    if (path != nullptr && *path != '\0') {
+        char head[512];
+        std::snprintf(head, sizeof(head),
+                      "{\"schema\":\"davf-bench-tsim/v1\","
+                      "\"benchmark\":\"popcount\","
+                      "\"structure\":\"ALU\","
+                      "\"delays\":%zu,"
+                      "\"seconds_scalar\":%.3f,"
+                      "\"seconds_vector\":%.3f,"
+                      "\"speedup\":%.3f,"
+                      "\"bit_identical\":%s,"
+                      "\"report\":",
+                      bench::kDelayFractions.size(), g_tsim[0].seconds,
+                      g_tsim[1].seconds, speedup,
+                      identical ? "true" : "false");
+        try {
+            writeFileAtomic(path,
+                            std::string(head) + g_tsim[1].json + "}\n");
+        } catch (const DavfError &error) {
+            std::fprintf(stderr,
+                         "DAVF_BENCH_TSIM_JSON write failed: %s\n",
+                         error.what());
+            return false;
+        }
+    }
+    return identical;
+}
+
 } // namespace
 
 int
@@ -299,5 +416,7 @@ main(int argc, char **argv)
         return 1;
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
-    return writeGroupAceArtifact() ? 0 : 1;
+    const bool groupace_ok = writeGroupAceArtifact();
+    const bool tsim_ok = writeTsimArtifact();
+    return (groupace_ok && tsim_ok) ? 0 : 1;
 }

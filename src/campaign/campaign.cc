@@ -137,6 +137,7 @@ Campaign::run()
     // Continuation batching is an engine-level switch; results are
     // bit-identical either way, so this cannot invalidate a journal.
     engine->setVectorMode(options.vectorize, options.vectorLanes);
+    engine->setTsimVectorMode(options.vectorTsim, options.tsimLanes);
 
     // Resolve structures up front: an unknown name is a user error that
     // should fail the campaign before any simulation time is spent.
@@ -240,6 +241,16 @@ Campaign::run()
         sup.stopFlag = options.stopFlag;
         supervisor = std::make_unique<Supervisor>(std::move(sup));
     };
+
+    // A campaign sweeps every structure across the same delay list, so
+    // the engine can reuse per-cycle golden context and verdicts across
+    // adjacent delay values (docs/PERFORMANCE.md). Bit-identical by
+    // construction; the guard keeps the caches from outliving the run.
+    engine->beginDelaySweep(options.delays);
+    struct SweepGuard {
+        VulnerabilityEngine *engine;
+        ~SweepGuard() { engine->endDelaySweep(); }
+    } sweep_guard{engine};
 
     CampaignSummary summary;
     for (const PlannedCell &planned : plan) {

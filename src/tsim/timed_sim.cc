@@ -59,6 +59,18 @@ evalFromPins(CellType type, const uint8_t *pins)
 
 } // namespace
 
+void
+CycleWaveforms::sortEvents()
+{
+    const auto earlier = [](const NetEvent &a, const NetEvent &b) {
+        return a.time < b.time;
+    };
+    for (std::vector<NetEvent> &events : netEvents) {
+        if (!std::is_sorted(events.begin(), events.end(), earlier))
+            std::stable_sort(events.begin(), events.end(), earlier);
+    }
+}
+
 TimedSimulator::TimedSimulator(const DelayModel &delay_model)
     : delays(&delay_model), nl(&delay_model.netlist())
 {
@@ -131,6 +143,13 @@ TimedSimulator::simulateCycle(const std::vector<uint8_t> &pre_edge,
         emit_net_event(out_net, event.time + delays->cellDelay(event.cell),
                        new_out);
     }
+
+    // Establish the sorted-waveform invariant at construction, so every
+    // replaying consumer can cut its scan at the clock edge instead of
+    // filtering the whole list per call. Emission order is already
+    // time-sorted per net (one driver, monotone queue), so this is a
+    // verification scan, not a sort.
+    out.sortEvents();
 }
 
 void
@@ -185,12 +204,14 @@ TimedSimulator::simulateCone(const CycleWaveforms &golden, WireId injected,
     }
 
     // Replay a golden waveform into one sink pin, shifted by wire delay.
+    // Events are time-sorted (CycleWaveforms invariant), so the first
+    // arrival past the edge ends the replay.
     auto replay_boundary = [&](NetId net, CellId cell, uint16_t pin,
                                double wire_delay) {
         for (const NetEvent &event : golden.netEvents[net]) {
             const double arrive = event.time + wire_delay;
             if (arrive > period + kEps)
-                continue;
+                break;
             queue.push({arrive, sequence++, cell, pin, event.value});
         }
     };
@@ -295,8 +316,9 @@ goldenPinValueAtEdge(const DelayModel &delays, const CycleWaveforms &golden,
         delays.wireDelay(netlist.inputWire(cell, pin));
     bool value = golden.preEdge[net] != 0;
     for (const NetEvent &event : golden.netEvents[net]) {
-        if (event.time + wire_delay <= period + kEps)
-            value = event.value;
+        if (event.time + wire_delay > period + kEps)
+            break; // Sorted waveform: nothing later can arrive in time.
+        value = event.value;
     }
     return value;
 }

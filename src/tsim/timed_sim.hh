@@ -44,11 +44,22 @@ struct NetEvent
 };
 
 /** Per-net transition waveforms for one cycle (indexed by NetId);
- *  the value before the first event is the pre-edge net value. */
+ *  the value before the first event is the pre-edge net value.
+ *
+ *  Invariant: every per-net event list is sorted by time (ties keep
+ *  emission order). simulateCycle() establishes it on construction, and
+ *  every replay consumer (simulateCone, the vectorized cone simulator,
+ *  goldenPinValueAtEdge) exploits it to stop scanning at the first
+ *  event past the clock edge. Hand-built waveforms must call
+ *  sortEvents() before being replayed. */
 struct CycleWaveforms
 {
     std::vector<std::vector<NetEvent>> netEvents;
     std::vector<uint8_t> preEdge;  ///< Net values just before the edge.
+
+    /** (Re-)establish the sorted-by-time invariant. Cheap when already
+     *  sorted (one is_sorted scan per net, no allocation). */
+    void sortEvents();
 };
 
 /** A sampled endpoint pin and the value it latched at the clock edge. */

@@ -1,0 +1,285 @@
+#include "vec_tsim.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace davf {
+
+namespace {
+
+constexpr double kEps = 1e-9; // Matches timed_sim.cc.
+
+bool
+isEndpointCell(CellType type)
+{
+    return type == CellType::Dff || type == CellType::Dffe
+        || type == CellType::Behav || type == CellType::Output;
+}
+
+uint64_t
+broadcast(bool value)
+{
+    return value ? ~uint64_t{0} : uint64_t{0};
+}
+
+/** Word-parallel evalCell: one bit position per lane. */
+uint64_t
+evalCombWord(CellType type, uint64_t v0, uint64_t v1, uint64_t v2)
+{
+    switch (type) {
+      case CellType::Buf:   return v0;
+      case CellType::Inv:   return ~v0;
+      case CellType::And2:  return v0 & v1;
+      case CellType::Or2:   return v0 | v1;
+      case CellType::Nand2: return ~(v0 & v1);
+      case CellType::Nor2:  return ~(v0 | v1);
+      case CellType::Xor2:  return v0 ^ v1;
+      case CellType::Xnor2: return ~(v0 ^ v1);
+      case CellType::Mux2:  return (v2 & v1) | (~v2 & v0);
+      default:              return 0;
+    }
+}
+
+} // namespace
+
+VecTimedSimulator::VecTimedSimulator(const DelayModel &delay_model)
+    : delays(&delay_model), nl(&delay_model.netlist())
+{
+    const Netlist &netlist = *nl;
+    pinWords.resize(netlist.numCells() * 3);
+    schedWords.resize(netlist.numNets());
+    inUnion.assign(netlist.numCells(), 0);
+    excl.assign(netlist.numWires(), 0);
+    laneCones.resize(maxWiresPerBatch());
+    laneEndpoints.resize(maxWiresPerBatch());
+}
+
+void
+VecTimedSimulator::simulateCones(
+    const CycleWaveforms &golden, std::span<const WireId> wires,
+    double extra_delay, double period,
+    std::vector<std::vector<LatchedPin>> &latched,
+    std::vector<LatchedPin> *golden_latched)
+{
+    const Netlist &netlist = *nl;
+    davf_assert(!wires.empty() && wires.size() <= maxWiresPerBatch(),
+                "batch of ", wires.size(), " wires outside [1, ",
+                maxWiresPerBatch(), "]");
+    davf_assert(golden.netEvents.size() == netlist.numNets()
+                    && golden.preEdge.size() == netlist.numNets(),
+                "golden waveform size mismatch");
+    const auto num_lanes = static_cast<unsigned>(wires.size()) + 1;
+    const uint64_t active = num_lanes >= 64
+        ? ~uint64_t{0}
+        : (uint64_t{1} << num_lanes) - 1;
+
+    // Per-lane cones and their union.
+    unionCells.clear();
+    for (size_t i = 0; i < wires.size(); ++i) {
+        netlist.combCone(wires[i], laneCones[i], reachedScratch);
+        for (CellId id : laneCones[i]) {
+            if (!inUnion[id]) {
+                inUnion[id] = 1;
+                unionCells.push_back(id);
+            }
+        }
+    }
+
+    // Exclusion: deliveries along a faulted wire never reach its own
+    // lane, which receives a dedicated +d replay of the wire instead.
+    exclTouched.clear();
+    for (size_t i = 0; i < wires.size(); ++i) {
+        excl[wires[i]] |= uint64_t{1} << (i + 1);
+        exclTouched.push_back(wires[i]);
+    }
+
+    // Union-cell pin and scheduled-output words start at the pre-edge
+    // values, identically in every lane.
+    for (CellId id : unionCells) {
+        const Cell &cell = netlist.cell(id);
+        for (size_t pin = 0; pin < cell.inputs.size(); ++pin) {
+            pinWords[id * 3 + pin] =
+                broadcast(golden.preEdge[cell.inputs[pin]] != 0);
+        }
+        schedWords[cell.outputs[0]] =
+            broadcast(golden.preEdge[cell.outputs[0]] != 0);
+    }
+
+    // Endpoint registry: the union set (deterministic first-occurrence
+    // order) plus, per lane, the indices of its endpoints in exactly the
+    // scalar simulateCone registration order — direct endpoint sink of
+    // the faulted wire first, then the endpoint sinks of the cone cells'
+    // output nets in topological × sink order.
+    endpoints.clear();
+    endpointIndex.clear();
+    auto union_endpoint = [&](CellId cell, uint16_t pin) -> uint32_t {
+        const uint64_t key = (static_cast<uint64_t>(cell) << 16) | pin;
+        auto [it, inserted] = endpointIndex.try_emplace(
+            key, static_cast<uint32_t>(endpoints.size()));
+        if (inserted) {
+            endpoints.push_back(
+                {cell, pin,
+                 broadcast(
+                     golden.preEdge[netlist.cell(cell).inputs[pin]]
+                     != 0)});
+        }
+        return it->second;
+    };
+    for (size_t i = 0; i < wires.size(); ++i) {
+        std::vector<uint32_t> &list = laneEndpoints[i];
+        list.clear();
+        auto lane_endpoint = [&](CellId cell, uint16_t pin) {
+            const uint32_t index = union_endpoint(cell, pin);
+            if (std::find(list.begin(), list.end(), index) == list.end())
+                list.push_back(index);
+        };
+        const Sink &inj_sink = netlist.wireSink(wires[i]);
+        if (isEndpointCell(netlist.cell(inj_sink.cell).type))
+            lane_endpoint(inj_sink.cell, inj_sink.pin);
+        for (CellId id : laneCones[i]) {
+            const Net &out_net =
+                netlist.net(netlist.cell(id).outputs[0]);
+            for (const Sink &sink : out_net.sinks) {
+                if (isEndpointCell(netlist.cell(sink.cell).type))
+                    lane_endpoint(sink.cell, sink.pin);
+            }
+        }
+    }
+
+    uint64_t sequence = 0;
+    // Replay a golden waveform into one pin, shifted by wire delay.
+    // Sorted events (CycleWaveforms invariant) cut at the clock edge.
+    auto replay = [&](NetId net, CellId cell, uint16_t pin,
+                      double wire_delay, uint64_t mask) {
+        for (const NetEvent &event : golden.netEvents[net]) {
+            const double arrive = event.time + wire_delay;
+            if (arrive > period + kEps)
+                break;
+            queue.push({arrive, sequence++, cell, pin, mask,
+                        broadcast(event.value)});
+        }
+    };
+
+    // Boundary pins of union cells (driver outside the union): every
+    // lane sees the recorded golden waveform there, except a faulted
+    // lane on its own wire.
+    for (CellId id : unionCells) {
+        const Cell &cell = netlist.cell(id);
+        for (uint16_t pin = 0; pin < cell.inputs.size(); ++pin) {
+            const NetId in_net = cell.inputs[pin];
+            if (inUnion[netlist.net(in_net).driver])
+                continue;
+            const WireId wire = netlist.inputWire(id, pin);
+            replay(in_net, id, pin, delays->wireDelay(wire),
+                   active & ~excl[wire]);
+        }
+    }
+
+    // Registered endpoint pins with an out-of-union driver likewise see
+    // the golden waveform. Only the golden lane 0 and the non-faulted
+    // lanes of a direct endpoint sink can observe these bits, and both
+    // observe exactly the golden latched value, so this is exact.
+    for (size_t e = 0; e < endpoints.size(); ++e) {
+        const EndpointSlot slot = endpoints[e];
+        const NetId in_net = netlist.cell(slot.cell).inputs[slot.pin];
+        if (inUnion[netlist.net(in_net).driver])
+            continue;
+        const WireId wire = netlist.inputWire(slot.cell, slot.pin);
+        replay(in_net, slot.cell, slot.pin, delays->wireDelay(wire),
+               active & ~excl[wire]);
+    }
+
+    // The faulted replays: each lane's wire delivers the golden waveform
+    // shifted by wireDelay + d into its sink pin, in that lane only —
+    // the same float expression, in the same order, as the scalar path.
+    for (size_t i = 0; i < wires.size(); ++i) {
+        const Wire &inj_wire = netlist.wire(wires[i]);
+        const Sink &inj_sink = netlist.wireSink(wires[i]);
+        double faulted_delay = delays->wireDelay(wires[i]);
+        faulted_delay += extra_delay;
+        replay(inj_wire.net, inj_sink.cell, inj_sink.pin, faulted_delay,
+               uint64_t{1} << (i + 1));
+    }
+
+    // The merged event loop: one pass advances every lane.
+    while (!queue.empty()) {
+        const LaneEvent event = queue.top();
+        queue.pop();
+        const Cell &cell = netlist.cell(event.cell);
+        if (!cellIsCombinational(cell.type)) {
+            // Endpoint pin: record the lanes' latched values (events are
+            // in time order, so the final write is the value at the
+            // edge).
+            EndpointSlot &slot =
+                endpoints[union_endpoint(event.cell, event.pin)];
+            slot.word =
+                (slot.word & ~event.mask) | (event.values & event.mask);
+            continue;
+        }
+        uint64_t *pins = &pinWords[event.cell * 3];
+        pins[event.pin] = (pins[event.pin] & ~event.mask)
+            | (event.values & event.mask);
+        const uint64_t out =
+            evalCombWord(cell.type, pins[0], pins[1], pins[2]);
+        const NetId out_net = cell.outputs[0];
+        const uint64_t diff = (out ^ schedWords[out_net]) & active;
+        // Mirror the scalar order: the scheduled value advances even
+        // when the emission itself is cut at the edge below.
+        schedWords[out_net] = out;
+        if (diff == 0)
+            continue;
+        const double out_time =
+            event.time + delays->cellDelay(event.cell);
+        if (out_time > period + kEps)
+            continue;
+        const Net &net_ref = netlist.net(out_net);
+        for (uint32_t s = 0; s < net_ref.sinks.size(); ++s) {
+            const Sink &sink = net_ref.sinks[s];
+            const double arrive =
+                out_time + delays->wireDelay(net_ref.firstWire + s);
+            if (arrive > period + kEps)
+                continue;
+            if (!cellIsCombinational(netlist.cell(sink.cell).type)) {
+                if (!isEndpointCell(netlist.cell(sink.cell).type))
+                    continue;
+            } else if (!inUnion[sink.cell]) {
+                continue; // Outside every cone: cannot be affected.
+            }
+            const uint64_t mask = diff & ~excl[net_ref.firstWire + s];
+            if (mask == 0)
+                continue;
+            queue.push({arrive, sequence++, sink.cell, sink.pin, mask,
+                        out});
+        }
+    }
+
+    // Extraction, per lane, in the scalar registration order.
+    latched.resize(wires.size());
+    for (size_t i = 0; i < wires.size(); ++i) {
+        std::vector<LatchedPin> &lane_out = latched[i];
+        lane_out.clear();
+        lane_out.reserve(laneEndpoints[i].size());
+        for (uint32_t index : laneEndpoints[i]) {
+            const EndpointSlot &slot = endpoints[index];
+            lane_out.push_back({slot.cell, slot.pin,
+                                ((slot.word >> (i + 1)) & 1) != 0});
+        }
+    }
+    if (golden_latched) {
+        golden_latched->clear();
+        golden_latched->reserve(endpoints.size());
+        for (const EndpointSlot &slot : endpoints) {
+            golden_latched->push_back(
+                {slot.cell, slot.pin, (slot.word & 1) != 0});
+        }
+    }
+
+    // Reset the persistent scratch for the next batch.
+    for (CellId id : unionCells)
+        inUnion[id] = 0;
+    for (WireId wire : exclTouched)
+        excl[wire] = 0;
+}
+
+} // namespace davf

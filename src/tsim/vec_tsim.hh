@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Lane-parallel event-driven cone simulation.
+ *
+ * Batches many faulted-wire re-simulations of the *same* injection cycle
+ * against one shared golden CycleWaveforms, mirroring the bit-parallel
+ * lane model of src/sim/vec_sim.hh: lane 0 carries the fault-free golden
+ * run, lane i+1 simulates wire i with its delay increased by d, and every
+ * event carries a (mask, values) pair of uint64_t words so one pass over
+ * the merged event queue advances every lane at once.
+ *
+ * The merged simulation runs over the *union* of the per-lane fanout
+ * cones. Two structural facts make per-lane results exact:
+ *
+ *  - A cell in the union but outside lane L's cone has all of its lane-L
+ *    inputs following the golden waveforms (the lane's fault cannot reach
+ *    it), so its recomputed lane-L output *is* the golden waveform of its
+ *    net — delivering it downstream is identical to the scalar path's
+ *    boundary replay of the recorded golden events, because both are the
+ *    same chain of floating-point additions over the same event times.
+ *  - Within a group of events at exactly equal times, the final pin
+ *    values, the final scheduled value of every net, and therefore every
+ *    latched endpoint value are invariant under reordering; only the
+ *    (unobserved) intermediate emission order differs. Merging the lanes
+ *    into one queue therefore cannot change what any lane latches.
+ *
+ * The per-lane faulted pin is handled by exclusion: deliveries along the
+ * faulted wire mask out its lane, which instead receives its own replay
+ * of the golden events shifted by wireDelay + d — exactly the scalar
+ * simulateCone boundary treatment.
+ *
+ * Results are bit-identical to scalar TimedSimulator::simulateCone for
+ * every lane: same LatchedPin sets, in the same order.
+ */
+
+#ifndef DAVF_TSIM_VEC_TSIM_HH
+#define DAVF_TSIM_VEC_TSIM_HH
+
+#include <cstdint>
+#include <queue>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "tsim/timed_sim.hh"
+
+namespace davf {
+
+/** Lane-parallel counterpart of TimedSimulator::simulateCone. */
+class VecTimedSimulator
+{
+  public:
+    /** Lanes per batch, including the golden lane 0. */
+    static constexpr unsigned kMaxLanes = 64;
+
+    explicit VecTimedSimulator(const DelayModel &delays);
+
+    /** Largest number of faulted wires one batch accepts. */
+    static constexpr size_t maxWiresPerBatch() { return kMaxLanes - 1; }
+
+    /**
+     * Re-simulate the fanout cones of up to 63 faulted wires at once,
+     * each with its wire delay increased by @p extra_delay, replaying
+     * @p golden at the cone boundaries.
+     *
+     * @param golden        waveforms from simulateCycle for the cycle
+     *                      (must satisfy the sorted-events invariant).
+     * @param wires         the faulted wires; lane i+1 simulates
+     *                      wires[i]. Size in [1, maxWiresPerBatch()].
+     * @param extra_delay   the SDF duration d (shared by the batch).
+     * @param period        the clock period.
+     * @param latched       resized to wires.size(); latched[i] receives
+     *                      exactly what scalar simulateCone(golden,
+     *                      wires[i], extra_delay, period) would.
+     * @param golden_latched optional: the union endpoint set with the
+     *                      value each pin latches in the *fault-free*
+     *                      lane 0 — every entry must agree with
+     *                      goldenPinValueAtEdge (test cross-check).
+     */
+    void simulateCones(const CycleWaveforms &golden,
+                       std::span<const WireId> wires, double extra_delay,
+                       double period,
+                       std::vector<std::vector<LatchedPin>> &latched,
+                       std::vector<LatchedPin> *golden_latched = nullptr);
+
+    const DelayModel &delayModel() const { return *delays; }
+
+  private:
+    /** A (mask, values) word pair arriving at one input pin. */
+    struct LaneEvent
+    {
+        double time;
+        uint64_t sequence; ///< FIFO tie-break, as in the scalar queue.
+        CellId cell;
+        uint16_t pin;
+        uint64_t mask;   ///< Lanes for which this delivery is real.
+        uint64_t values; ///< Per-lane values (read under mask only).
+    };
+
+    struct LaneEventLater
+    {
+        bool
+        operator()(const LaneEvent &a, const LaneEvent &b) const
+        {
+            if (a.time != b.time)
+                return a.time > b.time;
+            return a.sequence > b.sequence;
+        }
+    };
+
+    /** One tracked endpoint pin of the union cone. */
+    struct EndpointSlot
+    {
+        CellId cell;
+        uint16_t pin;
+        uint64_t word; ///< Per-lane latched value.
+    };
+
+    const DelayModel *delays;
+    const Netlist *nl;
+
+    std::priority_queue<LaneEvent, std::vector<LaneEvent>, LaneEventLater>
+        queue;
+
+    /** @name Per-batch scratch, persistent across calls */
+    /// @{
+    std::vector<uint64_t> pinWords;  ///< 3 words per cell.
+    std::vector<uint64_t> schedWords;
+    std::vector<uint8_t> inUnion;
+    std::vector<uint64_t> excl; ///< Per-wire lane-exclusion masks.
+    std::vector<WireId> exclTouched;
+    std::vector<CellId> unionCells;
+    std::vector<std::vector<CellId>> laneCones;
+    std::vector<std::vector<uint32_t>> laneEndpoints;
+    std::vector<EndpointSlot> endpoints;
+    std::unordered_map<uint64_t, uint32_t> endpointIndex;
+    std::vector<StateElemId> reachedScratch;
+    /// @}
+};
+
+} // namespace davf
+
+#endif // DAVF_TSIM_VEC_TSIM_HH

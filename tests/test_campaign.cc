@@ -762,6 +762,67 @@ TEST(Campaign, ProcessIsolationIsBitIdenticalToThreadMode)
     std::remove(thread_csv.c_str());
 }
 
+TEST(Campaign, TsimModesAreBitIdenticalAcrossIsolation)
+{
+    // The lane-parallel cone simulator and the cross-delay sweep reuse
+    // are engine-level speed knobs: a campaign run with them disabled
+    // must produce the same journal and CSV bytes as the default run,
+    // in thread mode and under process isolation — so supervised fleets
+    // may mix workers with either setting.
+    const std::string ref_ckpt = tempPath("tsim_ref.ckpt");
+    const std::string ref_csv = tempPath("tsim_ref.csv");
+    {
+        CampaignFixture fixture;
+        CampaignOptions opts = fixture.options();
+        opts.checkpointPath = ref_ckpt;
+        opts.csvPath = ref_csv;
+        Campaign campaign(*fixture.engine, *fixture.registry, opts);
+        EXPECT_FALSE(campaign.run().interrupted);
+    }
+    const std::string ref_journal = slurp(ref_ckpt);
+    const std::string ref_csv_bytes = slurp(ref_csv);
+    std::remove(ref_ckpt.c_str());
+    std::remove(ref_csv.c_str());
+
+    {
+        const std::string ckpt = tempPath("tsim_scalar.ckpt");
+        const std::string csv = tempPath("tsim_scalar.csv");
+        CampaignFixture fixture;
+        CampaignOptions opts = fixture.options();
+        opts.vectorTsim = false;
+        opts.tsimLanes = 1;
+        opts.checkpointPath = ckpt;
+        opts.csvPath = csv;
+        Campaign campaign(*fixture.engine, *fixture.registry, opts);
+        EXPECT_FALSE(campaign.run().interrupted);
+        EXPECT_EQ(slurp(ckpt), ref_journal) << "thread mode";
+        EXPECT_EQ(slurp(csv), ref_csv_bytes) << "thread mode";
+        std::remove(ckpt.c_str());
+        std::remove(csv.c_str());
+    }
+
+    {
+        // Scalar-tsim supervisor driving default-configured workers:
+        // the two paths mix freely within one campaign.
+        const std::string ckpt = tempPath("tsim_proc.ckpt");
+        const std::string csv = tempPath("tsim_proc.csv");
+        CampaignFixture fixture;
+        CampaignOptions opts = processOptions(fixture, 2);
+        opts.vectorTsim = false;
+        opts.tsimLanes = 1;
+        opts.checkpointPath = ckpt;
+        opts.csvPath = csv;
+        Campaign campaign(*fixture.engine, *fixture.registry, opts);
+        const CampaignSummary summary = campaign.run();
+        EXPECT_FALSE(summary.interrupted);
+        EXPECT_EQ(summary.cellsFailed, 0u);
+        EXPECT_EQ(slurp(ckpt), ref_journal) << "process mode";
+        EXPECT_EQ(slurp(csv), ref_csv_bytes) << "process mode";
+        std::remove(ckpt.c_str());
+        std::remove(csv.c_str());
+    }
+}
+
 TEST(Campaign, WorkerCrashIsRetriedBisectedAndQuarantined)
 {
     const std::string qdir = tempPath("crash_qdir");

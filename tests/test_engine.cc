@@ -800,6 +800,311 @@ TEST(VectorDifferential, ResumeMidCellCrossesPaths)
     EXPECT_EQ(json(scalar_full), json(resumed_back));
 }
 
+/**
+ * @name Lane-parallel timed-simulator differential suite
+ *
+ * EngineOptions::vectorTsim batches the per-wire cone re-simulations of
+ * one injection cycle onto the lane-parallel timed simulator. Like the
+ * continuation vector path, it must be a pure speed knob: byte-identical
+ * outcomes and reports against the scalar cone loop at any lane count,
+ * thread count, and across checkpoint/resume.
+ */
+/// @{
+
+class TsimDifferential : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(TsimDifferential, CycleOutcomesBitIdenticalAcrossLaneCounts)
+{
+    const auto circuit = test::makeRandomCircuit(GetParam() + 500, 10,
+                                                 70, 16);
+    VulnerabilityEngine engine(*circuit.netlist,
+                               CellLibrary::defaultLibrary(),
+                               *circuit.workload);
+    StructureRegistry registry(*circuit.netlist);
+    const Structure &structure = registry.add("Rnd", "rnd/");
+
+    SamplingConfig config;
+    config.cycleFraction = 0.3;
+    config.maxInjectionCycles = 3;
+    config.threads = 1;
+    for (uint64_t cycle : engine.injectionCycles(config)) {
+        engine.setTsimVectorMode(false, 1);
+        const InjectionCycleOutcome scalar =
+            engine.delayAvfCycle(structure, 0.6, cycle, config);
+        // Lane count 1 must degrade to the scalar loop; 4 forces many
+        // small batches; 64 is the common case.
+        for (unsigned lanes : {1u, 4u, 64u}) {
+            engine.setTsimVectorMode(true, lanes);
+            const InjectionCycleOutcome vec =
+                engine.delayAvfCycle(structure, 0.6, cycle, config);
+            EXPECT_TRUE(scalar == vec)
+                << "cycle " << cycle << " lanes " << lanes;
+        }
+        EXPECT_GT(scalar.injections, 0u);
+    }
+    engine.setTsimVectorMode(true, 64);
+}
+
+TEST_P(TsimDifferential, BatchedVerdictsMatchBruteForce)
+{
+    // The exactness claim end to end on the batched path: every
+    // per-wire ACE verdict in a lane-batched injection cycle equals a
+    // brute-force full-circuit timed simulation of that one fault.
+    const auto circuit = test::makeRandomCircuit(GetParam() + 520, 10,
+                                                 60, 16);
+    VulnerabilityEngine engine(*circuit.netlist,
+                               CellLibrary::defaultLibrary(),
+                               *circuit.workload);
+    StructureRegistry registry(*circuit.netlist);
+    const Structure &structure = registry.add("Rnd", "rnd/");
+
+    SamplingConfig config;
+    config.cycleFraction = 0.2;
+    config.maxInjectionCycles = 2;
+    config.maxWires = 20;
+    config.threads = 1;
+    const std::vector<WireId> wires =
+        engine.sampledWires(structure, config);
+    const double delay_ps = 0.7 * engine.clockPeriod();
+
+    engine.setTsimVectorMode(true, 64);
+    for (uint64_t cycle : engine.injectionCycles(config)) {
+        const InjectionCycleOutcome outcome =
+            engine.delayAvfCycle(structure, 0.7, cycle, config);
+        ASSERT_EQ(outcome.wireAce.size(), wires.size());
+        for (size_t i = 0; i < wires.size(); ++i) {
+            EXPECT_EQ(outcome.wireAce[i] != 0,
+                      engine.delayAceBruteForce(wires[i], cycle,
+                                                delay_ps))
+                << "seed " << GetParam() << " cycle " << cycle
+                << " wire " << wires[i];
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TsimDifferential,
+                         ::testing::Range<uint64_t>(1, 5));
+
+TEST(TsimDifferential, DelayAvfJsonBitIdenticalAcrossThreadsAndLanes)
+{
+    const auto circuit = test::makeRandomCircuit(530, 12, 90, 20);
+    VulnerabilityEngine engine(*circuit.netlist,
+                               CellLibrary::defaultLibrary(),
+                               *circuit.workload);
+    StructureRegistry registry(*circuit.netlist);
+    const Structure &structure = registry.add("Rnd", "rnd/");
+
+    SamplingConfig config;
+    config.cycleFraction = 0.25;
+    config.maxInjectionCycles = 4;
+    config.recordPerWire = true;
+
+    auto report = [&](bool vector_tsim, unsigned lanes,
+                      unsigned threads) {
+        engine.setTsimVectorMode(vector_tsim, lanes);
+        config.threads = threads;
+        ReportRow row;
+        row.benchmark = "rnd";
+        row.structure = "Rnd";
+        row.delayFraction = 0.6;
+        row.davf = engine.delayAvf(structure, 0.6, config);
+        return reportJson({row});
+    };
+
+    const std::string scalar1 = report(false, 1, 1);
+    EXPECT_EQ(scalar1, report(false, 1, 4));
+    EXPECT_EQ(scalar1, report(true, 4, 1));
+    EXPECT_EQ(scalar1, report(true, 64, 1));
+    EXPECT_EQ(scalar1, report(true, 64, 4));
+    EXPECT_EQ(scalar1, report(true, 4, 4));
+    engine.setTsimVectorMode(true, 64);
+}
+
+TEST(TsimDifferential, ResumeCrossesTsimPaths)
+{
+    // Half the injection cycles checkpointed by the scalar cone loop,
+    // the rest computed lane-batched after a resume — and the mirror
+    // image — must equal an uninterrupted run of either flavor.
+    const auto circuit = test::makeRandomCircuit(531, 10, 70, 16);
+    VulnerabilityEngine engine(*circuit.netlist,
+                               CellLibrary::defaultLibrary(),
+                               *circuit.workload);
+    StructureRegistry registry(*circuit.netlist);
+    const Structure &structure = registry.add("Rnd", "rnd/");
+
+    SamplingConfig config;
+    config.cycleFraction = 0.3;
+    config.maxInjectionCycles = 4;
+    config.threads = 2;
+    const std::vector<uint64_t> cycles = engine.injectionCycles(config);
+    ASSERT_GE(cycles.size(), 2u);
+
+    auto json = [](const DelayAvfResult &result) {
+        ReportRow row;
+        row.benchmark = "rnd";
+        row.structure = "Rnd";
+        row.delayFraction = 0.6;
+        row.davf = result;
+        return reportJson({row});
+    };
+
+    engine.setTsimVectorMode(false, 1);
+    DelayAvfProgress capture;
+    std::vector<InjectionCycleOutcome> outcomes;
+    capture.onCycleDone = [&](const InjectionCycleOutcome &outcome) {
+        outcomes.push_back(outcome);
+    };
+    const DelayAvfResult scalar_full =
+        engine.delayAvf(structure, 0.6, config, &capture);
+    ASSERT_EQ(outcomes.size(), cycles.size());
+
+    DelayAvfProgress resume;
+    for (const InjectionCycleOutcome &outcome : outcomes) {
+        for (size_t i = 0; i < cycles.size() / 2; ++i) {
+            if (outcome.cycle == cycles[i])
+                resume.completed.push_back(outcome);
+        }
+    }
+    ASSERT_FALSE(resume.completed.empty());
+    engine.setTsimVectorMode(true, 64);
+    const DelayAvfResult resumed =
+        engine.delayAvf(structure, 0.6, config, &resume);
+    EXPECT_EQ(json(scalar_full), json(resumed));
+
+    engine.setTsimVectorMode(true, 64);
+    outcomes.clear();
+    const DelayAvfResult vector_full =
+        engine.delayAvf(structure, 0.6, config, &capture);
+    EXPECT_EQ(json(scalar_full), json(vector_full));
+
+    DelayAvfProgress resume_back;
+    for (const InjectionCycleOutcome &outcome : outcomes) {
+        for (size_t i = cycles.size() / 2; i < cycles.size(); ++i) {
+            if (outcome.cycle == cycles[i])
+                resume_back.completed.push_back(outcome);
+        }
+    }
+    engine.setTsimVectorMode(false, 1);
+    const DelayAvfResult resumed_back =
+        engine.delayAvf(structure, 0.6, config, &resume_back);
+    EXPECT_EQ(json(scalar_full), json(resumed_back));
+    engine.setTsimVectorMode(true, 64);
+}
+
+/// @}
+/**
+ * @name Cross-delay sweep reuse
+ *
+ * beginDelaySweep() lets adjacent delay values of one campaign share
+ * per-cycle golden contexts, STA filter results, and failure verdicts.
+ * Every reuse rule is provably outcome-preserving, so a sweep must be
+ * byte-identical to independent per-delay runs — including the derived
+ * counters — at any thread count.
+ */
+/// @{
+
+TEST(SweepReuse, MultiDelaySweepBitIdenticalToIndependentRuns)
+{
+    const auto circuit = test::makeRandomCircuit(540, 12, 90, 20);
+    VulnerabilityEngine engine(*circuit.netlist,
+                               CellLibrary::defaultLibrary(),
+                               *circuit.workload);
+    StructureRegistry registry(*circuit.netlist);
+    const Structure &structure = registry.add("Rnd", "rnd/");
+
+    SamplingConfig config;
+    config.cycleFraction = 0.25;
+    config.maxInjectionCycles = 4;
+    config.recordPerWire = true;
+    const std::vector<double> fractions = {0.2, 0.45, 0.7, 0.95};
+
+    auto row_json = [&](double d) {
+        ReportRow row;
+        row.benchmark = "rnd";
+        row.structure = "Rnd";
+        row.delayFraction = d;
+        row.davf = engine.delayAvf(structure, d, config);
+        return reportJson({row});
+    };
+
+    // Reference: one fresh, sweep-blind run per delay value.
+    std::map<double, std::string> independent;
+    config.threads = 1;
+    for (double d : fractions)
+        independent[d] = row_json(d);
+
+    for (unsigned threads : {1u, 4u}) {
+        for (bool vector_tsim : {true, false}) {
+            config.threads = threads;
+            engine.setTsimVectorMode(vector_tsim, 64);
+            engine.beginDelaySweep(fractions);
+            for (double d : fractions) {
+                EXPECT_EQ(independent.at(d), row_json(d))
+                    << "d " << d << " threads " << threads
+                    << " vectorTsim " << vector_tsim;
+            }
+            engine.endDelaySweep();
+        }
+    }
+
+    // Visiting the delay list in descending order must not matter.
+    config.threads = 2;
+    engine.setTsimVectorMode(true, 64);
+    engine.beginDelaySweep(fractions);
+    for (auto it = fractions.rbegin(); it != fractions.rend(); ++it)
+        EXPECT_EQ(independent.at(*it), row_json(*it)) << "d " << *it;
+    engine.endDelaySweep();
+}
+
+TEST(SweepReuse, ReuseCountersAreScheduleInvariant)
+{
+    const auto circuit = test::makeRandomCircuit(541, 10, 70, 16);
+    VulnerabilityEngine engine(*circuit.netlist,
+                               CellLibrary::defaultLibrary(),
+                               *circuit.workload);
+    StructureRegistry registry(*circuit.netlist);
+    const Structure &structure = registry.add("Rnd", "rnd/");
+
+    SamplingConfig config;
+    config.cycleFraction = 0.3;
+    config.maxInjectionCycles = 3;
+    const std::vector<double> fractions = {0.3, 0.6, 0.9};
+
+    auto countersOf = [&](unsigned threads) {
+        obs::MetricsRegistry::instance().reset();
+        obs::MetricsRegistry::setEnabled(true);
+        config.threads = threads;
+        engine.beginDelaySweep(fractions);
+        for (double d : fractions)
+            engine.delayAvf(structure, d, config);
+        engine.endDelaySweep();
+        obs::MetricsRegistry::setEnabled(false);
+        std::map<std::string, uint64_t> counters =
+            obs::MetricsRegistry::instance().snapshot().counters;
+        obs::MetricsRegistry::instance().reset();
+        for (auto it = counters.begin(); it != counters.end();) {
+            const std::string &name = it->first;
+            if (name.size() > 3
+                && name.compare(name.size() - 3, 3, "_ns") == 0)
+                it = counters.erase(it);
+            else
+                ++it;
+        }
+        return counters;
+    };
+
+    const auto one = countersOf(1);
+    EXPECT_EQ(one, countersOf(4));
+    // The second and third delay values run entirely out of the shared
+    // caches' golden contexts, and verdict reuse must actually fire.
+    EXPECT_GT(one.at("engine.tsim.ctx_reuse"), 0u);
+    EXPECT_GT(one.at("engine.tsim.sta_reuse"), 0u);
+    EXPECT_GT(one.at("engine.tsim.sweep_verdict_reuse"), 0u);
+}
+
+/// @}
+
 TEST(Observability, MetricsAndTracingNeverPerturbResults)
 {
     // The observability layer's contract: with collection and tracing

@@ -346,6 +346,68 @@ TEST(TimedSim, DelayedEnableCorruptsDffe)
     EXPECT_TRUE(found);
 }
 
+TEST(TimedSim, SortEventsRestoresReplayInvariant)
+{
+    // Replay consumers stop scanning a net's events at the first
+    // arrival past the clock edge, which is only sound because
+    // CycleWaveforms keeps per-net events sorted by time. A hand-built
+    // waveform with deliberately scrambled events must, after
+    // sortEvents(), replay exactly like the simulator-produced one.
+    for (uint64_t seed = 61; seed <= 63; ++seed) {
+        const auto circuit = test::makeRandomCircuit(seed, 12, 90);
+        const Netlist &nl = *circuit.netlist;
+        DelayModel delays(nl, CellLibrary::defaultLibrary());
+        Sta sta(delays);
+        TimedSimulator tsim(delays);
+        const double period = sta.maxPath();
+        const CyclePrep prep = prepCycle(nl, 3);
+        CycleWaveforms wf;
+        tsim.simulateCycle(prep.preEdge, prep.postEdge, period, wf);
+
+        // Scramble: reverse every multi-event net and rotate the odd
+        // ones, so most lists violate the sorted invariant.
+        CycleWaveforms scrambled = wf;
+        for (NetId net = 0; net < nl.numNets(); ++net) {
+            auto &events = scrambled.netEvents[net];
+            std::reverse(events.begin(), events.end());
+            if (net % 2 == 1 && events.size() > 2)
+                std::rotate(events.begin(), events.begin() + 1,
+                            events.end());
+        }
+        scrambled.sortEvents();
+
+        Rng rng(seed);
+        std::vector<LatchedPin> expect, got;
+        for (int trial = 0; trial < 12; ++trial) {
+            const WireId wire = rng.below(nl.numWires());
+            const double d = rng.uniform() * period;
+            tsim.simulateCone(wf, wire, d, period, expect);
+            tsim.simulateCone(scrambled, wire, d, period, got);
+            ASSERT_EQ(expect.size(), got.size());
+            for (size_t p = 0; p < expect.size(); ++p) {
+                EXPECT_EQ(expect[p].cell, got[p].cell);
+                EXPECT_EQ(expect[p].pin, got[p].pin);
+                EXPECT_EQ(expect[p].value, got[p].value)
+                    << "seed " << seed << " wire " << wire << " d "
+                    << d;
+            }
+        }
+        for (CellId id = 0; id < nl.numCells(); ++id) {
+            const Cell &cell = nl.cell(id);
+            if (cell.type != CellType::Dff
+                && cell.type != CellType::Dffe) {
+                continue;
+            }
+            for (uint16_t pin = 0; pin < cell.inputs.size(); ++pin) {
+                EXPECT_EQ(goldenPinValueAtEdge(delays, wf, id, pin,
+                                               period),
+                          goldenPinValueAtEdge(delays, scrambled, id,
+                                               pin, period));
+            }
+        }
+    }
+}
+
 TEST(TimedSim, ConeAgreesWithFullSimUnderFault)
 {
     // Cross-check simulateCone against a full-netlist timed simulation

@@ -130,6 +130,58 @@ obs_smoke() {
     echo "=== obs smoke ok (report bit-identical, JSON valid)" >&2
 }
 
+# Timed-simulator smoke: lane-parallel cone batching and cross-delay
+# sweep reuse must be invisible in the output — run the same cheap
+# sweep with the default engine and with --no-vector-tsim, in-process
+# and with worker processes, and require every `davf_run --json`
+# report byte-identical (docs/PERFORMANCE.md). Runs under both configs
+# so the merged event queue and the reuse caches get ASan/UBSan
+# coverage on every CI run.
+tsim_smoke() {
+    build_dir="$1"
+    smoke_dir="$build_dir/tsim-smoke"
+    rm -rf "$smoke_dir"
+    mkdir -p "$smoke_dir"
+    echo "=== tsim smoke $build_dir" >&2
+    sweep() {
+        "$build_dir/tools/davf_run" --json \
+            --benchmark popcount --structure ALU --delays 0.5:0.9:0.2 \
+            --cycles 3 --wires 24 "$@"
+    }
+    sweep > "$smoke_dir/vector.json"
+    sweep --no-vector-tsim > "$smoke_dir/scalar.json"
+    sweep --tsim-lanes 4 > "$smoke_dir/lanes4.json"
+    sweep --isolate process --workers 2 \
+        > "$smoke_dir/vector-isolated.json"
+    sweep --no-vector-tsim --isolate process --workers 2 \
+        > "$smoke_dir/scalar-isolated.json"
+    for f in scalar.json lanes4.json vector-isolated.json \
+        scalar-isolated.json; do
+        if ! cmp -s "$smoke_dir/vector.json" "$smoke_dir/$f"; then
+            echo "tsim smoke: $f differs from vector.json" >&2
+            exit 1
+        fi
+    done
+    echo "=== tsim smoke ok (reports bit-identical)" >&2
+}
+
+# Timed-simulator speedup artifact: the Step-1 counterpart of
+# groupace_bench, Release config only. perf_engine exits non-zero if
+# the lane-parallel sweep's report is not byte-identical to the
+# scalar, sweep-blind one.
+tsim_bench() {
+    build_dir="$1"
+    echo "=== tsim bench $build_dir" >&2
+    DAVF_BENCH_TSIM_JSON="$root/BENCH_tsim.json" \
+        "$build_dir/bench/perf_engine" \
+        --benchmark_filter=TsimAluSweep
+    if [ ! -s "$root/BENCH_tsim.json" ]; then
+        echo "tsim bench: BENCH_tsim.json not written" >&2
+        exit 1
+    fi
+    echo "=== tsim bench ok" >&2
+}
+
 # GroupACE speedup artifact: run the end-to-end ALU sweep benchmark in
 # the Release config only (sanitizer timings are meaningless) and keep
 # the measured scalar-vs-vector speedup at the repo root. perf_engine
@@ -617,16 +669,19 @@ net_smoke() {
 run_config "$root/build-ci-release" -DCMAKE_BUILD_TYPE=Release
 isolation_smoke "$root/build-ci-release"
 vector_smoke "$root/build-ci-release"
+tsim_smoke "$root/build-ci-release"
 obs_smoke "$root/build-ci-release"
 serve_smoke "$root/build-ci-release"
 store_index_smoke "$root/build-ci-release"
 net_smoke "$root/build-ci-release"
 crash_soak "$root/build-ci-release"
 groupace_bench "$root/build-ci-release"
+tsim_bench "$root/build-ci-release"
 run_config "$root/build-ci-asan" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DDAVF_SANITIZE=address,undefined
 isolation_smoke "$root/build-ci-asan"
 vector_smoke "$root/build-ci-asan"
+tsim_smoke "$root/build-ci-asan"
 obs_smoke "$root/build-ci-asan"
 serve_smoke "$root/build-ci-asan"
 store_index_smoke "$root/build-ci-asan"

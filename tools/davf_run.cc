@@ -30,6 +30,10 @@
  *                          bit-parallel path (results are bit-identical;
  *                          see docs/PERFORMANCE.md)
  *     --vector-lanes N     lanes per vector batch, 2..64 (default 64)
+ *     --no-vector-tsim     re-simulate faulted cones one wire at a time
+ *                          instead of in lane-parallel batches
+ *     --tsim-lanes N       lanes per timed-simulator batch, 1..64
+ *                          (default 64; 1 forces scalar)
  *     --savf               also run particle-strike sAVF on the structure
  *     --sta-period         use the STA longest path as the clock (default:
  *                          observed-max timing-closure emulation)
@@ -133,6 +137,8 @@ struct Options
     SamplingConfig sampling;
     bool no_vector = false;
     unsigned vector_lanes = 64;
+    bool no_vector_tsim = false;
+    unsigned tsim_lanes = 64;
     double timeout_ms = 0.0;
     double max_failure_rate = 0.05;
     std::string csv_path;
@@ -169,6 +175,7 @@ printUsage(const char *argv0)
                  " [--seed N]\n"
                  "          [--threads N] [--no-vector] "
                  "[--vector-lanes N] [--savf]\n"
+                 "          [--no-vector-tsim] [--tsim-lanes N]\n"
                  "          [--sta-period] "
                  "[--json] [--csv FILE]\n"
                  "          [--checkpoint FILE] [--resume FILE] "
@@ -318,6 +325,13 @@ parse(int argc, char **argv)
                 static_cast<unsigned>(parseU64(argv[0], arg, need(i)));
         } else if (arg == "--no-vector") {
             opts.no_vector = true;
+        } else if (arg == "--no-vector-tsim") {
+            opts.no_vector_tsim = true;
+        } else if (arg == "--tsim-lanes") {
+            opts.tsim_lanes =
+                static_cast<unsigned>(parseU64(argv[0], arg, need(i)));
+            if (opts.tsim_lanes < 1 || opts.tsim_lanes > 64)
+                usageError(argv[0], "--tsim-lanes must lie in [1, 64]");
         } else if (arg == "--vector-lanes") {
             opts.vector_lanes =
                 static_cast<unsigned>(parseU64(argv[0], arg, need(i)));
@@ -492,6 +506,7 @@ runTool(int argc, char **argv)
     // including worker shards (the supervisor forwards our argv, so
     // workers parse the same flags).
     engine.setVectorMode(!opts.no_vector, opts.vector_lanes);
+    engine.setTsimVectorMode(!opts.no_vector_tsim, opts.tsim_lanes);
 
     // Hidden worker mode: same engine build as above, then serve shard
     // requests from the supervising campaign over stdin/stdout.
@@ -509,6 +524,8 @@ runTool(int argc, char **argv)
     campaign_options.sampling = opts.sampling;
     campaign_options.vectorize = !opts.no_vector;
     campaign_options.vectorLanes = opts.vector_lanes;
+    campaign_options.vectorTsim = !opts.no_vector_tsim;
+    campaign_options.tsimLanes = opts.tsim_lanes;
     campaign_options.injectionTimeoutMs = opts.timeout_ms;
     campaign_options.maxFailureRate = opts.max_failure_rate;
     campaign_options.checkpointPath = opts.checkpoint_path;

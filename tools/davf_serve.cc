@@ -26,6 +26,8 @@
  *                          store fingerprint (and every cached record)
  *                          is unaffected (docs/SERVICE.md)
  *     --vector-lanes N     lanes per vector batch, 2..64 (default 64)
+ *     --no-vector-tsim     scalar faulted-cone re-simulation
+ *     --tsim-lanes N       lanes per timed-simulator batch, 1..64
  *     --isolate MODE       thread (default) or process: compute misses
  *                          in supervised worker processes
  *     --workers N          worker processes for --isolate process
@@ -76,6 +78,8 @@ struct Options
     unsigned threads = 0;
     bool no_vector = false;
     unsigned vector_lanes = 64;
+    bool no_vector_tsim = false;
+    unsigned tsim_lanes = 64;
     bool isolate_process = false;
     unsigned workers = 1;
     unsigned max_retries = 2;
@@ -92,7 +96,8 @@ usageError(const char *argv0, const std::string &detail)
                  "          [--mem-capacity N]\n"
                  "          [--benchmark N] [--ecc] [--sta-period] "
                  "[--threads N]\n"
-                 "          [--no-vector] [--vector-lanes N]\n"
+                 "          [--no-vector] [--vector-lanes N] "
+                 "[--no-vector-tsim] [--tsim-lanes N]\n"
                  "          [--isolate thread|process] [--workers N] "
                  "[--max-retries N]\n"
                  "          [--worker-mem-mb N]\n",
@@ -152,11 +157,18 @@ parse(int argc, char **argv)
                 static_cast<unsigned>(parseU64(argv[0], arg, need(i)));
         } else if (arg == "--no-vector") {
             opts.no_vector = true;
+        } else if (arg == "--no-vector-tsim") {
+            opts.no_vector_tsim = true;
         } else if (arg == "--vector-lanes") {
             opts.vector_lanes =
                 static_cast<unsigned>(parseU64(argv[0], arg, need(i)));
             if (opts.vector_lanes < 2 || opts.vector_lanes > 64)
                 usageError(argv[0], "--vector-lanes must lie in [2, 64]");
+        } else if (arg == "--tsim-lanes") {
+            opts.tsim_lanes =
+                static_cast<unsigned>(parseU64(argv[0], arg, need(i)));
+            if (opts.tsim_lanes < 1 || opts.tsim_lanes > 64)
+                usageError(argv[0], "--tsim-lanes must lie in [1, 64]");
         } else if (arg == "--isolate") {
             const std::string mode = need(i);
             if (mode == "process")
@@ -340,6 +352,8 @@ runTool(int argc, char **argv)
     // result byte, so it does not enter the workspace fingerprint and
     // existing store records stay valid.
     workspace.engine().setVectorMode(!opts.no_vector, opts.vector_lanes);
+    workspace.engine().setTsimVectorMode(!opts.no_vector_tsim,
+                                         opts.tsim_lanes);
 
     // Hidden worker mode: same workspace build, then serve shard
     // requests from the scheduler's supervisor over stdin/stdout.
@@ -375,6 +389,13 @@ runTool(int argc, char **argv)
             sched_options.workerArgv.push_back("--sta-period");
         if (opts.no_vector)
             sched_options.workerArgv.push_back("--no-vector");
+        if (opts.no_vector_tsim)
+            sched_options.workerArgv.push_back("--no-vector-tsim");
+        if (opts.tsim_lanes != 64) {
+            sched_options.workerArgv.push_back("--tsim-lanes");
+            sched_options.workerArgv.push_back(
+                std::to_string(opts.tsim_lanes));
+        }
         if (opts.vector_lanes != 64) {
             sched_options.workerArgv.push_back("--vector-lanes");
             sched_options.workerArgv.push_back(
