@@ -1,0 +1,212 @@
+#include "attribution.hh"
+
+#include <algorithm>
+
+#include "analysis/disasm.hh"
+#include "isa/iss.hh"
+#include "util/logging.hh"
+
+namespace davf::analysis {
+
+SocAttribution::SocAttribution(const IbexMini &the_soc,
+                               const SocWorkload &the_workload,
+                               std::vector<uint32_t> the_image)
+    : soc(&the_soc), workload(&the_workload), image(std::move(the_image))
+{
+}
+
+void
+SocAttribution::prepared()
+{
+    std::call_once(once, [this] { prepare(); });
+}
+
+void
+SocAttribution::prepare()
+{
+    // 1. ISS trajectory. The instruction count is bounded by the gate
+    // run's cycle budget (every instruction takes >= 1 gate cycle).
+    const uint32_t mem_bytes = 4u << soc->config().memWordsLog2;
+    Iss iss(image, mem_bytes);
+    const uint64_t limit = workload->maxGoldenCycles();
+
+    auto record_state = [&] {
+        ArchState state;
+        for (unsigned i = 1; i < 32; ++i)
+            state.regs[i] = iss.reg(i);
+        state.memHash = MemoryModel::imageHash(iss.memWords());
+        state.outLen =
+            static_cast<uint32_t>(iss.outputTrace().size());
+        states.push_back(state);
+    };
+
+    record_state();
+    while (!iss.halted()) {
+        davf_assert(iss.instructionsExecuted() < limit,
+                    "ISS run did not halt within ", limit,
+                    " instructions");
+        instrPc.push_back(iss.pc());
+        instrText.push_back(disassemble(iss.memWord(iss.pc())));
+        iss.step();
+        record_state();
+    }
+    issOut = iss.outputTrace();
+    davf_assert(!instrPc.empty(), "empty ISS trajectory");
+
+    // 2. Golden gate replay -> per-cycle alignment. The eager-advance
+    // rule walks past signature-invisible instructions; any state
+    // matching neither trajectory neighbor means the gate core and the
+    // ISS disagree on the *golden* run, which is a broken lockstep.
+    CycleSimulator sim(soc->netlist());
+    GateView view;
+    size_t cursor = 0;
+    for (;;) {
+        readGate(sim, view);
+        while (cursor < instrPc.size() && matches(view, cursor + 1))
+            ++cursor;
+        if (!matches(view, cursor)) {
+            davf_throw(ErrorKind::Internal,
+                       "ISS/gate lockstep broken at golden cycle ",
+                       sim.cycle(), " (trajectory position ", cursor,
+                       ")");
+        }
+        align.push_back(cursor);
+        if (workload->done(sim))
+            break;
+        davf_assert(sim.cycle() < limit,
+                    "golden gate run did not halt within ", limit,
+                    " cycles");
+        sim.step();
+    }
+    davf_assert(cursor == instrPc.size(),
+                "golden gate run halted at trajectory position ", cursor,
+                " of ", instrPc.size());
+}
+
+void
+SocAttribution::readGate(const CycleSimulator &sim, GateView &view) const
+{
+    for (unsigned i = 1; i < 32; ++i)
+        view.regs[i] = soc->readRegister(sim, i);
+    const MemoryModel &mem = workload->memory(sim);
+    view.memHash = mem.contentHash();
+    view.out = &mem.outputTrace();
+}
+
+bool
+SocAttribution::matches(const GateView &view, size_t state) const
+{
+    const ArchState &arch = states[state];
+    if (view.memHash != arch.memHash
+        || view.out->size() != arch.outLen || view.regs != arch.regs) {
+        return false;
+    }
+    // Same length is not enough off the golden path: a faulty run can
+    // emit as many — but wrong — words.
+    return std::equal(view.out->begin(), view.out->end(),
+                      issOut.begin());
+}
+
+uint64_t
+SocAttribution::trajectoryLength()
+{
+    prepared();
+    return instrPc.size();
+}
+
+AttributionTap::InFlight
+SocAttribution::inFlight(uint64_t cycle)
+{
+    prepared();
+    davf_assert(cycle < align.size(), "attribution cycle ", cycle,
+                " beyond the golden run");
+    const uint64_t k =
+        std::min<uint64_t>(align[cycle], instrPc.size() - 1);
+    return {instrPc[k], instrText[k]};
+}
+
+AttributionTap::Walk
+SocAttribution::beginWalk(uint64_t cycle)
+{
+    prepared();
+    davf_assert(cycle < align.size(), "attribution cycle ", cycle,
+                " beyond the golden run");
+    Walk walk;
+    walk.cursor = align[cycle];
+    return walk;
+}
+
+CycleAttribution::Event
+SocAttribution::deviationEvent(const GateView &view,
+                               uint64_t cursor) const
+{
+    const uint64_t n = instrPc.size();
+    const uint64_t k = std::min(cursor, n - 1);
+    CycleAttribution::Event event;
+    event.pc = instrPc[k];
+    event.mnemonic = instrText[k];
+
+    const ArchState &cur = states[cursor];
+    const ArchState &nxt = states[std::min(cursor + 1, n)];
+    for (unsigned i = 1; i < 32; ++i) {
+        if (view.regs[i] != cur.regs[i] && view.regs[i] != nxt.regs[i]) {
+            event.dest = "x" + std::to_string(i);
+            return event;
+        }
+    }
+    if (view.memHash != cur.memHash && view.memHash != nxt.memHash) {
+        event.dest = "mem";
+        return event;
+    }
+    auto out_matches = [&](const ArchState &arch) {
+        return view.out->size() == arch.outLen
+            && std::equal(view.out->begin(), view.out->end(),
+                          issOut.begin());
+    };
+    if (!out_matches(cur) && !out_matches(nxt)) {
+        event.dest = "out";
+        return event;
+    }
+    // Each component matches one neighbor but the combination matches
+    // neither — a torn mixture of the two states.
+    event.dest = "state";
+    return event;
+}
+
+bool
+SocAttribution::observe(Walk &walk, const CycleSimulator &sim)
+{
+    GateView view;
+    readGate(sim, view);
+    while (walk.cursor < instrPc.size() && matches(view, walk.cursor + 1))
+        ++walk.cursor;
+    if (matches(view, walk.cursor))
+        return false;
+    walk.found = true;
+    walk.event = deviationEvent(view, walk.cursor);
+    return true;
+}
+
+CycleAttribution::Event
+SocAttribution::finish(Walk &walk, WalkEnd end)
+{
+    if (walk.found) {
+        davf_assert(end == WalkEnd::Deviated,
+                    "found walk finished as non-deviated");
+        return walk.event;
+    }
+    // The walk tracked the golden trajectory to its end (completion or
+    // watchdog) without an architectural deviation; the damage stayed
+    // microarchitectural ("uarch") unless the run halted mid-program,
+    // where the lost remainder of the output is the corruption.
+    const uint64_t n = instrPc.size();
+    const uint64_t k = std::min<uint64_t>(walk.cursor, n - 1);
+    CycleAttribution::Event event;
+    event.pc = instrPc[k];
+    event.mnemonic = instrText[k];
+    event.dest = end == WalkEnd::Done && walk.cursor < n ? "out"
+                                                         : "uarch";
+    return event;
+}
+
+} // namespace davf::analysis

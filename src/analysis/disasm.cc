@@ -1,0 +1,163 @@
+#include "disasm.hh"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace davf::analysis {
+
+namespace {
+
+int32_t
+signExtend(uint32_t value, unsigned bits)
+{
+    const uint32_t sign = 1u << (bits - 1);
+    return static_cast<int32_t>((value ^ sign) - sign);
+}
+
+std::string
+format(const char *fmt, ...)
+{
+    char buffer[64];
+    va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(buffer, sizeof buffer, fmt, args);
+    va_end(args);
+    return buffer;
+}
+
+std::string
+regRegReg(const char *name, unsigned rd, unsigned rs1, unsigned rs2)
+{
+    return format("%s x%u, x%u, x%u", name, rd, rs1, rs2);
+}
+
+std::string
+regRegImm(const char *name, unsigned rd, unsigned rs1, int32_t imm)
+{
+    return format("%s x%u, x%u, %d", name, rd, rs1, imm);
+}
+
+std::string
+memForm(const char *name, unsigned reg, int32_t offset, unsigned base)
+{
+    return format("%s x%u, %d(x%u)", name, reg, offset, base);
+}
+
+std::string
+unknown(uint32_t word)
+{
+    return format(".word 0x%08x", word);
+}
+
+} // namespace
+
+std::string
+disassemble(uint32_t word)
+{
+    const uint32_t opcode = word & 0x7f;
+    const unsigned rd = (word >> 7) & 0x1f;
+    const unsigned funct3 = (word >> 12) & 0x7;
+    const unsigned rs1 = (word >> 15) & 0x1f;
+    const unsigned rs2 = (word >> 20) & 0x1f;
+    const unsigned funct7 = word >> 25;
+    const int32_t imm_i = signExtend(word >> 20, 12);
+
+    switch (opcode) {
+      case 0x37:
+        return format("lui x%u, 0x%x", rd, word >> 12);
+      case 0x17:
+        return format("auipc x%u, 0x%x", rd, word >> 12);
+      case 0x6f: {
+        const uint32_t raw = ((word >> 31) << 20)
+            | (((word >> 12) & 0xff) << 12) | (((word >> 20) & 1) << 11)
+            | (((word >> 21) & 0x3ff) << 1);
+        return format("jal x%u, %d", rd, signExtend(raw, 21));
+      }
+      case 0x67:
+        if (funct3 != 0)
+            return unknown(word);
+        return memForm("jalr", rd, imm_i, rs1);
+      case 0x63: {
+        static const char *const names[8] = {
+            "beq", "bne", nullptr, nullptr, "blt", "bge", "bltu", "bgeu"};
+        if (!names[funct3])
+            return unknown(word);
+        const uint32_t raw = ((word >> 31) << 12)
+            | (((word >> 7) & 1) << 11) | (((word >> 25) & 0x3f) << 5)
+            | (((word >> 8) & 0xf) << 1);
+        return format("%s x%u, x%u, %d", names[funct3], rs1, rs2,
+                      signExtend(raw, 13));
+      }
+      case 0x03: {
+        static const char *const names[8] = {
+            "lb", "lh", "lw", nullptr, "lbu", "lhu", nullptr, nullptr};
+        if (!names[funct3])
+            return unknown(word);
+        return memForm(names[funct3], rd, imm_i, rs1);
+      }
+      case 0x23: {
+        static const char *const names[8] = {
+            "sb", "sh", "sw", nullptr, nullptr, nullptr, nullptr,
+            nullptr};
+        if (!names[funct3])
+            return unknown(word);
+        const int32_t imm_s =
+            signExtend((funct7 << 5) | rd, 12);
+        return memForm(names[funct3], rs2, imm_s, rs1);
+      }
+      case 0x13:
+        switch (funct3) {
+          case 0: return regRegImm("addi", rd, rs1, imm_i);
+          case 2: return regRegImm("slti", rd, rs1, imm_i);
+          case 3: return regRegImm("sltiu", rd, rs1, imm_i);
+          case 4: return regRegImm("xori", rd, rs1, imm_i);
+          case 6: return regRegImm("ori", rd, rs1, imm_i);
+          case 7: return regRegImm("andi", rd, rs1, imm_i);
+          case 1:
+            if (funct7 != 0)
+                return unknown(word);
+            return regRegImm("slli", rd, rs1, static_cast<int32_t>(rs2));
+          case 5:
+            if (funct7 == 0x00)
+                return regRegImm("srli", rd, rs1,
+                                 static_cast<int32_t>(rs2));
+            if (funct7 == 0x20)
+                return regRegImm("srai", rd, rs1,
+                                 static_cast<int32_t>(rs2));
+            return unknown(word);
+          default:
+            return unknown(word);
+        }
+      case 0x33:
+        if (funct7 == 0x01) {
+            static const char *const names[8] = {
+                "mul", "mulh", "mulhsu", "mulhu",
+                "div", "divu", "rem", "remu"};
+            return regRegReg(names[funct3], rd, rs1, rs2);
+        }
+        if (funct7 == 0x00) {
+            static const char *const names[8] = {
+                "add", "sll", "slt", "sltu", "xor", "srl", "or", "and"};
+            return regRegReg(names[funct3], rd, rs1, rs2);
+        }
+        if (funct7 == 0x20) {
+            if (funct3 == 0)
+                return regRegReg("sub", rd, rs1, rs2);
+            if (funct3 == 5)
+                return regRegReg("sra", rd, rs1, rs2);
+        }
+        return unknown(word);
+      case 0x0f:
+        return "fence";
+      case 0x73:
+        if (word == 0x00000073)
+            return "ecall";
+        if (word == 0x00100073)
+            return "ebreak";
+        return unknown(word);
+      default:
+        return unknown(word);
+    }
+}
+
+} // namespace davf::analysis

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Minimal RV32I(+M) disassembler for attribution labels.
+ *
+ * Produces one canonical text per instruction word — "lw x1, 8(x2)",
+ * "beq x5, x0, -12" — used as the human-readable half of the
+ * per-instruction vulnerability table (docs/ANALYSIS.md). Registers are
+ * always printed in their numeric form (x0..x31) and branch/jump
+ * immediates as signed byte offsets relative to the instruction, so the
+ * text is a pure function of the word (no symbol or ABI-name tables).
+ * Unrecognized words render as ".word 0x%08x" instead of failing: the
+ * table must stay total over whatever the image holds.
+ */
+
+#ifndef DAVF_ANALYSIS_DISASM_HH
+#define DAVF_ANALYSIS_DISASM_HH
+
+#include <cstdint>
+#include <string>
+
+namespace davf::analysis {
+
+/** Canonical disassembly of one RV32I(+M) instruction word. */
+std::string disassemble(uint32_t word);
+
+} // namespace davf::analysis
+
+#endif // DAVF_ANALYSIS_DISASM_HH

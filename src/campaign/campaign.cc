@@ -73,6 +73,10 @@ campaignConfigHash(const CampaignOptions &options)
        << ";maxFlops=" << options.sampling.maxFlops
        << ";seed=" << options.sampling.seed
        << ";watchdogSlack=" << options.sampling.watchdogSlack;
+    // Appended only when enabled: attribution-off hashes must match
+    // journals written before the flag existed so they stay resumable.
+    if (options.sampling.attribution)
+        os << ";attr=1";
     return fnv1aHex(os.str());
 }
 
@@ -119,16 +123,27 @@ Campaign::flushCsv(const CampaignSummary &summary) const
         return;
     campaignMetrics().csvFlushes.add(1);
     std::ostringstream os;
+    std::ostringstream attr_os;
     os << delayAvfCsvHeader() << '\n';
     for (const CampaignCellResult &cell : summary.cells) {
         if (cell.key.kind != "davf" || cell.failed)
             continue;
-        os << delayAvfCsvRow(cell.key.benchmark,
-                             cell.key.structure + options.structureLabel,
-                             cell.delay, cell.davf)
+        const std::string label =
+            cell.key.structure + options.structureLabel;
+        os << delayAvfCsvRow(cell.key.benchmark, label, cell.delay,
+                             cell.davf)
            << '\n';
+        attr_os << attributionCsvRows(cell.key.benchmark, label,
+                                      cell.delay, cell.davf);
     }
     writeFileAtomic(options.csvPath, os.str());
+    // The per-instruction attribution table is a differently-shaped
+    // relation, so it goes to a sibling file rather than a second
+    // header block that would break naive CSV readers.
+    if (!attr_os.str().empty()) {
+        writeFileAtomic(options.csvPath + ".attr",
+                        attributionCsvHeader() + "\n" + attr_os.str());
+    }
 }
 
 CampaignSummary

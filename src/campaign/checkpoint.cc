@@ -41,6 +41,68 @@ textToDouble(const std::string &text, double &out)
     return end == begin + text.size() && !text.empty();
 }
 
+/**
+ * Percent-encode arbitrary text (instruction mnemonics like
+ * "lw x1, 8(x2)") into a single whitespace-free journal token. Plain
+ * characters pass through; everything else becomes %XX. The empty
+ * string encodes as a lone "%" (no plain character maps to it).
+ */
+std::string
+encodeText(const std::string &text)
+{
+    static const char hex[] = "0123456789ABCDEF";
+    if (text.empty())
+        return "%";
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        const auto u = static_cast<unsigned char>(c);
+        const bool plain = (u >= '0' && u <= '9')
+            || (u >= 'A' && u <= 'Z') || (u >= 'a' && u <= 'z')
+            || u == '_' || u == '.' || u == '(' || u == ')' || u == '+'
+            || u == '-';
+        if (plain) {
+            out += c;
+        } else {
+            out += '%';
+            out += hex[u >> 4];
+            out += hex[u & 15];
+        }
+    }
+    return out;
+}
+
+/** Inverse of encodeText(); false for malformed escapes. */
+bool
+decodeText(const std::string &token, std::string &out)
+{
+    out.clear();
+    if (token == "%")
+        return true;
+    for (size_t i = 0; i < token.size(); ++i) {
+        if (token[i] != '%') {
+            out += token[i];
+            continue;
+        }
+        if (i + 2 >= token.size())
+            return false;
+        auto nibble = [](char c) -> int {
+            if (c >= '0' && c <= '9')
+                return c - '0';
+            if (c >= 'A' && c <= 'F')
+                return c - 'A' + 10;
+            return -1;
+        };
+        const int hi = nibble(token[i + 1]);
+        const int lo = nibble(token[i + 2]);
+        if (hi < 0 || lo < 0)
+            return false;
+        out += static_cast<char>((hi << 4) | lo);
+        i += 2;
+    }
+    return true;
+}
+
 void
 writeKey(std::ostream &os, const CheckpointKey &key)
 {
@@ -111,6 +173,92 @@ readBits(std::istream &is, std::vector<uint8_t> &bits)
     return true;
 }
 
+/**
+ * The optional per-outcome attribution section — written only when
+ * attribution ran, so attribution-off journals stay byte-identical to
+ * earlier releases: " attr <pc> <mnem> <nEvents> {<pc> <mnem> <dest>
+ * <count>}".
+ */
+void
+writeAttr(std::ostream &os, const CycleAttribution &attr)
+{
+    os << " attr " << attr.pc << ' ' << encodeText(attr.mnemonic) << ' '
+       << attr.events.size();
+    for (const CycleAttribution::Event &event : attr.events) {
+        os << ' ' << event.pc << ' ' << encodeText(event.mnemonic) << ' '
+           << encodeText(event.dest) << ' ' << event.count;
+    }
+}
+
+bool
+readAttr(std::istream &is, CycleAttribution &attr)
+{
+    std::string mnemonic;
+    size_t events = 0;
+    if (!(is >> attr.pc >> mnemonic >> events) || events > 65536
+        || !decodeText(mnemonic, attr.mnemonic)) {
+        return false;
+    }
+    attr.events.resize(events);
+    for (CycleAttribution::Event &event : attr.events) {
+        std::string text, dest;
+        if (!(is >> event.pc >> text >> dest >> event.count)
+            || !decodeText(text, event.mnemonic)
+            || !decodeText(dest, event.dest)) {
+            return false;
+        }
+    }
+    attr.valid = true;
+    return true;
+}
+
+/** The optional per-cell attribution table — same opt-in rule as the
+ *  attr section: " attrtab <nRows> {<pc> <mnem> <injections>
+ *  <delayAce> <firstCorruptions> <nDest> {<dest> <count>}}". */
+void
+writeAttrTable(std::ostream &os,
+               const std::vector<DelayAvfResult::AttrRow> &rows)
+{
+    os << " attrtab " << rows.size();
+    for (const DelayAvfResult::AttrRow &row : rows) {
+        os << ' ' << row.pc << ' ' << encodeText(row.mnemonic) << ' '
+           << row.injections << ' ' << row.delayAce << ' '
+           << row.firstCorruptions << ' ' << row.destinations.size();
+        for (const auto &[dest, count] : row.destinations)
+            os << ' ' << encodeText(dest) << ' ' << count;
+    }
+}
+
+bool
+readAttrTable(std::istream &is,
+              std::vector<DelayAvfResult::AttrRow> &rows)
+{
+    size_t count = 0;
+    if (!(is >> count) || count > 65536)
+        return false;
+    rows.resize(count);
+    for (DelayAvfResult::AttrRow &row : rows) {
+        std::string mnemonic;
+        size_t dests = 0;
+        if (!(is >> row.pc >> mnemonic >> row.injections >> row.delayAce
+                 >> row.firstCorruptions >> dests)
+            || dests > 1024 || !decodeText(mnemonic, row.mnemonic)) {
+            return false;
+        }
+        for (size_t i = 0; i < dests; ++i) {
+            std::string dest;
+            uint64_t tally = 0;
+            if (!(is >> dest >> tally))
+                return false;
+            std::string decoded;
+            if (!decodeText(dest, decoded))
+                return false;
+            row.destinations[decoded] = tally;
+        }
+    }
+    return true;
+}
+
 void
 writeDavfResult(std::ostream &os, const DelayAvfResult &result)
 {
@@ -128,6 +276,8 @@ writeDavfResult(std::ostream &os, const DelayAvfResult &result)
        << result.uniqueGroupSims << ' ' << result.skippedErrors << ' '
        << result.wiresInjected << ' ' << result.cyclesInjected;
     writeSkipReasons(os, result.skipReasons);
+    if (result.attrValid)
+        writeAttrTable(os, result.attribution);
 }
 
 bool
@@ -144,12 +294,21 @@ readDavfResult(std::istream &is, DelayAvfResult &result)
              >> result.wiresInjected >> result.cyclesInjected)) {
         return false;
     }
-    return textToDouble(davf, result.delayAvf)
-        && textToDouble(ordavf, result.orDelayAvf)
-        && textToDouble(stat, result.staticWireFraction)
-        && textToDouble(dyn, result.dynamicWireFraction)
-        && textToDouble(group, result.groupAceWireFraction)
-        && readSkipReasons(is, result.skipReasons);
+    if (!textToDouble(davf, result.delayAvf)
+        || !textToDouble(ordavf, result.orDelayAvf)
+        || !textToDouble(stat, result.staticWireFraction)
+        || !textToDouble(dyn, result.dynamicWireFraction)
+        || !textToDouble(group, result.groupAceWireFraction)
+        || !readSkipReasons(is, result.skipReasons)) {
+        return false;
+    }
+    std::string tag;
+    if (!(is >> tag))
+        return true; // No attribution section (the common case).
+    if (tag != "attrtab" || !readAttrTable(is, result.attribution))
+        return false;
+    result.attrValid = true;
+    return true;
 }
 
 void
@@ -191,6 +350,8 @@ writeOutcomeFields(std::ostream &os, const InjectionCycleOutcome &outcome)
     writeSkipReasons(os, outcome.skipReasons);
     writeBits(os, outcome.wireDyn);
     writeBits(os, outcome.wireAce);
+    if (outcome.attr.valid)
+        writeAttr(os, outcome.attr);
 }
 
 void
@@ -212,9 +373,23 @@ readOutcome(std::istream &is, InjectionCycleOutcome &outcome)
              >> outcome.uniqueGroupSims >> outcome.skippedErrors)) {
         return false;
     }
-    return readSkipReasons(is, outcome.skipReasons)
-        && readBits(is, outcome.wireDyn)
-        && readBits(is, outcome.wireAce);
+    if (!readSkipReasons(is, outcome.skipReasons)
+        || !readBits(is, outcome.wireDyn)
+        || !readBits(is, outcome.wireAce)) {
+        return false;
+    }
+    const std::streampos mark = is.tellg();
+    std::string tag;
+    if (!(is >> tag))
+        return true; // No attribution section (the common case).
+    if (tag == "attr")
+        return readAttr(is, outcome.attr);
+    // An unrecognized tail belongs to the caller (the worker frame
+    // appends a rusage suffix after the outcome fields); rewind so the
+    // caller's own trailing-token handling sees it.
+    is.clear();
+    is.seekg(mark);
+    return true;
 }
 
 } // namespace

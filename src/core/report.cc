@@ -1,25 +1,63 @@
 #include "report.hh"
 
 #include <cmath>
+#include <cstdio>
 #include <sstream>
 
 namespace davf {
 
 namespace {
 
-/** Escape a string for embedding in CSV/JSON (labels are simple, but
- *  never trust a label). */
+/**
+ * One CSV field per RFC 4180: a field containing a comma, quote, CR or
+ * LF is wrapped in double quotes with internal quotes doubled; simple
+ * labels pass through byte-identical. (The old escaper silently dropped
+ * commas and newlines, which corrupts operand strings like
+ * "lw x1, 8(x2)".)
+ */
 std::string
-escape(const std::string &text)
+csvField(const std::string &text)
+{
+    if (text.find_first_of(",\"\r\n") == std::string::npos)
+        return text;
+    std::string out;
+    out.reserve(text.size() + 2);
+    out += '"';
+    for (char c : text) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+/**
+ * The body of a JSON string literal for @p text: quotes and backslashes
+ * escaped, control characters as \uXXXX. Commas are legal inside JSON
+ * strings and pass through unchanged.
+ */
+std::string
+jsonEscape(const std::string &text)
 {
     std::string out;
     out.reserve(text.size());
-    for (char c : text) {
-        if (c == '"' || c == '\\')
-            out += '\\';
-        if (c == ',' || c == '\n')
-            continue;
-        out += c;
+    for (unsigned char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
     }
     return out;
 }
@@ -40,7 +78,79 @@ jsonDouble(std::ostream &out, double value)
     return out;
 }
 
+std::string
+hexPc(uint64_t pc)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "0x%08llx",
+                  static_cast<unsigned long long>(pc));
+    return buf;
+}
+
+/**
+ * The attribution table as a JSON array. Row order is the aggregation
+ * order (sorted by PC then mnemonic) and destination maps are sorted,
+ * so equal tables serialize to equal bytes — the property the
+ * cross-isolation byte-identity checks lean on.
+ */
+void
+attributionJson(std::ostream &out, const DelayAvfResult &result)
+{
+    out << ",\"attribution\":[";
+    for (size_t i = 0; i < result.attribution.size(); ++i) {
+        const DelayAvfResult::AttrRow &row = result.attribution[i];
+        if (i > 0)
+            out << ',';
+        out << "{\"pc\":\"" << hexPc(row.pc) << "\",\"mnemonic\":\""
+            << jsonEscape(row.mnemonic)
+            << "\",\"injections\":" << row.injections
+            << ",\"delay_ace\":" << row.delayAce
+            << ",\"first_corruptions\":" << row.firstCorruptions
+            << ",\"destinations\":{";
+        bool first = true;
+        for (const auto &[dest, count] : row.destinations) {
+            if (!first)
+                out << ',';
+            first = false;
+            out << '"' << jsonEscape(dest) << "\":" << count;
+        }
+        out << "}}";
+    }
+    out << ']';
+}
+
 } // namespace
+
+std::string
+attributionCsvHeader()
+{
+    return "benchmark,structure,d,pc,mnemonic,injections,delay_ace,"
+           "first_corruptions,destinations";
+}
+
+std::string
+attributionCsvRows(const std::string &benchmark,
+                   const std::string &structure, double delay_fraction,
+                   const DelayAvfResult &result)
+{
+    if (!result.attrValid)
+        return "";
+    std::ostringstream out;
+    for (const DelayAvfResult::AttrRow &row : result.attribution) {
+        std::string dests;
+        for (const auto &[dest, count] : row.destinations) {
+            if (!dests.empty())
+                dests += '|';
+            dests += dest + ':' + std::to_string(count);
+        }
+        out << csvField(benchmark) << ',' << csvField(structure) << ','
+            << delay_fraction << ',' << hexPc(row.pc) << ','
+            << csvField(row.mnemonic) << ',' << row.injections << ','
+            << row.delayAce << ',' << row.firstCorruptions << ','
+            << csvField(dests) << '\n';
+    }
+    return out.str();
+}
 
 std::string
 delayAvfCsvHeader()
@@ -55,7 +165,7 @@ delayAvfCsvRow(const std::string &benchmark, const std::string &structure,
                double delay_fraction, const DelayAvfResult &result)
 {
     std::ostringstream out;
-    out << escape(benchmark) << ',' << escape(structure) << ','
+    out << csvField(benchmark) << ',' << csvField(structure) << ','
         << delay_fraction << ',' << result.delayAvf << ','
         << result.orDelayAvf << ',' << result.staticWireFraction << ','
         << result.dynamicWireFraction << ','
@@ -79,7 +189,7 @@ savfCsvRow(const std::string &benchmark, const std::string &structure,
            const SavfResult &result)
 {
     std::ostringstream out;
-    out << escape(benchmark) << ',' << escape(structure) << ','
+    out << csvField(benchmark) << ',' << csvField(structure) << ','
         << result.savf << ',' << result.injections << ','
         << result.aceInjections << ',' << result.sdc << ','
         << result.due;
@@ -91,8 +201,8 @@ delayAvfJson(const std::string &benchmark, const std::string &structure,
              double delay_fraction, const DelayAvfResult &result)
 {
     std::ostringstream out;
-    out << "{\"benchmark\":\"" << escape(benchmark)
-        << "\",\"structure\":\"" << escape(structure) << "\",\"d\":";
+    out << "{\"benchmark\":\"" << jsonEscape(benchmark)
+        << "\",\"structure\":\"" << jsonEscape(structure) << "\",\"d\":";
     jsonDouble(out, delay_fraction) << ",\"delayavf\":";
     jsonDouble(out, result.delayAvf) << ",\"ordelayavf\":";
     jsonDouble(out, result.orDelayAvf) << ",\"static_frac\":";
@@ -104,7 +214,10 @@ delayAvfJson(const std::string &benchmark, const std::string &structure,
         << ",\"multibit\":" << result.multiBitInjections
         << ",\"sdc\":" << result.sdc << ",\"due\":" << result.due
         << ",\"interference\":" << result.aceInterference
-        << ",\"compounding\":" << result.aceCompounding << "}";
+        << ",\"compounding\":" << result.aceCompounding;
+    if (result.attrValid)
+        attributionJson(out, result);
+    out << "}";
     return out.str();
 }
 
@@ -116,7 +229,7 @@ reportRowJson(const ReportRow &row)
         : delayAvfJson(row.benchmark, row.structure, row.delayFraction,
                        row.davf);
     // Prefix the kind discriminator into the per-kind object.
-    return "{\"kind\":\"" + escape(row.kind) + "\"," + body.substr(1);
+    return "{\"kind\":\"" + jsonEscape(row.kind) + "\"," + body.substr(1);
 }
 
 std::string
@@ -138,8 +251,8 @@ savfJson(const std::string &benchmark, const std::string &structure,
          const SavfResult &result)
 {
     std::ostringstream out;
-    out << "{\"benchmark\":\"" << escape(benchmark)
-        << "\",\"structure\":\"" << escape(structure) << "\",\"savf\":";
+    out << "{\"benchmark\":\"" << jsonEscape(benchmark)
+        << "\",\"structure\":\"" << jsonEscape(structure) << "\",\"savf\":";
     jsonDouble(out, result.savf)
         << ",\"injections\":" << result.injections
         << ",\"ace\":" << result.aceInjections << ",\"sdc\":"

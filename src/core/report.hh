@@ -57,6 +57,20 @@ std::string delayAvfCsvRow(const std::string &benchmark,
                            double delay_fraction,
                            const DelayAvfResult &result);
 
+/** Column header matching attributionCsvRows(). */
+std::string attributionCsvHeader();
+
+/**
+ * The per-instruction attribution table as CSV, one row per table
+ * entry (destinations flattened as "dest:count" pairs joined with
+ * '|'). Empty string when @p result carries no attribution table —
+ * callers can append unconditionally.
+ */
+std::string attributionCsvRows(const std::string &benchmark,
+                               const std::string &structure,
+                               double delay_fraction,
+                               const DelayAvfResult &result);
+
 /** Column header matching savfCsvRow(). */
 std::string savfCsvHeader();
 

@@ -50,6 +50,11 @@ serializeShardSpec(const ShardSpec &spec)
        << sampling.watchdogSlack << ' '
        << hexDouble(sampling.injectionTimeoutMs) << ' '
        << hexDouble(sampling.maxFailureRate);
+    // Append-only extension, written only when set: attribution-off
+    // specs — and thus store keys and worker frames — stay byte-equal
+    // to releases that predate the flag.
+    if (sampling.attribution)
+        os << " attr";
     return os.str();
 }
 
@@ -96,6 +101,16 @@ parseShardSpec(const std::string &text)
         || !readDouble(is, sampling.maxFailureRate)) {
         return R::Err(ErrorKind::BadInput,
                       "shard spec: bad sampling fields: " + text);
+    }
+    std::string extension;
+    if (is >> extension) {
+        if (extension != "attr")
+            return R::Err(ErrorKind::BadInput,
+                          "shard spec: trailing tokens: " + text);
+        sampling.attribution = true;
+        if (is >> extension)
+            return R::Err(ErrorKind::BadInput,
+                          "shard spec: trailing tokens: " + text);
     }
     return R::Ok(std::move(spec));
 }

@@ -68,6 +68,10 @@ serializeQuerySpec(const QuerySpec &query)
        << sampling.watchdogSlack << ' '
        << hexDouble(sampling.injectionTimeoutMs) << ' '
        << hexDouble(sampling.maxFailureRate);
+    // Written only when set so attribution-off frames stay byte-equal
+    // to pre-attribution clients (same rule as serializeShardSpec).
+    if (sampling.attribution)
+        os << " attr";
     return os.str();
 }
 
@@ -119,7 +123,12 @@ parseQuerySpec(const std::string &text)
     query.runSavf = savf == 1;
 
     std::string trailing;
-    if (is >> trailing) {
+    if (is >> trailing && trailing == "attr") {
+        sampling.attribution = true;
+        trailing.clear();
+        is >> trailing;
+    }
+    if (!trailing.empty()) {
         return R::Err(ErrorKind::BadInput,
                       "query spec: trailing tokens: " + text);
     }

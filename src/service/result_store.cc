@@ -24,6 +24,7 @@ struct StoreMetrics
     obs::Counter misses{"store.misses"};
     obs::Counter evictions{"store.evictions"};
     obs::Counter corruptRecords{"store.corrupt_records"};
+    obs::Counter futureRecords{"store.future_records"};
     obs::Counter writes{"store.writes"};
     obs::Counter writeFailures{"store.write_failures"};
     obs::Counter repairUnlinks{"store.repair_unlinks"};
@@ -109,9 +110,10 @@ ResultStore::ResultStore(Options the_options)
 
 std::string
 ResultStore::serializeRecord(const std::string &key,
-                             const std::string &payload)
+                             const std::string &payload,
+                             uint32_t text_version)
 {
-    return davf::store::serializeRecordText(key, payload);
+    return davf::store::serializeRecordText(key, payload, text_version);
 }
 
 Result<std::pair<std::string, std::string>>
@@ -177,6 +179,17 @@ ResultStore::lookupLegacyFile(const std::string &key)
     std::ostringstream contents;
     contents << file.rdbuf();
     auto parsed = parseRecord(contents.str());
+    if (!parsed && davf::store::recordTextFutureVersion(contents.str())) {
+        // Written by a newer binary sharing this directory: a miss,
+        // not damage. The file must survive — the writer still serves
+        // it — so no unlink and no corrupt tally.
+        {
+            const std::lock_guard<std::mutex> lock(mutex);
+            ++counters.futureRecords;
+        }
+        storeMetrics().futureRecords.add(1);
+        return std::nullopt;
+    }
     if (!parsed) {
         // Truncated / wrong-version / damaged record: a miss the
         // caller's recompute-and-store will repair. Unlink the damaged
@@ -242,6 +255,12 @@ ResultStore::lookup(const std::string &key)
             remember(key, looked.payload);
             return std::move(looked.payload);
           }
+          case Status::Future: {
+            const std::lock_guard<std::mutex> lock(mutex);
+            ++counters.futureRecords;
+            storeMetrics().futureRecords.add(1);
+            break;
+          }
           case Status::Corrupt:
           case Status::Collision: {
             // Both degrade to a miss, exactly like their legacy
@@ -293,7 +312,8 @@ ResultStore::lookup(const std::string &key)
 }
 
 void
-ResultStore::store(const std::string &key, const std::string &payload)
+ResultStore::store(const std::string &key, const std::string &payload,
+                   uint32_t text_version)
 {
     // A failed publish (ENOSPC, EIO, armed crash point) is counted and
     // swallowed in both formats: the result was computed and still
@@ -308,7 +328,11 @@ ResultStore::store(const std::string &key, const std::string &payload)
             static const crashpoint::CrashPoint publish_point(
                 "store.publish");
             publish_point.fire();
-            index->put(key, payload);
+            if (text_version == davf::store::kRecordTextVersion)
+                index->put(key, payload);
+            else
+                index->putRecord(key, serializeRecord(key, payload,
+                                                      text_version));
         } catch (const DavfError &error) {
             const std::lock_guard<std::mutex> lock(mutex);
             ++counters.writeFailures;
@@ -335,7 +359,8 @@ ResultStore::store(const std::string &key, const std::string &payload)
             static const crashpoint::CrashPoint publish_point(
                 "store.publish");
             publish_point.fire();
-            writeFileAtomic(path, serializeRecord(key, payload));
+            writeFileAtomic(path,
+                            serializeRecord(key, payload, text_version));
         } catch (const DavfError &error) {
             ++counters.writeFailures;
             storeMetrics().writeFailures.add(1);

@@ -78,6 +78,7 @@ struct StoreStats
     uint64_t misses = 0;         ///< No (usable) record existed.
     uint64_t evictions = 0;      ///< LRU entries displaced.
     uint64_t corruptRecords = 0; ///< Unreadable records treated as misses.
+    uint64_t futureRecords = 0;  ///< Newer-grammar records; miss, kept.
     uint64_t writes = 0;         ///< Records persisted.
     uint64_t writeFailures = 0;  ///< Publishes that failed (non-fatal).
     uint64_t repairUnlinks = 0;  ///< Damaged record files deleted.
@@ -115,8 +116,15 @@ class ResultStore
      */
     std::optional<std::string> lookup(const std::string &key);
 
-    /** Persist @p payload under @p key (memory tier + disk tier). */
-    void store(const std::string &key, const std::string &payload);
+    /**
+     * Persist @p payload under @p key (memory tier + disk tier).
+     * @p text_version picks the record grammar revision on disk: 2 for
+     * plain payloads (byte-identical to every earlier release), 3 for
+     * payloads carrying an attribution section, so old binaries see a
+     * clean future-version miss instead of a checksum surprise.
+     */
+    void store(const std::string &key, const std::string &payload,
+               uint32_t text_version = 2);
 
     StoreStats stats() const;
 
@@ -150,7 +158,8 @@ class ResultStore
      */
     /// @{
     static std::string serializeRecord(const std::string &key,
-                                       const std::string &payload);
+                                       const std::string &payload,
+                                       uint32_t text_version = 2);
     static Result<std::pair<std::string, std::string>>
     parseRecord(const std::string &text);
     /// @}

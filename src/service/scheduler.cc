@@ -123,7 +123,10 @@ QueryScheduler::storeOutcome(ShardSpec spec,
                              const InjectionCycleOutcome &outcome)
 {
     spec.cycle = outcome.cycle;
-    store->store(shardKey(spec), serializeOutcomeFields(outcome));
+    // Attribution-bearing payloads carry the v3 grammar extension;
+    // plain outcomes keep writing v2 so old readers stay compatible.
+    store->store(shardKey(spec), serializeOutcomeFields(outcome),
+                 outcome.attr.valid ? 3 : 2);
 }
 
 Result<DelayAvfResult>
@@ -443,6 +446,7 @@ QueryScheduler::statsJson() const
        << ",\"misses\":" << store_stats.misses
        << ",\"evictions\":" << store_stats.evictions
        << ",\"corrupt_records\":" << store_stats.corruptRecords
+       << ",\"future_records\":" << store_stats.futureRecords
        << ",\"writes\":" << store_stats.writes
        << ",\"write_failures\":" << store_stats.writeFailures
        << ",\"repair_unlinks\":" << store_stats.repairUnlinks
@@ -452,6 +456,7 @@ QueryScheduler::statsJson() const
         os << ",\"index\":{\"lookups\":" << index_stats->lookups
            << ",\"hits\":" << index_stats->hits
            << ",\"corrupt_records\":" << index_stats->corrupt
+           << ",\"future_records\":" << index_stats->future
            << ",\"collisions\":" << index_stats->collisions
            << ",\"appends\":" << index_stats->appends
            << ",\"replayed_frames\":" << index_stats->replayed

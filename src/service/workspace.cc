@@ -95,7 +95,8 @@ Workspace::Workspace(const WorkspaceSpec &spec) : wsSpec(spec)
     const BenchmarkProgram &program = beebsBenchmark(spec.benchmark);
     IbexMiniConfig config;
     config.eccRegfile = spec.ecc;
-    socPtr = std::make_unique<IbexMini>(config, assemble(program.source));
+    const std::vector<uint32_t> image = assemble(program.source);
+    socPtr = std::make_unique<IbexMini>(config, image);
     workloadPtr = std::make_unique<SocWorkload>(*socPtr);
 
     EngineOptions options;
@@ -111,6 +112,10 @@ Workspace::Workspace(const WorkspaceSpec &spec) : wsSpec(spec)
     davf_assert(enginePtr->goldenOutput() == program.expectedOutput,
                 "golden run of ", spec.benchmark,
                 " produced wrong output");
+
+    attrPtr = std::make_unique<analysis::SocAttribution>(
+        *socPtr, *workloadPtr, image);
+    enginePtr->setAttributionTap(attrPtr.get());
 
     // The build fingerprint: netlist structure + engine options +
     // workload identity. Golden length and an output hash pin the

@@ -22,6 +22,7 @@
 #include <memory>
 #include <string>
 
+#include "analysis/attribution.hh"
 #include "core/vulnerability.hh"
 #include "soc/ibex_mini.hh"
 #include "soc/soc_workload.hh"
@@ -91,11 +92,23 @@ class Workspace
      */
     const std::string &fingerprint() const { return fp; }
 
+    /**
+     * The ISS/gate lockstep attribution tap, pre-installed on the
+     * engine. Construction is free (its lockstep tables build lazily on
+     * the first attribution query), so every workspace carries one;
+     * nothing runs unless a SamplingConfig sets the attribution flag.
+     * Note the tap is deliberately *outside* the fingerprint: the
+     * attribution knob keys results through the shard-spec grammar
+     * instead, so attribution-off store keys match earlier releases.
+     */
+    analysis::SocAttribution &attribution() { return *attrPtr; }
+
   private:
     WorkspaceSpec wsSpec;
     std::unique_ptr<IbexMini> socPtr;
     std::unique_ptr<SocWorkload> workloadPtr;
     std::unique_ptr<VulnerabilityEngine> enginePtr;
+    std::unique_ptr<analysis::SocAttribution> attrPtr;
     std::string fp;
 };
 

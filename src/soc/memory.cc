@@ -26,6 +26,15 @@ MemoryModel::mix(uint64_t index, uint64_t value)
     return z ^ (z >> 31);
 }
 
+uint64_t
+MemoryModel::imageHash(const std::vector<uint32_t> &words)
+{
+    uint64_t hash = 0;
+    for (size_t i = 0; i < words.size(); ++i)
+        hash ^= mix(i, words[i]);
+    return hash;
+}
+
 void
 MemoryModel::writeWord(uint32_t index, uint32_t value)
 {

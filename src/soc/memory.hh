@@ -90,9 +90,24 @@ class MemoryModel : public BehavioralModel
 
     /// @}
 
+    /** @name Lockstep hashing
+     * The content hash is an order-independent XOR of mix(index, word)
+     * over every RAM word. Exposed so architectural observers (the
+     * src/analysis lockstep tap) can reproduce and incrementally track
+     * contentHash() from an ISS memory image without a model instance.
+     */
+    /// @{
+
+    /** The hash contribution of RAM word @p index holding @p value. */
+    static uint64_t mix(uint64_t index, uint64_t value);
+
+    /** contentHash() of a RAM holding exactly @p words. */
+    static uint64_t imageHash(const std::vector<uint32_t> &words);
+
+    /// @}
+
   private:
     void writeWord(uint32_t index, uint32_t value);
-    static uint64_t mix(uint64_t index, uint64_t value);
 
     unsigned memWordsLog2;
     std::vector<uint32_t> image;

@@ -50,6 +50,7 @@ struct IndexMetrics
     obs::Counter lookups{"store.index.lookups"};
     obs::Counter hits{"store.index.hits"};
     obs::Counter corrupt{"store.index.corrupt_records"};
+    obs::Counter future{"store.index.future_records"};
     obs::Counter collisions{"store.index.collisions"};
     obs::Counter appends{"store.index.appends"};
     obs::Counter replayed{"store.index.replayed_frames"};
@@ -280,6 +281,19 @@ IndexStore::lookup(const std::string &key)
     auto record =
         segments.readView(candidate->offset, candidate->size, scratch);
     std::string_view recordKey, payload;
+    if (record
+        && !splitCanonicalRecord(record.value(), recordKey, payload)
+        && recordTextFutureVersion(record.value())) {
+        // A record written by a newer binary sharing this store: not
+        // damage. Keep the slot (the writer can still serve it) and
+        // report a distinct miss so the caller recomputes.
+        result.status = LookupStatus::Future;
+        indexMetrics().future.add(1);
+        const std::lock_guard<std::mutex> lock(statsMutex);
+        ++counters.lookups;
+        ++counters.future;
+        return result;
+    }
     if (!record
         || !splitCanonicalRecord(record.value(), recordKey, payload)) {
         // Damaged frame or record: degrade to a miss and drop the

@@ -53,6 +53,7 @@ struct IndexStoreStats
     uint64_t lookups = 0;
     uint64_t hits = 0;
     uint64_t corrupt = 0;     ///< Damaged frames/records (slot dropped).
+    uint64_t future = 0;      ///< Future-version records (slot kept).
     uint64_t collisions = 0;  ///< Full-key mismatch on a hash match.
     uint64_t appends = 0;
     uint64_t replayed = 0;    ///< Tail frames re-inserted at open.
@@ -106,6 +107,7 @@ class IndexStore
         Miss,
         Corrupt,   ///< Damaged record dropped from the index.
         Collision, ///< A different key's record owns this hash.
+        Future,    ///< Record from a newer grammar; slot kept intact.
     };
 
     struct LookupResult

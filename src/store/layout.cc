@@ -72,13 +72,50 @@ fnv1a64Hex(std::string_view bytes)
     return os.str();
 }
 
+namespace {
+
+/**
+ * Parse a "davf-store v<N>" header line; 0 if the line is not a
+ * well-formed header (a version needs 1..9 digits, no sign, no junk).
+ */
+uint32_t
+recordHeaderVersion(std::string_view line)
+{
+    constexpr std::string_view magic = "davf-store v";
+    if (line.substr(0, magic.size()) != magic)
+        return 0;
+    const std::string_view digits = line.substr(magic.size());
+    if (digits.empty() || digits.size() > 9)
+        return 0;
+    uint32_t version = 0;
+    for (const char c : digits) {
+        if (c < '0' || c > '9')
+            return 0;
+        version = version * 10 + static_cast<uint32_t>(c - '0');
+    }
+    return version;
+}
+
+} // namespace
+
 std::string
-serializeRecordText(const std::string &key, const std::string &payload)
+serializeRecordText(const std::string &key, const std::string &payload,
+                    uint32_t version)
 {
     std::ostringstream os;
-    os << "davf-store v2\nkey " << key << "\npayload " << payload
-       << "\nsum " << fnv1a64Hex(key + '\n' + payload) << "\nend\n";
+    os << "davf-store v" << version << "\nkey " << key << "\npayload "
+       << payload << "\nsum " << fnv1a64Hex(key + '\n' + payload)
+       << "\nend\n";
     return os.str();
+}
+
+bool
+recordTextFutureVersion(std::string_view text)
+{
+    const size_t eol = text.find('\n');
+    const std::string_view line =
+        eol == std::string_view::npos ? text : text.substr(0, eol);
+    return recordHeaderVersion(line) > kRecordTextVersionMax;
 }
 
 Result<std::pair<std::string, std::string>>
@@ -88,9 +125,19 @@ parseRecordText(const std::string &text)
     std::istringstream is(text);
     std::string line;
 
-    if (!std::getline(is, line) || line != "davf-store v2") {
+    if (!std::getline(is, line)) {
         return R::Err(ErrorKind::BadInput,
                       "store record: bad header: " + line.substr(0, 60));
+    }
+    const uint32_t version = recordHeaderVersion(line);
+    if (version < kRecordTextVersion) {
+        return R::Err(ErrorKind::BadInput,
+                      "store record: bad header: " + line.substr(0, 60));
+    }
+    if (version > kRecordTextVersionMax) {
+        return R::Err(ErrorKind::BadInput,
+                      "store record: future version: "
+                          + line.substr(0, 60));
     }
     if (!std::getline(is, line) || line.rfind("key ", 0) != 0
         || line.size() == 4) {
@@ -106,9 +153,19 @@ parseRecordText(const std::string &text)
     std::string payload = line.substr(8);
     // The checksum catches in-place corruption (a flipped bit in the
     // key or payload) that would otherwise parse as a valid record.
-    if (!std::getline(is, line) || line.rfind("sum ", 0) != 0) {
+    if (!std::getline(is, line) || (version < 3 && line.rfind("sum ", 0) != 0)) {
         return R::Err(ErrorKind::BadInput,
                       "store record: missing sum record");
+    }
+    // v3 forward compatibility: unknown extension lines between the
+    // payload and the sum are skipped, not fatal — a future grammar
+    // that adds fields degrades this binary to a recompute, never to a
+    // quarantine.
+    while (line.rfind("sum ", 0) != 0) {
+        if (line == "end" || !std::getline(is, line)) {
+            return R::Err(ErrorKind::BadInput,
+                          "store record: missing sum record");
+        }
     }
     if (line.substr(4) != fnv1a64Hex(key + '\n' + payload)) {
         return R::Err(ErrorKind::BadInput,
@@ -131,13 +188,18 @@ bool
 splitCanonicalRecord(std::string_view record, std::string_view &key,
                      std::string_view &payload)
 {
-    constexpr std::string_view head = "davf-store v2\nkey ";
+    constexpr std::string_view headV2 = "davf-store v2\nkey ";
+    constexpr std::string_view headV3 = "davf-store v3\nkey ";
     constexpr std::string_view payloadTag = "payload ";
     constexpr std::string_view sumTag = "sum ";
     constexpr std::string_view tail = "end\n";
-    if (record.substr(0, head.size()) != head)
+    size_t at = 0;
+    if (record.substr(0, headV2.size()) == headV2)
+        at = headV2.size();
+    else if (record.substr(0, headV3.size()) == headV3)
+        at = headV3.size();
+    else
         return false;
-    size_t at = head.size();
     const size_t keyEnd = record.find('\n', at);
     if (keyEnd == std::string_view::npos || keyEnd == at)
         return false;

@@ -84,17 +84,39 @@ fingerprint(uint64_t hash)
 
 /**
  * @name Record text grammar (shared with the legacy tier)
- * The exact v2 text form of one record. ResultStore::serializeRecord /
+ * The exact text form of one record. ResultStore::serializeRecord /
  * parseRecord delegate here so both tiers stay byte-identical by
  * construction. parseRecordText rejects every damage class: bad magic,
  * unknown version, missing fields, checksum mismatch (garble), missing
  * end sentinel (torn), trailing garbage.
+ *
+ * Two grammar revisions coexist:
+ *  - **v2** — the original strict four-field form; every record
+ *    without attribution data is still emitted as byte-identical v2.
+ *  - **v3** — the same key/payload/sum/end shape (payloads may carry
+ *    an attribution section), plus forward compatibility: a v3 parser
+ *    *skips* unknown extension lines between `payload` and `sum`
+ *    instead of rejecting the record, so grammar growth degrades old
+ *    binaries to a cache miss rather than a corrupt-record quarantine.
+ * A record whose header names a version beyond kRecordTextVersionMax
+ * is classified by recordTextFutureVersion(): the store treats it as a
+ * miss and leaves the bytes in place for the newer binary that wrote
+ * them.
  */
 /// @{
+constexpr uint32_t kRecordTextVersion = 2;    ///< Canonical plain form.
+constexpr uint32_t kRecordTextVersionMax = 3; ///< Highest we parse.
+
 std::string serializeRecordText(const std::string &key,
-                                const std::string &payload);
+                                const std::string &payload,
+                                uint32_t version = kRecordTextVersion);
 Result<std::pair<std::string, std::string>>
 parseRecordText(const std::string &text);
+
+/** Does @p text carry a well-formed record header naming a version
+ * newer than this binary understands? Such records are misses, never
+ * damage: they must not be unlinked, quarantined, or index-dropped. */
+bool recordTextFutureVersion(std::string_view text);
 
 /**
  * Fast strict splitter for the *canonical* serialized form (the only

@@ -145,11 +145,85 @@ TEST(Report, JsonWithNonFiniteFieldsStillParses)
 
 TEST(Report, LabelsAreSanitized)
 {
-    // Commas and newlines in labels must not corrupt the CSV framing.
+    // Labels with CSV metacharacters are quoted per RFC 4180: wrapped
+    // in double quotes, internal quotes doubled, content preserved.
     const std::string row =
-        savfCsvRow("evil,label\n", "str\"uct", SavfResult{});
-    EXPECT_EQ(std::count(row.begin(), row.end(), ','), 6);
-    EXPECT_EQ(row.find('\n'), std::string::npos);
+        savfCsvRow("evil,label", "str\"uct", SavfResult{});
+    EXPECT_EQ(row.rfind("\"evil,label\",\"str\"\"uct\",", 0), 0u) << row;
+    // Simple labels pass through byte-identical — no spurious quoting.
+    const std::string plain = savfCsvRow("md5", "ALU", SavfResult{});
+    EXPECT_EQ(plain.rfind("md5,ALU,", 0), 0u);
+}
+
+TEST(Report, CsvPreservesInstructionOperands)
+{
+    // Regression: the old escaper silently dropped commas and
+    // newlines, so an instruction label like "lw x1, 8(x2)" came out
+    // as "lw x1 8(x2)" — a different instruction. RFC 4180 quoting
+    // keeps the operand list intact for any CSV reader.
+    const std::string row =
+        savfCsvRow("md5", "lw x1, 8(x2)", SavfResult{});
+    EXPECT_NE(row.find("\"lw x1, 8(x2)\""), std::string::npos) << row;
+
+    DelayAvfResult result = sampleResult();
+    result.attrValid = true;
+    DelayAvfResult::AttrRow attr;
+    attr.pc = 0x24;
+    attr.mnemonic = "lw x1, 8(x2)";
+    attr.injections = 60;
+    attr.delayAce = 2;
+    attr.firstCorruptions = 2;
+    attr.destinations["x1"] = 2;
+    result.attribution.push_back(attr);
+
+    const std::string attr_csv =
+        attributionCsvRows("md5", "LSU", 0.5, result);
+    EXPECT_NE(attr_csv.find("\"lw x1, 8(x2)\""), std::string::npos)
+        << attr_csv;
+    EXPECT_NE(attr_csv.find("0x00000024"), std::string::npos);
+    EXPECT_NE(attr_csv.find("x1:2"), std::string::npos);
+    const std::string header = attributionCsvHeader();
+    const std::string first =
+        attr_csv.substr(0, attr_csv.find('\n'));
+    // The quoted mnemonic's internal comma must not add a column.
+    EXPECT_EQ(std::count(header.begin(), header.end(), ','),
+              std::count(first.begin(), first.end(), ',')
+                  - 1 /* the comma inside the quoted operand */);
+
+    // No table, no rows: callers append unconditionally.
+    EXPECT_EQ(attributionCsvRows("md5", "LSU", 0.5, sampleResult()), "");
+}
+
+TEST(Report, JsonCarriesAttributionTable)
+{
+    DelayAvfResult result = sampleResult();
+    result.attrValid = true;
+    DelayAvfResult::AttrRow row;
+    row.pc = 0x40;
+    row.mnemonic = "addi x12, x12, -1";
+    row.injections = 60;
+    row.delayAce = 7;
+    row.firstCorruptions = 7;
+    row.destinations["x12"] = 6;
+    row.destinations["mem"] = 1;
+    result.attribution.push_back(row);
+
+    const std::string json = delayAvfJson("popcount", "ALU", 0.5, result);
+    const JsonCheck check = jsonValidate(json);
+    EXPECT_TRUE(check.valid) << check.message << " in: " << json;
+    EXPECT_NE(json.find("\"attribution\":[{\"pc\":\"0x00000040\""),
+              std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"mnemonic\":\"addi x12, x12, -1\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"first_corruptions\":7"), std::string::npos);
+    EXPECT_NE(json.find("\"destinations\":{\"mem\":1,\"x12\":6}"),
+              std::string::npos);
+
+    // Attribution off: the section is absent, bytes unchanged.
+    const std::string plain =
+        delayAvfJson("popcount", "ALU", 0.5, sampleResult());
+    EXPECT_EQ(plain.find("attribution"), std::string::npos);
 }
 
 } // namespace

@@ -175,15 +175,42 @@ TEST(ResultStore_, TruncatedRecordIsAMissAndIsRepaired)
 
 TEST(ResultStore_, WrongVersionRecordIsAMiss)
 {
+    // Too-old grammar: damage, counted as corrupt and unlinked so
+    // fsck-less fleets stop re-parsing the file.
     const std::string dir = tempPath("version");
     std::filesystem::remove_all(dir);
     ResultStore store(
         {.dir = dir, .memCapacity = 0, .format = StoreFormat::Legacy});
     store.store("k", "v");
     std::ofstream(store.recordPath("k"), std::ios::binary)
-        << "davf-store v999\nkey k\npayload v\nend\n";
+        << "davf-store v1\nkey k\npayload v\nend\n";
     EXPECT_FALSE(store.lookup("k").has_value());
     EXPECT_EQ(store.stats().corruptRecords, 1u);
+    EXPECT_EQ(store.stats().futureRecords, 0u);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ResultStore_, FutureVersionRecordIsAMissButSurvives)
+{
+    // A record written by a newer binary sharing the directory is a
+    // miss, not damage: tallied separately and never unlinked — the
+    // newer writer still serves it.
+    const std::string dir = tempPath("future");
+    std::filesystem::remove_all(dir);
+    ResultStore store(
+        {.dir = dir, .memCapacity = 0, .format = StoreFormat::Legacy});
+    store.store("k", "v");
+    const std::string future =
+        "davf-store v999\nkey k\npayload v\nnewfield x\nend\n";
+    std::ofstream(store.recordPath("k"), std::ios::binary) << future;
+    EXPECT_FALSE(store.lookup("k").has_value());
+    EXPECT_EQ(store.stats().futureRecords, 1u);
+    EXPECT_EQ(store.stats().corruptRecords, 0u);
+    EXPECT_EQ(store.stats().repairUnlinks, 0u);
+    std::ifstream kept(store.recordPath("k"), std::ios::binary);
+    std::ostringstream contents;
+    contents << kept.rdbuf();
+    EXPECT_EQ(contents.str(), future);
     std::filesystem::remove_all(dir);
 }
 

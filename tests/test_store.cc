@@ -138,6 +138,43 @@ TEST(StoreLayout, RecordParsersRejectEveryDamageClass)
     EXPECT_FALSE(splitCanonicalRecord(text + "x", key, payload));
 }
 
+TEST(StoreLayout, V3SkipsUnknownExtensionLines)
+{
+    // Forward compatibility (docs/ANALYSIS.md): a v3 reader skips
+    // unknown lines between the payload and the sum, so a future
+    // grammar that appends fields degrades old binaries to a recompute
+    // instead of a quarantine.
+    const std::string v3 = serializeRecordText("k", "v", 3);
+    const size_t sum_at = v3.find("\nsum ");
+    ASSERT_NE(sum_at, std::string::npos);
+    std::string extended = v3;
+    extended.insert(sum_at, "\nattrdigest 00ff\nprovenance node7");
+    const auto parsed = parseRecordText(extended);
+    ASSERT_TRUE(static_cast<bool>(parsed)) << parsed.error().what();
+    EXPECT_EQ(parsed.value().first, "k");
+    EXPECT_EQ(parsed.value().second, "v");
+
+    // The v2 grammar stays strict: the same extension lines are fatal.
+    const std::string v2 = serializeRecordText("k", "v", 2);
+    std::string v2ext = v2;
+    v2ext.insert(v2ext.find("\nsum "), "\nattrdigest 00ff");
+    EXPECT_FALSE(static_cast<bool>(parseRecordText(v2ext)));
+
+    // An extension line can never impersonate the end sentinel: a
+    // record whose "extensions" run into `end` without a sum is torn.
+    std::string no_sum = "davf-store v3\nkey k\npayload v\n"
+                         "newfield x\nend\n";
+    EXPECT_FALSE(static_cast<bool>(parseRecordText(no_sum)));
+
+    // Future headers are a distinct class from damage.
+    const std::string v4 = serializeRecordText("k", "v", 4);
+    EXPECT_FALSE(static_cast<bool>(parseRecordText(v4)));
+    EXPECT_TRUE(recordTextFutureVersion(v4));
+    EXPECT_FALSE(recordTextFutureVersion(v2));
+    EXPECT_FALSE(recordTextFutureVersion(v3));
+    EXPECT_FALSE(recordTextFutureVersion("garbage\n"));
+}
+
 TEST(StoreLayout, HeaderAndBucketPagesRoundTrip)
 {
     IndexHeader header;
@@ -248,6 +285,29 @@ TEST(StoreLayoutFuzz, ParsersNeverAcceptMutatedOrRandomInput)
         (void)parseFrameHeader(
             std::string_view(frame_bytes)
                 .substr(0, cut % kFrameHeaderBytes));
+
+        // A v3 record padded with random "future grammar" extension
+        // lines: the lenient parser must either reject it or return
+        // exactly the embedded key/payload — never a record distorted
+        // by the unknown lines (satellite of the attribution grammar).
+        std::string v3ext = "davf-store v3\nkey k\npayload v\n";
+        const int extras = static_cast<int>(rng() % 4);
+        for (int i = 0; i < extras; ++i) {
+            std::string extension(1 + rng() % 24, '\0');
+            for (char &c : extension) {
+                do {
+                    c = static_cast<char>(byte(rng));
+                } while (c == '\n');
+            }
+            v3ext += extension + "\n";
+        }
+        v3ext += "sum " + fnv1a64Hex("k\nv") + "\nend\n";
+        const auto lenient = parseRecordText(v3ext);
+        if (lenient) {
+            EXPECT_EQ(lenient.value().first, "k");
+            EXPECT_EQ(lenient.value().second, "v");
+        }
+        (void)parseRecordText(v3ext.substr(0, rng() % v3ext.size()));
     }
 }
 

@@ -16,6 +16,8 @@
 
 #include "src/util/bits.hh"
 #include "src/util/bitvector.hh"
+#include "src/util/error.hh"
+#include "src/util/parse.hh"
 #include "src/util/rng.hh"
 #include "src/util/stats.hh"
 #include "src/util/thread_pool.hh"
@@ -354,6 +356,61 @@ TEST(ThreadPool, RethrowsOnSingleThread)
     // The single-thread path runs in order and stops at the throw.
     EXPECT_EQ(hits[10], 1);
     EXPECT_EQ(hits[11], 0);
+}
+
+TEST(Parse, U64StrictAcceptsPlainDecimal)
+{
+    EXPECT_EQ(parseU64Strict("0", "--n"), 0u);
+    EXPECT_EQ(parseU64Strict("42", "--n"), 42u);
+    EXPECT_EQ(parseU64Strict("18446744073709551615", "--n"),
+              std::numeric_limits<uint64_t>::max());
+}
+
+TEST(Parse, U64StrictRejectsGarbageAndOverflow)
+{
+    // The libc behaviors these guard against: strtoull("4x") returns 4,
+    // and an over-wide literal saturates to ULLONG_MAX — both silently.
+    EXPECT_THROW(parseU64Strict("4x", "--workers"), DavfError);
+    EXPECT_THROW(parseU64Strict("", "--workers"), DavfError);
+    EXPECT_THROW(parseU64Strict(" 4", "--workers"), DavfError);
+    EXPECT_THROW(parseU64Strict("-1", "--workers"), DavfError);
+    EXPECT_THROW(parseU64Strict("+4", "--workers"), DavfError);
+    EXPECT_THROW(parseU64Strict("0x10", "--workers"), DavfError);
+    EXPECT_THROW(parseU64Strict("99999999999999999999", "--workers"),
+                 DavfError);
+    EXPECT_THROW(parseU64Strict("18446744073709551616", "--workers"),
+                 DavfError);
+    try {
+        parseU64Strict("4x", "--workers");
+        FAIL() << "expected a throw";
+    } catch (const DavfError &error) {
+        EXPECT_EQ(error.kind(), ErrorKind::BadArgument);
+        EXPECT_NE(std::string(error.what()).find("--workers"),
+                  std::string::npos);
+    }
+}
+
+TEST(Parse, U64InRange)
+{
+    EXPECT_EQ(parseU64InRange("8", "--lanes", 2, 64), 8u);
+    EXPECT_THROW(parseU64InRange("1", "--lanes", 2, 64), DavfError);
+    EXPECT_THROW(parseU64InRange("65", "--lanes", 2, 64), DavfError);
+}
+
+TEST(Parse, DoubleStrict)
+{
+    EXPECT_DOUBLE_EQ(parseDoubleStrict("0.5", "--d"), 0.5);
+    EXPECT_DOUBLE_EQ(parseDoubleStrict("-1e3", "--d"), -1000.0);
+    // Whole-token and finiteness rules.
+    EXPECT_THROW(parseDoubleStrict("0.5x", "--d"), DavfError);
+    EXPECT_THROW(parseDoubleStrict("", "--d"), DavfError);
+    EXPECT_THROW(parseDoubleStrict("nan", "--d"), DavfError);
+    EXPECT_THROW(parseDoubleStrict("inf", "--d"), DavfError);
+    EXPECT_THROW(parseDoubleStrict("1e99999", "--d"), DavfError);
+    // A very wide integer literal is fine as a double (it rounds); the
+    // u64 parser is the one that must reject it.
+    EXPECT_DOUBLE_EQ(parseDoubleStrict("99999999999999999999", "--d"),
+                     1e20);
 }
 
 } // namespace

@@ -553,6 +553,151 @@ store_index_smoke() {
         "migrate, split-kill repair, compact)" >&2
 }
 
+# Attribution smoke: per-instruction root-cause attribution end to end
+# against the real binaries (docs/ANALYSIS.md). The attributed report
+# must be byte-identical across thread counts, worker processes, a
+# three-node net fleet with one node kill -9'd mid-campaign, and a
+# journal resume; stripping the attribution arrays must reproduce the
+# attribution-off report exactly (the walks ride outside the counted
+# simulations); and every JSON artifact must pass davf_jsonlint. Runs
+# under both configs so the lockstep tables and divergence walks get
+# ASan/UBSan coverage on every CI run.
+attr_smoke() {
+    build_dir="$1"
+    smoke_dir="$build_dir/attr-smoke"
+    rm -rf "$smoke_dir"
+    mkdir -p "$smoke_dir"
+    echo "=== attr smoke $build_dir" >&2
+
+    sweep_args="--benchmark popcount --structure ALU
+        --delays 0.5:0.9:0.4 --cycles 4 --wires 24"
+
+    # Reference: attributed, in-process, single-threaded.
+    # shellcheck disable=SC2086
+    "$build_dir/tools/davf_run" --json --threads 1 --attribution \
+        $sweep_args --checkpoint "$smoke_dir/ref.ckpt" \
+        > "$smoke_dir/ref.json"
+    "$build_dir/tools/davf_jsonlint" "$smoke_dir/ref.json"
+    if ! grep -q '"attribution":\[{"pc":' "$smoke_dir/ref.json"; then
+        echo "attr smoke: no attribution tables in the report" >&2
+        exit 1
+    fi
+
+    # Thread-count and process-isolation identity.
+    # shellcheck disable=SC2086
+    "$build_dir/tools/davf_run" --json --threads 4 --attribution \
+        $sweep_args > "$smoke_dir/threads4.json"
+    # shellcheck disable=SC2086
+    "$build_dir/tools/davf_run" --json --attribution \
+        --isolate process --workers 2 $sweep_args \
+        > "$smoke_dir/isolated.json"
+
+    # Resuming the completed journal recomputes nothing and must
+    # reproduce both the report and the journal byte-for-byte.
+    cp "$smoke_dir/ref.ckpt" "$smoke_dir/resume.ckpt"
+    # shellcheck disable=SC2086
+    "$build_dir/tools/davf_run" --json --attribution $sweep_args \
+        --checkpoint "$smoke_dir/resume.ckpt" \
+        --resume "$smoke_dir/resume.ckpt" > "$smoke_dir/resumed.json"
+    if ! cmp -s "$smoke_dir/ref.ckpt" "$smoke_dir/resume.ckpt"; then
+        echo "attr smoke: journal differs after resume" >&2
+        exit 1
+    fi
+
+    # Net: three loopback workers, one kill -9'd mid-campaign (the
+    # net_smoke choreography: a stalled node pins the campaign long
+    # enough for the kill to land mid-run).
+    port_file="$smoke_dir/port"
+    # shellcheck disable=SC2086
+    "$build_dir/tools/davf_run" --json --attribution $sweep_args \
+        --isolate net --listen 127.0.0.1:0 --port-file "$port_file" \
+        --min-nodes 3 --node-wait-ms 60000 \
+        --shard-timeout-ms 2000 --backoff-ms 1 \
+        > "$smoke_dir/net.json" 2> "$smoke_dir/run.log" &
+    run_pid=$!
+    trap 'kill "$run_pid" $w1 $w2 $w3 2>/dev/null || true' EXIT
+    waited=0
+    while [ ! -s "$port_file" ]; do
+        if ! kill -0 "$run_pid" 2>/dev/null; then
+            echo "attr smoke: coordinator died during startup" >&2
+            cat "$smoke_dir/run.log" >&2
+            exit 1
+        fi
+        if [ "$waited" -ge 300 ]; then
+            echo "attr smoke: coordinator never wrote $port_file" >&2
+            exit 1
+        fi
+        sleep 1
+        waited=$((waited + 1))
+    done
+    port=$(cat "$port_file")
+    worker() {
+        env DAVF_TEST_NETFAULT="$2" \
+            "$build_dir/tools/davf_worker" \
+            --connect "127.0.0.1:$port" --benchmark popcount \
+            --node "$1" 2>> "$smoke_dir/workers.log"
+    }
+    worker w1 '' &
+    w1=$!
+    worker w2 '' &
+    w2=$!
+    worker w3 'stall@w3' &
+    w3=$!
+    waited=0
+    while ! grep -q '3 node(s) connected' "$smoke_dir/run.log"; do
+        if ! kill -0 "$run_pid" 2>/dev/null; then
+            echo "attr smoke: coordinator exited before the fleet" >&2
+            cat "$smoke_dir/run.log" "$smoke_dir/workers.log" >&2
+            exit 1
+        fi
+        if [ "$waited" -ge 300 ]; then
+            echo "attr smoke: fleet never assembled" >&2
+            cat "$smoke_dir/run.log" "$smoke_dir/workers.log" >&2
+            exit 1
+        fi
+        sleep 1
+        waited=$((waited + 1))
+    done
+    kill -9 "$w1" 2>/dev/null || true
+    if ! wait "$run_pid"; then
+        echo "attr smoke: net coordinator run failed" >&2
+        cat "$smoke_dir/run.log" "$smoke_dir/workers.log" >&2
+        exit 1
+    fi
+    trap - EXIT
+
+    for f in threads4.json isolated.json resumed.json net.json; do
+        if ! cmp -s "$smoke_dir/ref.json" "$smoke_dir/$f"; then
+            echo "attr smoke: $f differs from ref.json" >&2
+            exit 1
+        fi
+    done
+
+    # Attribution must not perturb anything else: stripping the
+    # attribution arrays from the attributed report reproduces the
+    # attribution-off report byte for byte.
+    # shellcheck disable=SC2086
+    "$build_dir/tools/davf_run" --json $sweep_args \
+        > "$smoke_dir/plain.json"
+    sed 's/,"attribution":\[[^]]*\]//g' "$smoke_dir/ref.json" \
+        > "$smoke_dir/stripped.json"
+    if ! cmp -s "$smoke_dir/plain.json" "$smoke_dir/stripped.json"; then
+        echo "attr smoke: attribution perturbed the base report" >&2
+        exit 1
+    fi
+
+    # The journal pretty-printer sees the tables.
+    "$build_dir/tools/davf_trace" attr \
+        --checkpoint "$smoke_dir/ref.ckpt" > "$smoke_dir/trace.txt"
+    if ! grep -q 'instruction' "$smoke_dir/trace.txt"; then
+        echo "attr smoke: davf_trace attr printed no tables" >&2
+        cat "$smoke_dir/trace.txt" >&2
+        exit 1
+    fi
+    echo "=== attr smoke ok (tables bit-identical across threads," \
+        "process, net, resume)" >&2
+}
+
 # Net smoke: the distributed fabric under fire (docs/DISTRIBUTED.md).
 # A coordinator sweep dispatches to three loopback davf_worker nodes;
 # one node is armed with a deterministic stall netfault (caught by the
@@ -674,6 +819,7 @@ obs_smoke "$root/build-ci-release"
 serve_smoke "$root/build-ci-release"
 store_index_smoke "$root/build-ci-release"
 net_smoke "$root/build-ci-release"
+attr_smoke "$root/build-ci-release"
 crash_soak "$root/build-ci-release"
 groupace_bench "$root/build-ci-release"
 tsim_bench "$root/build-ci-release"
@@ -686,6 +832,7 @@ obs_smoke "$root/build-ci-asan"
 serve_smoke "$root/build-ci-asan"
 store_index_smoke "$root/build-ci-asan"
 net_smoke "$root/build-ci-asan"
+attr_smoke "$root/build-ci-asan"
 crash_soak "$root/build-ci-asan"
 
 echo "=== ci_check: all configurations passed" >&2

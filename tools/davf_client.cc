@@ -19,6 +19,9 @@
  *     --structure NAME     structure (default ALU)
  *     --delays LO:HI:STEP  delay fractions (default 0.1:0.9:0.2)
  *     --savf               also request particle-strike sAVF
+ *     --attribution        request per-instruction root-cause
+ *                          attribution; davf rows in the reply gain an
+ *                          "attribution" array (docs/ANALYSIS.md)
  *     --cycles N           injection cycles (default 8)
  *     --wires N            wire sample, 0 = all (default 400)
  *     --flops N            flop sample for sAVF, 0 = all (default 96)
@@ -53,6 +56,7 @@
 #include "service/protocol.hh"
 #include "util/json.hh"
 #include "util/logging.hh"
+#include "util/parse.hh"
 #include "util/subprocess.hh"
 
 using namespace davf;
@@ -82,6 +86,7 @@ usageError(const char *argv0, const std::string &detail)
                  "[--benchmark N] [--ecc]\n"
                  "          [--sta-period] [--structure N] "
                  "[--delays LO:HI:STEP] [--savf]\n"
+                 "          [--attribution]\n"
                  "          [--cycles N] [--wires N] [--flops N] "
                  "[--seed N]\n"
                  "          [--timeout-ms X] [--max-failure-rate X]\n"
@@ -95,27 +100,21 @@ usageError(const char *argv0, const std::string &detail)
 uint64_t
 parseU64(const char *argv0, const std::string &flag, const char *text)
 {
-    errno = 0;
-    char *end = nullptr;
-    const unsigned long long value = std::strtoull(text, &end, 10);
-    if (errno != 0 || end == text || *end != '\0') {
-        usageError(argv0, flag + " expects a non-negative integer, got '"
-                              + text + "'");
+    try {
+        return parseU64Strict(text, flag);
+    } catch (const DavfError &error) {
+        usageError(argv0, error.what());
     }
-    return static_cast<uint64_t>(value);
 }
 
 double
 parseDouble(const char *argv0, const std::string &flag, const char *text)
 {
-    errno = 0;
-    char *end = nullptr;
-    const double value = std::strtod(text, &end);
-    if (errno != 0 || end == text || *end != '\0') {
-        usageError(argv0, flag + " expects a number, got '"
-                              + std::string(text) + "'");
+    try {
+        return parseDoubleStrict(text, flag);
+    } catch (const DavfError &error) {
+        usageError(argv0, error.what());
     }
-    return value;
 }
 
 void
@@ -179,6 +178,8 @@ parse(int argc, char **argv)
             parseDelays(argv[0], need(i), opts);
         } else if (arg == "--savf") {
             opts.query.runSavf = true;
+        } else if (arg == "--attribution") {
+            opts.query.sampling.attribution = true;
         } else if (arg == "--cycles") {
             opts.query.sampling.maxInjectionCycles =
                 static_cast<unsigned>(parseU64(argv[0], arg, need(i)));

@@ -35,6 +35,14 @@
  *     --tsim-lanes N       lanes per timed-simulator batch, 1..64
  *                          (default 64; 1 forces scalar)
  *     --savf               also run particle-strike sAVF on the structure
+ *     --attribution        per-instruction root-cause attribution: tag
+ *                          every injection with the in-flight
+ *                          instruction and walk each ACE outcome
+ *                          forward to the first architecturally-
+ *                          corrupted instruction (docs/ANALYSIS.md);
+ *                          adds an attribution table to the text
+ *                          report, an "attribution" array to --json
+ *                          rows, and a FILE.attr sibling to --csv
  *     --sta-period         use the STA longest path as the clock (default:
  *                          observed-max timing-closure emulation)
  *     --json               print the structured report (core/report
@@ -118,6 +126,7 @@
 #include "service/workspace.hh"
 #include "util/atomic_file.hh"
 #include "util/logging.hh"
+#include "util/parse.hh"
 
 using namespace davf;
 
@@ -175,7 +184,8 @@ printUsage(const char *argv0)
                  " [--seed N]\n"
                  "          [--threads N] [--no-vector] "
                  "[--vector-lanes N] [--savf]\n"
-                 "          [--no-vector-tsim] [--tsim-lanes N]\n"
+                 "          [--no-vector-tsim] [--tsim-lanes N] "
+                 "[--attribution]\n"
                  "          [--sta-period] "
                  "[--json] [--csv FILE]\n"
                  "          [--checkpoint FILE] [--resume FILE] "
@@ -207,28 +217,21 @@ usageError(const char *argv0, const std::string &detail)
 uint64_t
 parseU64(const char *argv0, const std::string &flag, const char *text)
 {
-    errno = 0;
-    char *end = nullptr;
-    const unsigned long long value = std::strtoull(text, &end, 10);
-    if (errno != 0 || end == text || *end != '\0') {
-        usageError(argv0,
-                   flag + " expects a non-negative integer, got '"
-                       + text + "'");
+    try {
+        return parseU64Strict(text, flag);
+    } catch (const DavfError &error) {
+        usageError(argv0, error.what());
     }
-    return static_cast<uint64_t>(value);
 }
 
 double
 parseDouble(const char *argv0, const std::string &flag, const char *text)
 {
-    errno = 0;
-    char *end = nullptr;
-    const double value = std::strtod(text, &end);
-    if (errno != 0 || end == text || *end != '\0') {
-        usageError(argv0, flag + " expects a number, got '"
-                              + std::string(text) + "'");
+    try {
+        return parseDoubleStrict(text, flag);
+    } catch (const DavfError &error) {
+        usageError(argv0, error.what());
     }
-    return value;
 }
 
 void
@@ -305,6 +308,8 @@ parse(int argc, char **argv)
             opts.ecc = true;
         } else if (arg == "--savf") {
             opts.run_savf = true;
+        } else if (arg == "--attribution") {
+            opts.sampling.attribution = true;
         } else if (arg == "--sta-period") {
             opts.sta_period = true;
         } else if (arg == "--json") {
@@ -700,6 +705,31 @@ runTool(int argc, char **argv)
                     static_cast<unsigned long long>(
                         result.skippedErrors),
                     cell.fromCheckpoint ? "  (resumed)" : "");
+    }
+
+    for (const CampaignCellResult &cell : summary.cells) {
+        if (cell.key.kind != "davf" || cell.failed
+            || !cell.davf.attrValid) {
+            continue;
+        }
+        std::printf("\nattribution (d=%.2f): injection site -> first "
+                    "corruption\n", cell.delay);
+        std::printf("%-12s%-22s%12s%12s%12s\n", "pc", "instruction",
+                    "injections", "delay-ace", "corrupted");
+        for (const DelayAvfResult::AttrRow &row : cell.davf.attribution) {
+            std::printf("0x%08llx  %-22s%12llu%12llu%12llu\n",
+                        static_cast<unsigned long long>(row.pc),
+                        row.mnemonic.c_str(),
+                        static_cast<unsigned long long>(row.injections),
+                        static_cast<unsigned long long>(row.delayAce),
+                        static_cast<unsigned long long>(
+                            row.firstCorruptions));
+            for (const auto &[dest, count] : row.destinations) {
+                std::printf("%-12s  -> %s: %llu\n", "",
+                            dest.c_str(),
+                            static_cast<unsigned long long>(count));
+            }
+        }
     }
 
     for (const CampaignCellResult &cell : summary.cells) {

@@ -61,6 +61,7 @@
 #include "service/scheduler.hh"
 #include "service/workspace.hh"
 #include "util/logging.hh"
+#include "util/parse.hh"
 #include "util/subprocess.hh"
 
 using namespace davf;
@@ -109,14 +110,11 @@ usageError(const char *argv0, const std::string &detail)
 uint64_t
 parseU64(const char *argv0, const std::string &flag, const char *text)
 {
-    errno = 0;
-    char *end = nullptr;
-    const unsigned long long value = std::strtoull(text, &end, 10);
-    if (errno != 0 || end == text || *end != '\0') {
-        usageError(argv0, flag + " expects a non-negative integer, got '"
-                              + text + "'");
+    try {
+        return parseU64Strict(text, flag);
+    } catch (const DavfError &error) {
+        usageError(argv0, error.what());
     }
-    return static_cast<uint64_t>(value);
 }
 
 Options

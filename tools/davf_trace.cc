@@ -16,6 +16,10 @@
  *     --tail N           cycles to dump after the injection (default 40)
  *     --out PREFIX       output files PREFIX.golden.vcd and
  *                        PREFIX.faulty.vcd (default davf_trace)
+ *
+ * The `attr` verb pretty-prints per-instruction attribution tables
+ * journaled by an --attribution campaign (docs/ANALYSIS.md):
+ *   davf_trace attr --checkpoint FILE
  */
 
 #include <cstdio>
@@ -23,6 +27,7 @@
 #include <cstring>
 #include <string>
 
+#include "campaign/checkpoint.hh"
 #include "core/vulnerability.hh"
 #include "isa/assembler.hh"
 #include "isa/benchmarks.hh"
@@ -35,9 +40,72 @@ using namespace davf;
 
 namespace {
 
+/** `davf_trace attr`: dump the attribution tables in a journal. */
+int
+runAttr(int argc, char **argv)
+{
+    std::string path;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--checkpoint" && i + 1 < argc) {
+            path = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s attr --checkpoint FILE\n", argv[0]);
+            return 2;
+        }
+    }
+    if (path.empty()) {
+        std::fprintf(stderr, "usage: %s attr --checkpoint FILE\n",
+                     argv[0]);
+        return 2;
+    }
+
+    const Result<Checkpoint> loaded = loadCheckpoint(path, nullptr);
+    if (!loaded) {
+        std::fprintf(stderr, "error: %s\n", loaded.error().what());
+        return 1;
+    }
+
+    size_t tables = 0;
+    for (const CheckpointCell &cell : loaded.value().cells) {
+        if (cell.key.kind != "davf" || cell.failed
+            || !cell.davf.attrValid) {
+            continue;
+        }
+        ++tables;
+        std::printf("%s %s d=%s — %zu instruction(s)\n",
+                    cell.key.benchmark.c_str(),
+                    cell.key.structure.c_str(), cell.key.delay.c_str(),
+                    cell.davf.attribution.size());
+        std::printf("  %-12s%-22s%12s%12s%12s\n", "pc", "instruction",
+                    "injections", "delay-ace", "corrupted");
+        for (const DelayAvfResult::AttrRow &row : cell.davf.attribution) {
+            std::printf("  0x%08llx  %-22s%12llu%12llu%12llu\n",
+                        static_cast<unsigned long long>(row.pc),
+                        row.mnemonic.c_str(),
+                        static_cast<unsigned long long>(row.injections),
+                        static_cast<unsigned long long>(row.delayAce),
+                        static_cast<unsigned long long>(
+                            row.firstCorruptions));
+            for (const auto &[dest, count] : row.destinations) {
+                std::printf("  %-12s  -> %s: %llu\n", "", dest.c_str(),
+                            static_cast<unsigned long long>(count));
+            }
+        }
+    }
+    if (tables == 0) {
+        std::printf("no attribution tables in '%s' (was the campaign "
+                    "run with --attribution?)\n", path.c_str());
+    }
+    return 0;
+}
+
 int
 runTool(int argc, char **argv)
 {
+    if (argc > 1 && std::strcmp(argv[1], "attr") == 0)
+        return runAttr(argc, argv);
     std::string benchmark = "libstrstr";
     std::string structure_name = "ALU";
     std::string prefix = "davf_trace";

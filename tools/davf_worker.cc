@@ -43,6 +43,7 @@
 #include "net/worker.hh"
 #include "service/workspace.hh"
 #include "util/logging.hh"
+#include "util/parse.hh"
 
 using namespace davf;
 
@@ -87,28 +88,21 @@ usageError(const char *argv0, const std::string &detail)
 uint64_t
 parseU64(const char *argv0, const std::string &flag, const char *text)
 {
-    errno = 0;
-    char *end = nullptr;
-    const unsigned long long value = std::strtoull(text, &end, 10);
-    if (errno != 0 || end == text || *end != '\0') {
-        usageError(argv0,
-                   flag + " expects a non-negative integer, got '"
-                       + text + "'");
+    try {
+        return parseU64Strict(text, flag);
+    } catch (const DavfError &error) {
+        usageError(argv0, error.what());
     }
-    return static_cast<uint64_t>(value);
 }
 
 double
 parseDouble(const char *argv0, const std::string &flag, const char *text)
 {
-    errno = 0;
-    char *end = nullptr;
-    const double value = std::strtod(text, &end);
-    if (errno != 0 || end == text || *end != '\0') {
-        usageError(argv0, flag + " expects a number, got '"
-                              + std::string(text) + "'");
+    try {
+        return parseDoubleStrict(text, flag);
+    } catch (const DavfError &error) {
+        usageError(argv0, error.what());
     }
-    return value;
 }
 
 bool
